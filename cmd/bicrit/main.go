@@ -1,0 +1,98 @@
+// Command bicrit solves the BiCrit problem for one platform/processor
+// configuration and performance bound: it prints the per-σ1 best second
+// speed (the Section 4.2 table shape), the full speed-pair grid, and the
+// optimal solution.
+//
+// Usage:
+//
+//	bicrit [-config "Hera/XScale"] [-rho 3] [-grid] [-exact]
+//	bicrit -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"respeed"
+	"respeed/internal/tablefmt"
+)
+
+func main() {
+	configName := flag.String("config", "Hera/XScale", "platform/processor configuration name")
+	rho := flag.Float64("rho", 3, "performance bound ρ (expected seconds per work unit)")
+	grid := flag.Bool("grid", false, "print the full σ1×σ2 evaluation grid")
+	exact := flag.Bool("exact", false, "also solve with the exact (non-Taylor) optimizer")
+	list := flag.Bool("list", false, "list catalog configurations and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range respeed.ConfigNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg, ok := respeed.ConfigByName(*configName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bicrit: unknown configuration %q (use -list)\n", *configName)
+		os.Exit(1)
+	}
+	p := respeed.ParamsFor(cfg)
+	fmt.Printf("Configuration %s: λ=%.3g, C=%.0fs, V=%.1fs, R=%.0fs, κ=%.0f, Pidle=%.1fmW, Pio=%.2fmW\n",
+		cfg.Name(), p.Lambda, p.C, p.V, p.R, p.Kappa, p.Pidle, p.Pio)
+	fmt.Printf("Performance bound ρ=%g\n\n", *rho)
+
+	// Per-σ1 table (the paper's Section 4.2 shape).
+	tab := tablefmt.New("σ1", "Best σ2", "Wopt", "E(Wopt,σ1,σ2)/Wopt", "T/W")
+	for _, r := range respeed.Sigma1Table(cfg, *rho) {
+		if !r.Feasible {
+			tab.AddRow(tablefmt.Cell(r.Sigma1), "-", "-", "-", "-")
+			continue
+		}
+		tab.AddRowValues(r.Sigma1, r.Sigma2, math.Floor(r.W),
+			math.Floor(r.EnergyOverhead), r.TimeOverhead)
+	}
+	fmt.Println(tab.String())
+
+	sol, err := respeed.Solve(cfg, *rho)
+	if err != nil {
+		fmt.Println("BiCrit has no solution at this bound.")
+		os.Exit(2)
+	}
+	b := sol.Best
+	fmt.Printf("Optimal: σ1=%g σ2=%g  Wopt=%.1f  E/W=%.2f  T/W=%.4f\n",
+		b.Sigma1, b.Sigma2, b.W, b.EnergyOverhead, b.TimeOverhead)
+
+	if one, err := respeed.SolveSingleSpeed(cfg, *rho); err == nil {
+		gain := (one.Best.EnergyOverhead - b.EnergyOverhead) / one.Best.EnergyOverhead
+		fmt.Printf("Single-speed baseline: σ=%g  Wopt=%.1f  E/W=%.2f  (two-speed saving: %.1f%%)\n",
+			one.Best.Sigma1, one.Best.W, one.Best.EnergyOverhead, 100*gain)
+	} else {
+		fmt.Println("Single-speed baseline: infeasible (two speeds strictly required)")
+	}
+
+	if *exact {
+		best, _, err := respeed.SolveExact(cfg, *rho)
+		if err != nil {
+			fmt.Println("Exact optimizer: infeasible")
+		} else {
+			fmt.Printf("Exact optimizer:  σ1=%g σ2=%g  Wopt=%.1f  E/W=%.2f\n",
+				best.Sigma1, best.Sigma2, best.W, best.EnergyOverhead)
+		}
+	}
+
+	if *grid {
+		fmt.Println()
+		gt := tablefmt.New("σ1", "σ2", "ρmin", "feasible", "Wopt", "E/W")
+		for _, r := range sol.Pairs {
+			if r.Feasible {
+				gt.AddRowValues(r.Sigma1, r.Sigma2, r.RhoMin, "yes", math.Floor(r.W), r.EnergyOverhead)
+			} else {
+				gt.AddRowValues(r.Sigma1, r.Sigma2, r.RhoMin, "no", "-", "-")
+			}
+		}
+		fmt.Println(gt.String())
+	}
+}

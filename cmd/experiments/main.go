@@ -1,0 +1,116 @@
+// Command experiments runs the full experiment registry — every table
+// and figure of the paper plus the validation and ablation studies — and
+// renders the results as a single report (the data behind
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments                  # run everything, report to stdout
+//	experiments -id figure-4     # run one experiment
+//	experiments -list            # list the registry
+//	experiments -quick           # smaller sweeps/replications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"respeed"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment by ID")
+	list := flag.Bool("list", false, "list registered experiments")
+	quick := flag.Bool("quick", false, "reduced replication/points for a fast pass")
+	seed := flag.Uint64("seed", 0, "override the random seed")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
+	mdPath := flag.String("md", "", "also write a Markdown report to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range respeed.Experiments() {
+			fmt.Printf("%-28s %s  [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	opts := respeed.DefaultExperimentOpts()
+	if *quick {
+		opts.Replications = 4000
+		opts.Points = 17
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	var exps []respeed.Experiment
+	if *id != "" {
+		e, ok := respeed.ExperimentByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *id)
+			os.Exit(1)
+		}
+		exps = []respeed.Experiment{e}
+	} else {
+		exps = respeed.Experiments()
+	}
+
+	failed := 0
+	var collected []respeed.ExperimentResult
+	for _, e := range exps {
+		fmt.Printf("==== %s — %s\n     reproduces: %s\n\n", e.ID, e.Title, e.Paper)
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Printf("     ERROR: %v\n\n", err)
+			failed++
+			continue
+		}
+		if *asJSON {
+			if err := respeed.WriteExperimentJSON(os.Stdout, res); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		for _, t := range res.Tables {
+			fmt.Printf("-- %s\n%s\n", t.Caption, t.Table.String())
+		}
+		for _, f := range res.Figures {
+			fmt.Printf("-- series %s: %d points over %s%s, %d curves\n",
+				f.Name, len(f.X), f.XLabel, logNote(f.LogX), len(f.Series))
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("   note: %s\n", n)
+		}
+		fmt.Println()
+		collected = append(collected, res)
+	}
+	if *mdPath != "" {
+		fh, err := os.Create(*mdPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		err = respeed.WriteExperimentReport(fh, collected)
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *mdPath)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+func logNote(log bool) string {
+	if log {
+		return " (log)"
+	}
+	return ""
+}

@@ -1,0 +1,98 @@
+// Command figures regenerates the data series behind Figures 2–14 of the
+// paper (and the Theorem 2 scaling figure) as gnuplot-style .dat files.
+//
+// Usage:
+//
+//	figures -out data/                # all figures
+//	figures -fig 4 -out data/         # just Figure 4
+//	figures -fig 2 -points 101 -stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"respeed"
+	"respeed/internal/tablefmt"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (2–14); 0 = all")
+	out := flag.String("out", "figures-data", "output directory for .dat files")
+	points := flag.Int("points", 0, "samples per sweep (0 = default)")
+	stdout := flag.Bool("stdout", false, "write series to stdout instead of files")
+	flag.Parse()
+
+	var ids []string
+	if *fig != 0 {
+		ids = []string{fmt.Sprintf("figure-%d", *fig)}
+	} else {
+		for n := 2; n <= 14; n++ {
+			ids = append(ids, fmt.Sprintf("figure-%d", n))
+		}
+		ids = append(ids, "theorem2-scaling", "pareto-frontier")
+	}
+
+	opts := respeed.DefaultExperimentOpts()
+	if *points > 0 {
+		opts.Points = *points
+	}
+
+	if !*stdout {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, id := range ids {
+		e, ok := respeed.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, f := range res.Figures {
+			if *stdout {
+				fmt.Printf("## %s (x=%s%s)\n", f.Name, f.XLabel, logSuffix(f.LogX))
+				if err := tablefmt.WriteDat(os.Stdout, f.X, f.Series...); err != nil {
+					fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+					os.Exit(1)
+				}
+				continue
+			}
+			path := filepath.Join(*out, f.Name+".dat")
+			fh, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			err = tablefmt.WriteDat(fh, f.X, f.Series...)
+			cerr := fh.Close()
+			if err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("   %s\n", n)
+		}
+	}
+}
+
+func logSuffix(log bool) string {
+	if log {
+		return ", log scale"
+	}
+	return ""
+}

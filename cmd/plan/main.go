@@ -1,0 +1,74 @@
+// Command plan produces an end-to-end execution plan for an application:
+// the BiCrit-optimal pattern, the pattern partition of the total work,
+// expected makespan/energy, and (optionally) a full-stack simulated dry
+// run with a waste breakdown.
+//
+// Usage:
+//
+//	plan [-config "Hera/XScale"] [-rho 3] [-work 604800] [-simulate] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"respeed"
+)
+
+func main() {
+	configName := flag.String("config", "Hera/XScale", "configuration name")
+	rho := flag.Float64("rho", 3, "performance bound (seconds per work unit)")
+	work := flag.Float64("work", 7*24*3600, "total application work in work units (default: one week at full speed)")
+	simulate := flag.Bool("simulate", false, "dry-run the plan on the full-stack simulator (scaled-down work)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	cfg, ok := respeed.ConfigByName(*configName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "plan: unknown configuration %q\n", *configName)
+		os.Exit(1)
+	}
+	plan, err := respeed.PlanApplication(cfg, *rho, *work)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plan: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Println(plan.String())
+	fmt.Printf("  patterns           : %d full × W=%.0f + final %.0f\n",
+		plan.FullPatterns, plan.Best.W, plan.LastW)
+	fmt.Printf("  expected makespan  : %.0f s (%.2f days)\n",
+		plan.ExpectedMakespan, plan.ExpectedMakespan/86400)
+	fmt.Printf("  error-free baseline: %.0f s (overhead %.2f%%)\n",
+		plan.ErrorFreeMakespan, 100*plan.Overhead())
+	fmt.Printf("  expected energy    : %.4g mW·s\n", plan.ExpectedEnergy)
+	fmt.Printf("  99.7%% margin       : %.0f s\n", plan.SafetyMargin(3))
+	if gain, err := respeed.TwoSpeedGain(cfg, *rho); err == nil && gain > 0 {
+		fmt.Printf("  two-speed saving   : %.1f%% vs the best single speed\n", 100*gain)
+	}
+
+	if *simulate {
+		// Dry-run a scaled-down version (error rate boosted by the same
+		// factor the work is shrunk, keeping errors-per-pattern realistic).
+		const scale = 200.0
+		ec := plan.ExecConfig()
+		ec.TotalWork = *work / scale
+		ec.Costs.LambdaS *= scale
+		rec := respeed.NewTrace(0)
+		ec.Trace = rec
+		rep, err := respeed.RunWorkload(ec, respeed.NewHeatWorkload(256, 0.25), *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plan: simulate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ndry run (work ÷%g, λ ×%g):\n", scale, scale)
+		fmt.Printf("  makespan %.0f s, energy %.4g mW·s, %d patterns, %d attempts\n",
+			rep.Makespan, rep.Energy, rep.Patterns, rep.Attempts)
+		fmt.Printf("  %d SDCs injected, %d detected, %d fail-stops\n",
+			rep.SilentInjected, rep.SilentDetected, rep.FailStops)
+		if waste, err := respeed.AnalyzeTrace(rec.Events()); err == nil {
+			fmt.Printf("  %s\n", waste.String())
+		}
+	}
+}

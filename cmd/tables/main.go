@@ -1,0 +1,46 @@
+// Command tables regenerates the four Section 4.2 tables of the paper
+// (Hera/XScale at ρ = 8, 3, 1.775, 1.4), and optionally the ρ=3 tables
+// for all eight configurations.
+//
+// Usage:
+//
+//	tables [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"respeed"
+)
+
+func main() {
+	all := flag.Bool("all", false, "also print the ρ=3 tables for every configuration")
+	flag.Parse()
+
+	ids := []string{"table-rho8", "table-rho3", "table-rho1775", "table-rho14"}
+	if *all {
+		ids = append(ids, "tables-all-configs")
+	}
+	opts := respeed.DefaultExperimentOpts()
+	for _, id := range ids {
+		e, ok := respeed.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tables: experiment %q missing\n", id)
+			os.Exit(1)
+		}
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range res.Tables {
+			fmt.Printf("== %s\n%s\n", t.Caption, t.Table.String())
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("   %s\n", n)
+		}
+		fmt.Println()
+	}
+}

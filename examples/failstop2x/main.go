@@ -1,0 +1,55 @@
+// failstop2x demonstrates Theorem 2, the paper's most striking result:
+// under fail-stop errors with re-execution at twice the first speed, the
+// optimal checkpointing pattern scales as λ^{-2/3} — not the classical
+// Young/Daly λ^{-1/2}. The example minimizes the *exact* expected time
+// numerically across five decades of error rate and fits both exponents.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"respeed"
+	"respeed/internal/mathx"
+	"respeed/internal/stats"
+	"respeed/internal/tablefmt"
+)
+
+func main() {
+	const c, r, sigma = 300.0, 300.0, 0.5
+
+	tab := tablefmt.New("λ", "MTBF", "Wopt exact (σ2=2σ)", "(12C/λ²)^⅓·σ", "Wopt exact (σ2=σ)", "Young σ√(2C/λ)")
+	var lx, ly2x, ly1x []float64
+	for _, lambda := range []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3} {
+		fp := respeed.FailStopParams{Lambda: lambda, C: c, R: r}
+
+		w2x, err := mathx.MinimizeConvex1D(func(w float64) float64 {
+			return fp.ExactTimeFailStop(w, sigma, 2*sigma) / w
+		}, fp.Theorem2W(sigma), 1e-9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w1x, err := mathx.MinimizeConvex1D(func(w float64) float64 {
+			return fp.ExactTimeFailStop(w, sigma, sigma) / w
+		}, fp.YoungDalyW(sigma), 1e-9)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		tab.AddRowValues(lambda, 1/lambda, w2x, fp.Theorem2W(sigma), w1x, fp.YoungDalyW(sigma))
+		lx = append(lx, math.Log(lambda))
+		ly2x = append(ly2x, math.Log(w2x))
+		ly1x = append(ly1x, math.Log(w1x))
+	}
+	fmt.Println(tab.String())
+
+	slope2x, _ := stats.LinearFit(lx, ly2x)
+	slope1x, _ := stats.LinearFit(lx, ly1x)
+	fmt.Printf("\nfitted scaling exponents of Wopt vs λ:\n")
+	fmt.Printf("  σ2 = 2σ1 : %+.4f   (Theorem 2 predicts  -2/3 ≈ -0.6667)\n", slope2x)
+	fmt.Printf("  σ2 =  σ1 : %+.4f   (Young/Daly predicts -1/2)\n", slope1x)
+	fmt.Println("\nRe-executing twice as fast fundamentally changes the optimal")
+	fmt.Println("checkpointing regime: longer patterns are affordable because a")
+	fmt.Println("failed attempt is repaired at double speed.")
+}

@@ -1,0 +1,57 @@
+// planner takes the paper's model from "a formula" to "running a job":
+// it plans a long application end to end (pattern size, speeds, expected
+// makespan and energy), dry-runs the plan on the full-stack simulator,
+// and reconciles the measured waste breakdown against the plan's
+// expectations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"respeed"
+)
+
+func main() {
+	cfg, ok := respeed.ConfigByName("Coastal/XScale")
+	if !ok {
+		log.Fatal("config not found")
+	}
+	const week = 7 * 24 * 3600.0 // one week of work at full speed
+
+	plan, err := respeed.PlanApplication(cfg, 3.0, week)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Plan:", plan.String())
+	fmt.Printf("  %d patterns, expected makespan %.2f days, overhead %.2f%%\n",
+		plan.Patterns(), plan.ExpectedMakespan/86400, 100*plan.Overhead())
+	fmt.Printf("  99.7%% safety margin: %.2f days\n\n", plan.SafetyMargin(3)/86400)
+
+	// Dry-run a 1/20-scale version of the work with the error rate
+	// boosted ×20 so the short run still encounters errors (the full-size
+	// job would meet them over weeks; the scaled run meets them within a
+	// handful of patterns).
+	const scale = 20.0
+	const boost = 20.0
+	ec := plan.ExecConfig()
+	ec.TotalWork = week / scale
+	ec.Costs.LambdaS *= boost
+	rec := respeed.NewTrace(0)
+	ec.Trace = rec
+
+	rep, err := respeed.RunWorkload(ec, respeed.NewHeat2DWorkload(64, 0.2), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Dry run (scale 1/%g): %d patterns, %d attempts, %d SDCs (all %d detected)\n",
+		scale, rep.Patterns, rep.Attempts, rep.SilentInjected, rep.SilentDetected)
+
+	waste, err := respeed.AnalyzeTrace(rec.Events())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Waste breakdown: %s\n", waste.String())
+	fmt.Printf("Efficiency %.1f%% — the plan spends the rest on surviving errors.\n",
+		100*waste.Efficiency())
+}

@@ -1,0 +1,38 @@
+// Quickstart: solve the BiCrit problem for a catalog configuration and
+// print the optimal pattern — the 20-line version of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"respeed"
+)
+
+func main() {
+	// Pick one of the paper's eight virtual configurations.
+	cfg, ok := respeed.ConfigByName("Hera/XScale")
+	if !ok {
+		log.Fatal("configuration not found")
+	}
+
+	// Minimize expected energy per work unit subject to the expected
+	// time per work unit staying below ρ = 3 seconds.
+	sol, err := respeed.Solve(cfg, 3.0)
+	if err != nil {
+		log.Fatalf("no feasible pattern: %v", err)
+	}
+	best := sol.Best
+	fmt.Printf("Run chunks of W = %.0f work units.\n", best.W)
+	fmt.Printf("Execute at σ1 = %.2f; after a detected error, re-execute at σ2 = %.2f.\n",
+		best.Sigma1, best.Sigma2)
+	fmt.Printf("Expected overheads: %.2f s and %.2f mW·s per work unit.\n",
+		best.TimeOverhead, best.EnergyOverhead)
+
+	// How much does the freedom to change speed on re-execution buy?
+	gain, err := respeed.TwoSpeedGain(cfg, 1.775)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("At a tight bound ρ = 1.775 the second speed saves %.1f%% energy.\n", 100*gain)
+}

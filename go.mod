@@ -1,0 +1,3 @@
+module respeed
+
+go 1.22

@@ -1,0 +1,88 @@
+// Package baseline implements the classical checkpointing-period formulas
+// the paper builds on and compares against: Young (1974) and Daly (2006)
+// for fail-stop errors, the verified-checkpoint period for silent errors,
+// and the paper's own single-speed energy baseline.
+//
+// Periods here are expressed in *time* (seconds of execution between
+// checkpoints), matching the original papers; the conversion to the
+// pattern work size W used elsewhere is W = period × σ.
+package baseline
+
+import (
+	"math"
+)
+
+// YoungPeriod returns Young's first-order optimal checkpoint interval for
+// fail-stop errors: T = sqrt(2C/λ).
+func YoungPeriod(c, lambda float64) float64 {
+	return math.Sqrt(2 * c / lambda)
+}
+
+// DalyPeriod returns Daly's higher-order estimate of the optimum
+// checkpoint interval for fail-stop errors (Daly 2006):
+//
+//	T = sqrt(2C·µ)·(1 + (1/3)·sqrt(C/(2µ)) + C/(9·2µ)) − C   for C < 2µ,
+//	T = µ                                                     otherwise,
+//
+// with µ = 1/λ the MTBF.
+func DalyPeriod(c, lambda float64) float64 {
+	mu := 1 / lambda
+	if c >= 2*mu {
+		return mu
+	}
+	x := math.Sqrt(c / (2 * mu))
+	return math.Sqrt(2*c*mu)*(1+x/3+c/(18*mu)) - c
+}
+
+// SilentPeriod returns the first-order optimal interval between verified
+// checkpoints under silent errors: T = sqrt((V + C)/λ) (the paper's
+// introduction). The missing factor 2 relative to Young's formula comes
+// from silent errors being detected only at the end of the period.
+func SilentPeriod(c, v, lambda float64) float64 {
+	return math.Sqrt((v + c) / lambda)
+}
+
+// FailStopWasteFO returns the first-order expected waste (fraction of
+// time not spent on useful work) of periodic checkpointing with period t
+// under fail-stop errors: C/T + λT/2. Minimized by YoungPeriod.
+func FailStopWasteFO(c, lambda, t float64) float64 {
+	return c/t + lambda*t/2
+}
+
+// SilentWasteFO returns the first-order expected waste of verified
+// periodic checkpointing with period t under silent errors:
+// (V+C)/T + λT. Minimized by SilentPeriod. Note the re-execution term is
+// λT, not λT/2: a silent error is caught only by the verification at the
+// end of the pattern, so the whole period is lost.
+func SilentWasteFO(c, v, lambda, t float64) float64 {
+	return (v+c)/t + lambda*t
+}
+
+// Comparison quantifies the two-speed benefit at one operating point.
+type Comparison struct {
+	// SingleEnergy is the single-speed optimal energy overhead (mW·s per
+	// work unit); TwoEnergy the two-speed optimum.
+	SingleEnergy, TwoEnergy float64
+	// SingleFeasible and TwoFeasible report which problems had solutions.
+	SingleFeasible, TwoFeasible bool
+}
+
+// Gain returns the relative saving (E1−E2)/E1 of two speeds over one, in
+// [0, 1]. When only the two-speed problem is feasible the gain is 1; when
+// neither is feasible it is 0.
+func (c Comparison) Gain() float64 {
+	if !c.TwoFeasible {
+		return 0
+	}
+	if !c.SingleFeasible {
+		return 1
+	}
+	if c.SingleEnergy <= 0 {
+		return 0
+	}
+	g := (c.SingleEnergy - c.TwoEnergy) / c.SingleEnergy
+	if g < 0 {
+		return 0
+	}
+	return g
+}

@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/mathx"
+)
+
+func TestYoungPeriod(t *testing.T) {
+	// C=300, λ=1e-6 → sqrt(2·300/1e-6) = sqrt(6e8) ≈ 24494.9.
+	got := YoungPeriod(300, 1e-6)
+	if !mathx.ApproxEqual(got, math.Sqrt(6e8), 1e-12, 0) {
+		t.Errorf("YoungPeriod = %g", got)
+	}
+}
+
+func TestYoungMinimizesFailStopWaste(t *testing.T) {
+	c, lambda := 300.0, 1e-6
+	topt := YoungPeriod(c, lambda)
+	w := FailStopWasteFO(c, lambda, topt)
+	for _, factor := range []float64{0.5, 0.8, 1.25, 2} {
+		if FailStopWasteFO(c, lambda, topt*factor) <= w {
+			t.Errorf("waste at %g·Topt not larger", factor)
+		}
+	}
+	// Stationarity.
+	d := mathx.Derivative(func(x float64) float64 {
+		return FailStopWasteFO(c, lambda, x)
+	}, topt)
+	if math.Abs(d) > 1e-12 {
+		t.Errorf("waste derivative at Young period = %g", d)
+	}
+}
+
+func TestSilentMinimizesSilentWaste(t *testing.T) {
+	c, v, lambda := 300.0, 15.4, 3.38e-6
+	topt := SilentPeriod(c, v, lambda)
+	d := mathx.Derivative(func(x float64) float64 {
+		return SilentWasteFO(c, v, lambda, x)
+	}, topt)
+	if math.Abs(d) > 1e-12 {
+		t.Errorf("waste derivative at silent period = %g", d)
+	}
+}
+
+func TestSilentShorterThanYoungEquivalent(t *testing.T) {
+	// The paper: for equal C' = V+C, the silent-error period is shorter by
+	// the missing factor √2 (errors detected at period end, not midway).
+	c, v, lambda := 300.0, 15.4, 3.38e-6
+	silent := SilentPeriod(c, v, lambda)
+	youngEquiv := YoungPeriod(c+v, lambda)
+	if !mathx.ApproxEqual(youngEquiv, silent*math.Sqrt2, 1e-12, 0) {
+		t.Errorf("Young(C+V)=%g should be √2 × Silent=%g", youngEquiv, silent)
+	}
+}
+
+func TestDalyReducesToYoungForSmallC(t *testing.T) {
+	// For C ≪ µ Daly's estimate converges to Young's.
+	lambda := 1e-7
+	for _, c := range []float64{1, 10, 100} {
+		daly := DalyPeriod(c, lambda)
+		young := YoungPeriod(c, lambda)
+		if mathx.RelErr(daly, young) > 0.01 {
+			t.Errorf("C=%g: Daly=%g Young=%g diverge", c, daly, young)
+		}
+	}
+}
+
+func TestDalyBelowYoungForLargeC(t *testing.T) {
+	// The −C correction makes Daly's period shorter than Young's when C
+	// is an appreciable fraction of the MTBF.
+	lambda := 1e-4 // µ = 10⁴
+	c := 1000.0
+	if !(DalyPeriod(c, lambda) < YoungPeriod(c, lambda)) {
+		t.Error("Daly should correct Young downward for large C")
+	}
+}
+
+func TestDalySaturatesAtMTBF(t *testing.T) {
+	// For C ≥ 2µ the period clamps to µ.
+	lambda := 1e-3 // µ = 1000
+	if got := DalyPeriod(5000, lambda); got != 1000 {
+		t.Errorf("DalyPeriod = %g, want µ = 1000", got)
+	}
+}
+
+func TestComparisonGain(t *testing.T) {
+	cases := []struct {
+		c    Comparison
+		want float64
+	}{
+		{Comparison{SingleEnergy: 100, TwoEnergy: 65, SingleFeasible: true, TwoFeasible: true}, 0.35},
+		{Comparison{SingleEnergy: 100, TwoEnergy: 100, SingleFeasible: true, TwoFeasible: true}, 0},
+		{Comparison{SingleEnergy: 100, TwoEnergy: 120, SingleFeasible: true, TwoFeasible: true}, 0}, // clamped
+		{Comparison{TwoEnergy: 50, SingleFeasible: false, TwoFeasible: true}, 1},
+		{Comparison{SingleFeasible: false, TwoFeasible: false}, 0},
+		{Comparison{SingleEnergy: 0, TwoEnergy: 0, SingleFeasible: true, TwoFeasible: true}, 0},
+	}
+	for i, c := range cases {
+		if got := c.c.Gain(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Gain = %g, want %g", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package ckpt
+
+import "testing"
+
+func BenchmarkStageCommitRecover(b *testing.B) {
+	s := New(2)
+	state := make([]byte, 8192)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Stage(state)
+		s.MarkVerified()
+		if _, err := s.Commit(i, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Recover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

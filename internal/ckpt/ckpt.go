@@ -1,0 +1,147 @@
+// Package ckpt implements the verified in-memory checkpoint store used by
+// the full-stack simulator. A checkpoint is a byte snapshot of workload
+// state taken only after a successful verification — the paper's
+// "verified checkpoint" discipline, which guarantees that rollback data
+// is never silently corrupted.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the store.
+var (
+	// ErrEmpty indicates recovery was requested before any checkpoint
+	// was committed.
+	ErrEmpty = errors.New("ckpt: no checkpoint available")
+	// ErrNotVerified indicates a commit was attempted without marking the
+	// snapshot verified first.
+	ErrNotVerified = errors.New("ckpt: snapshot not verified")
+)
+
+// Snapshot is one committed checkpoint.
+type Snapshot struct {
+	// Seq is the 1-based commit sequence number.
+	Seq int
+	// Pattern is the index of the pattern whose end this snapshot marks.
+	Pattern int
+	// Time is the simulation time of the commit.
+	Time float64
+	// State is the checkpointed bytes (a private copy).
+	State []byte
+}
+
+// Store keeps the most recent checkpoints in a bounded ring. The zero
+// value is not usable; call New.
+type Store struct {
+	ring     []Snapshot
+	capacity int
+	seq      int
+	staged   []byte
+	verified bool
+
+	// Stats.
+	commits      int
+	recoveries   int
+	bytesWritten int64
+	bytesRead    int64
+}
+
+// New creates a store that retains the capacity most recent checkpoints.
+// capacity must be at least 1; the paper's model needs only the latest
+// verified checkpoint, but a deeper ring supports multi-level extensions.
+func New(capacity int) *Store {
+	if capacity < 1 {
+		panic("ckpt: capacity must be ≥ 1")
+	}
+	return &Store{capacity: capacity}
+}
+
+// Stage registers candidate state for the next commit. The bytes are
+// copied immediately so later workload mutation cannot leak into the
+// snapshot. Staging resets the verified flag: verification must happen
+// *after* the state to be checkpointed is final.
+func (s *Store) Stage(state []byte) {
+	s.staged = append(s.staged[:0], state...)
+	s.verified = false
+}
+
+// MarkVerified records that the staged state passed verification.
+func (s *Store) MarkVerified() {
+	s.verified = true
+}
+
+// Commit promotes the staged, verified state to a durable checkpoint.
+// It fails with ErrNotVerified if MarkVerified was not called after the
+// last Stage — committing unverified state is exactly the corrupted-
+// checkpoint hazard the verified-checkpoint discipline exists to prevent.
+func (s *Store) Commit(pattern int, now float64) (Snapshot, error) {
+	if !s.verified {
+		return Snapshot{}, ErrNotVerified
+	}
+	s.seq++
+	snap := Snapshot{
+		Seq:     s.seq,
+		Pattern: pattern,
+		Time:    now,
+		State:   append([]byte(nil), s.staged...),
+	}
+	if len(s.ring) < s.capacity {
+		s.ring = append(s.ring, snap)
+	} else {
+		copy(s.ring, s.ring[1:])
+		s.ring[len(s.ring)-1] = snap
+	}
+	s.commits++
+	s.bytesWritten += int64(len(snap.State))
+	s.verified = false
+	return snap, nil
+}
+
+// Latest returns the most recent committed checkpoint.
+func (s *Store) Latest() (Snapshot, error) {
+	if len(s.ring) == 0 {
+		return Snapshot{}, ErrEmpty
+	}
+	return s.ring[len(s.ring)-1], nil
+}
+
+// Recover returns a fresh copy of the latest checkpoint's state and
+// counts the read. Mutating the returned slice does not affect the store.
+func (s *Store) Recover() ([]byte, error) {
+	snap, err := s.Latest()
+	if err != nil {
+		return nil, err
+	}
+	s.recoveries++
+	s.bytesRead += int64(len(snap.State))
+	return append([]byte(nil), snap.State...), nil
+}
+
+// Depth returns how many checkpoints are currently retained.
+func (s *Store) Depth() int { return len(s.ring) }
+
+// Stats summarizes store activity.
+type Stats struct {
+	Commits      int
+	Recoveries   int
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// Stats returns activity counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Commits:      s.commits,
+		Recoveries:   s.recoveries,
+		BytesWritten: s.bytesWritten,
+		BytesRead:    s.bytesRead,
+	}
+}
+
+// String renders the stats compactly.
+func (st Stats) String() string {
+	return fmt.Sprintf("commits=%d recoveries=%d written=%dB read=%dB",
+		st.Commits, st.Recoveries, st.BytesWritten, st.BytesRead)
+}

@@ -1,0 +1,149 @@
+package ckpt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCommitRequiresVerification(t *testing.T) {
+	s := New(2)
+	s.Stage([]byte("state-a"))
+	if _, err := s.Commit(0, 100); err != ErrNotVerified {
+		t.Errorf("unverified commit: want ErrNotVerified, got %v", err)
+	}
+	s.MarkVerified()
+	snap, err := s.Commit(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 1 || snap.Pattern != 0 || snap.Time != 100 {
+		t.Errorf("snapshot metadata %+v", snap)
+	}
+	if string(snap.State) != "state-a" {
+		t.Errorf("snapshot state %q", snap.State)
+	}
+}
+
+func TestStageCopiesBytes(t *testing.T) {
+	s := New(1)
+	buf := []byte("original")
+	s.Stage(buf)
+	buf[0] = 'X' // mutate after staging
+	s.MarkVerified()
+	snap, err := s.Commit(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap.State) != "original" {
+		t.Errorf("staging did not copy: %q", snap.State)
+	}
+}
+
+func TestRestageResetsVerification(t *testing.T) {
+	s := New(1)
+	s.Stage([]byte("a"))
+	s.MarkVerified()
+	s.Stage([]byte("b")) // re-staging must invalidate the earlier verify
+	if _, err := s.Commit(0, 0); err != ErrNotVerified {
+		t.Errorf("want ErrNotVerified after restage, got %v", err)
+	}
+}
+
+func TestCommitConsumesVerification(t *testing.T) {
+	s := New(1)
+	s.Stage([]byte("a"))
+	s.MarkVerified()
+	if _, err := s.Commit(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A second commit without fresh stage+verify must fail.
+	if _, err := s.Commit(1, 1); err != ErrNotVerified {
+		t.Errorf("want ErrNotVerified on double commit, got %v", err)
+	}
+}
+
+func TestRecoverReturnsCopy(t *testing.T) {
+	s := New(1)
+	s.Stage([]byte("golden"))
+	s.MarkVerified()
+	if _, err := s.Commit(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 'X'
+	again, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, []byte("golden")) {
+		t.Errorf("recovery returned aliased state: %q", again)
+	}
+}
+
+func TestRecoverEmpty(t *testing.T) {
+	s := New(1)
+	if _, err := s.Recover(); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := s.Latest(); err != ErrEmpty {
+		t.Errorf("Latest on empty: want ErrEmpty, got %v", err)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 5; i++ {
+		s.Stage([]byte{byte('a' + i)})
+		s.MarkVerified()
+		if _, err := s.Commit(i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", s.Depth())
+	}
+	snap, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 5 || snap.State[0] != 'e' {
+		t.Errorf("latest = %+v, want seq 5 / state 'e'", snap)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 3; i++ {
+		s.Stage([]byte("12345678")) // 8 bytes
+		s.MarkVerified()
+		if _, err := s.Commit(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Commits != 3 || st.Recoveries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.BytesWritten != 24 || st.BytesRead != 8 {
+		t.Errorf("byte accounting %+v", st)
+	}
+	if !strings.Contains(st.String(), "commits=3") {
+		t.Errorf("Stats.String() = %q", st.String())
+	}
+}
+
+func TestNewPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,15 @@
+package cluster
+
+import "testing"
+
+func BenchmarkClusterPattern16Nodes(b *testing.B) {
+	cfg, _ := heraCluster(16, 100)
+	s, err := NewSim(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunPattern()
+	}
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/core"
+	"respeed/internal/energy"
+	"respeed/internal/platform"
+	"respeed/internal/sim"
+)
+
+func heraCluster(nodes int, boost float64) (Config, core.Params) {
+	cfg, _ := platform.ByName("Hera/XScale")
+	p := core.FromConfig(cfg)
+	p.Lambda *= boost
+	c := Config{
+		Nodes: Uniform(nodes, p.Lambda, 0),
+		Plan:  sim.Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8},
+		Costs: sim.Costs{C: p.C, V: p.V, R: p.R},
+		Model: energy.Model{Kappa: p.Kappa, Pidle: p.Pidle, Pio: p.Pio},
+	}
+	return c, p
+}
+
+func TestUniformSplit(t *testing.T) {
+	nodes := Uniform(8, 8e-4, 4e-4)
+	if len(nodes) != 8 {
+		t.Fatalf("nodes %d", len(nodes))
+	}
+	var silent, fail, share float64
+	for _, n := range nodes {
+		silent += n.SilentRate
+		fail += n.FailStopRate
+		share += n.SpeedShare
+	}
+	if math.Abs(silent-8e-4) > 1e-18 || math.Abs(fail-4e-4) > 1e-18 {
+		t.Errorf("rates don't sum: %g, %g", silent, fail)
+	}
+	if math.Abs(share-1) > 1e-12 {
+		t.Errorf("shares sum to %g", share)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good, _ := heraCluster(4, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Nodes = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty node list should fail")
+	}
+	bad = good
+	bad.Costs.LambdaS = 1e-6
+	if err := bad.Validate(); err == nil {
+		t.Error("platform-level rates should be rejected")
+	}
+	bad = good
+	bad.Nodes = Uniform(4, 1e-6, 0)
+	bad.Nodes[0].SpeedShare = 0.5 // shares no longer sum to 1
+	if err := bad.Validate(); err == nil {
+		t.Error("bad speed shares should fail")
+	}
+	bad = good
+	bad.Nodes = Uniform(2, 1e-6, 0)
+	bad.Nodes[1].SilentRate = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative node rate should fail")
+	}
+}
+
+// TestAggregationTheorem is the package's reason to exist: a cluster of
+// N nodes with per-node rate λ/N must match the single-machine
+// aggregate-model expectation (Proposition 2 with rate λ), because the
+// union of independent Poisson processes is a Poisson process with the
+// summed rate.
+func TestAggregationTheorem(t *testing.T) {
+	for _, nodes := range []int{1, 4, 32} {
+		cfg, p := heraCluster(nodes, 100)
+		est, err := Replicate(cfg, 42, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.ExpectedTime(cfg.Plan.W, cfg.Plan.Sigma1, cfg.Plan.Sigma2)
+		if d := math.Abs(est.Time.Mean - want); d > 4*est.Time.StdErr {
+			t.Errorf("%d nodes: cluster mean %g vs aggregate %g (Δ=%g, 4se=%g)",
+				nodes, est.Time.Mean, want, d, 4*est.Time.StdErr)
+		}
+		wantE := p.ExpectedEnergy(cfg.Plan.W, cfg.Plan.Sigma1, cfg.Plan.Sigma2)
+		if d := math.Abs(est.Energy.Mean - wantE); d > 4*est.Energy.StdErr {
+			t.Errorf("%d nodes: cluster energy %g vs aggregate %g", nodes, est.Energy.Mean, wantE)
+		}
+	}
+}
+
+func TestAggregationWithFailStop(t *testing.T) {
+	// Same theorem with both error sources, against the Section 5
+	// recursion.
+	cfg, p := heraCluster(8, 100)
+	cp := p.Split(0.4)
+	for i := range cfg.Nodes {
+		cfg.Nodes[i].SilentRate = cp.LambdaS / float64(len(cfg.Nodes))
+		cfg.Nodes[i].FailStopRate = cp.LambdaF / float64(len(cfg.Nodes))
+	}
+	est, err := Replicate(cfg, 7, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cp.ExpectedTimeCombined(cfg.Plan.W, cfg.Plan.Sigma1, cfg.Plan.Sigma2)
+	if d := math.Abs(est.Time.Mean - want); d > 4*est.Time.StdErr {
+		t.Errorf("cluster %g vs combined recursion %g (Δ=%g, 4se=%g)",
+			est.Time.Mean, want, d, 4*est.Time.StdErr)
+	}
+}
+
+func TestPerNodeErrorBalance(t *testing.T) {
+	// Identical nodes must absorb statistically equal error counts.
+	cfg, _ := heraCluster(4, 300)
+	s, err := NewSim(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		s.RunPattern()
+	}
+	st := s.Stats()
+	total := 0
+	for _, c := range st.PerNodeErrors {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no errors recorded")
+	}
+	want := float64(total) / float64(len(st.PerNodeErrors))
+	for i, c := range st.PerNodeErrors {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("node %d absorbed %d errors, want ≈ %.0f", i, c, want)
+		}
+	}
+	if st.Patterns != 20000 {
+		t.Errorf("patterns %d", st.Patterns)
+	}
+	if st.Silent != total {
+		t.Errorf("silent %d vs per-node sum %d", st.Silent, total)
+	}
+}
+
+func TestHeterogeneousRates(t *testing.T) {
+	// One flaky node carrying most of the error rate must absorb most of
+	// the errors.
+	cfg, p := heraCluster(4, 300)
+	lam := p.Lambda
+	cfg.Nodes[0].SilentRate = lam * 0.7
+	for i := 1; i < 4; i++ {
+		cfg.Nodes[i].SilentRate = lam * 0.1
+	}
+	s, err := NewSim(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		s.RunPattern()
+	}
+	st := s.Stats()
+	total := 0
+	for _, c := range st.PerNodeErrors {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no errors")
+	}
+	frac := float64(st.PerNodeErrors[0]) / float64(total)
+	if math.Abs(frac-0.7) > 0.05 {
+		t.Errorf("flaky node absorbed %.2f of errors, want ≈ 0.70", frac)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	cfg, _ := heraCluster(4, 100)
+	a, err := Replicate(cfg, 3, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replicate(cfg, 3, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time.Mean != b.Time.Mean {
+		t.Error("same-seed cluster runs differ")
+	}
+}
+
+func TestReplicateRejectsBadN(t *testing.T) {
+	cfg, _ := heraCluster(2, 1)
+	if _, err := Replicate(cfg, 1, 0); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+}

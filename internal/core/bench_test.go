@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"respeed/internal/platform"
+)
+
+func benchParams() (Params, []float64) {
+	cfg, _ := platform.ByName("Hera/XScale")
+	return FromConfig(cfg), cfg.Processor.Speeds
+}
+
+func BenchmarkExpectedTime(b *testing.B) {
+	p, _ := benchParams()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = p.ExpectedTime(2764, 0.4, 0.8)
+	}
+	_ = sink
+}
+
+func BenchmarkExpectedEnergy(b *testing.B) {
+	p, _ := benchParams()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = p.ExpectedEnergy(2764, 0.4, 0.8)
+	}
+	_ = sink
+}
+
+func BenchmarkOptimalW(b *testing.B) {
+	p, _ := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.OptimalW(0.4, 0.4, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveGrid(b *testing.B) {
+	p, speeds := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(speeds, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSigma1Table(b *testing.B) {
+	p, speeds := benchParams()
+	for i := 0; i < b.N; i++ {
+		if rows := p.Sigma1Table(speeds, 3); len(rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkCombinedRecursion(b *testing.B) {
+	p, _ := benchParams()
+	cp := p.Split(0.5)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = cp.ExpectedTimeCombined(2764, 0.4, 0.8)
+	}
+	_ = sink
+}
+
+func BenchmarkPartialPattern(b *testing.B) {
+	p, _ := benchParams()
+	pp := PartialPattern{Segments: 8, Recall: 0.9, PartialCost: 1.5}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = p.ExpectedTimePartial(pp, 2764, 0.4, 0.8)
+	}
+	_ = sink
+}

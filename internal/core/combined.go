@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"respeed/internal/mathx"
+)
+
+// CombinedParams extends Params with two independent error sources:
+// fail-stop errors at rate LambdaF and silent errors at rate LambdaS
+// (Section 5 of the paper). Fail-stop errors can strike during
+// computation and verification but not during checkpoint or recovery; a
+// fail-stop error is detected instantly, a silent error only by the
+// end-of-pattern verification.
+type CombinedParams struct {
+	// LambdaF is the fail-stop error rate (per second).
+	LambdaF float64
+	// LambdaS is the silent error rate (per second).
+	LambdaS float64
+	// C, V, R as in Params (seconds; V at full speed).
+	C, V, R float64
+	// Kappa, Pidle, Pio as in Params (mW).
+	Kappa, Pidle, Pio float64
+}
+
+// Split builds a CombinedParams from a total error rate λ and the
+// fraction f of errors that are fail-stop (the paper's λf = fλ,
+// λs = (1−f)λ decomposition in Section 5.2).
+func (p Params) Split(f float64) CombinedParams {
+	if f < 0 || f > 1 {
+		panic(fmt.Sprintf("core: fail-stop fraction %g outside [0,1]", f))
+	}
+	return CombinedParams{
+		LambdaF: f * p.Lambda,
+		LambdaS: (1 - f) * p.Lambda,
+		C:       p.C, V: p.V, R: p.R,
+		Kappa: p.Kappa, Pidle: p.Pidle, Pio: p.Pio,
+	}
+}
+
+// Lambda returns the total error rate λf + λs.
+func (cp CombinedParams) Lambda() float64 { return cp.LambdaF + cp.LambdaS }
+
+// FailStopFraction returns f = λf / (λf + λs).
+func (cp CombinedParams) FailStopFraction() float64 {
+	return cp.LambdaF / cp.Lambda()
+}
+
+func (cp CombinedParams) cpuPower(sigma float64) float64 {
+	return cp.Kappa*sigma*sigma*sigma + cp.Pidle
+}
+
+func (cp CombinedParams) ioPower() float64 { return cp.Pio + cp.Pidle }
+
+// TimeLost returns Tlost(L, σ): the expected time elapsed before a
+// fail-stop error, conditioned on one striking during the execution of L
+// work units at speed σ (from [Hérault & Robert 2015], quoted in the
+// paper's proof of Proposition 4):
+//
+//	Tlost = 1/λf − (L/σ) / (e^{λf·L/σ} − 1).
+//
+// For λf → 0 the value tends to L/(2σ), half the execution, as expected.
+func (cp CombinedParams) TimeLost(l, sigma float64) float64 {
+	x := cp.LambdaF * l / sigma
+	if x < 1e-12 {
+		// Series: 1/λ − (L/σ)/(x + x²/2 + …) = (L/σ)·(1/x − 1/(x(1+x/2))) ≈ L/(2σ).
+		return l / (2 * sigma) * (1 - x/6)
+	}
+	return 1/cp.LambdaF - (l/sigma)/mathx.ExpGrowthExcess(x)
+}
+
+// probs returns the fail-stop and silent strike probabilities for one
+// attempt of the pattern at speed σ: pf over the (W+V)/σ compute+verify
+// span, ps over the W/σ compute span.
+func (cp CombinedParams) probs(w, sigma float64) (pf, ps float64) {
+	pf = mathx.OneMinusExpNeg(cp.LambdaF * (w + cp.V) / sigma)
+	ps = mathx.OneMinusExpNeg(cp.LambdaS * w / sigma)
+	return pf, ps
+}
+
+// expectedTimeSingleCombined solves the single-speed recursion of
+// Equation (8) with σ1 = σ2 = σ in closed form:
+//
+//	T = [pf(Tlost+R) + (1−pf)((W+V)/σ + ps·R + (1−ps)C)] / ((1−pf)(1−ps)).
+func (cp CombinedParams) expectedTimeSingleCombined(w, sigma float64) float64 {
+	pf, ps := cp.probs(w, sigma)
+	tl := cp.TimeLost(w+cp.V, sigma)
+	succ := (1 - pf) * (1 - ps)
+	num := pf*(tl+cp.R) + (1-pf)*((w+cp.V)/sigma+ps*cp.R+(1-ps)*cp.C)
+	return num / succ
+}
+
+// ExpectedTimeCombined returns the exact expected pattern time with both
+// error sources, first execution at σ1 and re-executions at σ2. It
+// evaluates the recursion of Equation (8) directly (whose fixed point for
+// the σ2-only tail is solved in closed form); Proposition 4 is the
+// expanded version of the same quantity.
+func (cp CombinedParams) ExpectedTimeCombined(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	t2 := cp.expectedTimeSingleCombined(w, s2)
+	pf, ps := cp.probs(w, s1)
+	tl := cp.TimeLost(w+cp.V, s1)
+	return pf*(tl+cp.R+t2) +
+		(1-pf)*((w+cp.V)/s1+ps*(cp.R+t2)+(1-ps)*cp.C)
+}
+
+// ExpectedTimeCombinedClosedForm evaluates the printed Proposition 4
+// formula verbatim.
+//
+// Reproduction note: the published expression exceeds the direct solution
+// of the Equation (8) recursion by exactly one term,
+//
+//	(1 − e^{−(λf(W+V)+λsW)/σ1}) · e^{λsW/σ2} · V/σ2,
+//
+// i.e. it books one extra re-executed verification. The test suite pins
+// this residual identity to machine precision. ExpectedTimeCombined (the
+// recursion) is the ground truth for this repository — it matches the
+// execution semantics of Figure 1 and is validated against Monte-Carlo
+// simulation — while this function preserves the paper's printed algebra.
+func (cp CombinedParams) ExpectedTimeCombinedClosedForm(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	lf, ls := cp.LambdaF, cp.LambdaS
+	mix1 := (lf*(w+cp.V) + ls*w) / s1   // (λf(W+V)+λsW)/σ1
+	mix2 := (lf*(w+cp.V) + ls*w) / s2   // (λf(W+V)+λsW)/σ2
+	pFail := mathx.OneMinusExpNeg(mix1) // 1 − e^{−mix1}
+	return cp.C +
+		pFail*math.Exp(mix2)*cp.R +
+		pFail*math.Exp(ls*w/s2)*cp.V/s2 +
+		1/lf*mathx.OneMinusExpNeg(lf*(w+cp.V)/s1) +
+		1/lf*pFail*math.Exp(ls*w/s2)*mathx.ExpGrowthExcess(lf*(w+cp.V)/s2)
+}
+
+// expectedEnergySingleCombined solves the single-speed energy recursion
+// (the energy analogue of Equation (8)) in closed form.
+func (cp CombinedParams) expectedEnergySingleCombined(w, sigma float64) float64 {
+	pf, ps := cp.probs(w, sigma)
+	tl := cp.TimeLost(w+cp.V, sigma)
+	pcal := cp.cpuPower(sigma)
+	pio := cp.ioPower()
+	succ := (1 - pf) * (1 - ps)
+	num := pf*(tl*pcal+cp.R*pio) +
+		(1-pf)*((w+cp.V)/sigma*pcal+ps*cp.R*pio+(1-ps)*cp.C*pio)
+	return num / succ
+}
+
+// ExpectedEnergyCombined returns the exact expected pattern energy with
+// both error sources (the quantity expanded in Proposition 5), evaluated
+// from the recursion.
+func (cp CombinedParams) ExpectedEnergyCombined(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	e2 := cp.expectedEnergySingleCombined(w, s2)
+	pf, ps := cp.probs(w, s1)
+	tl := cp.TimeLost(w+cp.V, s1)
+	pcal := cp.cpuPower(s1)
+	pio := cp.ioPower()
+	return pf*(tl*pcal+cp.R*pio+e2) +
+		(1-pf)*((w+cp.V)/s1*pcal+ps*(cp.R*pio+e2)+(1-ps)*cp.C*pio)
+}
+
+// ExpectedEnergyCombinedClosedForm evaluates the printed Proposition 5
+// formula verbatim. Like Proposition 4 it exceeds the recursion by the
+// energy of one extra re-executed verification,
+// (1 − e^{−mix1})·e^{λsW/σ2}·(V/σ2)·(κσ2³+Pidle); see
+// ExpectedTimeCombinedClosedForm.
+func (cp CombinedParams) ExpectedEnergyCombinedClosedForm(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	lf, ls := cp.LambdaF, cp.LambdaS
+	mix1 := (lf*(w+cp.V) + ls*w) / s1
+	mix2 := (lf*(w+cp.V) + ls*w) / s2
+	pFail := mathx.OneMinusExpNeg(mix1)
+	p2 := cp.cpuPower(s2)
+	return cp.C*cp.ioPower() +
+		pFail*math.Exp(mix2)*cp.R*cp.ioPower() +
+		pFail*math.Exp(ls*w/s2)*cp.V/s2*p2 +
+		1/lf*pFail*math.Exp(ls*w/s2)*mathx.ExpGrowthExcess(lf*(w+cp.V)/s2)*p2 +
+		1/lf*mathx.OneMinusExpNeg(lf*(w+cp.V)/s1)*cp.cpuPower(s1)
+}
+
+// TimeOverheadCombinedFO returns the first-order time overhead of
+// Proposition 6 (Equation 9). With f the fail-stop fraction and
+// s = 1 − f:
+//
+//	T/W = (C+V/σ1)/W + ((f+s)/(σ1σ2) − f/(2σ1²))·λW
+//	    + ((f+s)λ(R+V/σ2) + 1 − fλV/σ1)/σ1 + O(λ²W).
+func (cp CombinedParams) TimeOverheadCombinedFO(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	lambda := cp.Lambda()
+	f := cp.FailStopFraction()
+	s := 1 - f
+	zw := ((f+s)/(s1*s2) - f/(2*s1*s1)) * lambda
+	x := (cp.C + cp.V/s1) / w
+	y := ((f+s)*lambda*(cp.R+cp.V/s2) + 1 - f*lambda*cp.V/s1) / s1
+	return x + zw*w + y
+}
+
+// EnergyOverheadCombinedFO returns the first-order energy overhead of
+// Proposition 6 (Equation 10).
+func (cp CombinedParams) EnergyOverheadCombinedFO(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	lambda := cp.Lambda()
+	f := cp.FailStopFraction()
+	s := 1 - f
+	p1 := cp.cpuPower(s1)
+	p2 := cp.cpuPower(s2)
+	x := (cp.C*cp.ioPower() + cp.V*p1/s1) / w
+	zw := ((f+s)*p2/(s1*s2) - f*p1/(2*s1*s1)) * lambda
+	y := (f+s)*lambda*(cp.R*cp.ioPower()+cp.V*p2/s2)/s1 +
+		(1-f*lambda*cp.V/s1)*p1/s1
+	return x + zw*w + y
+}
+
+// SpeedRatioWindow returns the interval (lo, hi) of admissible ratios
+// σ2/σ1 for which the first-order approximation yields a valid BiCrit
+// solution (Section 5.2): the time coefficient requires
+// σ2/σ1 < 2(1+s/f), and with Pidle = 0 the energy coefficient requires
+// σ2/σ1 > (2(1+s/f))^{-1/2}. For f = 0 (silent errors only) the window
+// is (0, +Inf): the classical regime with no restriction.
+func (cp CombinedParams) SpeedRatioWindow() (lo, hi float64) {
+	f := cp.FailStopFraction()
+	if f == 0 {
+		return 0, math.Inf(1)
+	}
+	s := 1 - f
+	hi = 2 * (1 + s/f)
+	lo = 1 / math.Sqrt(hi)
+	return lo, hi
+}
+
+// TimeCoefficientPositive reports whether the λW coefficient of
+// Equation (9) is strictly positive for the given speeds, i.e. whether
+// the first-order time overhead has a finite minimizer.
+func (cp CombinedParams) TimeCoefficientPositive(s1, s2 float64) bool {
+	f := cp.FailStopFraction()
+	s := 1 - f
+	return (f+s)/(s1*s2)-f/(2*s1*s1) > 0
+}
+
+// EnergyCoefficientPositive reports whether the λW coefficient of
+// Equation (10) is strictly positive for the given speeds (the general
+// form, valid for any Pidle).
+func (cp CombinedParams) EnergyCoefficientPositive(s1, s2 float64) bool {
+	f := cp.FailStopFraction()
+	s := 1 - f
+	return (f+s)*cp.cpuPower(s2)/(s1*s2)-f*cp.cpuPower(s1)/(2*s1*s1) > 0
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/mathx"
+)
+
+func combinedHera(f float64) CombinedParams {
+	return heraParams().Split(f)
+}
+
+func TestSplit(t *testing.T) {
+	cp := combinedHera(0.3)
+	if !mathx.ApproxEqual(cp.LambdaF, 0.3*3.38e-6, 1e-12, 0) {
+		t.Errorf("LambdaF = %g", cp.LambdaF)
+	}
+	if !mathx.ApproxEqual(cp.LambdaS, 0.7*3.38e-6, 1e-12, 0) {
+		t.Errorf("LambdaS = %g", cp.LambdaS)
+	}
+	if !mathx.ApproxEqual(cp.Lambda(), 3.38e-6, 1e-12, 0) {
+		t.Errorf("Lambda = %g", cp.Lambda())
+	}
+	if !mathx.ApproxEqual(cp.FailStopFraction(), 0.3, 1e-12, 0) {
+		t.Errorf("f = %g", cp.FailStopFraction())
+	}
+}
+
+func TestSplitPanicsOutsideUnit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Split(1.5) should panic")
+		}
+	}()
+	heraParams().Split(1.5)
+}
+
+func TestTimeLostLimits(t *testing.T) {
+	cp := combinedHera(0.5)
+	// For λf·L/σ → 0, the expected loss tends to half the execution span.
+	l, sigma := 100.0, 0.5
+	got := cp.TimeLost(l, sigma)
+	want := l / (2 * sigma)
+	if mathx.RelErr(got, want) > 1e-3 {
+		t.Errorf("TimeLost small-rate limit: %g, want ≈ %g", got, want)
+	}
+	// TimeLost is always below the full span and above zero.
+	big := CombinedParams{LambdaF: 1e-2, LambdaS: 0, C: 1, R: 1}
+	for _, span := range []float64{1, 100, 10000} {
+		tl := big.TimeLost(span, 1)
+		if !(tl > 0 && tl < span) {
+			t.Errorf("TimeLost(%g) = %g out of (0, span)", span, tl)
+		}
+	}
+}
+
+func TestTimeLostMonotoneInSpan(t *testing.T) {
+	cp := CombinedParams{LambdaF: 1e-4, LambdaS: 0}
+	prev := 0.0
+	for _, l := range []float64{10, 100, 1000, 10000} {
+		tl := cp.TimeLost(l, 1)
+		if !(tl > prev) {
+			t.Errorf("TimeLost not increasing at L=%g: %g ≤ %g", l, tl, prev)
+		}
+		prev = tl
+	}
+}
+
+// extraVerification is the exact residual between the printed
+// Proposition 4 formula and the Equation (8) recursion: one extra
+// re-executed verification, (1 − e^{−mix1})·e^{λsW/σ2}·V/σ2.
+func extraVerification(cp CombinedParams, w, s1, s2 float64) float64 {
+	mix1 := (cp.LambdaF*(w+cp.V) + cp.LambdaS*w) / s1
+	return (1 - math.Exp(-mix1)) * math.Exp(cp.LambdaS*w/s2) * cp.V / s2
+}
+
+// TestProposition4ResidualIdentity pins the reproduction finding: the
+// printed Proposition 4 exceeds the direct solution of the Equation (8)
+// recursion by exactly one extra re-executed verification term. (With
+// that term subtracted the two agree to machine precision; the recursion
+// is the ground truth, validated by Monte Carlo in package sim.)
+func TestProposition4ResidualIdentity(t *testing.T) {
+	for _, f := range []float64{0.1, 0.5, 0.9} {
+		cp := combinedHera(f)
+		for _, s1 := range []float64{0.4, 0.8} {
+			for _, s2 := range []float64{0.4, 1} {
+				for _, w := range []float64{500, 2764, 20000} {
+					rec := cp.ExpectedTimeCombined(w, s1, s2)
+					cf := cp.ExpectedTimeCombinedClosedForm(w, s1, s2)
+					want := rec + extraVerification(cp, w, s1, s2)
+					if mathx.RelErr(cf, want) > 1e-11 {
+						t.Errorf("f=%g σ=(%g,%g) W=%g: closed=%g, recursion+extra=%g",
+							f, s1, s2, w, cf, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProposition5ResidualIdentity does the same for energy: the residual
+// is the extra verification's energy at σ2's compute power.
+func TestProposition5ResidualIdentity(t *testing.T) {
+	for _, f := range []float64{0.1, 0.5, 0.9} {
+		cp := combinedHera(f)
+		for _, s1 := range []float64{0.4, 0.8} {
+			for _, s2 := range []float64{0.4, 1} {
+				for _, w := range []float64{500, 2764, 20000} {
+					rec := cp.ExpectedEnergyCombined(w, s1, s2)
+					cf := cp.ExpectedEnergyCombinedClosedForm(w, s1, s2)
+					p2 := cp.Kappa*s2*s2*s2 + cp.Pidle
+					want := rec + extraVerification(cp, w, s1, s2)*p2
+					if mathx.RelErr(cf, want) > 1e-11 {
+						t.Errorf("f=%g σ=(%g,%g) W=%g: closed=%g, recursion+extra=%g",
+							f, s1, s2, w, cf, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCombinedReducesToSilentOnly: as f → 0 the combined expectations must
+// converge to the silent-error-only model of Propositions 2–3.
+func TestCombinedReducesToSilentOnly(t *testing.T) {
+	p := heraParams()
+	cp := p.Split(1e-9) // λf ≈ 0 but positive so closed forms stay finite
+	for _, s1 := range []float64{0.4, 1} {
+		for _, s2 := range []float64{0.4, 0.8} {
+			for _, w := range []float64{1000, 2764} {
+				tc := cp.ExpectedTimeCombined(w, s1, s2)
+				ts := p.ExpectedTime(w, s1, s2)
+				if mathx.RelErr(tc, ts) > 1e-6 {
+					t.Errorf("time σ=(%g,%g) W=%g: combined=%g silent=%g", s1, s2, w, tc, ts)
+				}
+				ec := cp.ExpectedEnergyCombined(w, s1, s2)
+				es := p.ExpectedEnergy(w, s1, s2)
+				if mathx.RelErr(ec, es) > 1e-6 {
+					t.Errorf("energy σ=(%g,%g) W=%g: combined=%g silent=%g", s1, s2, w, ec, es)
+				}
+			}
+		}
+	}
+}
+
+// TestCombinedFailStopCheaperThanSilent: holding the total rate fixed,
+// fail-stop errors cost less time than silent ones because they are
+// detected immediately (on average halfway) instead of at the end of the
+// pattern — the Figure 1 argument.
+func TestCombinedFailStopCheaperThanSilent(t *testing.T) {
+	p := heraParams()
+	p.Lambda = 1e-4 // raise the rate so the effect is measurable
+	allSilent := p.Split(1e-12)
+	allFail := p.Split(1 - 1e-12)
+	w, s := 3000.0, 0.8
+	tSilent := allSilent.ExpectedTimeCombined(w, s, s)
+	tFail := allFail.ExpectedTimeCombined(w, s, s)
+	if !(tFail < tSilent) {
+		t.Errorf("fail-stop %g should beat silent %g at equal rate", tFail, tSilent)
+	}
+}
+
+func TestCombinedFirstOrderMatchesExact(t *testing.T) {
+	// Within its validity window the Proposition 6 expansion approximates
+	// the exact overheads.
+	cp := combinedHera(0.5)
+	lo, hi := cp.SpeedRatioWindow()
+	for _, s1 := range []float64{0.4, 0.6} {
+		for _, s2 := range []float64{0.4, 0.6, 0.8} {
+			ratio := s2 / s1
+			if ratio <= lo || ratio >= hi {
+				continue
+			}
+			for _, w := range []float64{1000, 5000} {
+				u := cp.Lambda() * (w + cp.C + cp.R + cp.V) / math.Min(s1, s2)
+				tol := 20*u*u + 5*cp.Lambda()*(cp.V+cp.R)/(s1*s2)
+				exact := cp.ExpectedTimeCombined(w, s1, s2) / w
+				fo := cp.TimeOverheadCombinedFO(w, s1, s2)
+				if mathx.RelErr(exact, fo) > tol {
+					t.Errorf("time f=0.5 σ=(%g,%g) W=%g: exact=%g FO=%g relerr=%g tol=%g",
+						s1, s2, w, exact, fo, mathx.RelErr(exact, fo), tol)
+				}
+				exactE := cp.ExpectedEnergyCombined(w, s1, s2) / w
+				foE := cp.EnergyOverheadCombinedFO(w, s1, s2)
+				if mathx.RelErr(exactE, foE) > tol {
+					t.Errorf("energy f=0.5 σ=(%g,%g) W=%g: exact=%g FO=%g relerr=%g tol=%g",
+						s1, s2, w, exactE, foE, mathx.RelErr(exactE, foE), tol)
+				}
+			}
+		}
+	}
+}
+
+func TestSpeedRatioWindow(t *testing.T) {
+	// f=1 (fail-stop only): window is (1/2, 2)·... precisely
+	// ((2(1+0))^{-1/2}, 2(1+0)) = (0.7071, 2).
+	cp := combinedHera(1)
+	lo, hi := cp.SpeedRatioWindow()
+	if !mathx.ApproxEqual(hi, 2, 1e-12, 0) {
+		t.Errorf("hi = %g, want 2", hi)
+	}
+	if !mathx.ApproxEqual(lo, 1/math.Sqrt2, 1e-12, 0) {
+		t.Errorf("lo = %g, want 1/√2", lo)
+	}
+	// f=0.5: hi = 2(1+1) = 4, lo = 1/2.
+	cp = combinedHera(0.5)
+	lo, hi = cp.SpeedRatioWindow()
+	if !mathx.ApproxEqual(hi, 4, 1e-12, 0) || !mathx.ApproxEqual(lo, 0.5, 1e-12, 0) {
+		t.Errorf("window = (%g, %g), want (0.5, 4)", lo, hi)
+	}
+	// f=0 (silent only): unrestricted.
+	cp = combinedHera(0)
+	lo, hi = cp.SpeedRatioWindow()
+	if lo != 0 || !math.IsInf(hi, 1) {
+		t.Errorf("silent-only window = (%g, %g), want (0, +Inf)", lo, hi)
+	}
+	// The window is never empty (paper: "never empty").
+	for _, f := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		lo, hi := combinedHera(f).SpeedRatioWindow()
+		if !(lo < hi) {
+			t.Errorf("f=%g: empty window (%g, %g)", f, lo, hi)
+		}
+	}
+}
+
+func TestTimeCoefficientSignFlip(t *testing.T) {
+	// Fail-stop only: the λW coefficient of Eq. (9) is positive iff
+	// σ2 < 2σ1, zero at σ2 = 2σ1, negative beyond.
+	cp := combinedHera(1)
+	if !cp.TimeCoefficientPositive(0.4, 0.79) {
+		t.Error("σ2 < 2σ1 should have positive coefficient")
+	}
+	if cp.TimeCoefficientPositive(0.4, 0.81) {
+		t.Error("σ2 > 2σ1 should have non-positive coefficient")
+	}
+}
+
+func TestEnergyCoefficientPositiveAtEqualSpeeds(t *testing.T) {
+	// At σ1 = σ2 the energy coefficient is (1 − f/2)·P/σ² > 0 always.
+	for _, f := range []float64{0, 0.5, 1} {
+		cp := combinedHera(f)
+		if !cp.EnergyCoefficientPositive(0.6, 0.6) {
+			t.Errorf("f=%g: equal speeds should have positive energy coefficient", f)
+		}
+	}
+}

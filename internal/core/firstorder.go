@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+
+	"respeed/internal/mathx"
+)
+
+// TimeOverheadFO returns the first-order (Taylor) approximation of the
+// expected time per work unit, Equation (2) of the paper:
+//
+//	T/W ≈ 1/σ1 + λW/(σ1σ2) + λR/σ1 + λV/(σ1σ2) + (C + V/σ1)/W.
+func (p Params) TimeOverheadFO(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	return 1/s1 +
+		p.Lambda*w/(s1*s2) +
+		p.Lambda*p.R/s1 +
+		p.Lambda*p.V/(s1*s2) +
+		(p.C+p.V/s1)/w
+}
+
+// EnergyOverheadFO returns the first-order approximation of the expected
+// energy per work unit, Equation (3) of the paper:
+//
+//	E/W ≈ (κσ1³+Pidle)/σ1 + λW/(σ1σ2)·(κσ2³+Pidle)
+//	    + λR/σ1·(Pio+Pidle) + λV/(σ1σ2)·(κσ1³+Pidle)
+//	    + (C(Pio+Pidle) + V(κσ1³+Pidle)/σ1)/W.
+func (p Params) EnergyOverheadFO(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	p1 := p.cpuPower(s1)
+	p2 := p.cpuPower(s2)
+	return p1/s1 +
+		p.Lambda*w/(s1*s2)*p2 +
+		p.Lambda*p.R/s1*p.ioPower() +
+		p.Lambda*p.V/(s1*s2)*p1 +
+		(p.C*p.ioPower()+p.V*p1/s1)/w
+}
+
+// WEnergy returns We, the unconstrained first-order energy-optimal
+// pattern size of Equation (5):
+//
+//	We = sqrt( (C(Pio+Pidle) + V/σ1·(κσ1³+Pidle)) / (λ/(σ1σ2)·(κσ2³+Pidle)) ).
+//
+// It is the minimizer of Equation (3) ignoring the performance bound.
+func (p Params) WEnergy(s1, s2 float64) float64 {
+	checkArgs(1, s1, s2)
+	num := p.C*p.ioPower() + p.V/s1*p.cpuPower(s1)
+	den := p.Lambda / (s1 * s2) * p.cpuPower(s2)
+	return math.Sqrt(num / den)
+}
+
+// WTime returns the unconstrained first-order time-optimal pattern size,
+// the minimizer of Equation (2):
+//
+//	Wt = sqrt( (C + V/σ1) / (λ/(σ1σ2)) ).
+//
+// With σ1 = σ2 = σ this reduces to the silent-error Young/Daly period
+// W = sqrt((C + V/σ)·σ²/λ) — i.e. a period (in time) of
+// sqrt((C + V/σ)/λ) as quoted in the paper's introduction for σ = 1.
+func (p Params) WTime(s1, s2 float64) float64 {
+	checkArgs(1, s1, s2)
+	return math.Sqrt((p.C + p.V/s1) * s1 * s2 / p.Lambda)
+}
+
+// QuadraticCoefficients returns (a, b, c) of Theorem 1's feasibility
+// quadratic aW² + bW + c ≤ 0, which encodes the first-order constraint
+// T/W ≤ ρ:
+//
+//	a = λ/(σ1σ2),
+//	b = 1/σ1 + λ(R/σ1 + V/(σ1σ2)) − ρ,
+//	c = C + V/σ1.
+func (p Params) QuadraticCoefficients(s1, s2, rho float64) (a, b, c float64) {
+	checkArgs(1, s1, s2)
+	a = p.Lambda / (s1 * s2)
+	b = 1/s1 + p.Lambda*(p.R/s1+p.V/(s1*s2)) - rho
+	c = p.C + p.V/s1
+	return a, b, c
+}
+
+// FeasibleWindow returns the interval [W1, W2] of pattern sizes that
+// satisfy the first-order performance bound ρ for the speed pair
+// (σ1, σ2). It returns ErrInfeasible when the Theorem 1 quadratic has no
+// positive root (b > −2√(ac)).
+func (p Params) FeasibleWindow(s1, s2, rho float64) (w1, w2 float64, err error) {
+	a, b, c := p.QuadraticCoefficients(s1, s2, rho)
+	// c > 0 and a > 0 always (checkpoint cost and error rate positive), so
+	// real roots exist iff b ≤ -2√(ac), and then both roots are positive.
+	w1, w2, rerr := mathx.QuadraticRoots(a, b, c)
+	if rerr != nil || w2 <= 0 {
+		return 0, 0, ErrInfeasible
+	}
+	return w1, w2, nil
+}
+
+// OptimalW returns Wopt of Theorem 1 (Equation 4) for the speed pair:
+// the energy-optimal pattern size We clamped into the feasible window
+// [W1, W2]:
+//
+//	Wopt = min(max(W1, We), W2).
+//
+// It returns ErrInfeasible when the bound ρ cannot be met at all.
+func (p Params) OptimalW(s1, s2, rho float64) (float64, error) {
+	w1, w2, err := p.FeasibleWindow(s1, s2, rho)
+	if err != nil {
+		return 0, err
+	}
+	we := p.WEnergy(s1, s2)
+	return math.Min(math.Max(w1, we), w2), nil
+}
+
+// RhoMin returns ρ_{i,j} of Equation (6): the smallest performance bound
+// for which the pair (σi, σj) admits a feasible pattern size:
+//
+//	ρ_{i,j} = 1/σi + 2·sqrt((C + V/σi)·λ/(σiσj)) + λ(R/σi + V/(σiσj)).
+func (p Params) RhoMin(si, sj float64) float64 {
+	checkArgs(1, si, sj)
+	return 1/si +
+		2*math.Sqrt((p.C+p.V/si)*p.Lambda/(si*sj)) +
+		p.Lambda*(p.R/si+p.V/(si*sj))
+}
+
+// EnergyComponents decomposes the first-order energy overhead of
+// Equation (3) into its physical contributions, in mW·s per work unit.
+// The fields sum to EnergyOverheadFO (asserted by the test suite); the
+// decomposition drives the analytic energy-breakdown experiment.
+type EnergyComponents struct {
+	// FirstExecution is the always-paid compute term (κσ1³+Pidle)/σ1.
+	FirstExecution float64
+	// ReExecution is the λW/(σ1σ2)·(κσ2³+Pidle) re-execution term.
+	ReExecution float64
+	// Recovery is λR/σ1·(Pio+Pidle).
+	Recovery float64
+	// VerifyReexec is the λV/(σ1σ2)·(κσ1³+Pidle) re-verified term.
+	VerifyReexec float64
+	// PerPattern is the amortized fixed cost (C·(Pio+Pidle) + V·(κσ1³+Pidle)/σ1)/W.
+	PerPattern float64
+}
+
+// Total returns the sum of the components, equal to EnergyOverheadFO.
+func (ec EnergyComponents) Total() float64 {
+	return ec.FirstExecution + ec.ReExecution + ec.Recovery + ec.VerifyReexec + ec.PerPattern
+}
+
+// EnergyOverheadComponents returns the Equation (3) decomposition at
+// (W, σ1, σ2).
+func (p Params) EnergyOverheadComponents(w, s1, s2 float64) EnergyComponents {
+	checkArgs(w, s1, s2)
+	p1 := p.cpuPower(s1)
+	p2 := p.cpuPower(s2)
+	return EnergyComponents{
+		FirstExecution: p1 / s1,
+		ReExecution:    p.Lambda * w / (s1 * s2) * p2,
+		Recovery:       p.Lambda * p.R / s1 * p.ioPower(),
+		VerifyReexec:   p.Lambda * p.V / (s1 * s2) * p1,
+		PerPattern:     (p.C*p.ioPower() + p.V*p1/s1) / w,
+	}
+}

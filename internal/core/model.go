@@ -1,0 +1,140 @@
+// Package core implements the paper's analytical model and optimizers:
+// the expected execution time and energy of a periodic
+// verification+checkpoint pattern executed at speed σ1 and re-executed at
+// speed σ2 after silent errors (Propositions 1–3), the first-order
+// overheads (Equations 2–3), the optimal pattern size of Theorem 1
+// (Equations 4–5), the per-pair feasibility bound ρ_{i,j} (Equation 6),
+// the O(K²) BiCrit solver, the combined fail-stop+silent model of
+// Section 5 (Propositions 4–7), and Theorem 2's λ^{-2/3} checkpointing
+// law.
+//
+// Units follow the paper and package platform: work in seconds-at-speed-1,
+// time in seconds, rates per second, power in mW, energy in mW·s.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"respeed/internal/mathx"
+	"respeed/internal/platform"
+)
+
+// Params collects every model constant needed to evaluate a pattern.
+type Params struct {
+	// Lambda is the silent-error rate (per second).
+	Lambda float64
+	// C is the checkpoint time (seconds).
+	C float64
+	// V is the verification time at full speed (seconds); verifying at
+	// speed σ takes V/σ.
+	V float64
+	// R is the recovery time (seconds).
+	R float64
+	// Kappa is the dynamic power coefficient (mW): Pcpu(σ) = κσ³.
+	Kappa float64
+	// Pidle is the static power (mW).
+	Pidle float64
+	// Pio is the dynamic I/O power (mW) during checkpoint and recovery.
+	Pio float64
+}
+
+// FromConfig extracts model parameters from a catalog configuration.
+func FromConfig(c platform.Config) Params {
+	return Params{
+		Lambda: c.Platform.Lambda,
+		C:      c.Platform.C,
+		V:      c.Platform.V,
+		R:      c.Platform.R,
+		Kappa:  c.Processor.Kappa,
+		Pidle:  c.Processor.Pidle,
+		Pio:    c.Pio,
+	}
+}
+
+// Validate checks the parameters for physical plausibility.
+func (p Params) Validate() error {
+	if !(p.Lambda > 0) {
+		return fmt.Errorf("core: Lambda must be positive (got %g)", p.Lambda)
+	}
+	if p.C < 0 || p.V < 0 || p.R < 0 {
+		return fmt.Errorf("core: C, V, R must be non-negative (C=%g V=%g R=%g)", p.C, p.V, p.R)
+	}
+	if p.Kappa < 0 || p.Pidle < 0 || p.Pio < 0 {
+		return fmt.Errorf("core: powers must be non-negative (κ=%g Pidle=%g Pio=%g)", p.Kappa, p.Pidle, p.Pio)
+	}
+	return nil
+}
+
+// cpuPower returns κσ³ + Pidle, the total power while computing at σ.
+func (p Params) cpuPower(sigma float64) float64 {
+	return p.Kappa*sigma*sigma*sigma + p.Pidle
+}
+
+// ioPower returns Pio + Pidle, the total power during checkpoint/recovery.
+func (p Params) ioPower() float64 { return p.Pio + p.Pidle }
+
+// checkSpeeds panics on non-positive speeds or W; these are programming
+// errors in callers, never data-dependent conditions.
+func checkArgs(w, s1, s2 float64) {
+	if !(w > 0) || !(s1 > 0) || !(s2 > 0) {
+		panic(fmt.Sprintf("core: W, σ1, σ2 must be positive (W=%g σ1=%g σ2=%g)", w, s1, s2))
+	}
+}
+
+// ExpectedTimeSingle returns T(W, σ, σ), the exact expected time to
+// execute a pattern of W work units entirely at speed σ (Proposition 1):
+//
+//	T = C + e^{λW/σ}·(W+V)/σ + (e^{λW/σ} − 1)·R.
+func (p Params) ExpectedTimeSingle(w, sigma float64) float64 {
+	checkArgs(w, sigma, sigma)
+	x := p.Lambda * w / sigma
+	return p.C + math.Exp(x)*(w+p.V)/sigma + mathx.ExpGrowthExcess(x)*p.R
+}
+
+// ExpectedTime returns T(W, σ1, σ2), the exact expected time to execute a
+// pattern with first execution at σ1 and all re-executions at σ2
+// (Proposition 2):
+//
+//	T = C + (W+V)/σ1 + (1 − e^{−λW/σ1})·e^{λW/σ2}·(R + (W+V)/σ2).
+func (p Params) ExpectedTime(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	pfail := mathx.OneMinusExpNeg(p.Lambda * w / s1)
+	boost := math.Exp(p.Lambda * w / s2)
+	return p.C + (w+p.V)/s1 + pfail*boost*(p.R+(w+p.V)/s2)
+}
+
+// ExpectedEnergy returns E(W, σ1, σ2), the exact expected energy of a
+// pattern (Proposition 3):
+//
+//	E = (C + (1 − e^{−λW/σ1})·e^{λW/σ2}·R)·(Pio + Pidle)
+//	  + (W+V)/σ1·(κσ1³ + Pidle)
+//	  + (W+V)/σ2·(1 − e^{−λW/σ1})·e^{λW/σ2}·(κσ2³ + Pidle).
+func (p Params) ExpectedEnergy(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	pfail := mathx.OneMinusExpNeg(p.Lambda * w / s1)
+	boost := math.Exp(p.Lambda * w / s2)
+	reexec := pfail * boost
+	return (p.C+reexec*p.R)*p.ioPower() +
+		(w+p.V)/s1*p.cpuPower(s1) +
+		(w+p.V)/s2*reexec*p.cpuPower(s2)
+}
+
+// TimeOverheadExact returns the exact expected time per work unit,
+// T(W,σ1,σ2)/W.
+func (p Params) TimeOverheadExact(w, s1, s2 float64) float64 {
+	return p.ExpectedTime(w, s1, s2) / w
+}
+
+// EnergyOverheadExact returns the exact expected energy per work unit,
+// E(W,σ1,σ2)/W.
+func (p Params) EnergyOverheadExact(w, s1, s2 float64) float64 {
+	return p.ExpectedEnergy(w, s1, s2) / w
+}
+
+// ErrInfeasible is returned when no pattern size can satisfy the
+// requested performance bound ρ for a given speed pair (Theorem 1's
+// "no positive solution" case), or — from the solvers — when no speed
+// pair at all is feasible.
+var ErrInfeasible = errors.New("core: performance bound infeasible")

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"respeed/internal/mathx"
+	"respeed/internal/platform"
+)
+
+func heraParams() Params {
+	return FromConfig(platform.NewConfig(platform.Hera(), platform.XScale()))
+}
+
+func atlasCrusoe() Params {
+	return FromConfig(platform.NewConfig(platform.Atlas(), platform.Crusoe()))
+}
+
+func TestFromConfig(t *testing.T) {
+	p := heraParams()
+	if p.Lambda != 3.38e-6 || p.C != 300 || p.V != 15.4 || p.R != 300 {
+		t.Errorf("platform params: %+v", p)
+	}
+	if p.Kappa != 1550 || p.Pidle != 60 {
+		t.Errorf("processor params: %+v", p)
+	}
+	if math.Abs(p.Pio-5.23125) > 1e-9 {
+		t.Errorf("Pio = %g, want 5.23125", p.Pio)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := heraParams()
+	mutations := []func(*Params){
+		func(p *Params) { p.Lambda = 0 },
+		func(p *Params) { p.Lambda = -1 },
+		func(p *Params) { p.C = -1 },
+		func(p *Params) { p.V = -1 },
+		func(p *Params) { p.R = -1 },
+		func(p *Params) { p.Kappa = -1 },
+		func(p *Params) { p.Pidle = -1 },
+		func(p *Params) { p.Pio = -1 },
+	}
+	for i, mut := range mutations {
+		p := good
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+}
+
+// TestProposition1Recursion verifies that ExpectedTimeSingle satisfies
+// the defining recursive equation:
+//
+//	T = (W+V)/σ + p·(R + T) + (1−p)·C,  p = 1 − e^{−λW/σ}.
+func TestProposition1Recursion(t *testing.T) {
+	p := heraParams()
+	for _, sigma := range []float64{0.15, 0.4, 1} {
+		for _, w := range []float64{100, 2764, 50000} {
+			T := p.ExpectedTimeSingle(w, sigma)
+			pr := mathx.OneMinusExpNeg(p.Lambda * w / sigma)
+			rhs := (w+p.V)/sigma + pr*(p.R+T) + (1-pr)*p.C
+			if !mathx.ApproxEqual(T, rhs, 1e-10, 1e-9) {
+				t.Errorf("σ=%g W=%g: T=%g, recursion RHS=%g", sigma, w, T, rhs)
+			}
+		}
+	}
+}
+
+// TestProposition2Recursion verifies ExpectedTime against its recursion:
+//
+//	T(W,σ1,σ2) = (W+V)/σ1 + p₁·(R + T(W,σ2,σ2)) + (1−p₁)·C.
+func TestProposition2Recursion(t *testing.T) {
+	p := heraParams()
+	for _, s1 := range []float64{0.15, 0.6, 1} {
+		for _, s2 := range []float64{0.4, 0.8} {
+			for _, w := range []float64{500, 2764, 20000} {
+				T := p.ExpectedTime(w, s1, s2)
+				p1 := mathx.OneMinusExpNeg(p.Lambda * w / s1)
+				rhs := (w+p.V)/s1 + p1*(p.R+p.ExpectedTimeSingle(w, s2)) + (1-p1)*p.C
+				if !mathx.ApproxEqual(T, rhs, 1e-10, 1e-9) {
+					t.Errorf("σ=(%g,%g) W=%g: T=%g, RHS=%g", s1, s2, w, T, rhs)
+				}
+			}
+		}
+	}
+}
+
+func TestTwoSpeedReducesToSingle(t *testing.T) {
+	p := heraParams()
+	f := func(wRaw, sRaw float64) bool {
+		w := 10 + math.Abs(math.Mod(wRaw, 1e5))
+		s := 0.1 + math.Abs(math.Mod(sRaw, 0.9))
+		return mathx.ApproxEqual(
+			p.ExpectedTime(w, s, s), p.ExpectedTimeSingle(w, s), 1e-10, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProposition3EnergyStructure verifies the energy decomposition: with
+// zero powers energy is zero; with only Pidle set, E = Pidle × T.
+func TestProposition3EnergyStructure(t *testing.T) {
+	p := heraParams()
+	zero := p
+	zero.Kappa, zero.Pidle, zero.Pio = 0, 0, 0
+	if got := zero.ExpectedEnergy(1000, 0.6, 0.8); got != 0 {
+		t.Errorf("zero-power energy = %g", got)
+	}
+	idleOnly := p
+	idleOnly.Kappa, idleOnly.Pio = 0, 0
+	idleOnly.Pidle = 42
+	w, s1, s2 := 2764.0, 0.4, 0.8
+	gotE := idleOnly.ExpectedEnergy(w, s1, s2)
+	wantE := 42 * idleOnly.ExpectedTime(w, s1, s2)
+	if !mathx.ApproxEqual(gotE, wantE, 1e-9, 0) {
+		t.Errorf("idle-only energy = %g, want Pidle·T = %g", gotE, wantE)
+	}
+}
+
+func TestEnergyPositivity(t *testing.T) {
+	p := atlasCrusoe()
+	f := func(wRaw, s1Raw, s2Raw float64) bool {
+		w := 1 + math.Abs(math.Mod(wRaw, 1e5))
+		s1 := 0.1 + math.Abs(math.Mod(s1Raw, 0.9))
+		s2 := 0.1 + math.Abs(math.Mod(s2Raw, 0.9))
+		return p.ExpectedEnergy(w, s1, s2) > 0 && p.ExpectedTime(w, s1, s2) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeMonotoneInLambda(t *testing.T) {
+	// More errors → longer expected execution.
+	base := heraParams()
+	hi := base
+	hi.Lambda *= 10
+	w, s1, s2 := 3000.0, 0.6, 0.8
+	if !(hi.ExpectedTime(w, s1, s2) > base.ExpectedTime(w, s1, s2)) {
+		t.Error("expected time should increase with λ")
+	}
+	if !(hi.ExpectedEnergy(w, s1, s2) > base.ExpectedEnergy(w, s1, s2)) {
+		t.Error("expected energy should increase with λ")
+	}
+}
+
+func TestTimeDecreasesWithFirstSpeed(t *testing.T) {
+	p := heraParams()
+	w := 2000.0
+	prev := math.Inf(1)
+	for _, s1 := range []float64{0.15, 0.4, 0.6, 0.8, 1} {
+		cur := p.ExpectedTime(w, s1, 0.4)
+		if !(cur < prev) {
+			t.Errorf("T not decreasing at σ1=%g: %g ≥ %g", s1, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFirstOrderMatchesExactSmallLambda(t *testing.T) {
+	// For λW ≪ 1 the Taylor forms (Eqs. 2–3) must agree with the exact
+	// expectations to O((λW)²).
+	p := heraParams()
+	for _, s1 := range []float64{0.4, 0.8} {
+		for _, s2 := range []float64{0.4, 1} {
+			for _, w := range []float64{500, 2764, 10000} {
+				// Dropped terms are second order in λ×(any duration); the
+				// paper's Eq. (3) additionally evaluates its λV term at σ1's
+				// power where the exact expansion has σ2's, an O(λV)
+				// difference, so the energy tolerance carries that term too.
+				u := p.Lambda * (w + p.C + p.R + p.V) / math.Min(s1, s2)
+				tolT := 10 * u * u
+				tolE := 10*u*u + 3*p.Lambda*p.V/(s1*s2)
+				tExact := p.TimeOverheadExact(w, s1, s2)
+				tFO := p.TimeOverheadFO(w, s1, s2)
+				if mathx.RelErr(tExact, tFO) > tolT {
+					t.Errorf("time σ=(%g,%g) W=%g: exact=%g FO=%g relerr=%g > %g",
+						s1, s2, w, tExact, tFO, mathx.RelErr(tExact, tFO), tolT)
+				}
+				eExact := p.EnergyOverheadExact(w, s1, s2)
+				eFO := p.EnergyOverheadFO(w, s1, s2)
+				if mathx.RelErr(eExact, eFO) > tolE {
+					t.Errorf("energy σ=(%g,%g) W=%g: exact=%g FO=%g", s1, s2, w, eExact, eFO)
+				}
+			}
+		}
+	}
+}
+
+func TestWEnergyMinimizesEnergyFO(t *testing.T) {
+	// We must be the stationary point of Eq. (3): check first-order
+	// optimality numerically.
+	p := atlasCrusoe()
+	for _, s1 := range []float64{0.45, 0.8} {
+		for _, s2 := range []float64{0.6, 1} {
+			we := p.WEnergy(s1, s2)
+			d := mathx.Derivative(func(w float64) float64 {
+				return p.EnergyOverheadFO(w, s1, s2)
+			}, we)
+			scale := p.EnergyOverheadFO(we, s1, s2) / we
+			if math.Abs(d) > 1e-5*scale {
+				t.Errorf("σ=(%g,%g): dE/dW at We = %g", s1, s2, d)
+			}
+		}
+	}
+}
+
+func TestWTimeMinimizesTimeFO(t *testing.T) {
+	p := heraParams()
+	for _, s1 := range []float64{0.4, 1} {
+		for _, s2 := range []float64{0.4, 0.8} {
+			wt := p.WTime(s1, s2)
+			d := mathx.Derivative(func(w float64) float64 {
+				return p.TimeOverheadFO(w, s1, s2)
+			}, wt)
+			if math.Abs(d) > 1e-10 {
+				t.Errorf("σ=(%g,%g): dT/dW at Wt = %g", s1, s2, d)
+			}
+		}
+	}
+}
+
+func TestYoungDalySilentSpecialization(t *testing.T) {
+	// With σ1 = σ2 = 1, WTime = sqrt((C+V)/λ) — the silent-error
+	// Young/Daly formula quoted in the paper's introduction.
+	p := heraParams()
+	got := p.WTime(1, 1)
+	want := math.Sqrt((p.C + p.V) / p.Lambda)
+	if !mathx.ApproxEqual(got, want, 1e-12, 0) {
+		t.Errorf("WTime(1,1) = %g, want %g", got, want)
+	}
+}
+
+func TestRhoMinIsExactThreshold(t *testing.T) {
+	// Solving exactly at ρ_{i,j} must be feasible (double root); solving
+	// just below must not.
+	p := heraParams()
+	for _, s1 := range []float64{0.4, 0.8} {
+		for _, s2 := range []float64{0.4, 1} {
+			rhoMin := p.RhoMin(s1, s2)
+			if _, err := p.OptimalW(s1, s2, rhoMin*(1+1e-9)); err != nil {
+				t.Errorf("σ=(%g,%g): ρ slightly above ρmin should be feasible", s1, s2)
+			}
+			if _, err := p.OptimalW(s1, s2, rhoMin*(1-1e-6)); err == nil {
+				t.Errorf("σ=(%g,%g): ρ below ρmin should be infeasible", s1, s2)
+			}
+		}
+	}
+}
+
+func TestOptimalWClamping(t *testing.T) {
+	p := heraParams()
+	s1, s2 := 0.4, 0.4
+	// Loose bound: Wopt = We (interior optimum).
+	we := p.WEnergy(s1, s2)
+	w, err := p.OptimalW(s1, s2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(w, we, 1e-9, 0) {
+		t.Errorf("loose bound: Wopt=%g, want We=%g", w, we)
+	}
+	// Tight bound: Wopt must sit on the feasibility boundary, i.e. the
+	// time overhead equals ρ there (up to roundoff).
+	rhoTight := p.RhoMin(s1, s2) * 1.0000001
+	w, err = p.OptimalW(s1, s2, rhoTight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TimeOverheadFO(w, s1, s2); math.Abs(got-rhoTight) > 1e-6*rhoTight {
+		t.Errorf("tight bound: T/W at Wopt = %g, want ≈ ρ=%g", got, rhoTight)
+	}
+}
+
+func TestOptimalWRespectsBound(t *testing.T) {
+	// Property: whenever OptimalW succeeds, the first-order constraint
+	// holds at the returned W.
+	p := atlasCrusoe()
+	speeds := []float64{0.45, 0.6, 0.8, 0.9, 1}
+	for _, rho := range []float64{1.2, 1.5, 2, 3, 5, 10} {
+		for _, s1 := range speeds {
+			for _, s2 := range speeds {
+				w, err := p.OptimalW(s1, s2, rho)
+				if err != nil {
+					continue
+				}
+				if got := p.TimeOverheadFO(w, s1, s2); got > rho*(1+1e-9) {
+					t.Errorf("ρ=%g σ=(%g,%g): T/W=%g violates bound", rho, s1, s2, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFeasibleWindowOrdering(t *testing.T) {
+	p := heraParams()
+	w1, w2, err := p.FeasibleWindow(0.4, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(0 < w1 && w1 < w2) {
+		t.Errorf("window [%g, %g] not ordered/positive", w1, w2)
+	}
+	// Interior points satisfy the bound; exterior points violate it.
+	mid := (w1 + w2) / 2
+	if p.TimeOverheadFO(mid, 0.4, 0.4) > 3 {
+		t.Error("midpoint of feasible window violates bound")
+	}
+	if p.TimeOverheadFO(w1/2, 0.4, 0.4) < 3 {
+		t.Error("point below window should violate bound")
+	}
+	if p.TimeOverheadFO(w2*2, 0.4, 0.4) < 3 {
+		t.Error("point above window should violate bound")
+	}
+}
+
+func TestQuadraticCoefficientsSigns(t *testing.T) {
+	p := heraParams()
+	a, b, c := p.QuadraticCoefficients(0.4, 0.4, 3)
+	if !(a > 0) {
+		t.Errorf("a = %g, want > 0", a)
+	}
+	if !(c > 0) {
+		t.Errorf("c = %g, want > 0", c)
+	}
+	if !(b < 0) {
+		t.Errorf("b = %g, want < 0 for a feasible bound", b)
+	}
+}
+
+func TestSolveEmptySpeeds(t *testing.T) {
+	p := heraParams()
+	if _, err := p.Solve(nil, 3); err == nil {
+		t.Error("Solve with empty speeds should error")
+	}
+	if _, err := p.SolveSingleSpeed(nil, 3); err == nil {
+		t.Error("SolveSingleSpeed with empty speeds should error")
+	}
+}
+
+func TestCheckArgsPanics(t *testing.T) {
+	p := heraParams()
+	for _, call := range []func(){
+		func() { p.ExpectedTime(0, 1, 1) },
+		func() { p.ExpectedTime(1, 0, 1) },
+		func() { p.ExpectedTime(1, 1, -1) },
+		func() { p.ExpectedEnergy(-5, 1, 1) },
+		func() { p.TimeOverheadFO(0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid arguments")
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestSigma1TableInfeasibleRowShape(t *testing.T) {
+	p, speeds := heraParams(), platform.XScale().Speeds
+	rows := p.Sigma1Table(speeds, 1.4)
+	if !math.IsNaN(rows[0].Sigma2) || rows[0].Feasible {
+		t.Errorf("infeasible row should carry NaN σ2: %+v", rows[0])
+	}
+	if rows[0].RhoMin <= 0 {
+		t.Error("infeasible row should still report ρmin")
+	}
+}
+
+func TestEnergyComponentsSumToOverhead(t *testing.T) {
+	p := heraParams()
+	for _, s1 := range []float64{0.4, 0.8} {
+		for _, s2 := range []float64{0.4, 1} {
+			for _, w := range []float64{500, 2764, 20000} {
+				ec := p.EnergyOverheadComponents(w, s1, s2)
+				want := p.EnergyOverheadFO(w, s1, s2)
+				if !mathx.ApproxEqual(ec.Total(), want, 1e-12, 0) {
+					t.Errorf("σ=(%g,%g) W=%g: components %g != FO %g", s1, s2, w, ec.Total(), want)
+				}
+				if ec.FirstExecution <= 0 || ec.PerPattern <= 0 {
+					t.Errorf("degenerate components %+v", ec)
+				}
+			}
+		}
+	}
+}
+
+func TestEnergyComponentsDominance(t *testing.T) {
+	// At the catalog λ the first-execution term dominates: the paper's
+	// regime where overhead ≈ the error-free cost plus small corrections.
+	p := heraParams()
+	ec := p.EnergyOverheadComponents(2764, 0.4, 0.4)
+	if !(ec.FirstExecution > 0.9*ec.Total()) {
+		t.Errorf("first execution should dominate at catalog λ: %+v", ec)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/platform"
+)
+
+// paperRow is one row of a Section 4.2 table.
+type paperRow struct {
+	sigma1   float64
+	sigma2   float64 // NaN for infeasible rows ("-")
+	wopt     float64
+	overhead float64
+}
+
+// The four published tables for the Hera/XScale configuration
+// (Section 4.2 of the paper). Values are truncated by the paper; we
+// assert floor equality.
+var paperTables = map[float64][]paperRow{
+	8: {
+		{0.15, 0.4, 1711, 466},
+		{0.4, 0.4, 2764, 416},
+		{0.6, 0.4, 3639, 674},
+		{0.8, 0.4, 4627, 1082},
+		{1, 0.4, 5742, 1625},
+	},
+	3: {
+		{0.15, math.NaN(), 0, 0},
+		{0.4, 0.4, 2764, 416},
+		{0.6, 0.4, 3639, 674},
+		{0.8, 0.4, 4627, 1082},
+		{1, 0.4, 5742, 1625},
+	},
+	1.775: {
+		{0.15, math.NaN(), 0, 0},
+		{0.4, math.NaN(), 0, 0},
+		{0.6, 0.8, 4251, 690},
+		{0.8, 0.4, 4627, 1082},
+		{1, 0.4, 5742, 1625},
+	},
+	1.4: {
+		{0.15, math.NaN(), 0, 0},
+		{0.4, math.NaN(), 0, 0},
+		{0.6, math.NaN(), 0, 0},
+		{0.8, 0.4, 4627, 1082},
+		{1, 0.4, 5742, 1625},
+	},
+}
+
+func heraXScale(t *testing.T) (Params, []float64) {
+	t.Helper()
+	cfg, ok := platform.ByName("Hera/XScale")
+	if !ok {
+		t.Fatal("Hera/XScale missing from catalog")
+	}
+	return FromConfig(cfg), cfg.Processor.Speeds
+}
+
+func TestSection42Tables(t *testing.T) {
+	p, speeds := heraXScale(t)
+	for rho, rows := range paperTables {
+		got := p.Sigma1Table(speeds, rho)
+		if len(got) != len(rows) {
+			t.Fatalf("ρ=%v: %d rows, want %d", rho, len(got), len(rows))
+		}
+		for i, want := range rows {
+			g := got[i]
+			if g.Sigma1 != want.sigma1 {
+				t.Errorf("ρ=%v row %d: σ1=%g, want %g", rho, i, g.Sigma1, want.sigma1)
+			}
+			if math.IsNaN(want.sigma2) {
+				if g.Feasible {
+					t.Errorf("ρ=%v σ1=%g: should be infeasible, got σ2=%g", rho, want.sigma1, g.Sigma2)
+				}
+				continue
+			}
+			if !g.Feasible {
+				t.Errorf("ρ=%v σ1=%g: should be feasible", rho, want.sigma1)
+				continue
+			}
+			if g.Sigma2 != want.sigma2 {
+				t.Errorf("ρ=%v σ1=%g: best σ2=%g, want %g", rho, want.sigma1, g.Sigma2, want.sigma2)
+			}
+			if math.Floor(g.W) != want.wopt {
+				t.Errorf("ρ=%v σ1=%g: Wopt=%.3f, want ⌊W⌋=%g", rho, want.sigma1, g.W, want.wopt)
+			}
+			if math.Floor(g.EnergyOverhead) != want.overhead {
+				t.Errorf("ρ=%v σ1=%g: E/W=%.3f, want ⌊E/W⌋=%g", rho, want.sigma1, g.EnergyOverhead, want.overhead)
+			}
+		}
+	}
+}
+
+func TestPaperOptimumRho3(t *testing.T) {
+	// The overall best pair at ρ=3 is (0.4, 0.4) — highlighted in bold in
+	// the paper — with Wopt=2764 and E/W=416.
+	p, speeds := heraXScale(t)
+	sol, err := p.Solve(speeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Best.Sigma1 != 0.4 || sol.Best.Sigma2 != 0.4 {
+		t.Errorf("best pair (%g,%g), want (0.4,0.4)", sol.Best.Sigma1, sol.Best.Sigma2)
+	}
+	if math.Floor(sol.Best.W) != 2764 {
+		t.Errorf("Wopt = %.3f, want 2764", sol.Best.W)
+	}
+	if math.Floor(sol.Best.EnergyOverhead) != 416 {
+		t.Errorf("E/W = %.3f, want 416", sol.Best.EnergyOverhead)
+	}
+}
+
+func TestPaperOptimumRho1775UsesTwoSpeeds(t *testing.T) {
+	// At ρ=1.775, the global optimum is (0.6, 0.8): a genuinely different
+	// re-execution speed — the paper's headline claim.
+	p, speeds := heraXScale(t)
+	sol, err := p.Solve(speeds, 1.775)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Best.Sigma1 != 0.6 || sol.Best.Sigma2 != 0.8 {
+		t.Errorf("best pair (%g,%g), want (0.6,0.8)", sol.Best.Sigma1, sol.Best.Sigma2)
+	}
+	if sol.Best.Sigma1 == sol.Best.Sigma2 {
+		t.Error("optimum should use two different speeds at ρ=1.775")
+	}
+}
+
+func TestRho8SlowPairFeasibleButSuboptimal(t *testing.T) {
+	// The paper notes that at ρ=8 the pair (0.15, 0.15) is feasible but has
+	// higher energy overhead than (0.4, 0.4): too-slow speeds cause more
+	// errors and re-executions.
+	p, _ := heraXScale(t)
+	slow := p.evalPair(0.15, 0.15, 8)
+	best := p.evalPair(0.4, 0.4, 8)
+	if !slow.Feasible {
+		t.Fatal("(0.15,0.15) should be feasible at ρ=8")
+	}
+	if !(slow.EnergyOverhead > best.EnergyOverhead) {
+		t.Errorf("(0.15,0.15) E/W=%g should exceed (0.4,0.4) E/W=%g",
+			slow.EnergyOverhead, best.EnergyOverhead)
+	}
+}
+
+func TestInfeasibilityThresholds(t *testing.T) {
+	// σ1 = 0.15 requires ρ ≥ 1/0.15 ≈ 6.67 just for the error-free time,
+	// so it is infeasible at ρ=3 but feasible at ρ=8.
+	p, speeds := heraXScale(t)
+	if _, ok := p.BestSecondSpeed(0.15, speeds, 3); ok {
+		t.Error("σ1=0.15 must be infeasible at ρ=3")
+	}
+	if _, ok := p.BestSecondSpeed(0.15, speeds, 8); !ok {
+		t.Error("σ1=0.15 must be feasible at ρ=8")
+	}
+}
+
+func TestSolveInfeasibleBound(t *testing.T) {
+	// ρ < 1/σmax = 1 can never be met.
+	p, speeds := heraXScale(t)
+	if _, err := p.Solve(speeds, 0.9); err != ErrInfeasible {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+	if _, err := p.SolveSingleSpeed(speeds, 0.9); err != ErrInfeasible {
+		t.Errorf("single-speed: want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestAllCatalogConfigsSolvable(t *testing.T) {
+	// Every one of the paper's eight virtual configurations has a solution
+	// at the default bound ρ=3.
+	for _, cfg := range platform.Configs() {
+		p := FromConfig(cfg)
+		sol, err := p.Solve(cfg.Processor.Speeds, 3)
+		if err != nil {
+			t.Errorf("%s: %v", cfg.Name(), err)
+			continue
+		}
+		if sol.Best.W <= 0 || sol.Best.EnergyOverhead <= 0 {
+			t.Errorf("%s: degenerate solution %+v", cfg.Name(), sol.Best)
+		}
+		if sol.Best.TimeOverhead > 3+1e-9 {
+			t.Errorf("%s: bound violated: T/W=%g", cfg.Name(), sol.Best.TimeOverhead)
+		}
+	}
+}
+
+func TestTwoSpeedGainAtTightBound(t *testing.T) {
+	// At ρ=1.775 on Hera/XScale the single-speed optimum is (0.8,0.8)-ish
+	// or worse; two speeds must do strictly better.
+	p, speeds := heraXScale(t)
+	gain, err := p.TwoSpeedGain(speeds, 1.775)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= 0 {
+		t.Errorf("two-speed gain = %g, want > 0", gain)
+	}
+	if gain > 1 {
+		t.Errorf("gain = %g should be a fraction", gain)
+	}
+}
+
+func TestFeasiblePairsSorted(t *testing.T) {
+	p, speeds := heraXScale(t)
+	sol, err := p.Solve(speeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := sol.FeasiblePairs()
+	if len(fp) == 0 {
+		t.Fatal("no feasible pairs at ρ=3")
+	}
+	for i := 1; i < len(fp); i++ {
+		if fp[i-1].EnergyOverhead > fp[i].EnergyOverhead {
+			t.Errorf("pairs not sorted at %d", i)
+		}
+	}
+	if fp[0].EnergyOverhead != sol.Best.EnergyOverhead {
+		t.Error("first feasible pair should be the best")
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"respeed/internal/mathx"
+)
+
+// PartialPattern describes the intermediate-verification extension the
+// paper points to in its related work ([Bautista-Gomez et al. 2015],
+// [Cavelan et al. 2015]): the W work units of a pattern are split into
+// Segments equal chunks; after each of the first Segments−1 chunks a
+// cheap *partial* verification runs (cost PartialCost at full speed,
+// recall Recall — it detects existing corruption with probability
+// Recall); after the last chunk the usual *guaranteed* verification (the
+// pattern's V) runs before the checkpoint, so checkpoints remain
+// verified. Earlier detection cuts the time lost to a silent error from
+// the whole pattern down to the prefix before the detecting check.
+//
+// With Segments = 1 the pattern degenerates to the paper's base pattern
+// and every quantity below reduces exactly to Propositions 1–3.
+type PartialPattern struct {
+	// Segments is m ≥ 1, the number of equal work chunks.
+	Segments int
+	// Recall is r ∈ [0, 1], the detection probability of one partial
+	// verification over corrupted state.
+	Recall float64
+	// PartialCost is the cost of one partial verification at full speed,
+	// in seconds (at speed σ it takes PartialCost/σ).
+	PartialCost float64
+}
+
+// Validate rejects nonsensical patterns.
+func (pp PartialPattern) Validate() error {
+	if pp.Segments < 1 {
+		return fmt.Errorf("core: partial pattern needs ≥ 1 segment (got %d)", pp.Segments)
+	}
+	if pp.Recall < 0 || pp.Recall > 1 {
+		return fmt.Errorf("core: recall %g outside [0,1]", pp.Recall)
+	}
+	if pp.PartialCost < 0 {
+		return fmt.Errorf("core: negative partial verification cost %g", pp.PartialCost)
+	}
+	return nil
+}
+
+// attemptStats carries one attempt's exact expectations at speed σ:
+// expected duration A, expected energy AE, and failure probability F
+// (the probability that the attempt ends in a detection instead of a
+// committed checkpoint; the guaranteed final verification makes every
+// corrupted attempt fail).
+type attemptStats struct {
+	duration float64
+	energy   float64
+	fail     float64
+}
+
+// attempt computes the exact attempt statistics by direct summation over
+// the first-corruption segment and the detecting check — no Taylor
+// truncation. Work per segment is W/m; the per-segment corruption
+// probability is q = 1 − e^{−λW/(mσ)}.
+func (p Params) attempt(pp PartialPattern, w, sigma float64) attemptStats {
+	m := pp.Segments
+	seg := w / (float64(m) * sigma) // compute time per segment
+	cp := pp.PartialCost / sigma    // partial check time
+	cg := p.V / sigma               // guaranteed check time
+	q := mathx.OneMinusExpNeg(p.Lambda * w / (float64(m) * sigma))
+	pc := p.cpuPower(sigma) // checks and compute run at σ's power
+
+	succProb := math.Pow(1-q, float64(m))
+	succDur := float64(m)*seg + float64(m-1)*cp + cg
+	succEnergy := succDur * pc
+
+	var st attemptStats
+	st.duration = succProb * succDur
+	st.energy = succProb * succEnergy
+	st.fail = 1 - succProb
+
+	// First corruption in segment j (1-based), probability (1−q)^{j−1}·q.
+	for j := 1; j <= m; j++ {
+		pj := math.Pow(1-q, float64(j-1)) * q
+		var dur float64
+		if j <= m-1 {
+			// Partial checks j..m−1 may detect; the guaranteed check is the
+			// backstop.
+			missAll := math.Pow(1-pp.Recall, float64(m-j))
+			for k := j; k <= m-1; k++ {
+				pDetect := math.Pow(1-pp.Recall, float64(k-j)) * pp.Recall
+				dur += pDetect * (float64(k)*seg + float64(k)*cp)
+			}
+			dur += missAll * succDur
+		} else {
+			// Corruption in the final segment: only the guaranteed check
+			// sees it.
+			dur = succDur
+		}
+		st.duration += pj * dur
+		st.energy += pj * dur * pc
+	}
+	return st
+}
+
+// ExpectedTimePartial returns the exact expected time of a pattern with
+// intermediate partial verifications, first execution at σ1 and all
+// re-executions at σ2 (same renewal structure as Proposition 2):
+//
+//	T = A(σ1) + F(σ1)·(R + T2),   T2 = (A(σ2) + F(σ2)·R + S(σ2)·C)/S(σ2)…
+//
+// solved in closed form from the single-speed fixed point, where A is
+// the expected attempt duration and F the attempt failure probability.
+func (p Params) ExpectedTimePartial(pp PartialPattern, w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	if err := pp.Validate(); err != nil {
+		panic(err)
+	}
+	a2 := p.attempt(pp, w, s2)
+	// Single-speed fixed point: T2 = A + F(R+T2) + (1−F)C.
+	t2 := (a2.duration + a2.fail*p.R + (1-a2.fail)*p.C) / (1 - a2.fail)
+	a1 := p.attempt(pp, w, s1)
+	return a1.duration + a1.fail*(p.R+t2) + (1-a1.fail)*p.C
+}
+
+// ExpectedEnergyPartial is the energy analogue of ExpectedTimePartial:
+// compute and verification segments bill κσ³+Pidle, recovery and
+// checkpoint bill Pio+Pidle.
+func (p Params) ExpectedEnergyPartial(pp PartialPattern, w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	if err := pp.Validate(); err != nil {
+		panic(err)
+	}
+	pio := p.ioPower()
+	a2 := p.attempt(pp, w, s2)
+	e2 := (a2.energy + a2.fail*p.R*pio + (1-a2.fail)*p.C*pio) / (1 - a2.fail)
+	a1 := p.attempt(pp, w, s1)
+	return a1.energy + a1.fail*(p.R*pio+e2) + (1-a1.fail)*p.C*pio
+}
+
+// TimeOverheadPartial returns T/W for the partial-verification pattern.
+func (p Params) TimeOverheadPartial(pp PartialPattern, w, s1, s2 float64) float64 {
+	return p.ExpectedTimePartial(pp, w, s1, s2) / w
+}
+
+// EnergyOverheadPartial returns E/W for the partial-verification pattern.
+func (p Params) EnergyOverheadPartial(pp PartialPattern, w, s1, s2 float64) float64 {
+	return p.ExpectedEnergyPartial(pp, w, s1, s2) / w
+}
+
+// OptimalSegments scans m = 1..maxM (with the W-subproblem minimized
+// numerically for each m) and returns the segment count minimizing the
+// exact energy overhead subject to TimeOverheadPartial ≤ rho, together
+// with its W and overheads. It returns ErrInfeasible when not even some
+// m admits a feasible W.
+func (p Params) OptimalSegments(tpl PartialPattern, s1, s2, rho float64, maxM int) (best PartialSolution, err error) {
+	if maxM < 1 {
+		return PartialSolution{}, fmt.Errorf("core: maxM must be ≥ 1")
+	}
+	found := false
+	for m := 1; m <= maxM; m++ {
+		pp := tpl
+		pp.Segments = m
+		sol, err := p.optimalWPartial(pp, s1, s2, rho)
+		if err != nil {
+			continue
+		}
+		if !found || sol.EnergyOverhead < best.EnergyOverhead {
+			best, found = sol, true
+		}
+	}
+	if !found {
+		return PartialSolution{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// PartialSolution is the optimum for one partial-verification setup.
+type PartialSolution struct {
+	Pattern                      PartialPattern
+	Sigma1, Sigma2               float64
+	W                            float64
+	TimeOverhead, EnergyOverhead float64
+}
+
+// optimalWPartial minimizes the exact energy overhead over W subject to
+// the exact time bound, mirroring optimize.ExactPair's structure.
+func (p Params) optimalWPartial(pp PartialPattern, s1, s2, rho float64) (PartialSolution, error) {
+	timeOH := func(w float64) float64 { return p.TimeOverheadPartial(pp, w, s1, s2) }
+	energyOH := func(w float64) float64 { return p.EnergyOverheadPartial(pp, w, s1, s2) }
+	seed := p.WTime(s1, s2)
+	if !(seed > 0) || math.IsInf(seed, 0) {
+		seed = 1
+	}
+	wt, err := mathx.MinimizeConvex1D(timeOH, seed, 1e-9)
+	if err != nil || timeOH(wt) > rho {
+		return PartialSolution{}, ErrInfeasible
+	}
+	lo, hi := wt, wt
+	for timeOH(lo) <= rho && lo > 1e-12 {
+		lo /= 2
+	}
+	for timeOH(hi) <= rho && hi < 1e18 {
+		hi *= 2
+	}
+	f := func(w float64) float64 { return timeOH(w) - rho }
+	w1, err1 := mathx.BrentRoot(f, lo, wt, 1e-9*wt)
+	if err1 != nil {
+		w1 = lo
+	}
+	w2, err2 := mathx.BrentRoot(f, wt, hi, 1e-9*wt)
+	if err2 != nil {
+		w2 = hi
+	}
+	wBest := w1
+	if w2 > w1 {
+		if wInt, err := mathx.BrentMin(energyOH, w1, w2, 1e-12); err == nil {
+			wBest = wInt
+		}
+		for _, cand := range []float64{w1, w2} {
+			if energyOH(cand) < energyOH(wBest) {
+				wBest = cand
+			}
+		}
+	}
+	return PartialSolution{
+		Pattern: pp, Sigma1: s1, Sigma2: s2, W: wBest,
+		TimeOverhead:   timeOH(wBest),
+		EnergyOverhead: energyOH(wBest),
+	}, nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/mathx"
+	"respeed/internal/rngx"
+)
+
+func TestPartialPatternValidate(t *testing.T) {
+	good := PartialPattern{Segments: 4, Recall: 0.8, PartialCost: 1.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []PartialPattern{
+		{Segments: 0, Recall: 0.5, PartialCost: 1},
+		{Segments: 2, Recall: -0.1, PartialCost: 1},
+		{Segments: 2, Recall: 1.1, PartialCost: 1},
+		{Segments: 2, Recall: 0.5, PartialCost: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", bad)
+		}
+	}
+}
+
+// TestPartialReducesToProposition2 is the critical sanity check: with a
+// single segment there are no partial verifications, so the extension
+// must reproduce the paper's base model exactly.
+func TestPartialReducesToProposition2(t *testing.T) {
+	p := heraParams()
+	pp := PartialPattern{Segments: 1, Recall: 0.9, PartialCost: 5}
+	for _, s1 := range []float64{0.4, 0.8} {
+		for _, s2 := range []float64{0.4, 1} {
+			for _, w := range []float64{500, 2764, 20000} {
+				got := p.ExpectedTimePartial(pp, w, s1, s2)
+				want := p.ExpectedTime(w, s1, s2)
+				if mathx.RelErr(got, want) > 1e-12 {
+					t.Errorf("time σ=(%g,%g) W=%g: partial=%g prop2=%g", s1, s2, w, got, want)
+				}
+				gotE := p.ExpectedEnergyPartial(pp, w, s1, s2)
+				wantE := p.ExpectedEnergy(w, s1, s2)
+				if mathx.RelErr(gotE, wantE) > 1e-12 {
+					t.Errorf("energy σ=(%g,%g) W=%g: partial=%g prop3=%g", s1, s2, w, gotE, wantE)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialZeroRecallZeroCostIsNeutral: partial checks that never
+// detect and cost nothing change nothing regardless of m.
+func TestPartialZeroRecallZeroCostIsNeutral(t *testing.T) {
+	p := heraParams()
+	for _, m := range []int{2, 5, 10} {
+		pp := PartialPattern{Segments: m, Recall: 0, PartialCost: 0}
+		got := p.ExpectedTimePartial(pp, 2764, 0.4, 0.8)
+		want := p.ExpectedTime(2764, 0.4, 0.8)
+		if mathx.RelErr(got, want) > 1e-12 {
+			t.Errorf("m=%d: neutral checks changed T: %g vs %g", m, got, want)
+		}
+	}
+}
+
+// TestPartialPerfectRecallHelps: free perfect intermediate checks can
+// only reduce the expected time (earlier detection, nothing else
+// changes).
+func TestPartialPerfectRecallHelps(t *testing.T) {
+	p := heraParams()
+	p.Lambda = 1e-4 // error-rich so detection latency matters
+	base := p.ExpectedTime(2764, 0.4, 0.4)
+	for _, m := range []int{2, 4, 8} {
+		pp := PartialPattern{Segments: m, Recall: 1, PartialCost: 0}
+		got := p.ExpectedTimePartial(pp, 2764, 0.4, 0.4)
+		if !(got < base) {
+			t.Errorf("m=%d: free perfect checks did not help: %g vs %g", m, got, base)
+		}
+	}
+}
+
+// TestPartialMoreSegmentsEarlierDetection: with free perfect checks,
+// more segments monotonically reduce expected time.
+func TestPartialMoreSegmentsEarlierDetection(t *testing.T) {
+	p := heraParams()
+	p.Lambda = 1e-4
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		pp := PartialPattern{Segments: m, Recall: 1, PartialCost: 0}
+		got := p.ExpectedTimePartial(pp, 2764, 0.4, 0.4)
+		if got > prev*(1+1e-12) {
+			t.Errorf("m=%d: time rose to %g (prev %g)", m, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestPartialExpensiveChecksHurt: costly, useless checks strictly
+// increase both time and energy.
+func TestPartialExpensiveChecksHurt(t *testing.T) {
+	p := heraParams()
+	pp := PartialPattern{Segments: 8, Recall: 0, PartialCost: 100}
+	if !(p.ExpectedTimePartial(pp, 2764, 0.4, 0.4) > p.ExpectedTime(2764, 0.4, 0.4)) {
+		t.Error("costly useless checks should increase time")
+	}
+	if !(p.ExpectedEnergyPartial(pp, 2764, 0.4, 0.4) > p.ExpectedEnergy(2764, 0.4, 0.4)) {
+		t.Error("costly useless checks should increase energy")
+	}
+}
+
+// TestPartialMonteCarlo validates the summation against a direct
+// Monte-Carlo simulation of the partial-verification pattern.
+func TestPartialMonteCarlo(t *testing.T) {
+	p := heraParams()
+	p.Lambda = 2e-4
+	pp := PartialPattern{Segments: 4, Recall: 0.7, PartialCost: 3}
+	w, s1, s2 := 2764.0, 0.4, 0.8
+
+	rng := rngx.NewStream(42, "partial-mc")
+	const n = 60000
+	var sum float64
+	for rep := 0; rep < n; rep++ {
+		total := 0.0
+		speed := s1
+		for { // attempts
+			m := pp.Segments
+			seg := w / (float64(m) * speed)
+			cp := pp.PartialCost / speed
+			cg := p.V / speed
+			q := 1 - math.Exp(-p.Lambda*w/(float64(m)*speed))
+			corrupted := false
+			detected := false
+			for k := 1; k <= m && !detected; k++ {
+				total += seg
+				if !corrupted && rng.Bernoulli(q) {
+					corrupted = true
+				}
+				if k <= m-1 {
+					total += cp
+					if corrupted && rng.Bernoulli(pp.Recall) {
+						detected = true
+					}
+				} else {
+					total += cg
+					if corrupted {
+						detected = true
+					}
+				}
+			}
+			if detected {
+				total += p.R
+				speed = s2
+				continue
+			}
+			total += p.C
+			break
+		}
+		sum += total
+	}
+	got := sum / n
+	want := p.ExpectedTimePartial(pp, w, s1, s2)
+	if mathx.RelErr(got, want) > 0.01 {
+		t.Errorf("MC %g vs analytic %g (relerr %g)", got, want, mathx.RelErr(got, want))
+	}
+}
+
+func TestOptimalSegments(t *testing.T) {
+	// With a cheap, high-recall partial check and a high error rate, the
+	// optimum uses more than one segment; with a ruinously expensive
+	// check it stays at m=1.
+	p := heraParams()
+	p.Lambda = 3e-4
+	cheap := PartialPattern{Recall: 0.9, PartialCost: p.V / 10}
+	sol, err := p.OptimalSegments(cheap, 0.6, 0.6, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Pattern.Segments <= 1 {
+		t.Errorf("cheap checks: optimal m = %d, want > 1", sol.Pattern.Segments)
+	}
+	if sol.TimeOverhead > 3*(1+1e-9) {
+		t.Errorf("bound violated: %g", sol.TimeOverhead)
+	}
+
+	pricey := PartialPattern{Recall: 0.9, PartialCost: p.V * 50}
+	sol2, err := p.OptimalSegments(pricey, 0.6, 0.6, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Pattern.Segments != 1 {
+		t.Errorf("pricey checks: optimal m = %d, want 1", sol2.Pattern.Segments)
+	}
+
+	// The multi-segment optimum beats the base pattern's energy at this
+	// error rate.
+	if !(sol.EnergyOverhead < sol2.EnergyOverhead) {
+		t.Errorf("cheap-check optimum %g should beat base %g", sol.EnergyOverhead, sol2.EnergyOverhead)
+	}
+}
+
+func TestOptimalSegmentsInfeasible(t *testing.T) {
+	p := heraParams()
+	tpl := PartialPattern{Recall: 0.5, PartialCost: 1}
+	if _, err := p.OptimalSegments(tpl, 0.4, 0.4, 0.5, 8); err != ErrInfeasible {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+	if _, err := p.OptimalSegments(tpl, 0.4, 0.4, 3, 0); err == nil {
+		t.Error("maxM=0 should error")
+	}
+}
+
+func TestPartialPanicsOnInvalidPattern(t *testing.T) {
+	p := heraParams()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid pattern should panic")
+		}
+	}()
+	p.ExpectedTimePartial(PartialPattern{Segments: 0}, 1000, 0.4, 0.4)
+}

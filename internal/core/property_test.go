@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"respeed/internal/mathx"
+	"respeed/internal/platform"
+)
+
+// unit maps any float (including NaN/±Inf, which testing/quick does
+// generate) into [0, 1).
+func unit(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Abs(math.Mod(x, 1))
+}
+
+// mix2 combines two raw floats into one unit value without overflow.
+func mix2(a, b float64) float64 { return unit(unit(a) + unit(b)) }
+
+// genParams maps three raw quick-generated floats onto a physically
+// plausible parameter set spanning the catalog's ranges.
+func genParams(a, b, c float64) Params {
+	return Params{
+		Lambda: 1e-7 * math.Pow(10, 3*unit(a)), // 1e-7 .. 1e-4
+		C:      50 + 4950*unit(b),
+		V:      1 + 199*unit(c),
+		R:      50 + 4950*unit(b),
+		Kappa:  1000 + 5000*mix2(a, b),
+		Pidle:  100 * mix2(b, c),
+		Pio:    50 * mix2(a, c),
+	}
+}
+
+// genSpeeds maps two raw floats to a positive speed pair in [0.2, 1].
+func genSpeeds(x, y float64) (s1, s2 float64) {
+	return 0.2 + 0.8*unit(x), 0.2 + 0.8*unit(y)
+}
+
+func TestPropertyWoptInsideWindow(t *testing.T) {
+	// For every feasible instance, Theorem 1's Wopt lies inside the
+	// feasibility window [W1, W2].
+	f := func(a, b, c, x, y, rRaw float64) bool {
+		p := genParams(a, b, c)
+		s1, s2 := genSpeeds(x, y)
+		rho := p.RhoMin(s1, s2) * (1 + 3*unit(rRaw))
+		w, err := p.OptimalW(s1, s2, rho)
+		if err != nil {
+			return true // infeasible borderline instances are fine
+		}
+		w1, w2, err := p.FeasibleWindow(s1, s2, rho)
+		if err != nil {
+			return false
+		}
+		return w >= w1*(1-1e-9) && w <= w2*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWoptIsConstrainedOptimum(t *testing.T) {
+	// No W inside the window beats Wopt on first-order energy.
+	f := func(a, b, c, x, y float64) bool {
+		p := genParams(a, b, c)
+		s1, s2 := genSpeeds(x, y)
+		rho := p.RhoMin(s1, s2) * 1.5
+		w, err := p.OptimalW(s1, s2, rho)
+		if err != nil {
+			return true
+		}
+		w1, w2, _ := p.FeasibleWindow(s1, s2, rho)
+		best := p.EnergyOverheadFO(w, s1, s2)
+		for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			cand := w1 + frac*(w2-w1)
+			if cand <= 0 {
+				continue
+			}
+			if p.EnergyOverheadFO(cand, s1, s2) < best*(1-1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRhoMinDecreasingInSecondSpeed(t *testing.T) {
+	// A faster re-execution speed can only relax the feasibility
+	// threshold: ρmin(σ1, σ2) is non-increasing in σ2.
+	f := func(a, b, c, x float64) bool {
+		p := genParams(a, b, c)
+		s1, _ := genSpeeds(x, x)
+		prev := math.Inf(1)
+		for _, s2 := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+			r := p.RhoMin(s1, s2)
+			if r > prev*(1+1e-12) {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExpectedTimeIncreasingInW(t *testing.T) {
+	f := func(a, b, c, x, y, wRaw float64) bool {
+		p := genParams(a, b, c)
+		s1, s2 := genSpeeds(x, y)
+		w := 100 + 1e5*unit(wRaw)
+		return p.ExpectedTime(w*1.1, s1, s2) > p.ExpectedTime(w, s1, s2) &&
+			p.ExpectedEnergy(w*1.1, s1, s2) > p.ExpectedEnergy(w, s1, s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEnergyMonotoneInPowers(t *testing.T) {
+	// More static/dynamic/I/O power never reduces expected energy.
+	f := func(a, b, c, x, y float64) bool {
+		p := genParams(a, b, c)
+		s1, s2 := genSpeeds(x, y)
+		const w = 2000
+		base := p.ExpectedEnergy(w, s1, s2)
+		up := p
+		up.Pidle += 10
+		if p2 := up.ExpectedEnergy(w, s1, s2); p2 < base {
+			return false
+		}
+		up = p
+		up.Pio += 10
+		if p2 := up.ExpectedEnergy(w, s1, s2); p2 < base {
+			return false
+		}
+		up = p
+		up.Kappa += 100
+		return up.ExpectedEnergy(w, s1, s2) >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySolveBestIsGridMinimum(t *testing.T) {
+	// Solve's Best must equal the minimum feasible energy in its own
+	// grid, and every feasible grid point must satisfy the bound.
+	speeds := platform.XScale().Speeds
+	f := func(a, b, c, rRaw float64) bool {
+		p := genParams(a, b, c)
+		rho := 1.2 + 8*unit(rRaw)
+		sol, err := p.Solve(speeds, rho)
+		if err != nil {
+			return true
+		}
+		minE := math.Inf(1)
+		for _, g := range sol.Pairs {
+			if !g.Feasible {
+				continue
+			}
+			if g.TimeOverhead > rho*(1+1e-9) {
+				return false
+			}
+			minE = math.Min(minE, g.EnergyOverhead)
+		}
+		return mathx.ApproxEqual(minE, sol.Best.EnergyOverhead, 1e-12, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTwoSpeedNeverWorseFO(t *testing.T) {
+	// The single-speed solution space is a subset: the two-speed optimum
+	// is never worse, for any parameters and bound.
+	speeds := platform.Crusoe().Speeds
+	f := func(a, b, c, rRaw float64) bool {
+		p := genParams(a, b, c)
+		rho := 1.2 + 8*unit(rRaw)
+		two, err2 := p.Solve(speeds, rho)
+		one, err1 := p.SolveSingleSpeed(speeds, rho)
+		if err1 != nil || err2 != nil {
+			// If single-speed is feasible, two-speed must be too.
+			return !(err1 == nil && err2 != nil)
+		}
+		return two.Best.EnergyOverhead <= one.Best.EnergyOverhead*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCombinedRecursionPositiveAndMonotone(t *testing.T) {
+	// The combined expectations are positive and increase with either
+	// error rate.
+	f := func(a, b, c, x, y, fRaw float64) bool {
+		p := genParams(a, b, c)
+		s1, s2 := genSpeeds(x, y)
+		frac := unit(fRaw)
+		cp := p.Split(frac)
+		const w = 2764
+		base := cp.ExpectedTimeCombined(w, s1, s2)
+		if !(base > 0) {
+			return false
+		}
+		up := cp
+		up.LambdaF *= 2
+		if up.LambdaF > 0 {
+			if got := up.ExpectedTimeCombined(w, s1, s2); got < base*(1-1e-12) {
+				return false
+			}
+		}
+		up = cp
+		up.LambdaS *= 2
+		if up.LambdaS > 0 {
+			if got := up.ExpectedTimeCombined(w, s1, s2); got < base*(1-1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPartialBoundedByExtremes(t *testing.T) {
+	// For any recall, the partial-pattern expected time lies between the
+	// perfect-recall (fastest detection) and zero-recall (base pattern,
+	// modulo check cost) extremes with the same costs.
+	f := func(a, b, c, x, y, rRaw float64) bool {
+		p := genParams(a, b, c)
+		s1, s2 := genSpeeds(x, y)
+		recall := unit(rRaw)
+		const w, m = 2764.0, 5
+		mk := func(r float64) float64 {
+			return p.ExpectedTimePartial(PartialPattern{Segments: m, Recall: r, PartialCost: 2}, w, s1, s2)
+		}
+		mid := mk(recall)
+		lo := mk(1)
+		hi := mk(0)
+		return mid >= lo*(1-1e-12) && mid <= hi*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

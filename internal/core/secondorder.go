@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+
+	"respeed/internal/mathx"
+)
+
+// FailStopParams models a platform subject to fail-stop errors only —
+// the setting of Section 5.3 and Theorem 2 (s = 0, f = 1). Verification
+// is not needed for fail-stop errors (they are detected instantly), so
+// the pattern is W work + checkpoint, as in the classical Young/Daly
+// setting, but with a re-execution speed that may differ.
+type FailStopParams struct {
+	// Lambda is the fail-stop error rate (per second).
+	Lambda float64
+	// C is the checkpoint time; R the recovery time (seconds).
+	C, R float64
+}
+
+// TimeOverheadSO returns the second-order time overhead of
+// Proposition 7:
+//
+//	T/W = 1/σ1 + C/W + (1/(σ1σ2) − 1/(2σ1²))·λW + λR/σ1
+//	    + (1/(6σ1³) − 1/(2σ1²σ2) + 1/(2σ1σ2²))·λ²W² + O(λ³W²).
+func (fp FailStopParams) TimeOverheadSO(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	l := fp.Lambda
+	first := (1/(s1*s2) - 1/(2*s1*s1)) * l * w
+	second := (1/(6*s1*s1*s1) - 1/(2*s1*s1*s2) + 1/(2*s1*s2*s2)) * l * l * w * w
+	return 1/s1 + fp.C/w + first + fp.Lambda*fp.R/s1 + second
+}
+
+// Theorem2W returns the optimal pattern size of Theorem 2 for σ2 = 2σ1:
+//
+//	Wopt = (12C/λ²)^{1/3} · σ.
+//
+// This is the paper's striking result: with re-execution at double speed
+// the optimal checkpointing period scales as Θ(λ^{-2/3}) = Θ(µ^{2/3}),
+// not the Young/Daly Θ(λ^{-1/2}).
+func (fp FailStopParams) Theorem2W(sigma float64) float64 {
+	checkArgs(1, sigma, sigma)
+	return mathx.Cbrt(12*fp.C/(fp.Lambda*fp.Lambda)) * sigma
+}
+
+// Theorem2Overhead returns the reduced second-order time overhead used in
+// the proof of Theorem 2 for σ2 = 2σ1 = 2σ (the W-linear term vanishes):
+//
+//	T/W = 1/σ + C/W + λ²W²/(24σ³) + λR/σ.
+func (fp FailStopParams) Theorem2Overhead(w, sigma float64) float64 {
+	checkArgs(w, sigma, sigma)
+	return 1/sigma + fp.C/w + fp.Lambda*fp.Lambda*w*w/(24*sigma*sigma*sigma) +
+		fp.Lambda*fp.R/sigma
+}
+
+// TimeOptimalW minimizes the second-order time overhead numerically over
+// W for an arbitrary speed pair. When the linear coefficient is positive
+// (σ2/σ1 < 2) the first-order Young/Daly-style optimum dominates; when it
+// vanishes (σ2 = 2σ1) this reproduces Theorem 2; when it is negative the
+// quadratic term takes over. Returns the minimizing W.
+func (fp FailStopParams) TimeOptimalW(s1, s2 float64) (float64, error) {
+	checkArgs(1, s1, s2)
+	// Seed with whichever closed form applies.
+	var seed float64
+	lin := 1/(s1*s2) - 1/(2*s1*s1)
+	if lin > 1e-18 {
+		seed = math.Sqrt(fp.C / (fp.Lambda * lin))
+	} else {
+		seed = fp.Theorem2W(s1)
+	}
+	return mathx.MinimizeConvex1D(func(w float64) float64 {
+		return fp.TimeOverheadSO(w, s1, s2)
+	}, seed, 1e-9)
+}
+
+// YoungDalyW returns the classical first-order optimal pattern size for
+// fail-stop errors with a single speed σ: W = σ·sqrt(2C/λ) — i.e. a
+// checkpointing period (in time) of sqrt(2C/λ), Young's formula.
+func (fp FailStopParams) YoungDalyW(sigma float64) float64 {
+	checkArgs(1, sigma, sigma)
+	return sigma * math.Sqrt(2*fp.C/fp.Lambda)
+}
+
+// ExactTimeSingleFailStop returns the exact expected time of a pattern of
+// W work executed entirely at speed σ under fail-stop errors (no errors
+// during C or R), from the standard renewal argument
+// (e.g. [Hérault & Robert 2015]):
+//
+//	T = C + (e^{λW/σ} − 1)·(1/λ + R).
+func (fp FailStopParams) ExactTimeSingleFailStop(w, sigma float64) float64 {
+	checkArgs(w, sigma, sigma)
+	return fp.C + mathx.ExpGrowthExcess(fp.Lambda*w/sigma)*(1/fp.Lambda+fp.R)
+}
+
+// ExactTimeFailStop returns the exact expected pattern time under
+// fail-stop errors with first execution at σ1 and re-executions at σ2,
+// from the two-level renewal recursion:
+//
+//	T = pf·(Tlost + R + T2) + (1−pf)·(W/σ1 + C),
+//
+// where pf = 1 − e^{−λW/σ1}, Tlost = 1/λ − (W/σ1)/(e^{λW/σ1} − 1) and T2
+// is the single-speed expectation at σ2.
+func (fp FailStopParams) ExactTimeFailStop(w, s1, s2 float64) float64 {
+	checkArgs(w, s1, s2)
+	x := fp.Lambda * w / s1
+	pf := mathx.OneMinusExpNeg(x)
+	var tlost float64
+	if x < 1e-12 {
+		tlost = w / (2 * s1)
+	} else {
+		tlost = 1/fp.Lambda - (w/s1)/mathx.ExpGrowthExcess(x)
+	}
+	t2 := fp.ExactTimeSingleFailStop(w, s2)
+	return pf*(tlost+fp.R+t2) + (1-pf)*(w/s1+fp.C)
+}

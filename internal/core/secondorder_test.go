@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/mathx"
+	"respeed/internal/stats"
+)
+
+func TestTheorem2Formula(t *testing.T) {
+	fp := FailStopParams{Lambda: 1e-5, C: 300, R: 300}
+	for _, sigma := range []float64{0.5, 1} {
+		got := fp.Theorem2W(sigma)
+		want := math.Cbrt(12*300/(1e-5*1e-5)) * sigma
+		if !mathx.ApproxEqual(got, want, 1e-12, 0) {
+			t.Errorf("σ=%g: Theorem2W = %g, want %g", sigma, got, want)
+		}
+	}
+}
+
+func TestTheorem2WMinimizesReducedOverhead(t *testing.T) {
+	// Wopt must be the stationary point of 1/σ + C/W + λ²W²/(24σ³) + λR/σ.
+	fp := FailStopParams{Lambda: 1e-5, C: 300, R: 300}
+	sigma := 0.7
+	w := fp.Theorem2W(sigma)
+	d := mathx.Derivative(func(x float64) float64 {
+		return fp.Theorem2Overhead(x, sigma)
+	}, w)
+	if math.Abs(d) > 1e-12 {
+		t.Errorf("derivative at Theorem2W = %g", d)
+	}
+	// And it must be a minimum, not a maximum.
+	if fp.Theorem2Overhead(w/2, sigma) <= fp.Theorem2Overhead(w, sigma) ||
+		fp.Theorem2Overhead(w*2, sigma) <= fp.Theorem2Overhead(w, sigma) {
+		t.Error("Theorem2W is not a minimum of the reduced overhead")
+	}
+}
+
+func TestTheorem2LambdaScaling(t *testing.T) {
+	// The headline: Wopt ∝ λ^{-2/3}. Fit the log-log slope over four
+	// decades of λ.
+	fp := FailStopParams{C: 300, R: 300}
+	var lx, ly []float64
+	for _, l := range []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3} {
+		fp.Lambda = l
+		lx = append(lx, math.Log(l))
+		ly = append(ly, math.Log(fp.Theorem2W(1)))
+	}
+	slope, _ := stats.LinearFit(lx, ly)
+	if math.Abs(slope+2.0/3.0) > 1e-9 {
+		t.Errorf("Theorem2W log-log slope = %g, want -2/3", slope)
+	}
+}
+
+func TestSecondOrderLinearCoefficientVanishesAt2x(t *testing.T) {
+	// At σ2 = 2σ1 the W-linear term of Prop. 7 vanishes: the overhead
+	// difference between two W values must be entirely C/W plus the λ²W²
+	// term.
+	fp := FailStopParams{Lambda: 1e-5, C: 300, R: 300}
+	sigma := 0.5
+	for _, w := range []float64{1e4, 1e5} {
+		full := fp.TimeOverheadSO(w, sigma, 2*sigma)
+		reduced := fp.Theorem2Overhead(w, sigma)
+		if mathx.RelErr(full, reduced) > 1e-12 {
+			t.Errorf("W=%g: full SO=%g vs reduced=%g", w, full, reduced)
+		}
+	}
+}
+
+func TestTimeOptimalWMatchesTheorem2(t *testing.T) {
+	fp := FailStopParams{Lambda: 1e-5, C: 300, R: 300}
+	sigma := 0.6
+	w, err := fp.TimeOptimalW(sigma, 2*sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mathx.RelErr(w, fp.Theorem2W(sigma)) > 1e-4 {
+		t.Errorf("numeric optimum %g vs Theorem 2 %g", w, fp.Theorem2W(sigma))
+	}
+}
+
+func TestTimeOptimalWMatchesYoungDalyAtEqualSpeeds(t *testing.T) {
+	// With σ2 = σ1 the linear coefficient is λ/(2σ²) and the second-order
+	// term is tiny, so the optimum is close to the Young/Daly W = σ√(2C/λ).
+	fp := FailStopParams{Lambda: 1e-6, C: 300, R: 300}
+	sigma := 1.0
+	w, err := fp.TimeOptimalW(sigma, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mathx.RelErr(w, fp.YoungDalyW(sigma)) > 0.02 {
+		t.Errorf("numeric optimum %g vs Young/Daly %g", w, fp.YoungDalyW(sigma))
+	}
+}
+
+func TestYoungDalyW(t *testing.T) {
+	fp := FailStopParams{Lambda: 1e-6, C: 300, R: 300}
+	if got, want := fp.YoungDalyW(1), math.Sqrt(2*300/1e-6); !mathx.ApproxEqual(got, want, 1e-12, 0) {
+		t.Errorf("YoungDalyW = %g, want %g", got, want)
+	}
+	// Scaling: λ^{-1/2}.
+	var lx, ly []float64
+	for _, l := range []float64{1e-7, 1e-6, 1e-5, 1e-4} {
+		fp.Lambda = l
+		lx = append(lx, math.Log(l))
+		ly = append(ly, math.Log(fp.YoungDalyW(1)))
+	}
+	slope, _ := stats.LinearFit(lx, ly)
+	if math.Abs(slope+0.5) > 1e-9 {
+		t.Errorf("Young/Daly slope = %g, want -1/2", slope)
+	}
+}
+
+func TestExactFailStopRecursionConsistency(t *testing.T) {
+	// ExactTimeFailStop with σ2 = σ1 must equal the single-speed renewal
+	// closed form.
+	fp := FailStopParams{Lambda: 1e-5, C: 300, R: 300}
+	for _, sigma := range []float64{0.4, 1} {
+		for _, w := range []float64{1000, 50000} {
+			two := fp.ExactTimeFailStop(w, sigma, sigma)
+			one := fp.ExactTimeSingleFailStop(w, sigma)
+			if mathx.RelErr(two, one) > 1e-10 {
+				t.Errorf("σ=%g W=%g: two-speed %g vs single %g", sigma, w, two, one)
+			}
+		}
+	}
+}
+
+func TestExactFailStopSecondOrderAgreement(t *testing.T) {
+	// Prop. 7 must approximate the exact overhead for small λW.
+	fp := FailStopParams{Lambda: 1e-6, C: 300, R: 300}
+	for _, pair := range [][2]float64{{0.5, 0.5}, {0.5, 1.0}, {0.5, 0.9}} {
+		s1, s2 := pair[0], pair[1]
+		for _, w := range []float64{5000, 20000} {
+			exact := fp.ExactTimeFailStop(w, s1, s2) / w
+			so := fp.TimeOverheadSO(w, s1, s2)
+			u := fp.Lambda * (w + fp.C + fp.R) / math.Min(s1, s2)
+			tol := 50*u*u*u + 1e-9 // third-order remainder
+			if mathx.RelErr(exact, so) > tol+5*fp.Lambda*fp.R {
+				t.Errorf("σ=(%g,%g) W=%g: exact=%.9g SO=%.9g relerr=%g",
+					s1, s2, w, exact, so, mathx.RelErr(exact, so))
+			}
+		}
+	}
+}
+
+// TestTheorem2ExactModelScaling is the strongest version of the headline
+// result: minimize the *exact* fail-stop expectation (not the Taylor
+// form) with σ2 = 2σ1 across four decades of λ and check the fitted
+// exponent is ≈ −2/3, distinctly not the Young/Daly −1/2.
+func TestTheorem2ExactModelScaling(t *testing.T) {
+	fp := FailStopParams{C: 300, R: 300}
+	sigma := 0.5
+	var lx, ly []float64
+	for _, l := range []float64{1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4} {
+		fp.Lambda = l
+		w, err := mathx.MinimizeConvex1D(func(w float64) float64 {
+			return fp.ExactTimeFailStop(w, sigma, 2*sigma) / w
+		}, fp.Theorem2W(sigma), 1e-9)
+		if err != nil {
+			t.Fatalf("λ=%g: %v", l, err)
+		}
+		lx = append(lx, math.Log(l))
+		ly = append(ly, math.Log(w))
+	}
+	slope, _ := stats.LinearFit(lx, ly)
+	if math.Abs(slope+2.0/3.0) > 0.02 {
+		t.Errorf("exact-model slope = %g, want ≈ -2/3", slope)
+	}
+	if math.Abs(slope+0.5) < 0.05 {
+		t.Errorf("slope %g is indistinguishable from Young/Daly's -1/2", slope)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import "math"
+
+// This file implements the two mono-criterion relatives of BiCrit that
+// the paper uses as reference points: minimizing expected time alone
+// (the Young/Daly tradition, Section 1) and minimizing expected energy
+// alone (the unconstrained We of Equation 5). They are exposed both for
+// the baseline experiments and for users who want the classical answers
+// from the same API.
+
+// TimeOptimal holds the solution of the time-only problem for one pair.
+type TimeOptimal struct {
+	Sigma1, Sigma2 float64
+	// W is the first-order time-optimal pattern size Wt = sqrt((C+V/σ1)·σ1σ2/λ).
+	W float64
+	// TimeOverhead is the first-order T/W at W.
+	TimeOverhead float64
+}
+
+// EnergyOptimal holds the solution of the energy-only problem for one
+// pair.
+type EnergyOptimal struct {
+	Sigma1, Sigma2 float64
+	// W is We of Equation (5).
+	W float64
+	// EnergyOverhead is the first-order E/W at W.
+	EnergyOverhead float64
+	// TimeOverhead is the first-order T/W at W — the performance price of
+	// ignoring the bound.
+	TimeOverhead float64
+}
+
+// SolveTimeOptimal minimizes the expected time per work unit over all
+// speed pairs and pattern sizes, with no energy consideration. Because
+// T/W decreases with both speeds, the optimum always executes at the
+// highest speeds; the function still scans all pairs so the caller can
+// inspect the grid via the return of each pair's overhead.
+func (p Params) SolveTimeOptimal(speeds []float64) (TimeOptimal, []TimeOptimal) {
+	var best TimeOptimal
+	grid := make([]TimeOptimal, 0, len(speeds)*len(speeds))
+	first := true
+	for _, s1 := range speeds {
+		for _, s2 := range speeds {
+			w := p.WTime(s1, s2)
+			t := TimeOptimal{Sigma1: s1, Sigma2: s2, W: w,
+				TimeOverhead: p.TimeOverheadFO(w, s1, s2)}
+			grid = append(grid, t)
+			if first || t.TimeOverhead < best.TimeOverhead {
+				best, first = t, false
+			}
+		}
+	}
+	return best, grid
+}
+
+// SolveEnergyOptimal minimizes the expected energy per work unit over
+// all speed pairs and pattern sizes, with no time bound (ρ = ∞). This is
+// the paper's BiCrit with the constraint removed; the resulting time
+// overhead shows how slow the unconstrained optimum would run.
+func (p Params) SolveEnergyOptimal(speeds []float64) (EnergyOptimal, []EnergyOptimal) {
+	var best EnergyOptimal
+	grid := make([]EnergyOptimal, 0, len(speeds)*len(speeds))
+	first := true
+	for _, s1 := range speeds {
+		for _, s2 := range speeds {
+			w := p.WEnergy(s1, s2)
+			e := EnergyOptimal{Sigma1: s1, Sigma2: s2, W: w,
+				EnergyOverhead: p.EnergyOverheadFO(w, s1, s2),
+				TimeOverhead:   p.TimeOverheadFO(w, s1, s2)}
+			grid = append(grid, e)
+			if first || e.EnergyOverhead < best.EnergyOverhead {
+				best, first = e, false
+			}
+		}
+	}
+	return best, grid
+}
+
+// ParetoPoint is one point of the time/energy trade-off frontier.
+type ParetoPoint struct {
+	Rho            float64
+	Sigma1, Sigma2 float64
+	W              float64
+	TimeOverhead   float64
+	EnergyOverhead float64
+}
+
+// ParetoFrontier sweeps the bound ρ from just above the fastest
+// achievable overhead up to rhoMax and returns the BiCrit optimum at
+// each point — the achievable (time, energy) frontier of the
+// configuration. Infeasible bounds are skipped. n must be ≥ 2.
+func (p Params) ParetoFrontier(speeds []float64, rhoMax float64, n int) []ParetoPoint {
+	if n < 2 {
+		panic("core: ParetoFrontier needs n ≥ 2")
+	}
+	// The fastest achievable per-unit time is min over pairs of ρmin.
+	rhoLo := math.Inf(1)
+	for _, s1 := range speeds {
+		for _, s2 := range speeds {
+			if r := p.RhoMin(s1, s2); r < rhoLo {
+				rhoLo = r
+			}
+		}
+	}
+	out := make([]ParetoPoint, 0, n)
+	step := (rhoMax - rhoLo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		rho := rhoLo + float64(i)*step
+		if i == 0 {
+			rho = rhoLo * (1 + 1e-9) // nudge inside feasibility
+		}
+		sol, err := p.Solve(speeds, rho)
+		if err != nil {
+			continue
+		}
+		out = append(out, ParetoPoint{
+			Rho:    rho,
+			Sigma1: sol.Best.Sigma1, Sigma2: sol.Best.Sigma2,
+			W:            sol.Best.W,
+			TimeOverhead: sol.Best.TimeOverhead, EnergyOverhead: sol.Best.EnergyOverhead,
+		})
+	}
+	return out
+}

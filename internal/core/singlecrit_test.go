@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/platform"
+)
+
+func TestSolveTimeOptimalPicksFastestSpeeds(t *testing.T) {
+	p, speeds := heraXScale(t)
+	best, grid := p.SolveTimeOptimal(speeds)
+	if best.Sigma1 != 1 || best.Sigma2 != 1 {
+		t.Errorf("time optimum at (%g,%g), want (1,1)", best.Sigma1, best.Sigma2)
+	}
+	if len(grid) != 25 {
+		t.Errorf("grid size %d", len(grid))
+	}
+	for _, g := range grid {
+		if g.TimeOverhead < best.TimeOverhead {
+			t.Errorf("grid point (%g,%g) beats the reported best", g.Sigma1, g.Sigma2)
+		}
+	}
+}
+
+func TestTimeOptimalMatchesYoungDalyShape(t *testing.T) {
+	// With σ1 = σ2 = 1, the time-optimal W is sqrt((C+V)/λ): the
+	// silent-error Young/Daly period.
+	p, _ := heraXScale(t)
+	best, _ := p.SolveTimeOptimal([]float64{1})
+	want := math.Sqrt((p.C + p.V) / p.Lambda)
+	if math.Abs(best.W-want) > 1e-9*want {
+		t.Errorf("W = %g, want %g", best.W, want)
+	}
+}
+
+func TestSolveEnergyOptimalIsUnconstrainedBiCrit(t *testing.T) {
+	// The energy-only optimum must equal BiCrit at a huge ρ.
+	p, speeds := heraXScale(t)
+	best, grid := p.SolveEnergyOptimal(speeds)
+	if len(grid) != 25 {
+		t.Errorf("grid size %d", len(grid))
+	}
+	sol, err := p.Solve(speeds, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Sigma1 != sol.Best.Sigma1 || best.Sigma2 != sol.Best.Sigma2 {
+		t.Errorf("energy-only pair (%g,%g) vs unconstrained BiCrit (%g,%g)",
+			best.Sigma1, best.Sigma2, sol.Best.Sigma1, sol.Best.Sigma2)
+	}
+	if math.Abs(best.W-sol.Best.W) > 1e-6*best.W {
+		t.Errorf("W %g vs %g", best.W, sol.Best.W)
+	}
+	if math.Abs(best.EnergyOverhead-sol.Best.EnergyOverhead) > 1e-9*best.EnergyOverhead {
+		t.Errorf("E/W %g vs %g", best.EnergyOverhead, sol.Best.EnergyOverhead)
+	}
+}
+
+func TestEnergyOptimalSlowerThanTimeOptimal(t *testing.T) {
+	// The unconstrained energy optimum runs slower (higher T/W) than the
+	// time optimum, and the time optimum burns more energy: the trade-off
+	// exists.
+	p, speeds := heraXScale(t)
+	eBest, _ := p.SolveEnergyOptimal(speeds)
+	tBest, _ := p.SolveTimeOptimal(speeds)
+	if !(eBest.TimeOverhead > tBest.TimeOverhead) {
+		t.Errorf("energy optimum T/W %g should exceed time optimum %g",
+			eBest.TimeOverhead, tBest.TimeOverhead)
+	}
+	eAtTimeOpt := p.EnergyOverheadFO(tBest.W, tBest.Sigma1, tBest.Sigma2)
+	if !(eAtTimeOpt > eBest.EnergyOverhead) {
+		t.Errorf("time optimum E/W %g should exceed energy optimum %g",
+			eAtTimeOpt, eBest.EnergyOverhead)
+	}
+}
+
+func TestParetoFrontierMonotone(t *testing.T) {
+	// Along the frontier, relaxing ρ can only decrease (or keep) the
+	// optimal energy overhead, and the time overhead stays within ρ.
+	p, speeds := heraXScale(t)
+	pts := p.ParetoFrontier(speeds, 8, 40)
+	if len(pts) < 10 {
+		t.Fatalf("frontier has only %d points", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.TimeOverhead > pt.Rho*(1+1e-9) {
+			t.Errorf("point %d violates its own bound: T/W=%g > ρ=%g", i, pt.TimeOverhead, pt.Rho)
+		}
+		if i > 0 && pt.EnergyOverhead > pts[i-1].EnergyOverhead*(1+1e-9) {
+			t.Errorf("energy overhead increased along the frontier at %d: %g → %g",
+				i, pts[i-1].EnergyOverhead, pt.EnergyOverhead)
+		}
+	}
+	// The frontier must flatten to the unconstrained optimum.
+	eBest, _ := p.SolveEnergyOptimal(speeds)
+	last := pts[len(pts)-1]
+	if math.Abs(last.EnergyOverhead-eBest.EnergyOverhead) > 1e-6*eBest.EnergyOverhead {
+		t.Errorf("frontier tail %g does not reach unconstrained optimum %g",
+			last.EnergyOverhead, eBest.EnergyOverhead)
+	}
+}
+
+func TestParetoFrontierStartsAtFeasibilityEdge(t *testing.T) {
+	p, speeds := heraXScale(t)
+	pts := p.ParetoFrontier(speeds, 8, 30)
+	// The first point's ρ must be the minimum ρmin over pairs (nudged).
+	rhoLo := math.Inf(1)
+	for _, s1 := range speeds {
+		for _, s2 := range speeds {
+			rhoLo = math.Min(rhoLo, p.RhoMin(s1, s2))
+		}
+	}
+	if math.Abs(pts[0].Rho-rhoLo) > 1e-6*rhoLo {
+		t.Errorf("frontier starts at ρ=%g, want ≈ %g", pts[0].Rho, rhoLo)
+	}
+}
+
+func TestParetoFrontierPanicsOnBadN(t *testing.T) {
+	p, speeds := heraXScale(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("n=1 should panic")
+		}
+	}()
+	p.ParetoFrontier(speeds, 8, 1)
+}
+
+func TestParetoAcrossConfigs(t *testing.T) {
+	for _, cfg := range platform.Configs() {
+		p := FromConfig(cfg)
+		pts := p.ParetoFrontier(cfg.Processor.Speeds, 6, 20)
+		if len(pts) == 0 {
+			t.Errorf("%s: empty frontier", cfg.Name())
+		}
+	}
+}

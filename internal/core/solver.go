@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PairResult records the outcome of evaluating one speed pair (σ1, σ2)
+// against a performance bound ρ.
+type PairResult struct {
+	// Sigma1 is the first-execution speed; Sigma2 the re-execution speed.
+	Sigma1, Sigma2 float64
+	// RhoMin is the smallest feasible bound ρ_{1,2} for this pair (Eq. 6).
+	RhoMin float64
+	// Feasible reports whether the requested ρ admits a pattern size.
+	Feasible bool
+	// W is Theorem 1's optimal pattern size (work units); 0 if infeasible.
+	W float64
+	// TimeOverhead is the first-order T/W at W (seconds per work unit).
+	TimeOverhead float64
+	// EnergyOverhead is the first-order E/W at W (mW·s per work unit).
+	EnergyOverhead float64
+}
+
+// Solution is the output of the BiCrit solver: the best feasible pair and
+// the full evaluation grid.
+type Solution struct {
+	// Best is the energy-minimizing feasible pair.
+	Best PairResult
+	// Pairs holds every evaluated pair in deterministic (σ1, σ2) order.
+	Pairs []PairResult
+}
+
+// evalPair computes the PairResult for one (σ1, σ2) pair.
+func (p Params) evalPair(s1, s2, rho float64) PairResult {
+	res := PairResult{Sigma1: s1, Sigma2: s2, RhoMin: p.RhoMin(s1, s2)}
+	w, err := p.OptimalW(s1, s2, rho)
+	if err != nil {
+		return res
+	}
+	res.Feasible = true
+	res.W = w
+	res.TimeOverhead = p.TimeOverheadFO(w, s1, s2)
+	res.EnergyOverhead = p.EnergyOverheadFO(w, s1, s2)
+	return res
+}
+
+// Solve runs the paper's O(K²) procedure over all speed pairs drawn from
+// speeds: discard pairs with ρ < ρ_{i,j}, compute Wopt and the energy
+// overhead for the rest, and return the pair minimizing energy overhead.
+// It returns ErrInfeasible if no pair satisfies the bound.
+//
+// speeds must be non-empty and strictly positive; it is not required to
+// be sorted (the result grid is emitted in the given order).
+func (p Params) Solve(speeds []float64, rho float64) (Solution, error) {
+	if len(speeds) == 0 {
+		return Solution{}, fmt.Errorf("core: Solve needs a non-empty speed set")
+	}
+	sol := Solution{Pairs: make([]PairResult, 0, len(speeds)*len(speeds))}
+	bestIdx := -1
+	for _, s1 := range speeds {
+		for _, s2 := range speeds {
+			res := p.evalPair(s1, s2, rho)
+			sol.Pairs = append(sol.Pairs, res)
+			if !res.Feasible {
+				continue
+			}
+			if bestIdx < 0 || res.EnergyOverhead < sol.Pairs[bestIdx].EnergyOverhead {
+				bestIdx = len(sol.Pairs) - 1
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return sol, ErrInfeasible
+	}
+	sol.Best = sol.Pairs[bestIdx]
+	return sol, nil
+}
+
+// SolveSingleSpeed restricts the solver to σ2 = σ1 — the paper's
+// one-speed baseline shown as dotted lines in Figures 2–14. It returns
+// ErrInfeasible if no single speed satisfies the bound.
+func (p Params) SolveSingleSpeed(speeds []float64, rho float64) (Solution, error) {
+	if len(speeds) == 0 {
+		return Solution{}, fmt.Errorf("core: SolveSingleSpeed needs a non-empty speed set")
+	}
+	sol := Solution{Pairs: make([]PairResult, 0, len(speeds))}
+	bestIdx := -1
+	for _, s := range speeds {
+		res := p.evalPair(s, s, rho)
+		sol.Pairs = append(sol.Pairs, res)
+		if !res.Feasible {
+			continue
+		}
+		if bestIdx < 0 || res.EnergyOverhead < sol.Pairs[bestIdx].EnergyOverhead {
+			bestIdx = len(sol.Pairs) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return sol, ErrInfeasible
+	}
+	sol.Best = sol.Pairs[bestIdx]
+	return sol, nil
+}
+
+// BestSecondSpeed returns, for a fixed first speed σ1, the re-execution
+// speed σ2 ∈ speeds that minimizes the energy overhead subject to ρ —
+// one row of the Section 4.2 tables. ok is false when no σ2 is feasible
+// for this σ1 (rendered as "-" in the paper).
+func (p Params) BestSecondSpeed(s1 float64, speeds []float64, rho float64) (res PairResult, ok bool) {
+	for _, s2 := range speeds {
+		r := p.evalPair(s1, s2, rho)
+		if !r.Feasible {
+			continue
+		}
+		if !ok || r.EnergyOverhead < res.EnergyOverhead {
+			res, ok = r, true
+		}
+	}
+	return res, ok
+}
+
+// Sigma1Table evaluates BestSecondSpeed for every σ1 in speeds, in
+// order — the full Section 4.2 table for one value of ρ. Rows for
+// infeasible σ1 have Feasible == false.
+func (p Params) Sigma1Table(speeds []float64, rho float64) []PairResult {
+	rows := make([]PairResult, 0, len(speeds))
+	for _, s1 := range speeds {
+		r, ok := p.BestSecondSpeed(s1, speeds, rho)
+		if !ok {
+			r = PairResult{Sigma1: s1, Sigma2: math.NaN(), RhoMin: p.RhoMin(s1, s1)}
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// TwoSpeedGain returns the relative energy saving of the two-speed
+// optimum over the single-speed optimum at bound ρ:
+// (E1 − E2) / E1, where E1 and E2 are the respective optimal energy
+// overheads. A positive value means the second speed helps. It returns
+// ErrInfeasible when even the two-speed problem has no solution; if only
+// the single-speed problem is infeasible, the gain is reported as 1 (the
+// two-speed solution is feasible where one speed alone is not — an
+// infinite improvement clamped to 100%).
+func (p Params) TwoSpeedGain(speeds []float64, rho float64) (float64, error) {
+	two, err := p.Solve(speeds, rho)
+	if err != nil {
+		return 0, err
+	}
+	one, err := p.SolveSingleSpeed(speeds, rho)
+	if err != nil {
+		return 1, nil
+	}
+	return (one.Best.EnergyOverhead - two.Best.EnergyOverhead) / one.Best.EnergyOverhead, nil
+}
+
+// FeasiblePairs returns the subset of sol.Pairs that satisfied the bound,
+// sorted by ascending energy overhead. Useful for reporting the ranking
+// of candidate pairs.
+func (sol Solution) FeasiblePairs() []PairResult {
+	var out []PairResult
+	for _, r := range sol.Pairs {
+		if r.Feasible {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].EnergyOverhead < out[j].EnergyOverhead
+	})
+	return out
+}

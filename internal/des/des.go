@@ -1,0 +1,154 @@
+// Package des is a minimal discrete-event simulation engine: a
+// time-ordered event queue with deterministic FIFO tie-breaking. The
+// cluster simulator builds on it to model per-node error processes on a
+// multi-node platform; it is generic enough for any event-driven model.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is an event callback; it runs with the engine clock set to the
+// event's time and may schedule further events.
+type Handler func(e *Engine)
+
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for simultaneous events
+	fn   Handler
+	id   uint64
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use;
+// it is not safe for concurrent use.
+type Engine struct {
+	queue   eventQueue
+	now     float64
+	seq     uint64
+	nextID  uint64
+	pending map[uint64]*event
+	steps   uint64
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns how many events have been processed.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of live scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// EventID identifies a scheduled event for cancellation.
+type EventID uint64
+
+// Schedule enqueues fn to run delay seconds from now. Negative delays
+// panic — scheduling into the past is always a model bug. Events at equal
+// times run in scheduling order.
+func (e *Engine) Schedule(delay float64, fn Handler) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", delay))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	if e.pending == nil {
+		e.pending = make(map[uint64]*event)
+	}
+	e.seq++
+	e.nextID++
+	ev := &event{time: e.now + delay, seq: e.seq, fn: fn, id: e.nextID}
+	heap.Push(&e.queue, ev)
+	e.pending[ev.id] = ev
+	return EventID(ev.id)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// unknown event is a no-op returning false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.pending[uint64(id)]
+	if !ok {
+		return false
+	}
+	ev.dead = true
+	delete(e.pending, uint64(id))
+	return true
+}
+
+// step fires the next live event; returns false when the queue is empty.
+func (e *Engine) step(until float64) bool {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.time > until {
+			return false
+		}
+		heap.Pop(&e.queue)
+		delete(e.pending, ev.id)
+		e.now = ev.time
+		e.steps++
+		ev.fn(e)
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events in time order until the clock would pass
+// `until` (events after it stay queued) and then advances the clock to
+// `until`. It panics on time travel.
+func (e *Engine) RunUntil(until float64) {
+	if until < e.now {
+		panic(fmt.Sprintf("des: RunUntil(%g) before now (%g)", until, e.now))
+	}
+	for e.step(until) {
+	}
+	e.now = until
+}
+
+// Run processes every queued event to exhaustion.
+func (e *Engine) Run() {
+	for e.step(maxTime) {
+	}
+}
+
+const maxTime = 1e300
+
+// Drain cancels every pending event, leaving the clock untouched.
+func (e *Engine) Drain() {
+	for id := range e.pending {
+		e.Cancel(EventID(id))
+	}
+}

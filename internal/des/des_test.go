@@ -1,0 +1,186 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(3, func(*Engine) { order = append(order, 3) })
+	e.Schedule(1, func(*Engine) { order = append(order, 1) })
+	e.Schedule(2, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order %v", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock %g", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Errorf("steps %d", e.Steps())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []float64
+	var chain Handler
+	count := 0
+	chain = func(en *Engine) {
+		times = append(times, en.Now())
+		count++
+		if count < 5 {
+			en.Schedule(10, chain)
+		}
+	}
+	e.Schedule(10, chain)
+	e.Run()
+	if len(times) != 5 {
+		t.Fatalf("chain ran %d times", len(times))
+	}
+	for i, tm := range times {
+		if tm != float64(10*(i+1)) {
+			t.Errorf("event %d at %g", i, tm)
+		}
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.Schedule(1, func(*Engine) { fired++ })
+	e.Schedule(10, func(*Engine) { fired++ })
+	e.RunUntil(5)
+	if fired != 1 {
+		t.Errorf("fired %d, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock %g, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending %d", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired %d after Run", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	id := e.Schedule(1, func(*Engine) { fired = true })
+	if !e.Cancel(id) {
+		t.Error("Cancel returned false for a live event")
+	}
+	if e.Cancel(id) {
+		t.Error("double Cancel should return false")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var e Engine
+	fired := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i+1), func(*Engine) { fired++ })
+	}
+	e.Drain()
+	e.Run()
+	if fired != 0 {
+		t.Errorf("drained events fired %d times", fired)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending %d after drain", e.Pending())
+	}
+}
+
+func TestScheduleAtCurrentTime(t *testing.T) {
+	var e Engine
+	var order []string
+	e.Schedule(1, func(en *Engine) {
+		order = append(order, "a")
+		en.Schedule(0, func(*Engine) { order = append(order, "b") })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order %v", order)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	e.Schedule(-1, func(*Engine) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler should panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestRunUntilTimeTravelPanics(t *testing.T) {
+	var e Engine
+	e.RunUntil(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards RunUntil should panic")
+		}
+	}()
+	e.RunUntil(5)
+}
+
+func TestManyEvents(t *testing.T) {
+	var e Engine
+	const n = 100000
+	fired := 0
+	// Schedule in a scrambled order; deterministic LCG scramble.
+	state := uint64(12345)
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		delay := float64(state%1000000) / 1000.0
+		e.Schedule(delay, func(*Engine) { fired++ })
+	}
+	e.Run()
+	if fired != n {
+		t.Errorf("fired %d of %d", fired, n)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%17), func(*Engine) {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,31 @@
+package detect
+
+import "testing"
+
+func benchState(n int) []byte {
+	state := make([]byte, n)
+	for i := range state {
+		state[i] = byte(i * 31)
+	}
+	return state
+}
+
+func BenchmarkFNV64_4K(b *testing.B) {
+	state := benchState(4096)
+	d := FNV64{}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sum(state)
+	}
+}
+
+func BenchmarkCRC32C_4K(b *testing.B) {
+	state := benchState(4096)
+	d := CRC32C{}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sum(state)
+	}
+}

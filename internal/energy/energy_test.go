@@ -1,0 +1,157 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func xscaleModel() Model { return Model{Kappa: 1550, Pidle: 60, Pio: 5.23125} }
+
+func TestPowerLaw(t *testing.T) {
+	m := xscaleModel()
+	if got := m.CPUPower(1); got != 1550 {
+		t.Errorf("CPUPower(1) = %g", got)
+	}
+	if got := m.ComputePower(1); got != 1610 {
+		t.Errorf("ComputePower(1) = %g", got)
+	}
+	// Cubic scaling.
+	if got, want := m.CPUPower(0.5), 1550.0/8; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CPUPower(0.5) = %g, want %g", got, want)
+	}
+	if got, want := m.IOPower(), 65.23125; math.Abs(got-want) > 1e-9 {
+		t.Errorf("IOPower = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	m := xscaleModel()
+	f := func(dur, sigma float64) bool {
+		dur = math.Abs(math.Mod(dur, 1e6))
+		sigma = 0.1 + math.Abs(math.Mod(sigma, 0.9))
+		ce := m.ComputeEnergy(dur, sigma)
+		return math.Abs(ce-dur*m.ComputePower(sigma)) <= 1e-9*math.Max(1, ce)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyScalesAsSigmaSquaredPerWork(t *testing.T) {
+	// Paper §1: time ∝ 1/σ and dynamic power ∝ σ³, so the dynamic energy
+	// per unit of work is ∝ σ². Check the ratio for W=1000 work units.
+	m := Model{Kappa: 1550, Pidle: 0, Pio: 0}
+	const w = 1000.0
+	e1 := m.ComputeEnergy(w/0.4, 0.4)
+	e2 := m.ComputeEnergy(w/0.8, 0.8)
+	ratio := e2 / e1
+	if math.Abs(ratio-4) > 1e-9 { // (0.8/0.4)² = 4
+		t.Errorf("dynamic energy ratio = %g, want 4", ratio)
+	}
+}
+
+func TestMeterTotals(t *testing.T) {
+	mt := NewMeter(xscaleModel())
+	mt.Record(Compute, 100, 0.4)
+	mt.Record(Verify, 10, 0.4)
+	mt.Record(Checkpoint, 300, 0)
+	mt.Record(Recovery, 300, 0)
+	mt.Record(Idle, 50, 0)
+
+	m := mt.Model()
+	wantCompute := 100 * m.ComputePower(0.4)
+	wantVerify := 10 * m.ComputePower(0.4)
+	wantIO := 300 * m.IOPower()
+	wantIdle := 50 * m.Pidle
+
+	if got := mt.ByActivity(Compute); math.Abs(got-wantCompute) > 1e-9 {
+		t.Errorf("compute energy = %g, want %g", got, wantCompute)
+	}
+	if got := mt.ByActivity(Verify); math.Abs(got-wantVerify) > 1e-9 {
+		t.Errorf("verify energy = %g, want %g", got, wantVerify)
+	}
+	if got := mt.ByActivity(Checkpoint); math.Abs(got-wantIO) > 1e-9 {
+		t.Errorf("checkpoint energy = %g, want %g", got, wantIO)
+	}
+	if got := mt.ByActivity(Recovery); math.Abs(got-wantIO) > 1e-9 {
+		t.Errorf("recovery energy = %g, want %g", got, wantIO)
+	}
+	wantTotal := wantCompute + wantVerify + 2*wantIO + wantIdle
+	if got := mt.Total(); math.Abs(got-wantTotal) > 1e-6 {
+		t.Errorf("total = %g, want %g", got, wantTotal)
+	}
+	if got := mt.ElapsedTime(); math.Abs(got-760) > 1e-9 {
+		t.Errorf("elapsed = %g, want 760", got)
+	}
+	if got := mt.TimeIn(Compute); got != 100 {
+		t.Errorf("TimeIn(Compute) = %g", got)
+	}
+}
+
+func TestMeterSnapshotAndReset(t *testing.T) {
+	mt := NewMeter(xscaleModel())
+	mt.Record(Compute, 10, 1)
+	snap := mt.Snapshot()
+	if snap.Compute <= 0 || snap.Total != snap.Compute || snap.Elapsed != 10 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	mt.Reset()
+	if mt.Total() != 0 || mt.ElapsedTime() != 0 {
+		t.Error("Reset did not clear the meter")
+	}
+}
+
+func TestMeterPanicsOnNegativeDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative duration should panic")
+		}
+	}()
+	NewMeter(xscaleModel()).Record(Compute, -1, 1)
+}
+
+func TestMeterPanicsOnUnknownActivity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown activity should panic")
+		}
+	}()
+	NewMeter(xscaleModel()).Record(Activity(99), 1, 1)
+}
+
+func TestActivityString(t *testing.T) {
+	cases := map[Activity]string{
+		Compute: "compute", Verify: "verify", Checkpoint: "checkpoint",
+		Recovery: "recovery", Idle: "idle",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+	if Activity(99).String() == "" {
+		t.Error("unknown activity should still stringify")
+	}
+}
+
+func TestMeterConservation(t *testing.T) {
+	// Property: total equals the sum of per-activity energies.
+	mt := NewMeter(Model{Kappa: 5756, Pidle: 4.4, Pio: 524.5})
+	f := func(durs [5]float64) bool {
+		mt.Reset()
+		acts := []Activity{Compute, Verify, Checkpoint, Recovery, Idle}
+		for i, a := range acts {
+			d := math.Abs(math.Mod(durs[i], 1e5))
+			mt.Record(a, d, 0.6)
+		}
+		var sum float64
+		for _, a := range acts {
+			sum += mt.ByActivity(a)
+		}
+		return math.Abs(sum-mt.Total()) <= 1e-6*math.Max(1, sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,289 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fastOptions keeps experiment tests quick.
+func fastOptions() Options {
+	return Options{Seed: 42, Replications: 3000, Workers: 0, Points: 9}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper must have a registered
+	// experiment, plus the beyond-paper studies.
+	want := []string{
+		"table-rho8", "table-rho3", "table-rho1775", "table-rho14",
+		"figure-2", "figure-3", "figure-4", "figure-5", "figure-6", "figure-7",
+		"figure-8", "figure-9", "figure-10", "figure-11", "figure-12",
+		"figure-13", "figure-14",
+		"theorem2-scaling", "validity-window",
+		"validate-montecarlo", "validate-combined",
+		"ablation-exact-vs-firstorder", "gains-summary", "tables-all-configs",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if got := len(All()); got < len(want) {
+		t.Errorf("registry has %d experiments, want ≥ %d", got, len(want))
+	}
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("IDs not sorted at %d", i)
+		}
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	if _, ok := Lookup("figure-99"); ok {
+		t.Error("nonexistent experiment found")
+	}
+}
+
+func TestTableRho3MatchesPaper(t *testing.T) {
+	e, _ := Lookup("table-rho3")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 {
+		t.Fatalf("tables: %d", len(res.Tables))
+	}
+	out := res.Tables[0].Table.String()
+	// The published values, truncated, must appear verbatim.
+	for _, want := range []string{"2764", "416", "3639", "674", "4627", "1082", "5742", "1625"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// σ1 = 0.15 is infeasible at ρ=3: its row carries dashes.
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing infeasible marker:\n%s", out)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "(0.4,0.4)") {
+		t.Errorf("notes missing optimum: %s", joined)
+	}
+}
+
+func TestTableRho1775Optimum(t *testing.T) {
+	e, _ := Lookup("table-rho1775")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "(0.6,0.8)") {
+		t.Errorf("ρ=1.775 optimum should be (0.6,0.8): %s", joined)
+	}
+}
+
+func TestFigure2Shapes(t *testing.T) {
+	e, _ := Lookup("figure-2")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) != 3 {
+		t.Fatalf("figure-2 panels: %d, want 3", len(res.Figures))
+	}
+	// Panel 0: speeds. All finite values must be members of the Crusoe
+	// speed set.
+	crusoe := map[float64]bool{0.45: true, 0.6: true, 0.8: true, 0.9: true, 1: true}
+	for _, s := range res.Figures[0].Series {
+		for _, y := range s.Y {
+			if !math.IsNaN(y) && !crusoe[y] {
+				t.Errorf("speed series %s contains non-catalog speed %g", s.Name, y)
+			}
+		}
+	}
+	// Panel 2: the two-speed energy overhead never exceeds single-speed.
+	e2 := res.Figures[2].Series[0].Y
+	e1 := res.Figures[2].Series[1].Y
+	for i := range e2 {
+		if math.IsNaN(e2[i]) || math.IsNaN(e1[i]) {
+			continue
+		}
+		if e2[i] > e1[i]*(1+1e-9) {
+			t.Errorf("point %d: two-speed E/W %g worse than one-speed %g", i, e2[i], e1[i])
+		}
+	}
+	// Wopt grows with C over the early (unconstrained) part of the sweep.
+	w2 := res.Figures[1].Series[0].Y
+	if !(w2[1] < w2[3]) {
+		t.Errorf("Wopt should grow with C: %v", w2)
+	}
+}
+
+func TestFigure4LambdaMonotonicity(t *testing.T) {
+	// Figure 4: as λ grows the optimal pattern shrinks (eventually) and
+	// the energy overhead grows.
+	e, _ := Lookup("figure-4")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wopt, energy []float64
+	for _, f := range res.Figures {
+		if strings.HasSuffix(f.Name, "-wopt") {
+			wopt = f.Series[0].Y
+		}
+		if strings.HasSuffix(f.Name, "-energy") {
+			energy = f.Series[0].Y
+		}
+	}
+	first, last := firstLastFinite(wopt)
+	if !(wopt[first] > wopt[last]) {
+		t.Errorf("Wopt should shrink across the λ sweep: %g → %g", wopt[first], wopt[last])
+	}
+	first, last = firstLastFinite(energy)
+	if !(energy[first] < energy[last]) {
+		t.Errorf("E/W should grow across the λ sweep: %g → %g", energy[first], energy[last])
+	}
+}
+
+func firstLastFinite(ys []float64) (int, int) {
+	first, last := -1, -1
+	for i, y := range ys {
+		if !math.IsNaN(y) {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	return first, last
+}
+
+func TestFigure5RhoFeasibilityEdge(t *testing.T) {
+	// Figure 5: points at ρ близко 1 are infeasible (NaN), later points
+	// feasible; speeds decrease as ρ relaxes.
+	e, _ := Lookup("figure-5")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := res.Figures[0].Series[0].Y // σ1 over ρ
+	if !math.IsNaN(speeds[0]) {
+		t.Errorf("ρ=1 should be infeasible, got σ1=%g", speeds[0])
+	}
+	first, last := firstLastFinite(speeds)
+	if first < 0 {
+		t.Fatal("no feasible points in ρ sweep")
+	}
+	if !(speeds[first] >= speeds[last]) {
+		t.Errorf("σ1 should not increase as ρ relaxes: %g → %g", speeds[first], speeds[last])
+	}
+}
+
+func TestFigure6PioInsensitive(t *testing.T) {
+	// Section 4.3.3: the optimal speeds are not affected by Pio (Fig. 7)
+	// for Atlas/Crusoe. Check σ1 and σ2 are constant across the sweep.
+	e, _ := Lookup("figure-7")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Figures[0].Series[:2] { // σ1, σ2
+		first, _ := firstLastFinite(s.Y)
+		for i, y := range s.Y {
+			if !math.IsNaN(y) && y != s.Y[first] {
+				t.Errorf("series %s: speed changed with Pio at point %d (%g vs %g)",
+					s.Name, i, y, s.Y[first])
+			}
+		}
+	}
+}
+
+func TestTheorem2Experiment(t *testing.T) {
+	e, _ := Lookup("theorem2-scaling")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "-0.6") {
+		t.Errorf("expected a ≈-2/3 fitted slope in notes: %s", joined)
+	}
+	if len(res.Figures) != 1 || len(res.Figures[0].Series) != 4 {
+		t.Error("theorem2 figure shape wrong")
+	}
+}
+
+func TestValidityWindowExperiment(t *testing.T) {
+	e, _ := Lookup("validity-window")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables: %d", len(res.Tables))
+	}
+	out := res.Tables[1].Table.String()
+	if !strings.Contains(out, "false") || !strings.Contains(out, "true") {
+		t.Errorf("pair table should mix valid and invalid pairs:\n%s", out)
+	}
+}
+
+func TestGainsSummary(t *testing.T) {
+	e, _ := Lookup("gains-summary")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "largest saving") {
+		t.Errorf("notes: %v", res.Notes)
+	}
+	if res.Tables[0].Table.NRows() != 8 {
+		t.Errorf("gains table rows = %d, want 8", res.Tables[0].Table.NRows())
+	}
+}
+
+func TestAblationExperiment(t *testing.T) {
+	e, _ := Lookup("ablation-exact-vs-firstorder")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "speed-pair agreement: 8/8") {
+		t.Errorf("first-order and exact optimizers should pick the same pairs at ρ=3: %s", joined)
+	}
+}
+
+func TestValidateMonteCarlo(t *testing.T) {
+	e, _ := Lookup("validate-montecarlo")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 8 {
+		t.Errorf("validation rows = %d, want 8", res.Tables[0].Table.NRows())
+	}
+	// The worst deviation note must report a small number (< 2%).
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "worst relative deviation") {
+		t.Fatalf("missing deviation note: %s", joined)
+	}
+}
+
+func TestDefaultOptionsNormalization(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Seed == 0 || o.Replications == 0 || o.Points == 0 {
+		t.Errorf("normalize left zero fields: %+v", o)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{8: "8", 3: "3", 1.775: "1775", 1.4: "14"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtensionExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{
+		"combined-bicrit", "continuous-speeds", "verification-ablation",
+		"cluster-aggregation", "pareto-frontier", "application-plans",
+	} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestCombinedBiCritExperiment(t *testing.T) {
+	e, _ := Lookup("combined-bicrit")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0].Table
+	if tab.NRows() != 7 {
+		t.Errorf("rows %d, want 7 fractions", tab.NRows())
+	}
+	// Energy must be non-increasing down the f column (more fail-stop =
+	// cheaper at fixed total rate). Column 4 is E/W two.
+	rows := tab.Rows()
+	prev := math.Inf(1)
+	for _, r := range rows {
+		e, err := strconv.ParseFloat(r[4], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", r[4], err)
+		}
+		if e > prev*(1+1e-9) {
+			t.Errorf("E/W increased with f: %g after %g", e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestContinuousSpeedsExperiment(t *testing.T) {
+	e, _ := Lookup("continuous-speeds")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() == 0 {
+		t.Fatal("empty continuous-speeds table")
+	}
+	if !strings.Contains(strings.Join(res.Notes, " "), "discretization loss") {
+		t.Errorf("notes %v", res.Notes)
+	}
+}
+
+func TestVerificationAblationExperiment(t *testing.T) {
+	e, _ := Lookup("verification-ablation")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Notes, " ")
+	if !strings.Contains(joined, "corrupted") {
+		t.Errorf("notes %v", res.Notes)
+	}
+}
+
+func TestClusterAggregationExperiment(t *testing.T) {
+	e, _ := Lookup("cluster-aggregation")
+	res, err := e.Run(Options{Seed: 42, Replications: 2000, Points: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 7 {
+		t.Errorf("rows %d, want 7 node counts", res.Tables[0].Table.NRows())
+	}
+}
+
+func TestParetoFrontierExperiment(t *testing.T) {
+	e, _ := Lookup("pareto-frontier")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) != 8 {
+		t.Errorf("figures %d, want one frontier per configuration", len(res.Figures))
+	}
+	for _, f := range res.Figures {
+		if len(f.X) == 0 || len(f.Series) != 2 {
+			t.Errorf("%s: malformed frontier", f.Name)
+		}
+		// Energy overhead non-increasing along ρ.
+		eo := f.Series[0].Y
+		for i := 1; i < len(eo); i++ {
+			if eo[i] > eo[i-1]*(1+1e-9) {
+				t.Errorf("%s: frontier not monotone at %d", f.Name, i)
+			}
+		}
+	}
+}
+
+func TestApplicationPlansExperiment(t *testing.T) {
+	e, _ := Lookup("application-plans")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 8 {
+		t.Errorf("rows %d, want 8 configurations", res.Tables[0].Table.NRows())
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	e, _ := Lookup("table-rho3")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["id"] != "table-rho3" {
+		t.Errorf("id = %v", decoded["id"])
+	}
+	if _, ok := decoded["tables"]; !ok {
+		t.Error("missing tables")
+	}
+}
+
+func TestWriteJSONEncodesNaNAsNull(t *testing.T) {
+	e, _ := Lookup("figure-5") // ρ sweep has infeasible (NaN) points
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "null") {
+		t.Error("expected null entries for infeasible points")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("figure JSON invalid: %v", err)
+	}
+}
+
+func TestPartialVerificationExperiment(t *testing.T) {
+	e, ok := Lookup("partial-verification")
+	if !ok {
+		t.Fatal("partial-verification not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 13 {
+		t.Errorf("rows %d, want 13 λ points", res.Tables[0].Table.NRows())
+	}
+	if !strings.Contains(strings.Join(res.Notes, " "), "max saving") {
+		t.Errorf("notes %v", res.Notes)
+	}
+}
+
+func TestFigure1Traces(t *testing.T) {
+	e, ok := Lookup("figure-1-traces")
+	if !ok {
+		t.Fatal("figure-1-traces not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notes) != 3 {
+		t.Fatalf("want 3 schedules, got %d", len(res.Notes))
+	}
+	// (a) error-free: no recovery events.
+	if strings.Contains(res.Notes[0], "recovery") {
+		t.Error("error-free schedule contains a recovery")
+	}
+	// (b) fail-stop: the error interrupts compute (no compute-end before
+	// the fail-stop) and the retry runs at σ=0.80.
+	if !strings.Contains(res.Notes[1], "fail-stop") || !strings.Contains(res.Notes[1], "σ=0.80") {
+		t.Errorf("fail-stop schedule malformed:\n%s", res.Notes[1])
+	}
+	// (c) silent: compute completes, verify fails.
+	if !strings.Contains(res.Notes[2], "silent-error") || !strings.Contains(res.Notes[2], "verify-fail") {
+		t.Errorf("silent schedule malformed:\n%s", res.Notes[2])
+	}
+}
+
+func TestWasteBreakdown(t *testing.T) {
+	e, ok := Lookup("waste-breakdown")
+	if !ok {
+		t.Fatal("waste-breakdown not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 8 {
+		t.Errorf("rows %d, want 8", res.Tables[0].Table.NRows())
+	}
+}
+
+func TestSensitivityWExperiment(t *testing.T) {
+	e, ok := Lookup("sensitivity-w")
+	if !ok {
+		t.Fatal("sensitivity-w not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 8 {
+		t.Errorf("rows %d", res.Tables[0].Table.NRows())
+	}
+	// The 1·Wopt column must be the zero-penalty reference.
+	for _, row := range res.Tables[0].Table.Rows() {
+		if row[4] != "+0.00%" {
+			t.Errorf("reference column not zero: %v", row)
+		}
+	}
+}
+
+func TestBaselinePeriodsExperiment(t *testing.T) {
+	e, ok := Lookup("baseline-periods")
+	if !ok {
+		t.Fatal("baseline-periods not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 4 {
+		t.Errorf("rows %d, want 4 platforms", res.Tables[0].Table.NRows())
+	}
+	// Daly ≤ Young on every row (both in column 1 and 2, floored ints).
+	for _, row := range res.Tables[0].Table.Rows() {
+		young, err1 := strconv.ParseFloat(row[1], 64)
+		daly, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("parse %v: %v %v", row, err1, err2)
+		}
+		if daly > young {
+			t.Errorf("Daly %g exceeds Young %g", daly, young)
+		}
+	}
+}
+
+func TestValidateCombinedExperiment(t *testing.T) {
+	e, ok := Lookup("validate-combined")
+	if !ok {
+		t.Fatal("validate-combined not registered")
+	}
+	res, err := e.Run(Options{Seed: 42, Replications: 2000, Points: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0].Table
+	if tab.NRows() != 3 {
+		t.Fatalf("rows %d, want 3 fractions", tab.NRows())
+	}
+	// The printed Prop. 4 column must exceed the recursion column on
+	// every row (the residual is one extra verification).
+	for _, row := range tab.Rows() {
+		rec, err1 := strconv.ParseFloat(row[1], 64)
+		printed, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("parse %v: %v %v", row, err1, err2)
+		}
+		if printed <= rec {
+			t.Errorf("printed %g should exceed recursion %g", printed, rec)
+		}
+	}
+}
+
+func TestPairGridExperiment(t *testing.T) {
+	e, ok := Lookup("pair-grid")
+	if !ok {
+		t.Fatal("pair-grid not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables %d, want 2 bounds", len(res.Tables))
+	}
+	// Each grid has 5 rows, and exactly one starred optimum per table.
+	for _, rt := range res.Tables {
+		if rt.Table.NRows() != 5 {
+			t.Errorf("grid rows %d", rt.Table.NRows())
+		}
+		stars := 0
+		for _, row := range rt.Table.Rows() {
+			for _, cell := range row {
+				if strings.HasPrefix(cell, "*") {
+					stars++
+				}
+			}
+		}
+		if stars != 1 {
+			t.Errorf("grid has %d starred optima, want 1", stars)
+		}
+	}
+}
+
+func TestEnergyComponentsExperiment(t *testing.T) {
+	e, ok := Lookup("energy-components")
+	if !ok {
+		t.Fatal("energy-components not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 8 {
+		t.Errorf("rows %d", res.Tables[0].Table.NRows())
+	}
+}
+
+func TestTwoLevelKExperiment(t *testing.T) {
+	e, ok := Lookup("twolevel-k")
+	if !ok {
+		t.Fatal("twolevel-k not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 8 {
+		t.Errorf("rows %d", res.Tables[0].Table.NRows())
+	}
+	if len(res.Figures) != 1 {
+		t.Errorf("figures %d", len(res.Figures))
+	}
+}
+
+func TestSpeedDesignExperiment(t *testing.T) {
+	e, ok := Lookup("speed-design")
+	if !ok {
+		t.Fatal("speed-design not registered")
+	}
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables[0].Table.NRows() != 8 {
+		t.Errorf("rows %d", res.Tables[0].Table.NRows())
+	}
+	// The designed set never loses to the catalog (warm-started from it).
+	for _, row := range res.Tables[0].Table.Rows() {
+		imp := row[4]
+		if strings.HasPrefix(imp, "-") {
+			t.Errorf("%s: designed set worse than catalog (%s)", row[0], imp)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"testing"
+)
+
+// Golden regression tests: these outputs are deterministic (pure
+// analytic evaluation) and byte-stable across platforms, so a change
+// here means the reproduction itself changed — review with care.
+
+const goldenTableRho3 = `σ1   Best σ2  Wopt  E(Wopt,σ1,σ2)/Wopt
+------------------------------------------
+0.15  -         -     -
+0.4   0.4       2764  416
+0.6   0.4       3639  674
+0.8   0.4       4627  1082
+1     0.4       5742  1625
+`
+
+func TestGoldenTableRho3(t *testing.T) {
+	e, _ := Lookup("table-rho3")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tables[0].Table.String(); got != goldenTableRho3 {
+		t.Errorf("table-rho3 rendering changed:\n--- got ---\n%s--- want ---\n%s", got, goldenTableRho3)
+	}
+}
+
+const goldenTableRho1775 = `σ1   Best σ2  Wopt  E(Wopt,σ1,σ2)/Wopt
+------------------------------------------
+0.15  -         -     -
+0.4   -         -     -
+0.6   0.8       4251  690
+0.8   0.4       4627  1082
+1     0.4       5742  1625
+`
+
+func TestGoldenTableRho1775(t *testing.T) {
+	e, _ := Lookup("table-rho1775")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tables[0].Table.String(); got != goldenTableRho1775 {
+		t.Errorf("table-rho1775 rendering changed:\n--- got ---\n%s--- want ---\n%s", got, goldenTableRho1775)
+	}
+}
+
+const goldenValidityWindow = `f (fail-stop fraction)  ratio lower bound  ratio upper bound
+------------------------------------------------------------
+0.01                    0.070711           200
+0.1                     0.22361            20
+0.25                    0.35355            8
+0.5                     0.5                4
+0.75                    0.61237            2.6667
+0.9                     0.67082            2.2222
+1                       0.70711            2
+`
+
+func TestGoldenValidityWindow(t *testing.T) {
+	e, _ := Lookup("validity-window")
+	res, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tables[0].Table.String(); got != goldenValidityWindow {
+		t.Errorf("validity-window rendering changed:\n--- got ---\n%s--- want ---\n%s", got, goldenValidityWindow)
+	}
+}
+
+// TestGoldenDeterminismAcrossRuns re-runs a Monte-Carlo experiment twice
+// with identical options and demands byte-identical tables: the
+// determinism guarantee EXPERIMENTS.md makes.
+func TestGoldenDeterminismAcrossRuns(t *testing.T) {
+	e, _ := Lookup("validate-montecarlo")
+	opts := Options{Seed: 42, Replications: 1000, Points: 5}
+	a, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tables[0].Table.String() != b.Tables[0].Table.String() {
+		t.Error("Monte-Carlo experiment not byte-stable across runs")
+	}
+}

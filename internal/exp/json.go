@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// jsonTable is the JSON shape of a rendered table.
+type jsonTable struct {
+	Caption string     `json:"caption"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonSeries is the JSON shape of one figure curve. NaN (infeasible
+// points) is encoded as null.
+type jsonSeries struct {
+	Name string     `json:"name"`
+	Y    []*float64 `json:"y"`
+}
+
+// jsonFigure is the JSON shape of one figure panel.
+type jsonFigure struct {
+	Name   string       `json:"name"`
+	XLabel string       `json:"xlabel"`
+	LogX   bool         `json:"logx,omitempty"`
+	X      []float64    `json:"x"`
+	Series []jsonSeries `json:"series"`
+}
+
+// jsonResult is the JSON shape of a full experiment result.
+type jsonResult struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Tables  []jsonTable  `json:"tables,omitempty"`
+	Figures []jsonFigure `json:"figures,omitempty"`
+	Notes   []string     `json:"notes,omitempty"`
+}
+
+// encodeY converts a float series to JSON-safe pointers (NaN → null).
+func encodeY(ys []float64) []*float64 {
+	out := make([]*float64, len(ys))
+	for i := range ys {
+		if !math.IsNaN(ys[i]) && !math.IsInf(ys[i], 0) {
+			v := ys[i]
+			out[i] = &v
+		}
+	}
+	return out
+}
+
+// WriteJSON encodes a Result as indented JSON.
+func WriteJSON(w io.Writer, res Result) error {
+	jr := jsonResult{ID: res.ID, Title: res.Title, Notes: res.Notes}
+	for _, t := range res.Tables {
+		jr.Tables = append(jr.Tables, jsonTable{
+			Caption: t.Caption,
+			Headers: t.Table.Headers(),
+			Rows:    t.Table.Rows(),
+		})
+	}
+	for _, f := range res.Figures {
+		jf := jsonFigure{Name: f.Name, XLabel: f.XLabel, LogX: f.LogX, X: f.X}
+		for _, s := range f.Series {
+			jf.Series = append(jf.Series, jsonSeries{Name: s.Name, Y: encodeY(s.Y)})
+		}
+		jr.Figures = append(jr.Figures, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jr); err != nil {
+		return fmt.Errorf("exp: encode %s: %w", res.ID, err)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"respeed/internal/core"
+	"respeed/internal/platform"
+	"respeed/internal/tablefmt"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "pair-grid",
+		Title: "Energy overhead across the full σ1×σ2 grid",
+		Paper: "Section 4.2 context: the landscape behind the best-σ2 tables",
+		Run:   runPairGrid,
+	})
+}
+
+// runPairGrid renders, for Hera/XScale at two bounds, the energy
+// overhead of every speed pair — the full landscape the Section 4.2
+// tables project onto their best-σ2 column.
+func runPairGrid(o Options) (Result, error) {
+	cfg, _ := platform.ByName("Hera/XScale")
+	p := core.FromConfig(cfg)
+	speeds := cfg.Processor.Speeds
+	res := Result{ID: "pair-grid", Title: "σ1×σ2 energy-overhead landscape (Hera/XScale)"}
+	for _, rho := range []float64{3, 1.775} {
+		headers := []string{"σ1 \\ σ2"}
+		for _, s2 := range speeds {
+			headers = append(headers, tablefmt.Cell(s2))
+		}
+		tab := tablefmt.New(headers...)
+		sol, err := p.Solve(speeds, rho)
+		best := math.NaN()
+		if err == nil {
+			best = sol.Best.EnergyOverhead
+		}
+		for _, s1 := range speeds {
+			cells := []any{s1}
+			for _, s2 := range speeds {
+				w, err := p.OptimalW(s1, s2, rho)
+				if err != nil {
+					cells = append(cells, "-")
+					continue
+				}
+				e := p.EnergyOverheadFO(w, s1, s2)
+				cell := fmt.Sprintf("%.0f", e)
+				if !math.IsNaN(best) && math.Abs(e-best) < 1e-9 {
+					cell = "*" + cell // mark the optimum
+				}
+				cells = append(cells, cell)
+			}
+			tab.AddRowValues(cells...)
+		}
+		res.Tables = append(res.Tables, RenderedTable{
+			Caption: fmt.Sprintf("E/W per speed pair at ρ=%g ('-' infeasible, '*' optimum)", rho),
+			Table:   tab,
+		})
+	}
+	return res, nil
+}

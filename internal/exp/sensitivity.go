@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"respeed/internal/baseline"
+	"respeed/internal/core"
+	"respeed/internal/platform"
+	"respeed/internal/tablefmt"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "sensitivity-w",
+		Title: "Robustness: energy cost of mis-sizing the pattern around Wopt",
+		Paper: "beyond-paper: the flat-minimum property practitioners rely on",
+		Run:   runSensitivityW,
+	})
+	register(Experiment{
+		ID:    "baseline-periods",
+		Title: "Classical checkpointing periods (Young, Daly, silent-error) vs the BiCrit pattern",
+		Paper: "Section 1 and Section 6 context: what the paper generalizes",
+		Run:   runBaselinePeriods,
+	})
+}
+
+// runSensitivityW evaluates the exact energy overhead at multiples of
+// Wopt for every configuration: the minimum is flat, so moderate
+// mis-sizing is cheap — and the table quantifies exactly how cheap.
+func runSensitivityW(o Options) (Result, error) {
+	factors := []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4}
+	headers := []string{"Config"}
+	for _, f := range factors {
+		headers = append(headers, fmt.Sprintf("%g·Wopt", f))
+	}
+	tab := tablefmt.New(headers...)
+	var worstHalf, worstDouble float64
+	for _, cfg := range platform.Configs() {
+		p := core.FromConfig(cfg)
+		sol, err := p.Solve(cfg.Processor.Speeds, defaultRho)
+		if err != nil {
+			return Result{}, err
+		}
+		b := sol.Best
+		ref := p.EnergyOverheadExact(b.W, b.Sigma1, b.Sigma2)
+		cells := []any{cfg.Name()}
+		for _, f := range factors {
+			e := p.EnergyOverheadExact(b.W*f, b.Sigma1, b.Sigma2)
+			penalty := e/ref - 1
+			cells = append(cells, fmt.Sprintf("+%.2f%%", 100*penalty))
+			if f == 0.5 {
+				worstHalf = math.Max(worstHalf, penalty)
+			}
+			if f == 2 {
+				worstDouble = math.Max(worstDouble, penalty)
+			}
+		}
+		tab.AddRowValues(cells...)
+	}
+	return Result{
+		ID:    "sensitivity-w",
+		Title: "Exact energy-overhead penalty vs pattern mis-sizing (ρ=3 optimum per config)",
+		Tables: []RenderedTable{{
+			Caption: "Relative E/W increase when running k·Wopt instead of Wopt",
+			Table:   tab,
+		}},
+		Notes: []string{fmt.Sprintf(
+			"worst penalty at half-size %.2f%%, at double-size %.2f%% — the optimum is flat",
+			100*worstHalf, 100*worstDouble)},
+	}, nil
+}
+
+// runBaselinePeriods compares the classical period formulas against the
+// BiCrit pattern for each platform (at full speed, where the classical
+// formulas live).
+func runBaselinePeriods(o Options) (Result, error) {
+	tab := tablefmt.New("Platform", "Young √(2C/λ)", "Daly", "Silent √((V+C)/λ)", "BiCrit W (σ=1 pair, ρ=3)", "BiCrit (σ1,σ2)")
+	for _, pl := range platform.Platforms() {
+		cfg := platform.NewConfig(pl, platform.XScale())
+		p := core.FromConfig(cfg)
+		young := baseline.YoungPeriod(pl.C, pl.Lambda)
+		daly := baseline.DalyPeriod(pl.C, pl.Lambda)
+		silent := baseline.SilentPeriod(pl.C, pl.V, pl.Lambda)
+		// BiCrit at full speed only (σ1=σ2=1): W in work units equals the
+		// period in seconds at σ=1.
+		wFull, err := p.OptimalW(1, 1, defaultRho)
+		full := "-"
+		if err == nil {
+			full = tablefmt.Cell(math.Floor(wFull))
+		}
+		pair := "-"
+		if sol, err := p.Solve(cfg.Processor.Speeds, defaultRho); err == nil {
+			pair = fmt.Sprintf("(%g,%g) W=%.0f", sol.Best.Sigma1, sol.Best.Sigma2, sol.Best.W)
+		}
+		tab.AddRowValues(pl.Name, math.Floor(young), math.Floor(daly), math.Floor(silent), full, pair)
+	}
+	return Result{
+		ID:    "baseline-periods",
+		Title: "Classical periods vs the BiCrit pattern (XScale speeds)",
+		Tables: []RenderedTable{{
+			Caption: "Seconds between checkpoints: Young/Daly (fail-stop), the silent-error period, and the energy-aware BiCrit choice",
+			Table:   tab,
+		}},
+		Notes: []string{
+			"the silent-error period is the Young period with C → V+C and the factor 2 dropped (errors detected at the end of the pattern)",
+			"BiCrit additionally trades period length against energy: at σ=1 its W is much SHORTER than the time-optimal silent period, because checkpoint I/O (Pio+Pidle ≈ 65 mW) is far cheaper than the full-speed compute a re-execution burns (κ+Pidle ≈ 1610 mW) — energy favours checkpointing more often",
+		},
+	}, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "energy-components",
+		Title: "Analytic decomposition of the energy overhead (Equation 3 term by term)",
+		Paper: "Equation (3): where the mW·s per work unit go",
+		Run:   runEnergyComponents,
+	})
+}
+
+// runEnergyComponents tabulates the Equation (3) terms at each
+// configuration's ρ=3 optimum — the analytic twin of the trace-level
+// waste-breakdown experiment.
+func runEnergyComponents(o Options) (Result, error) {
+	tab := tablefmt.New("Config", "E/W total", "first exec", "re-exec", "recovery", "re-verify", "per-pattern C,V")
+	for _, cfg := range platform.Configs() {
+		p := core.FromConfig(cfg)
+		sol, err := p.Solve(cfg.Processor.Speeds, defaultRho)
+		if err != nil {
+			return Result{}, err
+		}
+		b := sol.Best
+		ec := p.EnergyOverheadComponents(b.W, b.Sigma1, b.Sigma2)
+		pct := func(x float64) string { return fmt.Sprintf("%.2f%%", 100*x/ec.Total()) }
+		tab.AddRowValues(cfg.Name(), ec.Total(),
+			pct(ec.FirstExecution), pct(ec.ReExecution), pct(ec.Recovery),
+			pct(ec.VerifyReexec), pct(ec.PerPattern))
+	}
+	return Result{
+		ID:    "energy-components",
+		Title: "Equation (3) term shares at the ρ=3 optimum",
+		Tables: []RenderedTable{{
+			Caption: "Share of the first-order energy overhead by term; at catalog error rates the error-free compute dominates and the optimum balances the re-execution term against the amortized C,V cost",
+			Table:   tab,
+		}},
+	}, nil
+}

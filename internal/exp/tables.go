@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"respeed/internal/core"
+	"respeed/internal/platform"
+	"respeed/internal/tablefmt"
+)
+
+// tableRhos are the four performance bounds of the Section 4.2 tables.
+var tableRhos = []float64{8, 3, 1.775, 1.4}
+
+func init() {
+	for _, rho := range tableRhos {
+		rho := rho
+		id := fmt.Sprintf("table-rho%s", trimFloat(rho))
+		register(Experiment{
+			ID:    id,
+			Title: fmt.Sprintf("Best second speed per σ1 at ρ=%g (Hera/XScale)", rho),
+			Paper: fmt.Sprintf("Section 4.2, table ρ=%g", rho),
+			Run: func(o Options) (Result, error) {
+				return runSigma1Table("Hera/XScale", rho, id)
+			},
+		})
+	}
+	register(Experiment{
+		ID:    "tables-all-configs",
+		Title: "Best second speed per σ1 at ρ=3 for all eight configurations",
+		Paper: "Section 4.2 (extended beyond the published Hera/XScale case)",
+		Run: func(o Options) (Result, error) {
+			res := Result{ID: "tables-all-configs",
+				Title: "σ1 tables at ρ=3 for all configurations"}
+			for _, cfg := range platform.Configs() {
+				sub, err := runSigma1Table(cfg.Name(), 3, "")
+				if err != nil {
+					return res, err
+				}
+				res.Tables = append(res.Tables, sub.Tables...)
+				res.Notes = append(res.Notes, sub.Notes...)
+			}
+			return res, nil
+		},
+	})
+}
+
+// trimFloat renders ρ for experiment IDs: 8 → "8", 1.775 → "1775".
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int(x))
+	}
+	s := fmt.Sprintf("%g", x)
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '.' {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// runSigma1Table reproduces one Section 4.2 table for a configuration.
+func runSigma1Table(configName string, rho float64, id string) (Result, error) {
+	cfg, ok := platform.ByName(configName)
+	if !ok {
+		return Result{}, fmt.Errorf("exp: unknown configuration %q", configName)
+	}
+	p := core.FromConfig(cfg)
+	speeds := cfg.Processor.Speeds
+	rows := p.Sigma1Table(speeds, rho)
+
+	tab := tablefmt.New("σ1", "Best σ2", "Wopt", "E(Wopt,σ1,σ2)/Wopt")
+	var best *core.PairResult
+	for i := range rows {
+		r := rows[i]
+		if !r.Feasible {
+			tab.AddRow(tablefmt.Cell(r.Sigma1), "-", "-", "-")
+			continue
+		}
+		tab.AddRowValues(r.Sigma1, r.Sigma2, math.Floor(r.W), math.Floor(r.EnergyOverhead))
+		if best == nil || r.EnergyOverhead < best.EnergyOverhead {
+			best = &rows[i]
+		}
+	}
+	res := Result{
+		ID:    id,
+		Title: fmt.Sprintf("%s, ρ=%g", configName, rho),
+		Tables: []RenderedTable{{
+			Caption: fmt.Sprintf("%s: best σ2, Wopt and energy overhead per σ1 (ρ=%g)", configName, rho),
+			Table:   tab,
+		}},
+	}
+	if best != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s ρ=%g: optimal pair (σ1,σ2)=(%g,%g), Wopt=%.0f, E/W=%.0f",
+			configName, rho, best.Sigma1, best.Sigma2,
+			math.Floor(best.W), math.Floor(best.EnergyOverhead)))
+	} else {
+		res.Notes = append(res.Notes, fmt.Sprintf("%s ρ=%g: infeasible", configName, rho))
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkQuadraticRoots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := QuadraticRoots(2.1125e-5, -2.497, 338.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrentRoot(b *testing.B) {
+	f := func(x float64) float64 { return math.Exp(x) - 2*x - 1 }
+	for i := 0; i < b.N; i++ {
+		if _, err := BrentRoot(f, 0.5, 3, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrentMin(b *testing.B) {
+	f := func(w float64) float64 { return 338.5/w + 2.1125e-5*w }
+	for i := 0; i < b.N; i++ {
+		if _, err := BrentMin(f, 1, 1e7, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizeConvex1D(b *testing.B) {
+	f := func(w float64) float64 { return 338.5/w + 2.1125e-5*w }
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeConvex1D(f, 100, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNelderMead2D(b *testing.B) {
+	f := func(x []float64) float64 {
+		return (x[0]-0.6)*(x[0]-0.6) + 2*(x[1]-0.8)*(x[1]-0.8)
+	}
+	for i := 0; i < b.N; i++ {
+		NelderMead(f, []float64{0.2, 0.2}, 0.1, 1e-10, 0)
+	}
+}
+
+func BenchmarkAccumulator(b *testing.B) {
+	var acc Accumulator
+	for i := 0; i < b.N; i++ {
+		acc.Add(float64(i) * 1e-7)
+	}
+	_ = acc.Total()
+}

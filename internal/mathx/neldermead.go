@@ -1,0 +1,120 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMead minimizes f over R^n starting from x0 with the classic
+// downhill-simplex method (reflection ρ=1, expansion χ=2, contraction
+// γ=0.5, shrink σ=0.5). step sets the initial simplex edge per
+// coordinate; tol is the termination spread on function values. Returns
+// the best point found.
+//
+// The continuous-speed ablation minimizes smooth 2-D objectives with box
+// constraints handled by penalty at the caller; Nelder–Mead is ideal for
+// that scale and needs no derivatives of the exact expectations.
+func NelderMead(f func([]float64) float64, x0 []float64, step, tol float64, maxIter int) []float64 {
+	n := len(x0)
+	if n == 0 {
+		panic("mathx: NelderMead needs at least one dimension")
+	}
+	if step <= 0 {
+		step = 0.1
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 500 * n
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		x := append([]float64(nil), x0...)
+		if i > 0 {
+			x[i-1] += step
+		}
+		simplex[i] = vertex{x: x, f: f(x)}
+	}
+	sortSimplex := func() {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+
+	for iter := 0; iter < maxIter; iter++ {
+		sortSimplex()
+		if math.Abs(simplex[n].f-simplex[0].f) <=
+			tol*(math.Abs(simplex[0].f)+math.Abs(simplex[n].f)+1e-300) {
+			break
+		}
+		// Centroid of all but the worst.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+			for i := 0; i < n; i++ {
+				centroid[j] += simplex[i].x[j]
+			}
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+		// Reflect.
+		for j := 0; j < n; j++ {
+			trial[j] = centroid[j] + (centroid[j] - worst.x[j])
+		}
+		fr := f(trial)
+		switch {
+		case fr < simplex[0].f:
+			// Expand.
+			exp := make([]float64, n)
+			for j := 0; j < n; j++ {
+				exp[j] = centroid[j] + 2*(centroid[j]-worst.x[j])
+			}
+			fe := f(exp)
+			if fe < fr {
+				simplex[n] = vertex{x: exp, f: fe}
+			} else {
+				simplex[n] = vertex{x: append([]float64(nil), trial...), f: fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{x: append([]float64(nil), trial...), f: fr}
+		default:
+			// Contract (outside if the reflection helped at all, inside
+			// otherwise).
+			var fc float64
+			con := make([]float64, n)
+			if fr < worst.f {
+				for j := 0; j < n; j++ {
+					con[j] = centroid[j] + 0.5*(trial[j]-centroid[j])
+				}
+				fc = f(con)
+				if fc <= fr {
+					simplex[n] = vertex{x: con, f: fc}
+					continue
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					con[j] = centroid[j] + 0.5*(worst.x[j]-centroid[j])
+				}
+				fc = f(con)
+				if fc < worst.f {
+					simplex[n] = vertex{x: con, f: fc}
+					continue
+				}
+			}
+			// Shrink toward the best vertex.
+			for i := 1; i <= n; i++ {
+				for j := 0; j < n; j++ {
+					simplex[i].x[j] = simplex[0].x[j] + 0.5*(simplex[i].x[j]-simplex[0].x[j])
+				}
+				simplex[i].f = f(simplex[i].x)
+			}
+		}
+	}
+	sortSimplex()
+	return simplex[0].x
+}

@@ -1,0 +1,67 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	x := NelderMead(f, []float64{0, 0}, 0.5, 1e-14, 0)
+	if math.Abs(x[0]-3) > 1e-5 || math.Abs(x[1]+1) > 1e-5 {
+		t.Errorf("min at %v, want (3,-1)", x)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x := NelderMead(f, []float64{-1.2, 1}, 0.5, 1e-16, 5000)
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Errorf("Rosenbrock min at %v, want (1,1)", x)
+	}
+}
+
+func TestNelderMead1D(t *testing.T) {
+	f := func(x []float64) float64 { return math.Cosh(x[0] - 0.7) }
+	x := NelderMead(f, []float64{5}, 1, 1e-14, 0)
+	if math.Abs(x[0]-0.7) > 1e-5 {
+		t.Errorf("min at %g, want 0.7", x[0])
+	}
+}
+
+func TestNelderMeadWithPenaltyBox(t *testing.T) {
+	// Constrained: minimize (x-5)² on [0,1] via penalty → optimum at 1.
+	f := func(x []float64) float64 {
+		if x[0] < 0 || x[0] > 1 {
+			return 1e12 + x[0]*x[0]
+		}
+		return (x[0] - 5) * (x[0] - 5)
+	}
+	x := NelderMead(f, []float64{0.5}, 0.2, 1e-14, 0)
+	if math.Abs(x[0]-1) > 1e-4 {
+		t.Errorf("constrained min at %g, want 1", x[0])
+	}
+}
+
+func TestNelderMeadPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty x0 should panic")
+		}
+	}()
+	NelderMead(func(x []float64) float64 { return 0 }, nil, 0.1, 1e-9, 0)
+}
+
+func TestNelderMeadDoesNotMutateStart(t *testing.T) {
+	x0 := []float64{2, 2}
+	NelderMead(func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }, x0, 0.3, 1e-12, 0)
+	if x0[0] != 2 || x0[1] != 2 {
+		t.Errorf("x0 mutated: %v", x0)
+	}
+}

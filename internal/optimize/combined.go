@@ -1,0 +1,127 @@
+package optimize
+
+import (
+	"math"
+
+	"respeed/internal/core"
+	"respeed/internal/mathx"
+)
+
+// CombinedResult is the numeric BiCrit solution under both error
+// sources for one speed pair.
+type CombinedResult struct {
+	Sigma1, Sigma2               float64
+	Feasible                     bool
+	W                            float64
+	TimeOverhead, EnergyOverhead float64
+}
+
+// CombinedPair solves the BiCrit problem for one speed pair under both
+// fail-stop and silent errors, using the exact Equation (8) recursion
+// expectations. The paper stops at first-order approximations whose
+// validity is restricted to a window of σ2/σ1 (Section 5.2) and leaves
+// the general case as future work ("it seems that new methods are needed
+// to capture the general case"); the numeric route here has no such
+// restriction — it works for every speed pair, which is exactly why it
+// earns its place next to the closed forms.
+func CombinedPair(cp core.CombinedParams, s1, s2, rho float64) CombinedResult {
+	res := CombinedResult{Sigma1: s1, Sigma2: s2}
+	timeOH := func(w float64) float64 {
+		return cp.ExpectedTimeCombined(w, s1, s2) / w
+	}
+	energyOH := func(w float64) float64 {
+		return cp.ExpectedEnergyCombined(w, s1, s2) / w
+	}
+
+	// Seed from the silent-only time-optimal size (same order of
+	// magnitude for any error mix).
+	silent := core.Params{Lambda: cp.Lambda(), C: cp.C, V: cp.V, R: cp.R,
+		Kappa: cp.Kappa, Pidle: cp.Pidle, Pio: cp.Pio}
+	seed := silent.WTime(s1, s2)
+	if !(seed > 0) || math.IsInf(seed, 0) {
+		seed = 1
+	}
+
+	wt, err := mathx.MinimizeConvex1D(timeOH, seed, 1e-10)
+	if err != nil || timeOH(wt) > rho {
+		return res
+	}
+	lo := wt
+	for timeOH(lo) <= rho && lo > 1e-12 {
+		lo /= 2
+	}
+	hi := wt
+	for timeOH(hi) <= rho && hi < 1e18 {
+		hi *= 2
+	}
+	f := func(w float64) float64 { return timeOH(w) - rho }
+	w1, err1 := mathx.BrentRoot(f, lo, wt, 1e-9*wt)
+	if err1 != nil {
+		w1 = lo
+	}
+	w2, err2 := mathx.BrentRoot(f, wt, hi, 1e-9*wt)
+	if err2 != nil {
+		w2 = hi
+	}
+	wBest := w1
+	if w2 > w1 {
+		wInt, err := mathx.BrentMin(energyOH, w1, w2, 1e-12)
+		if err == nil {
+			wBest = wInt
+		}
+		for _, cand := range []float64{w1, w2} {
+			if energyOH(cand) < energyOH(wBest) {
+				wBest = cand
+			}
+		}
+	}
+	res.Feasible = true
+	res.W = wBest
+	res.TimeOverhead = timeOH(wBest)
+	res.EnergyOverhead = energyOH(wBest)
+	return res
+}
+
+// SolveCombined runs CombinedPair over all speed pairs and returns the
+// energy-minimizing feasible result plus the grid. It returns
+// core.ErrInfeasible when no pair meets the bound.
+func SolveCombined(cp core.CombinedParams, speeds []float64, rho float64) (CombinedResult, []CombinedResult, error) {
+	grid := make([]CombinedResult, 0, len(speeds)*len(speeds))
+	bestIdx := -1
+	for _, s1 := range speeds {
+		for _, s2 := range speeds {
+			r := CombinedPair(cp, s1, s2, rho)
+			grid = append(grid, r)
+			if !r.Feasible {
+				continue
+			}
+			if bestIdx < 0 || r.EnergyOverhead < grid[bestIdx].EnergyOverhead {
+				bestIdx = len(grid) - 1
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return CombinedResult{}, grid, core.ErrInfeasible
+	}
+	return grid[bestIdx], grid, nil
+}
+
+// SolveCombinedSingleSpeed restricts SolveCombined to σ2 = σ1.
+func SolveCombinedSingleSpeed(cp core.CombinedParams, speeds []float64, rho float64) (CombinedResult, []CombinedResult, error) {
+	grid := make([]CombinedResult, 0, len(speeds))
+	bestIdx := -1
+	for _, s := range speeds {
+		r := CombinedPair(cp, s, s, rho)
+		grid = append(grid, r)
+		if !r.Feasible {
+			continue
+		}
+		if bestIdx < 0 || r.EnergyOverhead < grid[bestIdx].EnergyOverhead {
+			bestIdx = len(grid) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return CombinedResult{}, grid, core.ErrInfeasible
+	}
+	return grid[bestIdx], grid, nil
+}

@@ -1,0 +1,72 @@
+package optimize
+
+import (
+	"math"
+
+	"respeed/internal/core"
+	"respeed/internal/mathx"
+)
+
+// ContinuousResult is the optimum of the continuous-speed relaxation.
+type ContinuousResult struct {
+	// Sigma1, Sigma2 are the continuous optimal speeds in [lo, hi].
+	Sigma1, Sigma2 float64
+	// W is the optimal pattern size at those speeds.
+	W float64
+	// TimeOverhead and EnergyOverhead are the exact per-unit expectations.
+	TimeOverhead, EnergyOverhead float64
+	// Feasible reports whether any speeds in the box meet the bound.
+	Feasible bool
+}
+
+// SolveContinuous relaxes the discrete speed set to the continuous box
+// [lo, hi]² and minimizes the exact energy overhead subject to the exact
+// time bound, using Nelder–Mead over (σ1, σ2) with the W-subproblem
+// solved exactly per candidate (ExactPair). It quantifies what the
+// discreteness of real DVFS states costs — the "continuous-speeds"
+// ablation in the experiment registry.
+//
+// The relaxation is seeded from the best discrete pair; if the discrete
+// problem is infeasible it seeds from (hi, hi).
+func SolveContinuous(p core.Params, lo, hi, rho float64, discreteSeed []float64) ContinuousResult {
+	if !(lo > 0) || !(hi > lo) {
+		panic("optimize: invalid continuous speed box")
+	}
+	// Seed.
+	seed := []float64{hi, hi}
+	if best, _, err := Solve(p, discreteSeed, rho); err == nil {
+		seed = []float64{best.Sigma1, best.Sigma2}
+	}
+
+	const penalty = 1e18
+	objective := func(x []float64) float64 {
+		s1, s2 := x[0], x[1]
+		if s1 < lo || s1 > hi || s2 < lo || s2 > hi {
+			// Smooth-ish penalty pulls Nelder–Mead back into the box.
+			d := math.Max(0, lo-s1) + math.Max(0, s1-hi) +
+				math.Max(0, lo-s2) + math.Max(0, s2-hi)
+			return penalty * (1 + d)
+		}
+		r := ExactPair(p, s1, s2, rho)
+		if !r.Feasible {
+			// Infeasible speeds: penalize by the violation of the bound at
+			// the time-optimal W, keeping a gradient toward feasibility.
+			wt := p.WTime(s1, s2)
+			return penalty * (1 + p.TimeOverheadExact(wt, s1, s2) - rho)
+		}
+		return r.EnergyOverhead
+	}
+
+	x := mathx.NelderMead(objective, seed, 0.05*(hi-lo), 1e-10, 2000)
+	s1 := mathx.Clamp(x[0], lo, hi)
+	s2 := mathx.Clamp(x[1], lo, hi)
+	r := ExactPair(p, s1, s2, rho)
+	if !r.Feasible {
+		return ContinuousResult{Sigma1: s1, Sigma2: s2}
+	}
+	return ContinuousResult{
+		Sigma1: s1, Sigma2: s2, W: r.W,
+		TimeOverhead: r.TimeOverhead, EnergyOverhead: r.EnergyOverhead,
+		Feasible: true,
+	}
+}

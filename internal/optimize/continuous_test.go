@@ -1,0 +1,194 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/core"
+	"respeed/internal/mathx"
+)
+
+func TestContinuousNeverWorseThanDiscrete(t *testing.T) {
+	// The continuous box contains every discrete speed, so the relaxation
+	// can never be worse than the discrete optimum.
+	p, speeds := heraXScale()
+	for _, rho := range []float64{1.775, 3.0} {
+		disc, _, err := Solve(p, speeds, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont := SolveContinuous(p, 0.15, 1.0, rho, speeds)
+		if !cont.Feasible {
+			t.Fatalf("ρ=%g: continuous relaxation infeasible", rho)
+		}
+		if cont.EnergyOverhead > disc.EnergyOverhead*(1+1e-6) {
+			t.Errorf("ρ=%g: continuous E/W=%g worse than discrete %g",
+				rho, cont.EnergyOverhead, disc.EnergyOverhead)
+		}
+		if cont.TimeOverhead > rho*(1+1e-6) {
+			t.Errorf("ρ=%g: continuous solution violates the bound (T/W=%g)", rho, cont.TimeOverhead)
+		}
+	}
+}
+
+func TestContinuousSpeedsInsideBox(t *testing.T) {
+	p, speeds := heraXScale()
+	cont := SolveContinuous(p, 0.15, 1.0, 3, speeds)
+	if cont.Sigma1 < 0.15 || cont.Sigma1 > 1 || cont.Sigma2 < 0.15 || cont.Sigma2 > 1 {
+		t.Errorf("speeds (%g,%g) outside the box", cont.Sigma1, cont.Sigma2)
+	}
+}
+
+func TestContinuousTightBound(t *testing.T) {
+	// At a tight bound the continuous optimum should pick speeds the
+	// discrete set does not offer, strictly improving on it.
+	p, speeds := heraXScale()
+	rho := 1.775
+	disc, _, err := Solve(p, speeds, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont := SolveContinuous(p, 0.15, 1.0, rho, speeds)
+	if !cont.Feasible {
+		t.Fatal("infeasible")
+	}
+	if !(cont.EnergyOverhead < disc.EnergyOverhead*(1-1e-4)) {
+		t.Errorf("expected a strict continuous improvement at ρ=%g: %g vs %g",
+			rho, cont.EnergyOverhead, disc.EnergyOverhead)
+	}
+}
+
+func TestContinuousInfeasibleBox(t *testing.T) {
+	p, speeds := heraXScale()
+	// ρ below 1/hi is unreachable even at the fastest continuous speed.
+	cont := SolveContinuous(p, 0.15, 1.0, 0.9, speeds)
+	if cont.Feasible {
+		t.Error("ρ=0.9 should be infeasible for σ ≤ 1")
+	}
+}
+
+func TestContinuousPanicsOnBadBox(t *testing.T) {
+	p, speeds := heraXScale()
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted box should panic")
+		}
+	}()
+	SolveContinuous(p, 1.0, 0.5, 3, speeds)
+}
+
+func TestCombinedSolverReducesToSilentOnly(t *testing.T) {
+	// With f ≈ 0 the combined numeric solver must agree with the exact
+	// silent-only solver.
+	p, speeds := heraXScale()
+	cp := p.Split(1e-12)
+	best, grid, err := SolveCombined(cp, speeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 25 {
+		t.Errorf("grid %d", len(grid))
+	}
+	silent, _, err := Solve(p, speeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Sigma1 != silent.Sigma1 || best.Sigma2 != silent.Sigma2 {
+		t.Errorf("pairs differ: combined (%g,%g) vs silent (%g,%g)",
+			best.Sigma1, best.Sigma2, silent.Sigma1, silent.Sigma2)
+	}
+	if mathx.RelErr(best.W, silent.W) > 1e-3 {
+		t.Errorf("W %g vs %g", best.W, silent.W)
+	}
+	if mathx.RelErr(best.EnergyOverhead, silent.EnergyOverhead) > 1e-6 {
+		t.Errorf("E/W %g vs %g", best.EnergyOverhead, silent.EnergyOverhead)
+	}
+}
+
+func TestCombinedSolverRespectsBound(t *testing.T) {
+	p, speeds := heraXScale()
+	for _, f := range []float64{0.25, 0.75} {
+		cp := p.Split(f)
+		best, grid, err := SolveCombined(cp, speeds, 3)
+		if err != nil {
+			t.Fatalf("f=%g: %v", f, err)
+		}
+		if best.TimeOverhead > 3*(1+1e-7) {
+			t.Errorf("f=%g: bound violated (T/W=%g)", f, best.TimeOverhead)
+		}
+		for _, r := range grid {
+			if r.Feasible && r.EnergyOverhead < best.EnergyOverhead*(1-1e-12) {
+				t.Errorf("f=%g: grid point (%g,%g) beats reported best", f, r.Sigma1, r.Sigma2)
+			}
+		}
+	}
+}
+
+func TestCombinedSolverWorksOutsideValidityWindow(t *testing.T) {
+	// The whole point of the numeric route: pairs with σ2/σ1 > 2(1+s/f)
+	// are out of reach for the paper's first-order method at f=1, but the
+	// numeric solver handles them.
+	p, _ := heraXScale()
+	cp := p.Split(1) // pure fail-stop
+	lo, hi := cp.SpeedRatioWindow()
+	s1, s2 := 0.15, 1.0 // ratio 6.67 ≫ hi = 2
+	if ratio := s2 / s1; !(ratio > hi) {
+		t.Fatalf("test premise broken: ratio %g inside window (%g,%g)", ratio, lo, hi)
+	}
+	r := CombinedPair(cp, s1, s2, 8)
+	if !r.Feasible {
+		t.Fatal("pair should be feasible at ρ=8")
+	}
+	if !(r.W > 0) || !(r.TimeOverhead <= 8) {
+		t.Errorf("implausible result %+v", r)
+	}
+}
+
+func TestCombinedSingleSpeed(t *testing.T) {
+	p, speeds := heraXScale()
+	cp := p.Split(0.5)
+	one, grid, err := SolveCombinedSingleSpeed(cp, speeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != len(speeds) {
+		t.Errorf("grid %d", len(grid))
+	}
+	two, _, err := SolveCombined(cp, speeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.EnergyOverhead > one.EnergyOverhead*(1+1e-9) {
+		t.Errorf("two-speed %g worse than single %g", two.EnergyOverhead, one.EnergyOverhead)
+	}
+}
+
+func TestCombinedInfeasible(t *testing.T) {
+	p, speeds := heraXScale()
+	cp := p.Split(0.5)
+	if _, _, err := SolveCombined(cp, speeds, 0.9); err != core.ErrInfeasible {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+	if _, _, err := SolveCombinedSingleSpeed(cp, speeds, 0.9); err != core.ErrInfeasible {
+		t.Errorf("single: want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestCombinedMoreFailStopIsCheaper(t *testing.T) {
+	// At fixed total rate, shifting errors from silent to fail-stop can
+	// only help (earlier detection): optimal energy overhead is
+	// non-increasing in f.
+	p, speeds := heraXScale()
+	p.Lambda = 1e-4
+	prev := math.Inf(1)
+	for _, f := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		best, _, err := SolveCombined(p.Split(f), speeds, 3)
+		if err != nil {
+			t.Fatalf("f=%g: %v", f, err)
+		}
+		if best.EnergyOverhead > prev*(1+1e-9) {
+			t.Errorf("f=%g: energy overhead rose to %g (prev %g)", f, best.EnergyOverhead, prev)
+		}
+		prev = best.EnergyOverhead
+	}
+}

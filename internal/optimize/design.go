@@ -1,0 +1,138 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"respeed/internal/core"
+	"respeed/internal/mathx"
+)
+
+// DesignResult is the outcome of a speed-set design run.
+type DesignResult struct {
+	// Speeds is the designed ascending speed set.
+	Speeds []float64
+	// Objective is the achieved design objective (mean energy overhead
+	// across the target bounds; +penalties for infeasible bounds).
+	Objective float64
+	// PerRho maps each target bound to the energy overhead the designed
+	// set achieves there (NaN when infeasible).
+	PerRho []float64
+}
+
+// DesignSpeeds chooses k DVFS states in [lo, hi] that minimize the mean
+// two-speed energy overhead of the BiCrit optimum across the target
+// bounds rhos — "which speeds should this processor expose for this
+// platform?". It turns the paper's model from an analysis into a design
+// tool: the catalog speed sets (Table 2) are hardware givens; this
+// computes what a workload-aware set would look like.
+//
+// The search runs Nelder–Mead over the k speeds (penalty-clamped to the
+// box, de-duplicated by a minimum gap) from a uniform seed and from the
+// provided warmStart (if non-nil), keeping the better result.
+func DesignSpeeds(p core.Params, k int, lo, hi float64, rhos []float64, warmStart []float64) (DesignResult, error) {
+	if k < 1 {
+		return DesignResult{}, fmt.Errorf("optimize: need k ≥ 1 speeds")
+	}
+	if !(lo > 0) || !(hi > lo) {
+		return DesignResult{}, fmt.Errorf("optimize: invalid speed box [%g, %g]", lo, hi)
+	}
+	if len(rhos) == 0 {
+		return DesignResult{}, fmt.Errorf("optimize: need at least one target bound")
+	}
+	const minGap = 1e-3
+
+	// normalize maps a raw NM vector to a valid ascending speed set.
+	normalize := func(x []float64) []float64 {
+		s := make([]float64, len(x))
+		for i, v := range x {
+			s[i] = mathx.Clamp(v, lo, hi)
+		}
+		sort.Float64s(s)
+		for i := 1; i < len(s); i++ {
+			if s[i]-s[i-1] < minGap {
+				s[i] = math.Min(hi, s[i-1]+minGap)
+			}
+		}
+		return s
+	}
+
+	objective := func(x []float64) float64 {
+		speeds := normalize(x)
+		var total float64
+		for _, rho := range rhos {
+			sol, err := p.Solve(speeds, rho)
+			if err != nil {
+				// Infeasible bound: heavy but smooth-ish penalty via the
+				// closest feasibility gap, so the search climbs out.
+				gap := math.Inf(1)
+				for _, s1 := range speeds {
+					for _, s2 := range speeds {
+						gap = math.Min(gap, p.RhoMin(s1, s2)-rho)
+					}
+				}
+				total += 1e9 * (1 + math.Max(0, gap))
+				continue
+			}
+			total += sol.Best.EnergyOverhead
+		}
+		return total / float64(len(rhos))
+	}
+
+	// Seeds: uniform spread, plus the caller's warm start.
+	seeds := [][]float64{mathx.Linspace(lo, hi, int(math.Max(2, float64(k))))[:k]}
+	if k == 1 {
+		seeds = [][]float64{{(lo + hi) / 2}}
+	}
+	if warmStart != nil {
+		if len(warmStart) != k {
+			return DesignResult{}, fmt.Errorf("optimize: warm start has %d speeds, want %d", len(warmStart), k)
+		}
+		seeds = append(seeds, append([]float64(nil), warmStart...))
+	}
+
+	best := DesignResult{Objective: math.Inf(1)}
+	for _, seed := range seeds {
+		x := mathx.NelderMead(objective, seed, 0.08*(hi-lo), 1e-10, 4000)
+		speeds := normalize(x)
+		obj := objective(speeds)
+		if obj < best.Objective {
+			best = DesignResult{Speeds: speeds, Objective: obj}
+		}
+	}
+
+	best.PerRho = make([]float64, len(rhos))
+	for i, rho := range rhos {
+		if sol, err := p.Solve(best.Speeds, rho); err == nil {
+			best.PerRho[i] = sol.Best.EnergyOverhead
+		} else {
+			best.PerRho[i] = math.NaN()
+		}
+	}
+	return best, nil
+}
+
+// EvaluateSpeedSet computes the design objective of an existing speed
+// set over the target bounds (NaN per infeasible bound; the mean skips
+// them and the second return counts them).
+func EvaluateSpeedSet(p core.Params, speeds []float64, rhos []float64) (mean float64, infeasible int, perRho []float64) {
+	perRho = make([]float64, len(rhos))
+	var sum float64
+	n := 0
+	for i, rho := range rhos {
+		sol, err := p.Solve(speeds, rho)
+		if err != nil {
+			perRho[i] = math.NaN()
+			infeasible++
+			continue
+		}
+		perRho[i] = sol.Best.EnergyOverhead
+		sum += sol.Best.EnergyOverhead
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), infeasible, perRho
+	}
+	return sum / float64(n), infeasible, perRho
+}

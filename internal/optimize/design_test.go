@@ -1,0 +1,119 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDesignSpeedsBeatsCatalog(t *testing.T) {
+	// A designed 5-speed set warm-started from the catalog can never be
+	// worse than the catalog on the design objective.
+	p, speeds := heraXScale()
+	rhos := []float64{1.775, 2.5, 3, 8}
+	catalogMean, catalogInfeasible, _ := EvaluateSpeedSet(p, speeds, rhos)
+	if catalogInfeasible != 0 {
+		t.Fatalf("catalog infeasible on %d bounds", catalogInfeasible)
+	}
+	res, err := DesignSpeeds(p, 5, 0.15, 1.0, rhos, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > catalogMean*(1+1e-9) {
+		t.Errorf("designed objective %g worse than catalog %g", res.Objective, catalogMean)
+	}
+	for _, e := range res.PerRho {
+		if math.IsNaN(e) {
+			t.Error("designed set infeasible on a target bound")
+		}
+	}
+}
+
+func TestDesignSpeedsOrderedInsideBox(t *testing.T) {
+	p, _ := heraXScale()
+	res, err := DesignSpeeds(p, 4, 0.2, 0.9, []float64{3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speeds) != 4 {
+		t.Fatalf("got %d speeds", len(res.Speeds))
+	}
+	for i, s := range res.Speeds {
+		if s < 0.2 || s > 0.9 {
+			t.Errorf("speed %g outside box", s)
+		}
+		if i > 0 && !(s > res.Speeds[i-1]) {
+			t.Errorf("speeds not strictly ascending: %v", res.Speeds)
+		}
+	}
+}
+
+func TestDesignSpeedsSingleSlot(t *testing.T) {
+	// With k=1 the set has one speed and both σ1, σ2 equal it; the design
+	// objective equals the single-speed optimum over that speed.
+	p, _ := heraXScale()
+	res, err := DesignSpeeds(p, 1, 0.2, 1.0, []float64{3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speeds) != 1 {
+		t.Fatalf("speeds %v", res.Speeds)
+	}
+	sol, err := p.Solve(res.Speeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Best.EnergyOverhead-res.Objective) > 1e-9*res.Objective {
+		t.Errorf("objective %g vs re-solve %g", res.Objective, sol.Best.EnergyOverhead)
+	}
+}
+
+func TestDesignSpeedsTightBoundNeedsFastSpeed(t *testing.T) {
+	// A very tight bound forces the designed set to include a near-max
+	// speed.
+	p, _ := heraXScale()
+	res, err := DesignSpeeds(p, 3, 0.15, 1.0, []float64{1.1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Speeds[len(res.Speeds)-1]
+	if top < 0.95 {
+		t.Errorf("tight bound designed top speed %g, want ≈ 1", top)
+	}
+	if math.IsNaN(res.PerRho[0]) {
+		t.Error("design failed to make the tight bound feasible")
+	}
+}
+
+func TestDesignSpeedsGuards(t *testing.T) {
+	p, speeds := heraXScale()
+	if _, err := DesignSpeeds(p, 0, 0.2, 1, []float64{3}, nil); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	if _, err := DesignSpeeds(p, 2, 1, 0.2, []float64{3}, nil); err == nil {
+		t.Error("inverted box should be rejected")
+	}
+	if _, err := DesignSpeeds(p, 2, 0.2, 1, nil, nil); err == nil {
+		t.Error("empty bounds should be rejected")
+	}
+	if _, err := DesignSpeeds(p, 2, 0.2, 1, []float64{3}, speeds); err == nil {
+		t.Error("mismatched warm start should be rejected")
+	}
+}
+
+func TestEvaluateSpeedSetInfeasibleCounting(t *testing.T) {
+	p, speeds := heraXScale()
+	mean, infeasible, perRho := EvaluateSpeedSet(p, speeds, []float64{0.5, 3})
+	if infeasible != 1 {
+		t.Errorf("infeasible count %d, want 1", infeasible)
+	}
+	if !math.IsNaN(perRho[0]) || math.IsNaN(perRho[1]) {
+		t.Errorf("perRho %v", perRho)
+	}
+	if math.IsNaN(mean) {
+		t.Error("mean should skip infeasible bounds")
+	}
+	allBad, infeasible2, _ := EvaluateSpeedSet(p, speeds, []float64{0.5})
+	if !math.IsNaN(allBad) || infeasible2 != 1 {
+		t.Error("all-infeasible evaluation should be NaN")
+	}
+}

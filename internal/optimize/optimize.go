@@ -1,0 +1,150 @@
+// Package optimize solves the BiCrit problem against the *exact*
+// expectations of Propositions 2–3 rather than their first-order Taylor
+// approximations. It exists to cross-validate Theorem 1: for realistic
+// parameters (λW ≪ 1) the exact optimum and the closed-form optimum must
+// agree to first order, and the test suite asserts that they do.
+//
+// The exact per-unit overheads x(W) = T(W,σ1,σ2)/W and E(W,σ1,σ2)/W both
+// diverge as W → 0⁺ (the fixed pattern costs dominate) and as W → ∞ (the
+// expected number of re-executions explodes exponentially), and are
+// unimodal in between, so:
+//
+//  1. minimize T/W; if even its minimum exceeds ρ the pair is infeasible;
+//  2. otherwise isolate the two crossings of T/W = ρ by Brent root
+//     finding on each side of the time minimizer — the feasible interval;
+//  3. minimize E/W inside the feasible interval with Brent minimization,
+//     comparing the interior minimizer against both interval endpoints.
+package optimize
+
+import (
+	"math"
+
+	"respeed/internal/core"
+	"respeed/internal/mathx"
+)
+
+// Result is the outcome of an exact optimization for one speed pair.
+type Result struct {
+	// Sigma1, Sigma2 are the speeds the result refers to.
+	Sigma1, Sigma2 float64
+	// Feasible reports whether any W satisfies the exact bound.
+	Feasible bool
+	// W is the exact-optimal pattern size (0 when infeasible).
+	W float64
+	// WLo, WHi bound the exact feasible interval for W.
+	WLo, WHi float64
+	// TimeOverhead and EnergyOverhead are the exact per-unit expectations
+	// at W.
+	TimeOverhead, EnergyOverhead float64
+}
+
+// seedW returns a positive starting pattern size for bracket expansion:
+// the first-order time-optimal size, which is always within a constant
+// factor of both exact optima in the λW ≪ 1 regime.
+func seedW(p core.Params, s1, s2 float64) float64 {
+	w := p.WTime(s1, s2)
+	if !(w > 0) || math.IsInf(w, 0) {
+		return 1
+	}
+	return w
+}
+
+// ExactPair solves the exact BiCrit problem for one speed pair.
+func ExactPair(p core.Params, s1, s2, rho float64) Result {
+	res := Result{Sigma1: s1, Sigma2: s2}
+	timeOH := func(w float64) float64 { return p.TimeOverheadExact(w, s1, s2) }
+	energyOH := func(w float64) float64 { return p.EnergyOverheadExact(w, s1, s2) }
+
+	// Step 1: the unconstrained time minimizer.
+	wt, err := mathx.MinimizeConvex1D(timeOH, seedW(p, s1, s2), 1e-10)
+	if err != nil || timeOH(wt) > rho {
+		return res
+	}
+
+	// Step 2: the feasible interval around wt. Expand outward until the
+	// overhead exceeds ρ, then root-find the crossing.
+	lo := wt
+	for timeOH(lo) <= rho && lo > 1e-12 {
+		lo /= 2
+	}
+	hi := wt
+	for timeOH(hi) <= rho && hi < 1e18 {
+		hi *= 2
+	}
+	f := func(w float64) float64 { return timeOH(w) - rho }
+	w1, err1 := mathx.BrentRoot(f, lo, wt, 1e-9*wt)
+	if err1 != nil {
+		w1 = lo
+	}
+	w2, err2 := mathx.BrentRoot(f, wt, hi, 1e-9*wt)
+	if err2 != nil {
+		w2 = hi
+	}
+	res.WLo, res.WHi = w1, w2
+
+	// Step 3: minimize energy over [w1, w2].
+	var wBest float64
+	if w2 > w1 {
+		wInt, err := mathx.BrentMin(energyOH, w1, w2, 1e-12)
+		if err != nil {
+			wInt = (w1 + w2) / 2
+		}
+		wBest = wInt
+		for _, cand := range []float64{w1, w2} {
+			if energyOH(cand) < energyOH(wBest) {
+				wBest = cand
+			}
+		}
+	} else {
+		wBest = w1
+	}
+	res.Feasible = true
+	res.W = wBest
+	res.TimeOverhead = timeOH(wBest)
+	res.EnergyOverhead = energyOH(wBest)
+	return res
+}
+
+// Solve runs ExactPair over every pair from speeds and returns the
+// energy-minimizing feasible result plus the full grid. It returns
+// core.ErrInfeasible when nothing is feasible.
+func Solve(p core.Params, speeds []float64, rho float64) (best Result, grid []Result, err error) {
+	grid = make([]Result, 0, len(speeds)*len(speeds))
+	bestIdx := -1
+	for _, s1 := range speeds {
+		for _, s2 := range speeds {
+			r := ExactPair(p, s1, s2, rho)
+			grid = append(grid, r)
+			if !r.Feasible {
+				continue
+			}
+			if bestIdx < 0 || r.EnergyOverhead < grid[bestIdx].EnergyOverhead {
+				bestIdx = len(grid) - 1
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return Result{}, grid, core.ErrInfeasible
+	}
+	return grid[bestIdx], grid, nil
+}
+
+// SolveSingleSpeed is Solve restricted to σ2 = σ1.
+func SolveSingleSpeed(p core.Params, speeds []float64, rho float64) (best Result, grid []Result, err error) {
+	grid = make([]Result, 0, len(speeds))
+	bestIdx := -1
+	for _, s := range speeds {
+		r := ExactPair(p, s, s, rho)
+		grid = append(grid, r)
+		if !r.Feasible {
+			continue
+		}
+		if bestIdx < 0 || r.EnergyOverhead < grid[bestIdx].EnergyOverhead {
+			bestIdx = len(grid) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return Result{}, grid, core.ErrInfeasible
+	}
+	return grid[bestIdx], grid, nil
+}

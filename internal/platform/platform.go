@@ -1,0 +1,254 @@
+// Package platform defines the machine and processor parameter catalogs
+// used throughout respeed. The constants come verbatim from Tables 1 and
+// 2 of the paper: platform checkpoint/verification costs and silent-error
+// rates from Moody et al. (SC'10), processor speed sets and power curves
+// from Rizvandi et al. (2012).
+//
+// Units (the paper's conventions, stated once here and assumed
+// everywhere):
+//
+//   - Work W is measured in seconds-at-full-speed: executing W units at
+//     speed σ takes W/σ seconds of wall clock.
+//   - Speeds σ are normalized to the processor's maximum (σmax = 1).
+//   - λ is the silent-error rate per second (MTBF µ = 1/λ).
+//   - C, V, R are seconds. V is the verification cost at full speed; at
+//     speed σ a verification takes V/σ.
+//   - Power is in milliwatts; the dynamic CPU power at speed σ is κσ³ and
+//     Pidle is paid whenever the platform is on.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Platform holds the resilience parameters of one machine.
+type Platform struct {
+	// Name identifies the platform ("Hera", "Atlas", ...).
+	Name string
+	// Lambda is the silent-error rate in errors per second.
+	Lambda float64
+	// C is the checkpoint time in seconds.
+	C float64
+	// V is the verification time at full speed, in seconds.
+	V float64
+	// R is the recovery time in seconds. The paper sets R = C.
+	R float64
+}
+
+// Processor holds the DVFS parameters of one processor type.
+type Processor struct {
+	// Name identifies the processor ("Intel XScale", "Transmeta Crusoe").
+	Name string
+	// Speeds is the ascending set S of normalized operating speeds.
+	Speeds []float64
+	// Kappa is the dynamic power coefficient: Pcpu(σ) = Kappa·σ³ (mW).
+	Kappa float64
+	// Pidle is the static power in mW, paid whenever the platform is on.
+	Pidle float64
+}
+
+// MinSpeed returns the lowest speed in the set.
+func (p Processor) MinSpeed() float64 { return p.Speeds[0] }
+
+// MaxSpeed returns the highest speed in the set.
+func (p Processor) MaxSpeed() float64 { return p.Speeds[len(p.Speeds)-1] }
+
+// CPUPower returns the dynamic CPU power κσ³ in mW at speed sigma.
+func (p Processor) CPUPower(sigma float64) float64 {
+	return p.Kappa * sigma * sigma * sigma
+}
+
+// TotalPower returns κσ³ + Pidle, the power drawn while computing at
+// speed sigma.
+func (p Processor) TotalPower(sigma float64) float64 {
+	return p.CPUPower(sigma) + p.Pidle
+}
+
+// HasSpeed reports whether sigma is (within 1e-12) a member of the speed
+// set.
+func (p Processor) HasSpeed(sigma float64) bool {
+	for _, s := range p.Speeds {
+		if math.Abs(s-sigma) <= 1e-12 {
+			return true
+		}
+	}
+	return false
+}
+
+// Config is a platform × processor combination — one of the paper's
+// eight "virtual configurations" — plus the I/O power.
+type Config struct {
+	Platform  Platform
+	Processor Processor
+	// Pio is the dynamic power drawn by I/O transfers (checkpoint,
+	// recovery) in mW. The paper's default equals the dynamic CPU power
+	// at the lowest speed; see DefaultPio.
+	Pio float64
+}
+
+// DefaultPio returns the paper's default I/O power for a processor: the
+// dynamic CPU power κ·σmin³ at the lowest available speed. This reading
+// of "equivalent to the power used when the CPU runs at the lowest speed"
+// reproduces the paper's Hera/XScale numbers exactly (Wopt = 2764,
+// E/W ≈ 416 at ρ = 3).
+func DefaultPio(p Processor) float64 {
+	return p.CPUPower(p.MinSpeed())
+}
+
+// NewConfig combines a platform and processor with the default Pio.
+func NewConfig(pl Platform, pr Processor) Config {
+	return Config{Platform: pl, Processor: pr, Pio: DefaultPio(pr)}
+}
+
+// Name returns "platform/processor".
+func (c Config) Name() string {
+	return c.Platform.Name + "/" + c.Processor.Name
+}
+
+// Validation errors.
+var (
+	ErrBadLambda = errors.New("platform: Lambda must be positive")
+	ErrBadCost   = errors.New("platform: C, V and R must be non-negative")
+	ErrNoSpeeds  = errors.New("platform: processor needs at least one speed")
+	ErrBadSpeed  = errors.New("platform: speeds must be positive, ascending and distinct")
+	ErrBadPower  = errors.New("platform: Kappa, Pidle and Pio must be non-negative")
+)
+
+// Validate checks a platform for physical plausibility.
+func (p Platform) Validate() error {
+	if !(p.Lambda > 0) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("%w (got %g)", ErrBadLambda, p.Lambda)
+	}
+	if p.C < 0 || p.V < 0 || p.R < 0 {
+		return fmt.Errorf("%w (C=%g V=%g R=%g)", ErrBadCost, p.C, p.V, p.R)
+	}
+	return nil
+}
+
+// Validate checks a processor for physical plausibility.
+func (p Processor) Validate() error {
+	if len(p.Speeds) == 0 {
+		return ErrNoSpeeds
+	}
+	prev := 0.0
+	for _, s := range p.Speeds {
+		if !(s > prev) {
+			return fmt.Errorf("%w (got %v)", ErrBadSpeed, p.Speeds)
+		}
+		prev = s
+	}
+	if p.Kappa < 0 || p.Pidle < 0 {
+		return fmt.Errorf("%w (Kappa=%g Pidle=%g)", ErrBadPower, p.Kappa, p.Pidle)
+	}
+	return nil
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if err := c.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := c.Processor.Validate(); err != nil {
+		return err
+	}
+	if c.Pio < 0 {
+		return fmt.Errorf("%w (Pio=%g)", ErrBadPower, c.Pio)
+	}
+	return nil
+}
+
+// --- Catalog: Table 1 (platforms) ---
+
+// Hera is LLNL's Hera cluster: λ=3.38e-6, C=300 s, V=15.4 s.
+func Hera() Platform {
+	return Platform{Name: "Hera", Lambda: 3.38e-6, C: 300, V: 15.4, R: 300}
+}
+
+// Atlas is LLNL's Atlas cluster: λ=7.78e-6, C=439 s, V=9.1 s.
+func Atlas() Platform {
+	return Platform{Name: "Atlas", Lambda: 7.78e-6, C: 439, V: 9.1, R: 439}
+}
+
+// Coastal is LLNL's Coastal cluster: λ=2.01e-6, C=1051 s, V=4.5 s.
+func Coastal() Platform {
+	return Platform{Name: "Coastal", Lambda: 2.01e-6, C: 1051, V: 4.5, R: 1051}
+}
+
+// CoastalSSD is Coastal with SSD-size checkpoints: λ=2.01e-6, C=2500 s,
+// V=180 s.
+func CoastalSSD() Platform {
+	return Platform{Name: "Coastal SSD", Lambda: 2.01e-6, C: 2500, V: 180, R: 2500}
+}
+
+// Platforms returns the Table 1 catalog in paper order.
+func Platforms() []Platform {
+	return []Platform{Hera(), Atlas(), Coastal(), CoastalSSD()}
+}
+
+// --- Catalog: Table 2 (processors) ---
+
+// XScale is the Intel XScale: speeds {0.15,0.4,0.6,0.8,1},
+// P(σ) = 1550σ³ + 60 mW.
+func XScale() Processor {
+	return Processor{
+		Name:   "XScale",
+		Speeds: []float64{0.15, 0.4, 0.6, 0.8, 1},
+		Kappa:  1550,
+		Pidle:  60,
+	}
+}
+
+// Crusoe is the Transmeta Crusoe: speeds {0.45,0.6,0.8,0.9,1},
+// P(σ) = 5756σ³ + 4.4 mW.
+func Crusoe() Processor {
+	return Processor{
+		Name:   "Crusoe",
+		Speeds: []float64{0.45, 0.6, 0.8, 0.9, 1},
+		Kappa:  5756,
+		Pidle:  4.4,
+	}
+}
+
+// Processors returns the Table 2 catalog in paper order.
+func Processors() []Processor {
+	return []Processor{XScale(), Crusoe()}
+}
+
+// Configs returns the paper's eight virtual configurations (each platform
+// combined with each processor, default Pio), in a stable order:
+// Hera/XScale, Atlas/XScale, Coastal/XScale, Coastal SSD/XScale,
+// Hera/Crusoe, Atlas/Crusoe, Coastal/Crusoe, Coastal SSD/Crusoe.
+func Configs() []Config {
+	var out []Config
+	for _, pr := range Processors() {
+		for _, pl := range Platforms() {
+			out = append(out, NewConfig(pl, pr))
+		}
+	}
+	return out
+}
+
+// ByName looks up a configuration by "platform/processor" name,
+// case-sensitively. It returns false when no such configuration exists.
+func ByName(name string) (Config, bool) {
+	for _, c := range Configs() {
+		if c.Name() == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// Names returns the sorted names of all catalog configurations.
+func Names() []string {
+	cs := Configs()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name()
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,197 @@
+package platform
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1Constants(t *testing.T) {
+	cases := []struct {
+		p      Platform
+		lambda float64
+		c, v   float64
+	}{
+		{Hera(), 3.38e-6, 300, 15.4},
+		{Atlas(), 7.78e-6, 439, 9.1},
+		{Coastal(), 2.01e-6, 1051, 4.5},
+		{CoastalSSD(), 2.01e-6, 2500, 180},
+	}
+	for _, c := range cases {
+		if c.p.Lambda != c.lambda || c.p.C != c.c || c.p.V != c.v {
+			t.Errorf("%s: got λ=%g C=%g V=%g", c.p.Name, c.p.Lambda, c.p.C, c.p.V)
+		}
+		if c.p.R != c.p.C {
+			t.Errorf("%s: R=%g should default to C=%g (paper §4.1)", c.p.Name, c.p.R, c.p.C)
+		}
+		if err := c.p.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", c.p.Name, err)
+		}
+	}
+}
+
+func TestTable2Constants(t *testing.T) {
+	xs := XScale()
+	if xs.Kappa != 1550 || xs.Pidle != 60 {
+		t.Errorf("XScale power: κ=%g Pidle=%g", xs.Kappa, xs.Pidle)
+	}
+	wantXS := []float64{0.15, 0.4, 0.6, 0.8, 1}
+	for i, s := range xs.Speeds {
+		if s != wantXS[i] {
+			t.Errorf("XScale speed %d = %g, want %g", i, s, wantXS[i])
+		}
+	}
+	cr := Crusoe()
+	if cr.Kappa != 5756 || cr.Pidle != 4.4 {
+		t.Errorf("Crusoe power: κ=%g Pidle=%g", cr.Kappa, cr.Pidle)
+	}
+	wantCR := []float64{0.45, 0.6, 0.8, 0.9, 1}
+	for i, s := range cr.Speeds {
+		if s != wantCR[i] {
+			t.Errorf("Crusoe speed %d = %g, want %g", i, s, wantCR[i])
+		}
+	}
+}
+
+func TestCPUPowerCubic(t *testing.T) {
+	xs := XScale()
+	// P(1) = 1550 + 60 = 1610 mW total.
+	if got := xs.TotalPower(1); math.Abs(got-1610) > 1e-9 {
+		t.Errorf("TotalPower(1) = %g", got)
+	}
+	// Dynamic power scales as σ³: half speed → 1/8 dynamic power.
+	if got, want := xs.CPUPower(0.5), 1550.0/8; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CPUPower(0.5) = %g, want %g", got, want)
+	}
+}
+
+func TestDefaultPio(t *testing.T) {
+	// XScale: κ·0.15³ = 1550 × 0.003375 = 5.23125 mW. This exact value is
+	// what makes the Hera/XScale table reproduce (see core tests).
+	if got, want := DefaultPio(XScale()), 1550*0.15*0.15*0.15; math.Abs(got-want) > 1e-12 {
+		t.Errorf("XScale Pio = %g, want %g", got, want)
+	}
+	if got, want := DefaultPio(Crusoe()), 5756*0.45*0.45*0.45; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Crusoe Pio = %g, want %g", got, want)
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	cs := Configs()
+	if len(cs) != 8 {
+		t.Fatalf("want 8 virtual configurations, got %d", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+		if seen[c.Name()] {
+			t.Errorf("duplicate config %s", c.Name())
+		}
+		seen[c.Name()] = true
+		if c.Pio != DefaultPio(c.Processor) {
+			t.Errorf("%s: Pio not defaulted", c.Name())
+		}
+	}
+	for _, want := range []string{"Hera/XScale", "Atlas/Crusoe", "Coastal SSD/XScale"} {
+		if !seen[want] {
+			t.Errorf("missing config %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, ok := ByName("Atlas/Crusoe")
+	if !ok {
+		t.Fatal("Atlas/Crusoe not found")
+	}
+	if c.Platform.Name != "Atlas" || c.Processor.Name != "Crusoe" {
+		t.Errorf("wrong config: %s", c.Name())
+	}
+	if _, ok := ByName("Summit/EPYC"); ok {
+		t.Error("nonexistent config should not be found")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("len = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if strings.Compare(names[i-1], names[i]) >= 0 {
+			t.Errorf("names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestSpeedHelpers(t *testing.T) {
+	xs := XScale()
+	if xs.MinSpeed() != 0.15 || xs.MaxSpeed() != 1 {
+		t.Errorf("Min/Max speed = %g/%g", xs.MinSpeed(), xs.MaxSpeed())
+	}
+	if !xs.HasSpeed(0.6) {
+		t.Error("0.6 should be in XScale speed set")
+	}
+	if xs.HasSpeed(0.5) {
+		t.Error("0.5 should not be in XScale speed set")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Platform{
+		{Name: "zero-lambda", Lambda: 0, C: 1, V: 1, R: 1},
+		{Name: "neg-lambda", Lambda: -1, C: 1, V: 1, R: 1},
+		{Name: "neg-C", Lambda: 1e-6, C: -1, V: 1, R: 1},
+		{Name: "neg-V", Lambda: 1e-6, C: 1, V: -1, R: 1},
+		{Name: "neg-R", Lambda: 1e-6, C: 1, V: 1, R: -1},
+		{Name: "inf-lambda", Lambda: math.Inf(1), C: 1, V: 1, R: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", p.Name)
+		}
+	}
+	badProc := []Processor{
+		{Name: "empty", Speeds: nil, Kappa: 1, Pidle: 1},
+		{Name: "descending", Speeds: []float64{1, 0.5}, Kappa: 1, Pidle: 1},
+		{Name: "duplicate", Speeds: []float64{0.5, 0.5}, Kappa: 1, Pidle: 1},
+		{Name: "zero-speed", Speeds: []float64{0, 1}, Kappa: 1, Pidle: 1},
+		{Name: "neg-kappa", Speeds: []float64{1}, Kappa: -1, Pidle: 1},
+		{Name: "neg-idle", Speeds: []float64{1}, Kappa: 1, Pidle: -1},
+	}
+	for _, p := range badProc {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", p.Name)
+		}
+	}
+	c := NewConfig(Hera(), XScale())
+	c.Pio = -5
+	if err := c.Validate(); err == nil {
+		t.Error("negative Pio should fail validation")
+	}
+}
+
+func TestConfigValidatePropagates(t *testing.T) {
+	c := NewConfig(Hera(), XScale())
+	c.Platform.Lambda = 0
+	if err := c.Validate(); err == nil {
+		t.Error("config with invalid platform should fail")
+	}
+	c = NewConfig(Hera(), XScale())
+	c.Processor.Speeds = nil
+	if err := c.Validate(); err == nil {
+		t.Error("config with invalid processor should fail")
+	}
+}
+
+func TestCatalogIsFresh(t *testing.T) {
+	// Mutating a returned catalog value must not affect later calls.
+	a := XScale()
+	a.Speeds[0] = 0.99
+	b := XScale()
+	if b.Speeds[0] != 0.15 {
+		t.Error("catalog shares mutable state between calls")
+	}
+}

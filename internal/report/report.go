@@ -1,0 +1,147 @@
+// Package report renders experiment results as a Markdown document —
+// the machine-generated companion to EXPERIMENTS.md. Tables become
+// Markdown tables, figure panels become summaries with inline statistics
+// (series are too large to inline; the .dat exporters carry the data).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"respeed/internal/exp"
+)
+
+// Options controls report rendering.
+type Options struct {
+	// Title heads the document.
+	Title string
+	// Generated stamps the document; zero means omit the stamp (keeps
+	// committed reports byte-stable).
+	Generated time.Time
+	// MaxRows truncates long tables (0 = no limit).
+	MaxRows int
+}
+
+// Write renders the results as one Markdown document.
+func Write(w io.Writer, results []exp.Result, opts Options) error {
+	if opts.Title == "" {
+		opts.Title = "respeed experiment report"
+	}
+	bw := &errWriter{w: w}
+	bw.printf("# %s\n\n", opts.Title)
+	if !opts.Generated.IsZero() {
+		bw.printf("_Generated %s_\n\n", opts.Generated.UTC().Format(time.RFC3339))
+	}
+	bw.printf("%d experiments.\n\n", len(results))
+
+	// Table of contents.
+	for _, r := range results {
+		bw.printf("- [%s](#%s) — %s\n", r.ID, anchor(r.ID), r.Title)
+	}
+	bw.printf("\n")
+
+	for _, r := range results {
+		bw.printf("## %s\n\n", r.ID)
+		bw.printf("%s\n\n", r.Title)
+		for _, t := range r.Tables {
+			bw.printf("**%s**\n\n", t.Caption)
+			writeMarkdownTable(bw, t.Table.Headers(), t.Table.Rows(), opts.MaxRows)
+			bw.printf("\n")
+		}
+		for _, f := range r.Figures {
+			bw.printf("**Series `%s`** — %d points over `%s`%s, %d curves: %s\n\n",
+				f.Name, len(f.X), f.XLabel, logNote(f.LogX), len(f.Series), seriesSummary(f))
+		}
+		for _, n := range r.Notes {
+			if strings.Contains(n, "\n") {
+				bw.printf("```\n%s```\n\n", n)
+			} else {
+				bw.printf("> %s\n\n", n)
+			}
+		}
+	}
+	return bw.err
+}
+
+// errWriter accumulates the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// anchor approximates GitHub's heading anchor rule.
+func anchor(s string) string {
+	return strings.ToLower(strings.ReplaceAll(s, " ", "-"))
+}
+
+func logNote(log bool) string {
+	if log {
+		return " (log)"
+	}
+	return ""
+}
+
+// seriesSummary reports min/max of each curve, skipping NaNs.
+func seriesSummary(f exp.FigureData) string {
+	parts := make([]string, 0, len(f.Series))
+	for _, s := range f.Series {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		finite := 0
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			finite++
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+		if finite == 0 {
+			parts = append(parts, fmt.Sprintf("%s: empty", s.Name))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s ∈ [%.4g, %.4g]", s.Name, lo, hi))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// writeMarkdownTable renders header + rows with pipe escaping.
+func writeMarkdownTable(bw *errWriter, headers []string, rows [][]string, maxRows int) {
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	cells := make([]string, len(headers))
+	for i, h := range headers {
+		cells[i] = esc(h)
+	}
+	bw.printf("| %s |\n", strings.Join(cells, " | "))
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	bw.printf("| %s |\n", strings.Join(seps, " | "))
+	truncated := 0
+	for i, row := range rows {
+		if maxRows > 0 && i >= maxRows {
+			truncated = len(rows) - maxRows
+			break
+		}
+		out := make([]string, len(headers))
+		for j := range headers {
+			if j < len(row) {
+				out[j] = esc(row[j])
+			}
+		}
+		bw.printf("| %s |\n", strings.Join(out, " | "))
+	}
+	if truncated > 0 {
+		bw.printf("\n_… %d more rows truncated._\n", truncated)
+	}
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"respeed/internal/exp"
+	"respeed/internal/tablefmt"
+)
+
+func sampleResults() []exp.Result {
+	tab := tablefmt.New("σ1", "Wopt")
+	tab.AddRowValues(0.4, 2764.0)
+	tab.AddRowValues(0.6, 3639.0)
+	tab.AddRowValues(0.8, 4627.0)
+	return []exp.Result{
+		{
+			ID:    "table-rho3",
+			Title: "Best second speed at ρ=3",
+			Tables: []exp.RenderedTable{{
+				Caption: "the table",
+				Table:   tab,
+			}},
+			Notes: []string{"optimal pair (0.4,0.4)", "multi\nline\nnote\n"},
+		},
+		{
+			ID:    "figure-4",
+			Title: "λ sweep",
+			Figures: []exp.FigureData{{
+				Name: "fig4", XLabel: "lambda", LogX: true,
+				X: []float64{1e-6, 1e-5, 1e-4},
+				Series: []tablefmt.Series{
+					{Name: "Wopt", Y: []float64{5000, 1600, math.NaN()}},
+					{Name: "empty", Y: []float64{math.NaN(), math.NaN(), math.NaN()}},
+				},
+			}},
+		},
+	}
+}
+
+func TestWriteStructure(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, sampleResults(), Options{Title: "Test Report"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Test Report",
+		"## table-rho3",
+		"## figure-4",
+		"| σ1 | Wopt |",
+		"| 0.4 | 2764 |",
+		"> optimal pair (0.4,0.4)",
+		"```\nmulti\nline\nnote\n```",
+		"`fig4`",
+		"(log)",
+		"Wopt ∈ [1600, 5000]",
+		"empty: empty",
+		"- [table-rho3](#table-rho3)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Generated") {
+		t.Error("unset timestamp should be omitted")
+	}
+}
+
+func TestWriteTimestamp(t *testing.T) {
+	var buf bytes.Buffer
+	stamp := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	if err := Write(&buf, nil, Options{Generated: stamp}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2026-07-05T12:00:00Z") {
+		t.Errorf("missing timestamp:\n%s", buf.String())
+	}
+}
+
+func TestWriteTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleResults(), Options{MaxRows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 more rows truncated") {
+		t.Errorf("missing truncation notice:\n%s", out)
+	}
+	if strings.Contains(out, "| 0.8 |") {
+		t.Error("truncated row still rendered")
+	}
+}
+
+func TestWritePipeEscaping(t *testing.T) {
+	tab := tablefmt.New("a|b")
+	tab.AddRow("x|y")
+	results := []exp.Result{{ID: "x", Title: "t",
+		Tables: []exp.RenderedTable{{Caption: "c", Table: tab}}}}
+	var buf bytes.Buffer
+	if err := Write(&buf, results, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a\\|b") || !strings.Contains(buf.String(), "x\\|y") {
+		t.Errorf("pipes not escaped:\n%s", buf.String())
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.after--
+	if f.after < 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWritePropagatesError(t *testing.T) {
+	err := Write(&failingWriter{after: 1}, sampleResults(), Options{})
+	if err == nil {
+		t.Error("write error not propagated")
+	}
+}
+
+func TestRealExperimentRenders(t *testing.T) {
+	e, ok := exp.Lookup("table-rho3")
+	if !ok {
+		t.Fatal("registry miss")
+	}
+	res, err := e.Run(exp.Options{Points: 5, Replications: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, []exp.Result{res}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2764") {
+		t.Error("real experiment table not rendered")
+	}
+}

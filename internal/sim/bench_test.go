@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"testing"
+
+	"respeed/internal/rngx"
+)
+
+func BenchmarkRunPattern(b *testing.B) {
+	costs, model, _ := heraSetup(100)
+	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8}
+	s, err := NewPatternSim(plan, costs, model, rngx.NewStream(1, "bench"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunPattern()
+	}
+}
+
+func BenchmarkReplicateParallel(b *testing.B) {
+	costs, model, _ := heraSetup(100)
+	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplicateParallel(plan, costs, model, uint64(i+1), 1000, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

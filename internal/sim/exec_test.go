@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/detect"
+	"respeed/internal/energy"
+	"respeed/internal/rngx"
+	"respeed/internal/trace"
+	"respeed/internal/workload"
+)
+
+func execConfig(lambdaS, lambdaF float64) ExecConfig {
+	return ExecConfig{
+		Plan:      Plan{W: 50, Sigma1: 0.4, Sigma2: 0.8},
+		Costs:     Costs{C: 300, V: 15.4, R: 300, LambdaS: lambdaS, LambdaF: lambdaF},
+		Model:     energy.Model{Kappa: 1550, Pidle: 60, Pio: 5.23},
+		TotalWork: 500,
+	}
+}
+
+func heatRunner() *Runner { return FromWorkload(workload.NewHeat(256, 0.25)) }
+
+func TestExecErrorFree(t *testing.T) {
+	cfg := execConfig(0, 0)
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(1, "exec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patterns != 10 || rep.Attempts != 10 {
+		t.Errorf("patterns/attempts = %d/%d, want 10/10", rep.Patterns, rep.Attempts)
+	}
+	if rep.SilentInjected != 0 || rep.FailStops != 0 {
+		t.Errorf("errors in error-free run: %+v", rep)
+	}
+	if math.Abs(rep.FinalProgress-500) > 1e-9 {
+		t.Errorf("progress = %g, want 500", rep.FinalProgress)
+	}
+	// Makespan: 10 patterns × ((50+15.4)/0.4 + 300).
+	want := 10 * ((50+15.4)/0.4 + 300)
+	if math.Abs(rep.Makespan-want) > 1e-6 {
+		t.Errorf("makespan = %g, want %g", rep.Makespan, want)
+	}
+	// 10 pattern commits + 1 initial.
+	if rep.CkptStats.Commits != 11 {
+		t.Errorf("commits = %d, want 11", rep.CkptStats.Commits)
+	}
+}
+
+func TestExecAllInjectedSDCsDetected(t *testing.T) {
+	// The core soundness property of verified checkpoints: every injected
+	// corruption is caught before it can be committed.
+	cfg := execConfig(2e-3, 0) // ~1 error per 4 patterns at σ1=0.4
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(2, "exec-sdc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SilentInjected == 0 {
+		t.Fatal("no SDCs injected; raise λ or the seed is unlucky")
+	}
+	if rep.SilentDetected != rep.SilentInjected {
+		t.Errorf("detected %d of %d injected SDCs", rep.SilentDetected, rep.SilentInjected)
+	}
+	if rep.Attempts <= rep.Patterns {
+		t.Errorf("attempts %d should exceed patterns %d after errors", rep.Attempts, rep.Patterns)
+	}
+}
+
+func TestExecFinalStateUnaffectedByErrors(t *testing.T) {
+	// The paper's correctness premise, demonstrated end to end: an
+	// execution battered by silent errors and rollbacks finishes with
+	// exactly the same application state as an error-free execution.
+	clean, err := NewExecSim(execConfig(0, 0), heatRunner(), rngx.NewStream(3, "clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRep, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := NewExecSim(execConfig(3e-3, 0), heatRunner(), rngx.NewStream(4, "dirty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyRep, err := dirty.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirtyRep.SilentInjected == 0 {
+		t.Fatal("want at least one injected error for a meaningful test")
+	}
+	if cleanRep.StateDigest != dirtyRep.StateDigest {
+		t.Errorf("final states differ: clean %x vs dirty %x",
+			cleanRep.StateDigest, dirtyRep.StateDigest)
+	}
+	if !(dirtyRep.Makespan > cleanRep.Makespan) {
+		t.Error("errorful run should take longer")
+	}
+	if !(dirtyRep.Energy > cleanRep.Energy) {
+		t.Error("errorful run should consume more energy")
+	}
+}
+
+func TestExecFailStopRecovery(t *testing.T) {
+	cfg := execConfig(0, 5e-3) // ≈0.56 crash probability per attempt
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(5, "exec-fs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailStops == 0 {
+		t.Fatal("no fail-stop errors sampled")
+	}
+	if math.Abs(rep.FinalProgress-500) > 1e-9 {
+		t.Errorf("progress = %g despite crashes, want 500", rep.FinalProgress)
+	}
+	if rep.CkptStats.Recoveries != rep.FailStops {
+		t.Errorf("recoveries %d != fail-stops %d", rep.CkptStats.Recoveries, rep.FailStops)
+	}
+}
+
+func TestExecWorksForAllKernels(t *testing.T) {
+	for _, build := range []func() *Runner{
+		func() *Runner { return FromWorkload(workload.NewHeat(128, 0.25)) },
+		func() *Runner { return FromWorkload(workload.NewStream(9, 32)) },
+		func() *Runner { return FromWorkload(workload.NewMatVec(64)) },
+	} {
+		r := build()
+		cfg := execConfig(2e-3, 5e-4)
+		e, err := NewExecSim(cfg, r, rngx.NewStream(6, "exec-"+r.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if rep.SilentDetected != rep.SilentInjected {
+			t.Errorf("%s: missed detections", r.Name())
+		}
+		if math.Abs(rep.FinalProgress-cfg.TotalWork) > 1e-9 {
+			t.Errorf("%s: progress %g", r.Name(), rep.FinalProgress)
+		}
+	}
+}
+
+func TestExecTraceIsValid(t *testing.T) {
+	cfg := execConfig(2e-3, 5e-4)
+	cfg.Trace = trace.New(0)
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(7, "exec-trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := cfg.Trace.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if err := trace.Validate(events); err != nil {
+		t.Error(err)
+	}
+	if got := cfg.Trace.CountKind(trace.Checkpoint); got != rep.Patterns {
+		t.Errorf("checkpoint events %d != patterns %d", got, rep.Patterns)
+	}
+	if got := cfg.Trace.CountKind(trace.VerifyFail); got != rep.SilentDetected {
+		t.Errorf("verify-fail events %d != detections %d", got, rep.SilentDetected)
+	}
+}
+
+func TestExecShortFinalPattern(t *testing.T) {
+	// TotalWork = 3.5 × W: the last pattern is a partial one.
+	cfg := execConfig(0, 0)
+	cfg.TotalWork = 175 // 3×50 + 25
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(8, "exec-short"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patterns != 4 {
+		t.Errorf("patterns = %d, want 4", rep.Patterns)
+	}
+	if math.Abs(rep.FinalProgress-175) > 1e-9 {
+		t.Errorf("progress = %g, want 175", rep.FinalProgress)
+	}
+}
+
+func TestExecCRC32Detector(t *testing.T) {
+	cfg := execConfig(2e-3, 0)
+	cfg.Detector = detect.CRC32C{}
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(9, "exec-crc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SilentDetected != rep.SilentInjected {
+		t.Errorf("crc32c missed detections: %d/%d", rep.SilentDetected, rep.SilentInjected)
+	}
+}
+
+func TestExecRejectsBadConfig(t *testing.T) {
+	good := execConfig(0, 0)
+	bad := good
+	bad.TotalWork = 0
+	if _, err := NewExecSim(bad, heatRunner(), rngx.NewStream(1, "x")); err == nil {
+		t.Error("zero TotalWork should be rejected")
+	}
+	if _, err := NewExecSim(good, nil, rngx.NewStream(1, "x")); err == nil {
+		t.Error("nil workload should be rejected")
+	}
+	bad = good
+	bad.Plan.Sigma1 = 0
+	if _, err := NewExecSim(bad, heatRunner(), rngx.NewStream(1, "x")); err == nil {
+		t.Error("zero σ1 should be rejected")
+	}
+}
+
+func TestExecDeterministicDigest(t *testing.T) {
+	run := func() detect.Digest {
+		e, err := NewExecSim(execConfig(2e-3, 1e-3), heatRunner(), rngx.NewStream(10, "exec-det"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.StateDigest
+	}
+	if run() != run() {
+		t.Error("same-seed executions produced different final states")
+	}
+}
+
+func TestExecEnergyBreakdownConservation(t *testing.T) {
+	cfg := execConfig(2e-3, 1e-3)
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(14, "exec-breakdown"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.EnergyBreakdown
+	sum := b.Compute + b.Verify + b.Checkpoint + b.Recovery + b.Idle
+	if math.Abs(sum-rep.Energy) > 1e-6*rep.Energy {
+		t.Errorf("breakdown parts %g != total %g", sum, rep.Energy)
+	}
+	if b.Compute <= 0 || b.Checkpoint <= 0 {
+		t.Errorf("missing activity energy: %+v", b)
+	}
+	if rep.FailStops > 0 && b.Recovery <= 0 {
+		t.Error("fail-stops occurred but no recovery energy recorded")
+	}
+	if math.Abs(b.Elapsed-rep.Makespan) > 1e-6*rep.Makespan {
+		t.Errorf("breakdown elapsed %g != makespan %g", b.Elapsed, rep.Makespan)
+	}
+}

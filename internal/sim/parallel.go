@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"respeed/internal/energy"
+	"respeed/internal/rngx"
+	"respeed/internal/stats"
+)
+
+// replicateChunks is the fixed work-partition count for parallel
+// replication. Chunking by a constant — not by worker count — makes the
+// result bit-identical for any GOMAXPROCS: chunk i always consumes the
+// stream seed/"chunk-i", and chunk accumulators merge in index order.
+const replicateChunks = 64
+
+// ReplicateParallel runs n independent pattern simulations fanned out
+// over a bounded worker pool and returns the same aggregate as
+// Replicate. The estimate is deterministic in (seed, n) and independent
+// of worker count and scheduling; it does NOT reproduce sequential
+// Replicate's exact samples (different substreams), only the same
+// distribution.
+func ReplicateParallel(plan Plan, costs Costs, model energy.Model, seed uint64, n, workers int) (Estimate, error) {
+	if n < 1 {
+		return Estimate{}, fmt.Errorf("sim: replication count must be ≥ 1")
+	}
+	if err := plan.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if err := costs.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := replicateChunks
+	if chunks > n {
+		chunks = n
+	}
+
+	type chunkResult struct {
+		tw, ew, tpw, epw stats.Welford
+		attempts         int
+		err              error
+	}
+	results := make([]chunkResult, chunks)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Chunk i runs replications [lo, hi).
+				lo := i * n / chunks
+				hi := (i + 1) * n / chunks
+				rng := rngx.NewStream(seed, fmt.Sprintf("replicate/chunk-%d", i))
+				s, err := NewPatternSim(plan, costs, model, rng, nil)
+				if err != nil {
+					results[i].err = err
+					continue
+				}
+				cr := &results[i]
+				for r := lo; r < hi; r++ {
+					pr := s.RunPattern()
+					cr.tw.Add(pr.Time)
+					cr.ew.Add(pr.Energy)
+					cr.tpw.Add(pr.Time / plan.W)
+					cr.epw.Add(pr.Energy / plan.W)
+					cr.attempts += pr.Attempts
+				}
+			}
+		}()
+	}
+	for i := 0; i < chunks; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var tw, ew, tpw, epw stats.Welford
+	attempts := 0
+	for i := range results {
+		if results[i].err != nil {
+			return Estimate{}, results[i].err
+		}
+		tw.Merge(results[i].tw)
+		ew.Merge(results[i].ew)
+		tpw.Merge(results[i].tpw)
+		epw.Merge(results[i].epw)
+		attempts += results[i].attempts
+	}
+	return Estimate{
+		Time:          tw.Summarize(),
+		Energy:        ew.Summarize(),
+		TimePerWork:   tpw.Summarize(),
+		EnergyPerWork: epw.Summarize(),
+		MeanAttempts:  float64(attempts) / float64(n),
+		Patterns:      n,
+	}, nil
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/workload"
+
+	"respeed/internal/rngx"
+)
+
+func TestReplicateParallelMatchesAnalytic(t *testing.T) {
+	costs, model, p := heraSetup(100)
+	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8}
+	est, err := ReplicateParallel(plan, costs, model, 42, 40000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.ExpectedTime(plan.W, plan.Sigma1, plan.Sigma2)
+	if d := math.Abs(est.Time.Mean - want); d > 4*est.Time.StdErr {
+		t.Errorf("parallel mean %g vs analytic %g (Δ=%g, 4se=%g)",
+			est.Time.Mean, want, d, 4*est.Time.StdErr)
+	}
+	if est.Patterns != 40000 {
+		t.Errorf("patterns %d", est.Patterns)
+	}
+}
+
+func TestReplicateParallelDeterministicAcrossWorkers(t *testing.T) {
+	costs, model, _ := heraSetup(100)
+	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8}
+	run := func(workers int) Estimate {
+		est, err := ReplicateParallel(plan, costs, model, 7, 5000, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	one := run(1)
+	many := run(16)
+	if one.Time.Mean != many.Time.Mean || one.Energy.Mean != many.Energy.Mean {
+		t.Errorf("worker count changed the estimate: %v vs %v", one.Time.Mean, many.Time.Mean)
+	}
+	if one.MeanAttempts != many.MeanAttempts {
+		t.Errorf("attempts differ: %g vs %g", one.MeanAttempts, many.MeanAttempts)
+	}
+}
+
+func TestReplicateParallelSeedSensitivity(t *testing.T) {
+	costs, model, _ := heraSetup(100)
+	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8}
+	a, err := ReplicateParallel(plan, costs, model, 1, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplicateParallel(plan, costs, model, 2, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time.Mean == b.Time.Mean {
+		t.Error("different seeds gave identical estimates")
+	}
+}
+
+func TestReplicateParallelSmallN(t *testing.T) {
+	costs, model, _ := heraSetup(1)
+	plan := Plan{W: 100, Sigma1: 1, Sigma2: 1}
+	est, err := ReplicateParallel(plan, costs, model, 3, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Patterns != 5 || est.Time.N != 5 {
+		t.Errorf("small-n bookkeeping: %+v", est)
+	}
+	if _, err := ReplicateParallel(plan, costs, model, 3, 0, 8); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+}
+
+func TestReplicateParallelAgreesWithSequential(t *testing.T) {
+	// Different substreams, same distribution: means must agree within
+	// combined confidence intervals.
+	costs, model, _ := heraSetup(100)
+	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.4}
+	seq, err := Replicate(plan, costs, model, rngx.NewStream(11, "seq"), 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReplicateParallel(plan, costs, model, 11, 30000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(seq.Time.Mean - par.Time.Mean); d > 4*(seq.Time.StdErr+par.Time.StdErr) {
+		t.Errorf("sequential %g vs parallel %g differ beyond noise", seq.Time.Mean, par.Time.Mean)
+	}
+}
+
+func TestSkipVerificationCorruptsFinalState(t *testing.T) {
+	// The ablation that motivates verified checkpoints: with verification
+	// disabled, injected SDCs survive into the final state.
+	base := execConfig(3e-3, 0)
+	base.TotalWork = 1000
+
+	clean := base
+	clean.Costs.LambdaS = 0
+	cleanSim, err := NewExecSim(clean, heatRunner(), rngx.NewStream(21, "skip-clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRep, err := cleanSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blind := base
+	blind.SkipVerification = true
+	blindSim, err := NewExecSim(blind, heatRunner(), rngx.NewStream(21, "skip-blind"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindRep, err := blindSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blindRep.SilentInjected == 0 {
+		t.Fatal("no SDC injected; test is vacuous")
+	}
+	if blindRep.SilentDetected != 0 {
+		t.Errorf("blind mode should detect nothing, got %d", blindRep.SilentDetected)
+	}
+	if blindRep.StateDigest == cleanRep.StateDigest {
+		t.Error("blind execution should end in a corrupted state")
+	}
+
+	// And with verification on (same error process shape), the state is
+	// clean again.
+	verified := base
+	verifiedSim, err := NewExecSim(verified, heatRunner(), rngx.NewStream(21, "skip-verified"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifiedRep, err := verifiedSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verifiedRep.StateDigest != cleanRep.StateDigest {
+		t.Error("verified execution should end clean")
+	}
+}
+
+func TestSkipVerificationIsFasterPerPattern(t *testing.T) {
+	// Without errors, skipping verification must save exactly V/σ1 per
+	// pattern.
+	cfg := execConfig(0, 0)
+	cfg.TotalWork = 500
+	run := func(skip bool) float64 {
+		c := cfg
+		c.SkipVerification = skip
+		e, err := NewExecSim(c, heatRunner(), rngx.NewStream(5, "fast"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Makespan
+	}
+	withV := run(false)
+	withoutV := run(true)
+	wantDelta := 10 * cfg.Costs.V / cfg.Plan.Sigma1 // 10 patterns
+	if math.Abs((withV-withoutV)-wantDelta) > 1e-6 {
+		t.Errorf("verification cost delta %g, want %g", withV-withoutV, wantDelta)
+	}
+}
+
+func TestSkipVerificationStillHandlesFailStop(t *testing.T) {
+	cfg := execConfig(0, 5e-3)
+	cfg.SkipVerification = true
+	e, err := NewExecSim(cfg, FromWorkload(workload.NewStream(3, 16)), rngx.NewStream(9, "skip-fs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailStops == 0 {
+		t.Fatal("no fail-stops sampled")
+	}
+	if math.Abs(rep.FinalProgress-cfg.TotalWork) > 1e-9 {
+		t.Errorf("progress %g", rep.FinalProgress)
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/core"
+	"respeed/internal/rngx"
+	"respeed/internal/trace"
+	"respeed/internal/workload"
+)
+
+func partialExecConfig(lambdaS float64) ExecConfig {
+	cfg := execConfig(lambdaS, 0)
+	cfg.Partial = &PartialExec{Segments: 4, Coverage: 0.7, Cost: 2}
+	return cfg
+}
+
+func TestPartialExecErrorFree(t *testing.T) {
+	cfg := partialExecConfig(0)
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(1, "pexec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patterns != 10 {
+		t.Errorf("patterns %d", rep.Patterns)
+	}
+	// Each pattern pays 3 partial checks.
+	if rep.PartialChecks != 30 {
+		t.Errorf("partial checks %d, want 30", rep.PartialChecks)
+	}
+	if rep.PartialDetections != 0 {
+		t.Errorf("phantom detections %d", rep.PartialDetections)
+	}
+	// Error-free makespan: 10 × (compute + 3 partial + guaranteed + C).
+	want := 10 * (50/0.4 + 3*2/0.4 + 15.4/0.4 + 300)
+	if math.Abs(rep.Makespan-want) > 1e-6 {
+		t.Errorf("makespan %g, want %g", rep.Makespan, want)
+	}
+}
+
+func TestPartialExecDetectsAndStaysClean(t *testing.T) {
+	cfg := partialExecConfig(3e-3)
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(2, "pexec-err"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SilentInjected == 0 {
+		t.Fatal("no SDCs injected")
+	}
+	// The guaranteed check backstops the partial ones: every injected SDC
+	// must eventually be detected, and the final state must equal the
+	// clean run's.
+	if rep.SilentDetected != rep.SilentInjected {
+		t.Errorf("detected %d of %d", rep.SilentDetected, rep.SilentInjected)
+	}
+	clean := partialExecConfig(0)
+	ce, err := NewExecSim(clean, heatRunner(), rngx.NewStream(3, "pexec-clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRep, err := ce.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StateDigest != cleanRep.StateDigest {
+		t.Error("partial-verified execution ended corrupted")
+	}
+	if rep.FinalProgress != cfg.TotalWork {
+		t.Errorf("progress %g", rep.FinalProgress)
+	}
+}
+
+func TestPartialExecEarlyDetectionSavesTime(t *testing.T) {
+	// At a high error rate, intermediate checks catch corruptions early
+	// and the mean pattern time beats the m=1 baseline (whose only
+	// detection point is the end of the pattern). Compare long runs.
+	const lambda = 4e-3
+	base := execConfig(lambda, 0)
+	base.TotalWork = base.Plan.W * 3000 // enough patterns to beat sampling noise
+	withPartial := base
+	withPartial.Partial = &PartialExec{Segments: 4, Coverage: 0.9, Cost: 0.1}
+
+	run := func(cfg ExecConfig, name string) float64 {
+		e, err := NewExecSim(cfg, FromWorkload(workload.NewStream(1, 16)), rngx.NewStream(11, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Makespan
+	}
+	m1 := run(base, "p-base")
+	m4 := run(withPartial, "p-seg")
+	if !(m4 < m1) {
+		t.Errorf("partial checks did not pay off: %g vs %g", m4, m1)
+	}
+}
+
+// TestPartialExecMatchesAnalyticModel is the cross-validation: the mean
+// pattern time of the full-stack partial execution must match
+// core.ExpectedTimePartial with Recall = Coverage.
+func TestPartialExecMatchesAnalyticModel(t *testing.T) {
+	const lambda = 2e-3
+	cfg := execConfig(lambda, 0)
+	cfg.Partial = &PartialExec{Segments: 4, Coverage: 0.7, Cost: 2}
+	const patterns = 3000
+	cfg.TotalWork = cfg.Plan.W * patterns
+
+	e, err := NewExecSim(cfg, FromWorkload(workload.NewStream(5, 4)), rngx.NewStream(21, "pexec-mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanPattern := rep.Makespan / patterns
+
+	p := core.Params{Lambda: lambda, C: cfg.Costs.C, V: cfg.Costs.V, R: cfg.Costs.R,
+		Kappa: cfg.Model.Kappa, Pidle: cfg.Model.Pidle, Pio: cfg.Model.Pio}
+	pp := core.PartialPattern{Segments: 4, Recall: 0.7, PartialCost: 2}
+	want := p.ExpectedTimePartial(pp, cfg.Plan.W, cfg.Plan.Sigma1, cfg.Plan.Sigma2)
+	if rel := math.Abs(meanPattern-want) / want; rel > 0.03 {
+		t.Errorf("exec mean pattern time %g vs analytic %g (rel %g)", meanPattern, want, rel)
+	}
+}
+
+func TestPartialExecTraceValid(t *testing.T) {
+	cfg := partialExecConfig(3e-3)
+	cfg.Trace = trace.New(0)
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(4, "pexec-trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(cfg.Trace.Events()); err != nil {
+		t.Error(err)
+	}
+	if got := cfg.Trace.CountKind(trace.Checkpoint); got != rep.Patterns {
+		t.Errorf("checkpoints %d != patterns %d", got, rep.Patterns)
+	}
+}
+
+func TestPartialExecConfigGuards(t *testing.T) {
+	bad := partialExecConfig(0)
+	bad.Partial.Segments = 1
+	if _, err := NewExecSim(bad, heatRunner(), rngx.NewStream(1, "x")); err == nil {
+		t.Error("1 segment should be rejected (use Partial=nil)")
+	}
+	bad = partialExecConfig(0)
+	bad.Partial.Coverage = 0
+	if _, err := NewExecSim(bad, heatRunner(), rngx.NewStream(1, "x")); err == nil {
+		t.Error("zero coverage should be rejected")
+	}
+	bad = partialExecConfig(0)
+	bad.Partial.Cost = -1
+	if _, err := NewExecSim(bad, heatRunner(), rngx.NewStream(1, "x")); err == nil {
+		t.Error("negative cost should be rejected")
+	}
+	bad = partialExecConfig(0)
+	bad.SkipVerification = true
+	if _, err := NewExecSim(bad, heatRunner(), rngx.NewStream(1, "x")); err == nil {
+		t.Error("Partial+SkipVerification should be rejected")
+	}
+}

@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"fmt"
+
+	"respeed/internal/ckpt"
+	"respeed/internal/detect"
+	"respeed/internal/energy"
+	"respeed/internal/faults"
+	"respeed/internal/rngx"
+)
+
+// TwoLevelConfig configures two-level checkpointing, the multi-level
+// setting of the paper's reference [Benoit, Cavelan, Robert, Sun,
+// IPDPS 2016]: cheap in-memory checkpoints after every pattern handle
+// silent errors, expensive disk checkpoints every DiskEvery patterns
+// survive fail-stop crashes (which wipe memory). A fail-stop error
+// therefore rolls the execution back up to DiskEvery−1 committed
+// patterns — the trade-off the disk interval k optimizes.
+type TwoLevelConfig struct {
+	// Plan is the per-pattern policy (W, σ1, σ2). Re-executions after
+	// any error run at σ2, including the catch-up re-execution of
+	// patterns lost to a disk rollback.
+	Plan Plan
+	// Costs supplies V, R (memory-level recovery) and the error rates;
+	// Costs.C is ignored — the two-level costs below replace it.
+	Costs Costs
+	// MemC is the in-memory checkpoint cost (seconds); DiskC the disk
+	// checkpoint cost; DiskR the disk recovery cost.
+	MemC, DiskC, DiskR float64
+	// DiskEvery is k ≥ 1: a disk checkpoint follows every k-th pattern.
+	DiskEvery int
+	// Model prices energy. Memory checkpoints bill I/O power like disk
+	// ones (the paper's single Pio abstraction).
+	Model energy.Model
+	// TotalWork is the application size in work units; it must be a
+	// positive multiple of Plan.W (two-level rollback bookkeeping works
+	// in whole patterns).
+	TotalWork float64
+	// Detector verifies state; nil selects FNV-64a.
+	Detector detect.Detector
+}
+
+// Validate checks the configuration.
+func (c TwoLevelConfig) Validate() error {
+	if err := c.Plan.Validate(); err != nil {
+		return err
+	}
+	if err := c.Costs.Validate(); err != nil {
+		return err
+	}
+	if c.MemC < 0 || c.DiskC < 0 || c.DiskR < 0 {
+		return fmt.Errorf("sim: negative two-level costs (MemC=%g DiskC=%g DiskR=%g)", c.MemC, c.DiskC, c.DiskR)
+	}
+	if c.DiskEvery < 1 {
+		return fmt.Errorf("sim: DiskEvery must be ≥ 1 (got %d)", c.DiskEvery)
+	}
+	if c.TotalWork <= 0 {
+		return fmt.Errorf("sim: TotalWork must be positive")
+	}
+	n := c.TotalWork / c.Plan.W
+	if n != float64(int(n)) {
+		return fmt.Errorf("sim: TotalWork (%g) must be a whole multiple of W (%g)", c.TotalWork, c.Plan.W)
+	}
+	return nil
+}
+
+// TwoLevelReport summarizes a two-level execution.
+type TwoLevelReport struct {
+	// Makespan and Energy as in ExecReport.
+	Makespan, Energy float64
+	// Patterns is the application's pattern count; Executions counts
+	// every pattern execution including re-executions and disk-rollback
+	// catch-up work.
+	Patterns, Executions int
+	// MemCommits, DiskCommits count checkpoints by level.
+	MemCommits, DiskCommits int
+	// SilentErrors and FailStops count errors; MemRecoveries and
+	// DiskRecoveries the rollbacks by level.
+	SilentErrors, FailStops       int
+	MemRecoveries, DiskRecoveries int
+	// PatternsLost is the total committed patterns re-done because a
+	// fail-stop wiped the memory level.
+	PatternsLost int
+	// StateDigest fingerprints the final state.
+	StateDigest detect.Digest
+}
+
+// TwoLevelSim executes an application under two-level checkpointing.
+type TwoLevelSim struct {
+	cfg      TwoLevelConfig
+	main     *Runner
+	replica  *Runner
+	verifier *detect.Verifier
+	mem      *ckpt.Store
+	disk     *ckpt.Store
+	inj      *faults.Injector
+
+	clock  float64
+	joules float64
+}
+
+// NewTwoLevelSim builds the simulator.
+func NewTwoLevelSim(cfg TwoLevelConfig, wl *Runner, rng *rngx.Stream) (*TwoLevelSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if wl == nil {
+		return nil, fmt.Errorf("sim: nil workload")
+	}
+	return &TwoLevelSim{
+		cfg:      cfg,
+		main:     wl,
+		replica:  wl.clone(),
+		verifier: detect.NewVerifier(cfg.Detector),
+		mem:      ckpt.New(1),
+		disk:     ckpt.New(1),
+		inj:      faults.New(cfg.Costs.LambdaS, cfg.Costs.LambdaF, rng),
+	}, nil
+}
+
+func (s *TwoLevelSim) advance(dur float64, act energy.Activity, sigma float64) {
+	s.clock += dur
+	switch act {
+	case energy.Compute, energy.Verify:
+		s.joules += s.cfg.Model.ComputeEnergy(dur, sigma)
+	case energy.Checkpoint, energy.Recovery:
+		s.joules += s.cfg.Model.IOEnergy(dur)
+	default:
+		s.joules += s.cfg.Model.IdleEnergy(dur)
+	}
+}
+
+// commit stages and commits the current state to a store.
+func (s *TwoLevelSim) commit(store *ckpt.Store, pattern int) error {
+	store.Stage(s.main.state())
+	store.MarkVerified()
+	_, err := store.Commit(pattern, s.clock)
+	return err
+}
+
+// restoreFrom rolls both workload copies back to a store's snapshot and
+// returns the pattern index the snapshot belongs to.
+func (s *TwoLevelSim) restoreFrom(store *ckpt.Store) (int, error) {
+	snap, err := store.Latest()
+	if err != nil {
+		return 0, err
+	}
+	state, err := store.Recover()
+	if err != nil {
+		return 0, err
+	}
+	if err := s.main.restore(state); err != nil {
+		return 0, err
+	}
+	if err := s.replica.restore(state); err != nil {
+		return 0, err
+	}
+	return snap.Pattern, nil
+}
+
+// Run executes the application to completion.
+func (s *TwoLevelSim) Run() (TwoLevelReport, error) {
+	var rep TwoLevelReport
+	w := s.cfg.Plan.W
+	total := int(s.cfg.TotalWork / w)
+	rep.Patterns = total
+
+	// Initial state is disk checkpoint zero (pattern index −1).
+	if err := s.commit(s.disk, -1); err != nil {
+		return rep, fmt.Errorf("sim: initial disk checkpoint: %w", err)
+	}
+	if err := s.commit(s.mem, -1); err != nil {
+		return rep, fmt.Errorf("sim: initial memory checkpoint: %w", err)
+	}
+
+	// frontier is the highest pattern index ever committed to memory;
+	// patterns at or below it that run again (after a disk rollback) are
+	// catch-up re-executions and run at σ2.
+	frontier := -1
+	pattern := 0
+	errored := false // current pattern has already failed at least once
+
+	for pattern < total {
+		sigma := s.cfg.Plan.Sigma1
+		if errored || pattern <= frontier {
+			sigma = s.cfg.Plan.Sigma2
+		}
+		computeDur := w / sigma
+		verifyDur := s.cfg.Costs.V / sigma
+		rep.Executions++
+
+		// Fail-stop: wipe memory level, roll back to disk.
+		if at, hit := s.inj.FailStopWithin(computeDur + verifyDur); hit {
+			s.advance(at, energy.Compute, sigma)
+			rep.FailStops++
+			rep.DiskRecoveries++
+			s.advance(s.cfg.DiskR, energy.Recovery, 0)
+			diskPattern, err := s.restoreFrom(s.disk)
+			if err != nil {
+				return rep, fmt.Errorf("sim: disk recovery: %w", err)
+			}
+			// Memory level is gone; reseed it from the disk snapshot.
+			if err := s.commit(s.mem, diskPattern); err != nil {
+				return rep, fmt.Errorf("sim: reseed memory: %w", err)
+			}
+			rep.PatternsLost += pattern - (diskPattern + 1)
+			pattern = diskPattern + 1
+			errored = true
+			continue
+		}
+
+		// Execute the pattern on real state.
+		s.main.advance(w)
+		s.replica.advance(w)
+		silent := s.inj.SilentWithin(computeDur)
+		if silent {
+			corrupted := append([]byte(nil), s.main.state()...)
+			s.inj.CorruptState(corrupted)
+			if err := s.main.restore(corrupted); err != nil {
+				return rep, fmt.Errorf("sim: inject SDC: %w", err)
+			}
+			rep.SilentErrors++
+		}
+		s.advance(computeDur, energy.Compute, sigma)
+		s.advance(verifyDur, energy.Verify, sigma)
+
+		if !s.verifier.Verify(s.main.state(), s.replica.state()) {
+			// Silent error detected: memory-level rollback (R).
+			rep.MemRecoveries++
+			s.advance(s.cfg.Costs.R, energy.Recovery, 0)
+			if _, err := s.restoreFrom(s.mem); err != nil {
+				return rep, fmt.Errorf("sim: memory recovery: %w", err)
+			}
+			errored = true
+			continue
+		}
+		if silent {
+			return rep, fmt.Errorf("sim: injected SDC escaped verification (pattern %d)", pattern)
+		}
+
+		// Verified: commit memory checkpoint, and a disk checkpoint on
+		// every k-th pattern (and always for the final one, so the result
+		// is durable).
+		if err := s.commit(s.mem, pattern); err != nil {
+			return rep, fmt.Errorf("sim: memory checkpoint: %w", err)
+		}
+		s.advance(s.cfg.MemC, energy.Checkpoint, 0)
+		rep.MemCommits++
+		if (pattern+1)%s.cfg.DiskEvery == 0 || pattern == total-1 {
+			if err := s.commit(s.disk, pattern); err != nil {
+				return rep, fmt.Errorf("sim: disk checkpoint: %w", err)
+			}
+			s.advance(s.cfg.DiskC, energy.Checkpoint, 0)
+			rep.DiskCommits++
+		}
+		if pattern > frontier {
+			frontier = pattern
+		}
+		pattern++
+		errored = false
+	}
+
+	rep.Makespan = s.clock
+	rep.Energy = s.joules
+	rep.StateDigest = s.verifier.Detector().Sum(s.main.state())
+	return rep, nil
+}
+
+// ReplicateTwoLevel runs n independent executions (different substreams)
+// and returns the mean makespan — the objective the disk interval k is
+// tuned against.
+func ReplicateTwoLevel(cfg TwoLevelConfig, mkWorkload func() *Runner, seed uint64, n int) (meanMakespan float64, err error) {
+	if n < 1 {
+		return 0, fmt.Errorf("sim: replication count must be ≥ 1")
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		s, err := NewTwoLevelSim(cfg, mkWorkload(), rngx.NewStream(seed, fmt.Sprintf("twolevel/%d", i)))
+		if err != nil {
+			return 0, err
+		}
+		rep, err := s.Run()
+		if err != nil {
+			return 0, err
+		}
+		sum += rep.Makespan
+	}
+	return sum / float64(n), nil
+}

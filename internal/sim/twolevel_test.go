@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/energy"
+	"respeed/internal/rngx"
+	"respeed/internal/workload"
+)
+
+func twoLevelConfig(lambdaS, lambdaF float64, k int) TwoLevelConfig {
+	return TwoLevelConfig{
+		Plan:      Plan{W: 50, Sigma1: 0.4, Sigma2: 0.8},
+		Costs:     Costs{V: 15.4, R: 30, LambdaS: lambdaS, LambdaF: lambdaF},
+		MemC:      20,
+		DiskC:     300,
+		DiskR:     300,
+		DiskEvery: k,
+		Model:     energy.Model{Kappa: 1550, Pidle: 60, Pio: 5.23},
+		TotalWork: 1000, // 20 patterns
+	}
+}
+
+func twoLevelRunner() *Runner { return FromWorkload(workload.NewHeat(128, 0.25)) }
+
+func TestTwoLevelErrorFree(t *testing.T) {
+	cfg := twoLevelConfig(0, 0, 4)
+	s, err := NewTwoLevelSim(cfg, twoLevelRunner(), rngx.NewStream(1, "tl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patterns != 20 || rep.Executions != 20 {
+		t.Errorf("patterns/executions %d/%d", rep.Patterns, rep.Executions)
+	}
+	if rep.MemCommits != 20 {
+		t.Errorf("mem commits %d, want 20", rep.MemCommits)
+	}
+	// Disk checkpoints at patterns 3,7,11,15,19 → 5 (the final one is a
+	// scheduled k-th).
+	if rep.DiskCommits != 5 {
+		t.Errorf("disk commits %d, want 5", rep.DiskCommits)
+	}
+	// Makespan: 20 × ((50+15.4)/0.4 + 20) + 5×300.
+	want := 20*((50+15.4)/0.4+20) + 5*300
+	if math.Abs(rep.Makespan-want) > 1e-6 {
+		t.Errorf("makespan %g, want %g", rep.Makespan, want)
+	}
+}
+
+func TestTwoLevelFinalPatternAlwaysOnDisk(t *testing.T) {
+	// With k=7 and 20 patterns, scheduled disk checkpoints land at 6 and
+	// 13; the final pattern 19 gets one regardless → 3 total.
+	cfg := twoLevelConfig(0, 0, 7)
+	s, err := NewTwoLevelSim(cfg, twoLevelRunner(), rngx.NewStream(2, "tl-final"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DiskCommits != 3 {
+		t.Errorf("disk commits %d, want 3", rep.DiskCommits)
+	}
+}
+
+func TestTwoLevelSilentUsesMemoryLevel(t *testing.T) {
+	cfg := twoLevelConfig(3e-3, 0, 4)
+	s, err := NewTwoLevelSim(cfg, twoLevelRunner(), rngx.NewStream(3, "tl-silent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SilentErrors == 0 {
+		t.Fatal("no silent errors sampled")
+	}
+	if rep.MemRecoveries != rep.SilentErrors {
+		t.Errorf("memory recoveries %d != silent errors %d", rep.MemRecoveries, rep.SilentErrors)
+	}
+	if rep.DiskRecoveries != 0 {
+		t.Errorf("silent errors triggered %d disk recoveries", rep.DiskRecoveries)
+	}
+	if rep.PatternsLost != 0 {
+		t.Errorf("silent errors lost %d committed patterns", rep.PatternsLost)
+	}
+}
+
+func TestTwoLevelFailStopRollsBackToDisk(t *testing.T) {
+	cfg := twoLevelConfig(0, 4e-3, 5)
+	s, err := NewTwoLevelSim(cfg, twoLevelRunner(), rngx.NewStream(4, "tl-fs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailStops == 0 {
+		t.Fatal("no fail-stops sampled")
+	}
+	if rep.DiskRecoveries != rep.FailStops {
+		t.Errorf("disk recoveries %d != fail-stops %d", rep.DiskRecoveries, rep.FailStops)
+	}
+	// Each crash can lose at most DiskEvery−1 committed patterns.
+	if rep.PatternsLost > rep.FailStops*(cfg.DiskEvery-1) {
+		t.Errorf("lost %d patterns across %d crashes with k=%d", rep.PatternsLost, rep.FailStops, cfg.DiskEvery)
+	}
+	// Re-executions happened: executions exceed patterns.
+	if rep.Executions <= rep.Patterns {
+		t.Errorf("executions %d should exceed patterns %d", rep.Executions, rep.Patterns)
+	}
+}
+
+func TestTwoLevelFinalStateClean(t *testing.T) {
+	clean, err := NewTwoLevelSim(twoLevelConfig(0, 0, 4), twoLevelRunner(), rngx.NewStream(5, "tl-clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRep, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := NewTwoLevelSim(twoLevelConfig(3e-3, 3e-3, 4), twoLevelRunner(), rngx.NewStream(6, "tl-dirty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyRep, err := dirty.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirtyRep.SilentErrors == 0 || dirtyRep.FailStops == 0 {
+		t.Fatalf("want both error kinds (got %d silent, %d fail-stop)", dirtyRep.SilentErrors, dirtyRep.FailStops)
+	}
+	if dirtyRep.StateDigest != cleanRep.StateDigest {
+		t.Error("two-level execution ended corrupted")
+	}
+	if !(dirtyRep.Makespan > cleanRep.Makespan) {
+		t.Error("errors should lengthen the run")
+	}
+}
+
+func TestTwoLevelKTradeoff(t *testing.T) {
+	// Small k: many expensive disk checkpoints. Large k: long rollbacks.
+	// With frequent crashes, the mean makespan over k must not be
+	// monotone-decreasing through k=1..12 — there is an interior trade-off
+	// (k=1 pays maximal checkpoint cost, k=12 maximal rollback cost).
+	mk := func() *Runner { return FromWorkload(workload.NewStream(9, 8)) }
+	mean := func(k int) float64 {
+		cfg := twoLevelConfig(0, 2e-3, k)
+		m, err := ReplicateTwoLevel(cfg, mk, 7, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1, m4, m20 := mean(1), mean(4), mean(20)
+	if !(m4 < m1) {
+		t.Errorf("k=4 (%.0f) should beat k=1 (%.0f): disk checkpoints are expensive", m4, m1)
+	}
+	if !(m4 < m20) {
+		t.Errorf("k=4 (%.0f) should beat k=20 (%.0f): rollbacks are expensive", m4, m20)
+	}
+}
+
+func TestTwoLevelValidate(t *testing.T) {
+	good := twoLevelConfig(0, 0, 4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.DiskEvery = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	bad = good
+	bad.TotalWork = 1025 // not a multiple of W=50
+	if err := bad.Validate(); err == nil {
+		t.Error("non-multiple TotalWork should be rejected")
+	}
+	bad = good
+	bad.MemC = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative MemC should be rejected")
+	}
+	if _, err := NewTwoLevelSim(good, nil, rngx.NewStream(1, "x")); err == nil {
+		t.Error("nil workload should be rejected")
+	}
+	if _, err := ReplicateTwoLevel(good, twoLevelRunner, 1, 0); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+}

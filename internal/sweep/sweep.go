@@ -1,0 +1,108 @@
+// Package sweep runs parameter sweeps in parallel with deterministic
+// output ordering. Every figure of the paper is a sweep of one model
+// parameter against the optimal solution; with eight configurations,
+// six parameters each, and Monte-Carlo validation on top, the experiment
+// suite is embarrassingly parallel — this package is the harness.
+//
+// Results are returned in input order regardless of goroutine
+// scheduling, so experiment output (and therefore EXPERIMENTS.md) is
+// byte-stable across runs and core counts.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Point is one sweep evaluation: the swept parameter value and an opaque
+// result payload.
+type Point[T any] struct {
+	// X is the parameter value this point was evaluated at.
+	X float64
+	// Value is the evaluation result.
+	Value T
+	// Err is non-nil when the evaluation failed; Value is then zero.
+	Err error
+}
+
+// Run evaluates fn at every x in xs, fanning out across at most workers
+// goroutines (0 selects GOMAXPROCS). The returned slice is ordered like
+// xs. fn must be safe for concurrent invocation; each call receives the
+// index so callers can derive per-point RNG streams.
+func Run[T any](xs []float64, workers int, fn func(i int, x float64) (T, error)) []Point[T] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	out := make([]Point[T], len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	worker := func() {
+		defer wg.Done()
+		for i := range idx {
+			v, err := safeCall(fn, i, xs[i])
+			out[i] = Point[T]{X: xs[i], Value: v, Err: err}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	for i := range xs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// safeCall converts a panic in fn into an error so one bad point cannot
+// take down a whole sweep.
+func safeCall[T any](fn func(int, float64) (T, error), i int, x float64) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: panic at point %d (x=%g): %v", i, x, r)
+		}
+	}()
+	return fn(i, x)
+}
+
+// Values extracts the result payloads, propagating the first error.
+func Values[T any](pts []Point[T]) ([]T, error) {
+	out := make([]T, len(pts))
+	for i, p := range pts {
+		if p.Err != nil {
+			return nil, fmt.Errorf("sweep: point %d (x=%g): %w", i, p.X, p.Err)
+		}
+		out[i] = p.Value
+	}
+	return out, nil
+}
+
+// FirstError returns the first error among the points, or nil.
+func FirstError[T any](pts []Point[T]) error {
+	for i, p := range pts {
+		if p.Err != nil {
+			return fmt.Errorf("sweep: point %d (x=%g): %w", i, p.X, p.Err)
+		}
+	}
+	return nil
+}
+
+// Map runs fn over an arbitrary input slice (not just float64 abscissas)
+// with the same ordering and panic-safety guarantees.
+func Map[In, Out any](inputs []In, workers int, fn func(i int, in In) (Out, error)) []Point[Out] {
+	xs := make([]float64, len(inputs))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return Run(xs, workers, func(i int, _ float64) (Out, error) {
+		return fn(i, inputs[i])
+	})
+}

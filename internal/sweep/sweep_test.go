@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"respeed/internal/mathx"
+)
+
+func TestRunOrderedResults(t *testing.T) {
+	xs := mathx.Linspace(0, 99, 100)
+	pts := Run(xs, 8, func(i int, x float64) (float64, error) {
+		return x * x, nil
+	})
+	if len(pts) != 100 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.X != xs[i] {
+			t.Errorf("point %d has X=%g, want %g", i, p.X, xs[i])
+		}
+		if p.Value != xs[i]*xs[i] {
+			t.Errorf("point %d value %g", i, p.Value)
+		}
+	}
+}
+
+func TestRunActuallyParallel(t *testing.T) {
+	var peak, cur atomic.Int32
+	block := make(chan struct{})
+	done := make(chan []Point[int])
+	go func() {
+		done <- Run(make([]float64, 8), 4, func(i int, _ float64) (int, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			<-block
+			cur.Add(-1)
+			return i, nil
+		})
+	}()
+	// Release all workers after they have had a chance to pile up.
+	for i := 0; i < 8; i++ {
+		block <- struct{}{}
+	}
+	<-done
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency %d, want ≥ 2", peak.Load())
+	}
+}
+
+func TestRunZeroWorkersDefaults(t *testing.T) {
+	pts := Run([]float64{1, 2, 3}, 0, func(i int, x float64) (float64, error) {
+		return 2 * x, nil
+	})
+	vals, err := Values(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 2 || vals[1] != 4 || vals[2] != 6 {
+		t.Errorf("values %v", vals)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	pts := Run(nil, 4, func(i int, x float64) (int, error) { return 0, nil })
+	if len(pts) != 0 {
+		t.Errorf("empty sweep returned %d points", len(pts))
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	pts := Run([]float64{1, 2, 3}, 2, func(i int, x float64) (int, error) {
+		if i == 1 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if _, err := Values(pts); !errors.Is(err, sentinel) {
+		t.Errorf("Values error = %v", err)
+	}
+	if err := FirstError(pts); !errors.Is(err, sentinel) {
+		t.Errorf("FirstError = %v", err)
+	}
+}
+
+func TestNoErrorPath(t *testing.T) {
+	pts := Run([]float64{1}, 1, func(i int, x float64) (int, error) { return 7, nil })
+	if err := FirstError(pts); err != nil {
+		t.Errorf("FirstError = %v", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	pts := Run([]float64{1, 2}, 2, func(i int, x float64) (int, error) {
+		if i == 0 {
+			panic("kaboom")
+		}
+		return 1, nil
+	})
+	if pts[0].Err == nil {
+		t.Error("panic was not converted to error")
+	}
+	if pts[1].Err != nil || pts[1].Value != 1 {
+		t.Error("panic poisoned the healthy point")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	xs := mathx.Logspace(1e-6, 1e-2, 60)
+	eval := func(i int, x float64) (float64, error) {
+		return math.Sqrt(300/x) + float64(i), nil
+	}
+	seq := Run(xs, 1, eval)
+	par := Run(xs, 16, eval)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("point %d differs between 1 and 16 workers", i)
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	inputs := []string{"a", "bb", "ccc"}
+	pts := Map(inputs, 2, func(i int, s string) (int, error) {
+		return len(s), nil
+	})
+	vals, err := Values(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i+1 {
+			t.Errorf("value %d = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	pts := Map([]int{1, 2}, 2, func(i int, v int) (int, error) {
+		return 0, fmt.Errorf("err-%d", v)
+	})
+	if err := FirstError(pts); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,210 @@
+// Package tablefmt renders experiment results as aligned text tables,
+// CSV, and gnuplot-style .dat series — the three output shapes the
+// experiment harness emits (the paper's tables are text, its figures are
+// gnuplot plots of .dat series).
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row of already-formatted cells. Rows shorter than the
+// header are padded; longer rows panic (always a programming error).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("tablefmt: row has %d cells, table has %d columns", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowValues appends a row, formatting each value with Cell.
+func (t *Table) AddRowValues(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = Cell(v)
+	}
+	t.AddRow(cells...)
+}
+
+// Cell formats one value for table display: floats compactly, everything
+// else via fmt.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// formatFloat renders a float compactly: integers without decimals, and
+// everything else with five significant digits ('g' format, so tiny
+// magnitudes switch to scientific notation automatically).
+func formatFloat(x float64) string {
+	switch {
+	case x != x: // NaN
+		return "-"
+	case x == 0:
+		return "0"
+	case x == float64(int64(x)) && x < 1e15 && x > -1e15:
+		return strconv.FormatInt(int64(x), 10)
+	default:
+		return strconv.FormatFloat(x, 'g', 5, 64)
+	}
+}
+
+// NRows returns the number of data rows.
+func (t *Table) NRows() int { return len(t.rows) }
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as RFC-4180-ish CSV (quoting cells containing
+// commas or quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named data series of a figure: y values over a shared x
+// axis.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// WriteDat writes gnuplot-style columns: x then one column per series,
+// with a "# x name1 name2 …" comment header. All series must match the
+// length of xs.
+func WriteDat(w io.Writer, xs []float64, series ...Series) error {
+	for _, s := range series {
+		if len(s.Y) != len(xs) {
+			return fmt.Errorf("tablefmt: series %q has %d points, x has %d", s.Name, len(s.Y), len(xs))
+		}
+	}
+	header := "# x"
+	for _, s := range series {
+		header += " " + strings.ReplaceAll(s.Name, " ", "_")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		if _, err := fmt.Fprintf(w, "%.10g", x); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if _, err := fmt.Fprintf(w, " %.10g", s.Y[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string {
+	return append([]string(nil), t.headers...)
+}
+
+// Rows returns a deep copy of the formatted data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}

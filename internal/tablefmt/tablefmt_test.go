@@ -1,0 +1,185 @@
+package tablefmt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tab := New("σ1", "Best σ2", "Wopt", "E/W")
+	tab.AddRowValues(0.15, 0.4, 1711.0, 466.0)
+	tab.AddRowValues(0.4, 0.4, 2764.0, 416.0)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "σ1") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1711") || !strings.Contains(lines[3], "2764") {
+		t.Errorf("rows missing values:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestAddRowPadsShort(t *testing.T) {
+	tab := New("a", "b", "c")
+	tab.AddRow("1")
+	if tab.NRows() != 1 {
+		t.Fatal("row not added")
+	}
+	if !strings.Contains(tab.String(), "1") {
+		t.Error("padded row lost its cell")
+	}
+}
+
+func TestAddRowPanicsOnTooManyCells(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("over-wide row should panic")
+		}
+	}()
+	New("a").AddRow("1", "2")
+}
+
+func TestCellFormats(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{math.NaN(), "-"},
+		{0.0, "0"},
+		{2764.0, "2764"},
+		{416.81, "416.81"},
+		{0.4, "0.4"},
+		{1.775, "1.775"},
+		{3.38e-6, "3.38e-06"},
+		{"text", "text"},
+		{42, "42"},
+		{float32(2), "2"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := New("name", "value")
+	tab.AddRow("plain", "1")
+	tab.AddRow("with,comma", "2")
+	tab.AddRow(`with"quote`, "3")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestWriteDat(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{1, 2, 3}
+	err := WriteDat(&buf, xs,
+		Series{Name: "two speed", Y: []float64{10, 20, 30}},
+		Series{Name: "one", Y: []float64{11, 21, 31}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "# x two_speed one" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "1 10 11" || lines[3] != "3 30 31" {
+		t.Errorf("data lines %q / %q", lines[1], lines[3])
+	}
+}
+
+func TestWriteDatLengthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteDat(&buf, []float64{1, 2}, Series{Name: "bad", Y: []float64{1}})
+	if err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestRenderEmptyTable(t *testing.T) {
+	tab := New("only", "headers")
+	out := tab.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("empty table render: %q", out)
+	}
+}
+
+// failAfter fails the Nth write, exercising error propagation.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.n--
+	if f.n < 0 {
+		return 0, errFull
+	}
+	return len(p), nil
+}
+
+var errFull = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestRenderWriteErrors(t *testing.T) {
+	tab := New("a", "b")
+	tab.AddRow("1", "2")
+	tab.AddRow("3", "4")
+	for n := 0; n < 4; n++ {
+		if err := tab.Render(&failAfter{n: n}); err == nil {
+			t.Errorf("Render with failure at write %d should error", n)
+		}
+	}
+	if err := tab.Render(&failAfter{n: 100}); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	tab := New("a", "b")
+	tab.AddRow("1,x", "2")
+	for n := 0; n < 6; n++ {
+		if err := tab.WriteCSV(&failAfter{n: n}); err == nil {
+			t.Errorf("WriteCSV with failure at write %d should error", n)
+		}
+	}
+}
+
+func TestWriteDatErrors(t *testing.T) {
+	xs := []float64{1, 2}
+	series := Series{Name: "y", Y: []float64{3, 4}}
+	for n := 0; n < 5; n++ {
+		if err := WriteDat(&failAfter{n: n}, xs, series); err == nil {
+			t.Errorf("WriteDat with failure at write %d should error", n)
+		}
+	}
+}
+
+func TestHeadersAndRowsAreCopies(t *testing.T) {
+	tab := New("h1", "h2")
+	tab.AddRow("a", "b")
+	hs := tab.Headers()
+	hs[0] = "mutated"
+	rows := tab.Rows()
+	rows[0][0] = "mutated"
+	if tab.Headers()[0] != "h1" || tab.Rows()[0][0] != "a" {
+		t.Error("accessors leaked internal state")
+	}
+}

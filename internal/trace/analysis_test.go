@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// syntheticTrace builds a two-pattern trace: pattern 0 clean, pattern 1
+// with one silent error and a re-execution.
+func syntheticTrace() []Event {
+	return []Event{
+		// Pattern 0: 100s compute, 10s verify, 30s checkpoint.
+		{Time: 0, Kind: PatternStart, Pattern: 0},
+		{Time: 0, Kind: ComputeStart, Pattern: 0, Attempt: 0, Speed: 0.5},
+		{Time: 100, Kind: ComputeEnd, Pattern: 0, Attempt: 0, Speed: 0.5},
+		{Time: 100, Kind: VerifyStart, Pattern: 0, Attempt: 0, Speed: 0.5},
+		{Time: 110, Kind: VerifyOK, Pattern: 0, Attempt: 0},
+		{Time: 140, Kind: Checkpoint, Pattern: 0, Attempt: 0},
+		{Time: 140, Kind: PatternDone, Pattern: 0, Attempt: 0},
+		// Pattern 1: first attempt corrupted, 20s recovery, retry at 2×.
+		{Time: 140, Kind: PatternStart, Pattern: 1},
+		{Time: 140, Kind: ComputeStart, Pattern: 1, Attempt: 0, Speed: 0.5},
+		{Time: 240, Kind: ComputeEnd, Pattern: 1, Attempt: 0, Speed: 0.5},
+		{Time: 240, Kind: SilentError, Pattern: 1, Attempt: 0},
+		{Time: 240, Kind: VerifyStart, Pattern: 1, Attempt: 0, Speed: 0.5},
+		{Time: 250, Kind: VerifyFail, Pattern: 1, Attempt: 0},
+		{Time: 270, Kind: Recovery, Pattern: 1, Attempt: 0},
+		{Time: 270, Kind: ComputeStart, Pattern: 1, Attempt: 1, Speed: 1},
+		{Time: 320, Kind: ComputeEnd, Pattern: 1, Attempt: 1, Speed: 1},
+		{Time: 320, Kind: VerifyStart, Pattern: 1, Attempt: 1, Speed: 1},
+		{Time: 325, Kind: VerifyOK, Pattern: 1, Attempt: 1},
+		{Time: 355, Kind: Checkpoint, Pattern: 1, Attempt: 1},
+		{Time: 355, Kind: PatternDone, Pattern: 1, Attempt: 1},
+	}
+}
+
+func TestAnalyzeBreakdown(t *testing.T) {
+	w, err := Analyze(syntheticTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Total != 355 {
+		t.Errorf("Total = %g", w.Total)
+	}
+	if w.UsefulCompute != 200 { // 100 + 100 (attempt 0 of both patterns)
+		t.Errorf("UsefulCompute = %g", w.UsefulCompute)
+	}
+	if w.ReexecCompute != 50 {
+		t.Errorf("ReexecCompute = %g", w.ReexecCompute)
+	}
+	if w.Verify != 25 { // 10 + 10 + 5
+		t.Errorf("Verify = %g", w.Verify)
+	}
+	if w.Checkpoint != 60 { // 30 + 30
+		t.Errorf("Checkpoint = %g", w.Checkpoint)
+	}
+	if w.Recovery != 20 {
+		t.Errorf("Recovery = %g", w.Recovery)
+	}
+	if w.Patterns != 2 || w.Attempts != 3 || w.SilentErrors != 1 || w.FailStops != 0 {
+		t.Errorf("counts %+v", w)
+	}
+	// Conservation: all parts sum to the makespan.
+	sum := w.UsefulCompute + w.ReexecCompute + w.LostCompute + w.Verify + w.Checkpoint + w.Recovery
+	if math.Abs(sum-w.Total) > 1e-9 {
+		t.Errorf("parts sum to %g, makespan %g", sum, w.Total)
+	}
+}
+
+func TestAnalyzeEfficiency(t *testing.T) {
+	w, err := Analyze(syntheticTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Efficiency(), 200.0/355.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Efficiency = %g, want %g", got, want)
+	}
+	if !strings.Contains(w.String(), "makespan 355.0s") {
+		t.Errorf("String() = %q", w.String())
+	}
+}
+
+func TestAnalyzeFailStop(t *testing.T) {
+	events := []Event{
+		{Time: 0, Kind: PatternStart},
+		{Time: 0, Kind: ComputeStart, Attempt: 0, Speed: 1},
+		{Time: 40, Kind: FailStop, Attempt: 0},
+		{Time: 70, Kind: Recovery, Attempt: 0},
+		{Time: 70, Kind: ComputeStart, Attempt: 1, Speed: 1},
+		{Time: 170, Kind: ComputeEnd, Attempt: 1, Speed: 1},
+		{Time: 170, Kind: VerifyStart, Attempt: 1, Speed: 1},
+		{Time: 180, Kind: VerifyOK, Attempt: 1},
+		{Time: 210, Kind: Checkpoint, Attempt: 1},
+		{Time: 210, Kind: PatternDone, Attempt: 1},
+	}
+	w, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.LostCompute != 40 {
+		t.Errorf("LostCompute = %g", w.LostCompute)
+	}
+	if w.FailStops != 1 {
+		t.Errorf("FailStops = %d", w.FailStops)
+	}
+	if w.ReexecCompute != 100 {
+		t.Errorf("ReexecCompute = %g", w.ReexecCompute)
+	}
+}
+
+func TestAnalyzeRejectsInvalidTrace(t *testing.T) {
+	events := []Event{
+		{Time: 10, Kind: ComputeStart},
+		{Time: 5, Kind: ComputeEnd},
+	}
+	if _, err := Analyze(events); err == nil {
+		t.Error("invalid trace should be rejected")
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	w, err := Analyze(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Total != 0 || w.Efficiency() != 0 {
+		t.Errorf("empty trace waste %+v", w)
+	}
+}
+
+func TestWasteFractionZeroTotal(t *testing.T) {
+	var w Waste
+	if w.Fraction(10) != 0 {
+		t.Error("Fraction on empty waste should be 0")
+	}
+}
+
+func TestGanttRendersSegments(t *testing.T) {
+	out := Gantt(syntheticTrace(), 72)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + p0a0 + p1a0 + p1a1
+		t.Fatalf("gantt lines %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "=") || !strings.Contains(lines[1], "C") {
+		t.Errorf("pattern 0 row missing segments: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "!") || !strings.Contains(lines[2], "R") {
+		t.Errorf("failed attempt row missing '!'/recovery: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "v") {
+		t.Errorf("retry row missing verify: %q", lines[3])
+	}
+}
+
+func TestGanttFailStopMark(t *testing.T) {
+	events := []Event{
+		{Time: 0, Kind: PatternStart},
+		{Time: 0, Kind: ComputeStart, Attempt: 0},
+		{Time: 40, Kind: FailStop, Attempt: 0},
+		{Time: 70, Kind: Recovery, Attempt: 0},
+		{Time: 70, Kind: ComputeStart, Attempt: 1},
+		{Time: 170, Kind: ComputeEnd, Attempt: 1},
+		{Time: 170, Kind: VerifyStart, Attempt: 1},
+		{Time: 180, Kind: VerifyOK, Attempt: 1},
+		{Time: 210, Kind: Checkpoint, Attempt: 1},
+		{Time: 210, Kind: PatternDone, Attempt: 1},
+	}
+	out := Gantt(events, 60)
+	if !strings.Contains(out, "X") {
+		t.Errorf("missing fail-stop mark:\n%s", out)
+	}
+}
+
+func TestGanttEmptyAndTinyWidth(t *testing.T) {
+	if got := Gantt(nil, 80); got != "(empty trace)\n" {
+		t.Errorf("empty gantt %q", got)
+	}
+	out := Gantt(syntheticTrace(), 1) // clamped to a sane minimum
+	if !strings.Contains(out, "20 columns") {
+		t.Errorf("width clamp missing:\n%s", out)
+	}
+}

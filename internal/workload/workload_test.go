@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func kernels() []Workload {
+	return []Workload{
+		NewHeat(128, 0.25),
+		NewStream(42, 64),
+		NewMatVec(100),
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// The same total work yields bit-identical state regardless of how it
+	// is divided — the divisible-load property the verification replica
+	// relies on.
+	for _, build := range []func() Workload{
+		func() Workload { return NewHeat(128, 0.25) },
+		func() Workload { return NewStream(42, 64) },
+		func() Workload { return NewMatVec(100) },
+	} {
+		a, b := build(), build()
+		a.Advance(10)
+		for i := 0; i < 20; i++ {
+			b.Advance(0.5)
+		}
+		if !bytes.Equal(a.State(), b.State()) {
+			t.Errorf("%s: split advancement diverged", a.Name())
+		}
+		if math.Abs(a.Progress()-b.Progress()) > 1e-9 {
+			t.Errorf("%s: progress %g vs %g", a.Name(), a.Progress(), b.Progress())
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	for _, w := range kernels() {
+		w.Advance(7)
+		snap := append([]byte(nil), w.State()...)
+		w.Advance(13)
+		after := append([]byte(nil), w.State()...)
+		if bytes.Equal(snap, after) {
+			t.Errorf("%s: state did not change after work", w.Name())
+		}
+		if err := w.Restore(snap); err != nil {
+			t.Fatalf("%s: restore: %v", w.Name(), err)
+		}
+		if !bytes.Equal(w.State(), snap) {
+			t.Errorf("%s: restore did not reproduce snapshot", w.Name())
+		}
+		// Re-advancing after restore reproduces the original trajectory.
+		w.Advance(13)
+		if !bytes.Equal(w.State(), after) {
+			t.Errorf("%s: replay after restore diverged", w.Name())
+		}
+	}
+}
+
+func TestRestoreRejectsWrongSize(t *testing.T) {
+	for _, w := range kernels() {
+		if err := w.Restore([]byte{1, 2, 3}); err != ErrBadSnapshot {
+			t.Errorf("%s: want ErrBadSnapshot, got %v", w.Name(), err)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for _, w := range kernels() {
+		w.Advance(5)
+		c := c2(w)
+		if !bytes.Equal(w.State(), c.State()) {
+			t.Errorf("%s: clone state differs immediately", w.Name())
+		}
+		w.Advance(3)
+		if bytes.Equal(w.State(), c.State()) {
+			t.Errorf("%s: clone tracked original's mutation", w.Name())
+		}
+		c.Advance(3)
+		if !bytes.Equal(w.State(), c.State()) {
+			t.Errorf("%s: clone trajectory diverged from original", w.Name())
+		}
+	}
+}
+
+// c2 keeps the compiler from devirtualizing the Clone call in tests.
+func c2(w Workload) Workload { return w.Clone() }
+
+func TestFractionalWorkAccumulates(t *testing.T) {
+	// 0.25 is exact in binary, so eight quarter-unit advances accumulate
+	// to exactly two whole steps.
+	w := NewStream(1, 10)
+	for i := 0; i < 8; i++ {
+		w.Advance(0.25)
+	}
+	if math.Abs(w.Progress()-2.0) > 1e-9 {
+		t.Errorf("progress = %g", w.Progress())
+	}
+	ref := NewStream(1, 10)
+	ref.Advance(2)
+	if ref.Sum() == 0 {
+		t.Fatal("reference stream did no work")
+	}
+	if got, want := w.Sum(), ref.Sum(); got != want {
+		t.Errorf("fractional accumulation sum %g, want %g", got, want)
+	}
+}
+
+func TestHeatConservesEnergyApproximately(t *testing.T) {
+	// Explicit diffusion with insulated ends conserves total heat up to
+	// the fixed boundary cells; check the interior total decays slowly,
+	// never grows.
+	h := NewHeat(256, 0.25)
+	sumOf := func() float64 {
+		var s float64
+		for _, v := range h.grid {
+			s += v
+		}
+		return s
+	}
+	before := sumOf()
+	h.Advance(100)
+	after := sumOf()
+	if after > before+1e-9 {
+		t.Errorf("heat grew: %g → %g", before, after)
+	}
+	if after < before*0.5 {
+		t.Errorf("heat decayed implausibly fast: %g → %g", before, after)
+	}
+}
+
+func TestHeatSmooths(t *testing.T) {
+	// Diffusion must strictly reduce the max-min spread.
+	h := NewHeat(128, 0.25)
+	spread := func() float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range h.grid {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi - lo
+	}
+	before := spread()
+	h.Advance(50)
+	if !(spread() < before) {
+		t.Error("diffusion did not smooth the pulse")
+	}
+}
+
+func TestMatVecNormalized(t *testing.T) {
+	m := NewMatVec(200)
+	m.Advance(25)
+	var norm float64
+	for _, v := range m.vec {
+		norm += v * v
+	}
+	if math.Abs(math.Sqrt(norm)-1) > 1e-9 {
+		t.Errorf("vector norm = %g, want 1", math.Sqrt(norm))
+	}
+}
+
+func TestMatVecConverges(t *testing.T) {
+	// Power iteration converges: successive iterates stop changing.
+	m := NewMatVec(100)
+	m.Advance(200)
+	before := append([]byte(nil), m.State()...)
+	m.Advance(1)
+	after := m.State()
+	// Skip the trailing 16 bytes: they hold the frac/done progress
+	// counters, which advance by construction.
+	var maxDelta float64
+	for i := 0; i < len(before)-16; i += 8 {
+		a := math.Float64frombits(le64(before[i:]))
+		b := math.Float64frombits(le64(after[i:]))
+		maxDelta = math.Max(maxDelta, math.Abs(a-b))
+	}
+	if maxDelta > 1e-3 {
+		t.Errorf("power iteration not converged: max delta %g", maxDelta)
+	}
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func TestConstructorsPanicOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHeat(2, 0.25) },
+		func() { NewHeat(10, 0) },
+		func() { NewHeat(10, 0.6) },
+		func() { NewStream(1, 0) },
+		func() { NewMatVec(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected constructor panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNegativeWorkPanics(t *testing.T) {
+	for _, w := range kernels() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative work should panic", w.Name())
+				}
+			}()
+			w.Advance(-1)
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range kernels() {
+		if w.Name() == "" {
+			t.Error("empty workload name")
+		}
+		names[w.Name()] = true
+	}
+	if len(names) != 3 {
+		t.Errorf("kernel names collide: %v", names)
+	}
+}

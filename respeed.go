@@ -1,0 +1,279 @@
+// Package respeed reproduces "A different re-execution speed can help"
+// (Benoit, Cavelan, Le Fèvre, Robert, Sun — INRIA RR-8888 / ICPP 2016):
+// energy-optimal checkpointing of divisible-load applications on
+// DVFS-capable platforms subject to silent errors, where re-executions
+// after a detected error may run at a different speed than the first
+// attempt.
+//
+// The public API wraps the internal packages:
+//
+//   - Model evaluation: expected time and energy of a verified-checkpoint
+//     pattern (Propositions 1–3 of the paper), first-order overheads, and
+//     the combined fail-stop + silent model of Section 5.
+//   - Optimization: the BiCrit solver (Theorem 1 and the O(K²) pair
+//     procedure), single-speed baselines, and the exact numeric optimizer.
+//   - Platform catalog: the paper's four platforms and two processors.
+//   - Simulation: Monte-Carlo pattern replication and a full-stack
+//     executable simulator with real workloads, fault injection, digest
+//     verification, and checkpoint storage.
+//
+// Quick start:
+//
+//	cfg, _ := respeed.ConfigByName("Hera/XScale")
+//	sol, err := respeed.Solve(cfg, 3.0)
+//	// sol.Best: σ1=0.4, σ2=0.4, W≈2764, E/W≈416
+package respeed
+
+import (
+	"io"
+
+	"respeed/internal/core"
+	"respeed/internal/energy"
+	"respeed/internal/exp"
+	"respeed/internal/optimize"
+	"respeed/internal/platform"
+	"respeed/internal/report"
+	"respeed/internal/rngx"
+	"respeed/internal/schedule"
+	"respeed/internal/sim"
+	"respeed/internal/trace"
+	"respeed/internal/workload"
+)
+
+// Re-exported model types. See the internal packages for full method
+// documentation.
+type (
+	// Params holds the silent-error model constants (λ, C, V, R, κ,
+	// Pidle, Pio).
+	Params = core.Params
+	// CombinedParams adds fail-stop errors (Section 5).
+	CombinedParams = core.CombinedParams
+	// FailStopParams is the fail-stop-only setting of Theorem 2.
+	FailStopParams = core.FailStopParams
+	// Solution and PairResult are the solver outputs.
+	Solution   = core.Solution
+	PairResult = core.PairResult
+	// Platform, Processor and Config form the parameter catalog.
+	Platform  = platform.Platform
+	Processor = platform.Processor
+	Config    = platform.Config
+	// PowerModel prices energy.
+	PowerModel = energy.Model
+	// Plan, Costs, Estimate, ExecConfig and ExecReport drive simulation.
+	Plan       = sim.Plan
+	Costs      = sim.Costs
+	Estimate   = sim.Estimate
+	ExecConfig = sim.ExecConfig
+	ExecReport = sim.ExecReport
+	// Workload is a checkpointable divisible-load kernel.
+	Workload = workload.Workload
+	// Trace records simulated schedules.
+	Trace = trace.Recorder
+	// Experiment and ExperimentResult expose the paper's evaluation.
+	Experiment       = exp.Experiment
+	ExperimentResult = exp.Result
+	ExperimentOpts   = exp.Options
+)
+
+// ErrInfeasible reports that no pattern size (or no speed pair) satisfies
+// the requested performance bound.
+var ErrInfeasible = core.ErrInfeasible
+
+// Configs returns the paper's eight platform/processor configurations.
+func Configs() []Config { return platform.Configs() }
+
+// ConfigByName looks up a catalog configuration such as "Hera/XScale" or
+// "Atlas/Crusoe".
+func ConfigByName(name string) (Config, bool) { return platform.ByName(name) }
+
+// ConfigNames lists the catalog configuration names, sorted.
+func ConfigNames() []string { return platform.Names() }
+
+// ParamsFor extracts model parameters from a configuration.
+func ParamsFor(cfg Config) Params { return core.FromConfig(cfg) }
+
+// Solve runs the paper's O(K²) BiCrit procedure for a configuration:
+// minimize expected energy per work unit subject to expected time per
+// work unit ≤ rho, choosing the pattern size W and the speed pair
+// (σ1, σ2) from the processor's speed set.
+func Solve(cfg Config, rho float64) (Solution, error) {
+	return core.FromConfig(cfg).Solve(cfg.Processor.Speeds, rho)
+}
+
+// SolveSingleSpeed solves the one-speed baseline (σ2 = σ1).
+func SolveSingleSpeed(cfg Config, rho float64) (Solution, error) {
+	return core.FromConfig(cfg).SolveSingleSpeed(cfg.Processor.Speeds, rho)
+}
+
+// SolveExact cross-validates Solve by minimizing the exact (un-truncated)
+// expectations numerically. Returns the best pair and the full grid.
+func SolveExact(cfg Config, rho float64) (optimize.Result, []optimize.Result, error) {
+	return optimize.Solve(core.FromConfig(cfg), cfg.Processor.Speeds, rho)
+}
+
+// Sigma1Table reproduces one row block of the paper's Section 4.2
+// tables: for each σ1, the best re-execution speed σ2, Wopt, and the
+// energy overhead under bound rho.
+func Sigma1Table(cfg Config, rho float64) []PairResult {
+	return core.FromConfig(cfg).Sigma1Table(cfg.Processor.Speeds, rho)
+}
+
+// TwoSpeedGain returns the relative energy saving of the two-speed
+// optimum over the single-speed optimum at bound rho.
+func TwoSpeedGain(cfg Config, rho float64) (float64, error) {
+	return core.FromConfig(cfg).TwoSpeedGain(cfg.Processor.Speeds, rho)
+}
+
+// PowerModelFor builds the energy model of a configuration.
+func PowerModelFor(cfg Config) PowerModel {
+	return energy.Model{Kappa: cfg.Processor.Kappa, Pidle: cfg.Processor.Pidle, Pio: cfg.Pio}
+}
+
+// SimulatePatterns replicates n Monte-Carlo executions of a pattern plan
+// under the configuration's costs and returns aggregate statistics
+// directly comparable with Params.ExpectedTime / ExpectedEnergy.
+// The run is deterministic in seed.
+func SimulatePatterns(cfg Config, plan Plan, n int, seed uint64) (Estimate, error) {
+	p := core.FromConfig(cfg)
+	costs := Costs{C: p.C, V: p.V, R: p.R, LambdaS: p.Lambda}
+	return sim.Replicate(plan, costs, PowerModelFor(cfg), rngx.NewStream(seed, "respeed/simulate"), n)
+}
+
+// RunWorkload executes a real state-carrying workload to completion under
+// the verified-checkpoint protocol with injected faults, and reports
+// makespan, energy, error/detection counts and the final state digest.
+// The run is deterministic in seed.
+func RunWorkload(cfg ExecConfig, w Workload, seed uint64) (ExecReport, error) {
+	e, err := sim.NewExecSim(cfg, sim.FromWorkload(w), rngx.NewStream(seed, "respeed/exec"))
+	if err != nil {
+		return ExecReport{}, err
+	}
+	return e.Run()
+}
+
+// NewHeatWorkload, NewStreamWorkload and NewMatVecWorkload construct the
+// bundled divisible-load kernels.
+func NewHeatWorkload(cells int, alpha float64) Workload { return workload.NewHeat(cells, alpha) }
+
+// NewStreamWorkload constructs the PRNG-stream reduction kernel.
+func NewStreamWorkload(seed uint64, blockLen int) Workload {
+	return workload.NewStream(seed, blockLen)
+}
+
+// NewMatVecWorkload constructs the power-iteration kernel.
+func NewMatVecWorkload(n int) Workload { return workload.NewMatVec(n) }
+
+// NewTrace creates a schedule recorder (limit 0 = unbounded).
+func NewTrace(limit int) *Trace { return trace.New(limit) }
+
+// Experiments returns the registered paper experiments (tables, figures,
+// validation and ablation studies), sorted by ID.
+func Experiments() []Experiment { return exp.All() }
+
+// ExperimentByID looks up one experiment ("table-rho3", "figure-2", ...).
+func ExperimentByID(id string) (Experiment, bool) { return exp.Lookup(id) }
+
+// DefaultExperimentOpts are the options behind the committed
+// EXPERIMENTS.md numbers.
+func DefaultExperimentOpts() ExperimentOpts { return exp.DefaultOptions() }
+
+// WriteExperimentJSON encodes an experiment result as indented JSON.
+func WriteExperimentJSON(w io.Writer, res ExperimentResult) error {
+	return exp.WriteJSON(w, res)
+}
+
+// PlanApplication builds an end-to-end execution plan for an application
+// of totalWork work units under bound rho: the BiCrit solution, the
+// pattern partition, and exact expected makespan/energy (Section 2.3 of
+// the paper applied, with an exact final partial pattern).
+func PlanApplication(cfg Config, rho, totalWork float64) (AppPlan, error) {
+	return schedule.Plan(cfg, rho, totalWork)
+}
+
+// AppPlan is an end-to-end application execution plan.
+type AppPlan = schedule.AppPlan
+
+// SimulatePatternsParallel is SimulatePatterns fanned out over a bounded
+// worker pool; deterministic in (seed, n) independent of worker count.
+func SimulatePatternsParallel(cfg Config, plan Plan, n int, seed uint64, workers int) (Estimate, error) {
+	p := core.FromConfig(cfg)
+	costs := Costs{C: p.C, V: p.V, R: p.R, LambdaS: p.Lambda}
+	return sim.ReplicateParallel(plan, costs, PowerModelFor(cfg), seed, n, workers)
+}
+
+// SolveCombined solves the BiCrit problem numerically under both
+// fail-stop and silent errors (the general case the paper leaves open),
+// using the exact Equation (8) recursion expectations.
+func SolveCombined(cp CombinedParams, speeds []float64, rho float64) (optimize.CombinedResult, []optimize.CombinedResult, error) {
+	return optimize.SolveCombined(cp, speeds, rho)
+}
+
+// SolveContinuous relaxes the discrete speed set to the continuous box
+// [lo, hi]² — the discretization-loss ablation.
+func SolveContinuous(cfg Config, lo, hi, rho float64) optimize.ContinuousResult {
+	return optimize.SolveContinuous(core.FromConfig(cfg), lo, hi, rho, cfg.Processor.Speeds)
+}
+
+// AnalyzeTrace computes the waste breakdown (useful compute vs
+// re-execution, verification, checkpoint and recovery time) of a
+// recorded schedule.
+func AnalyzeTrace(events []trace.Event) (trace.Waste, error) {
+	return trace.Analyze(events)
+}
+
+// NewHeat2DWorkload constructs the 2-D stencil kernel (large checkpoint
+// state).
+func NewHeat2DWorkload(n int, alpha float64) Workload { return workload.NewHeat2D(n, alpha) }
+
+// PartialPattern configures the intermediate-partial-verification
+// extension; PartialSolution is its optimum.
+type (
+	PartialPattern  = core.PartialPattern
+	PartialSolution = core.PartialSolution
+)
+
+// OptimalSegments finds the best number of intermediate partial
+// verifications (and the pattern size) for a configuration at bound rho.
+func OptimalSegments(cfg Config, tpl PartialPattern, s1, s2, rho float64, maxM int) (PartialSolution, error) {
+	return core.FromConfig(cfg).OptimalSegments(tpl, s1, s2, rho, maxM)
+}
+
+// WriteExperimentReport renders a set of experiment results as one
+// Markdown document.
+func WriteExperimentReport(w io.Writer, results []ExperimentResult) error {
+	return report.Write(w, results, report.Options{
+		Title: "respeed experiment report",
+	})
+}
+
+// PartialExec configures intermediate partial verifications in the
+// full-stack simulator (the executable counterpart of PartialPattern).
+type PartialExec = sim.PartialExec
+
+// GanttTrace renders a recorded schedule as an ASCII timeline, one row
+// per pattern attempt — the textual Figure 1.
+func GanttTrace(events []trace.Event, width int) string {
+	return trace.Gantt(events, width)
+}
+
+// TraceEvent is one timestamped schedule event.
+type TraceEvent = trace.Event
+
+// TwoLevelConfig and TwoLevelReport expose the two-level (memory+disk)
+// checkpointing simulator; RunTwoLevel executes one application under it.
+type (
+	TwoLevelConfig = sim.TwoLevelConfig
+	TwoLevelReport = sim.TwoLevelReport
+)
+
+// RunTwoLevel executes a workload under two-level checkpointing:
+// in-memory checkpoints absorb silent errors, disk checkpoints every
+// DiskEvery patterns absorb fail-stop crashes (which wipe memory and
+// roll back up to DiskEvery−1 patterns).
+func RunTwoLevel(cfg TwoLevelConfig, w Workload, seed uint64) (TwoLevelReport, error) {
+	s, err := sim.NewTwoLevelSim(cfg, sim.FromWorkload(w), rngx.NewStream(seed, "respeed/twolevel"))
+	if err != nil {
+		return TwoLevelReport{}, err
+	}
+	return s.Run()
+}
