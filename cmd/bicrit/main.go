@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -20,29 +21,40 @@ import (
 )
 
 func main() {
-	configName := flag.String("config", "Hera/XScale", "platform/processor configuration name")
-	rho := flag.Float64("rho", 3, "performance bound ρ (expected seconds per work unit)")
-	grid := flag.Bool("grid", false, "print the full σ1×σ2 evaluation grid")
-	exact := flag.Bool("exact", false, "also solve with the exact (non-Taylor) optimizer")
-	list := flag.Bool("list", false, "list catalog configurations and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with testable plumbing: flags come from args, output goes
+// to the given writers, and the exit code is returned instead of passed
+// to os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bicrit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configName := fs.String("config", "Hera/XScale", "platform/processor configuration name")
+	rho := fs.Float64("rho", 3, "performance bound ρ (expected seconds per work unit)")
+	grid := fs.Bool("grid", false, "print the full σ1×σ2 evaluation grid")
+	exact := fs.Bool("exact", false, "also solve with the exact (non-Taylor) optimizer")
+	list := fs.Bool("list", false, "list catalog configurations and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, name := range respeed.ConfigNames() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return 0
 	}
 
 	cfg, ok := respeed.ConfigByName(*configName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "bicrit: unknown configuration %q (use -list)\n", *configName)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "bicrit: unknown configuration %q (use -list)\n", *configName)
+		return 1
 	}
 	p := respeed.ParamsFor(cfg)
-	fmt.Printf("Configuration %s: λ=%.3g, C=%.0fs, V=%.1fs, R=%.0fs, κ=%.0f, Pidle=%.1fmW, Pio=%.2fmW\n",
+	fmt.Fprintf(stdout, "Configuration %s: λ=%.3g, C=%.0fs, V=%.1fs, R=%.0fs, κ=%.0f, Pidle=%.1fmW, Pio=%.2fmW\n",
 		cfg.Name(), p.Lambda, p.C, p.V, p.R, p.Kappa, p.Pidle, p.Pio)
-	fmt.Printf("Performance bound ρ=%g\n\n", *rho)
+	fmt.Fprintf(stdout, "Performance bound ρ=%g\n\n", *rho)
 
 	// Per-σ1 table (the paper's Section 4.2 shape).
 	tab := tablefmt.New("σ1", "Best σ2", "Wopt", "E(Wopt,σ1,σ2)/Wopt", "T/W")
@@ -54,45 +66,56 @@ func main() {
 		tab.AddRowValues(r.Sigma1, r.Sigma2, math.Floor(r.W),
 			math.Floor(r.EnergyOverhead), r.TimeOverhead)
 	}
-	fmt.Println(tab.String())
+	fmt.Fprintln(stdout, tab.String())
 
 	sol, err := respeed.Solve(cfg, *rho)
 	if err != nil {
-		fmt.Println("BiCrit has no solution at this bound.")
-		os.Exit(2)
+		// Solve still returns the fully evaluated (all-infeasible) grid
+		// alongside ErrInfeasible; honor -grid before giving up.
+		fmt.Fprintln(stdout, "BiCrit has no solution at this bound.")
+		if *grid {
+			printGrid(stdout, sol)
+		}
+		return 2
 	}
 	b := sol.Best
-	fmt.Printf("Optimal: σ1=%g σ2=%g  Wopt=%.1f  E/W=%.2f  T/W=%.4f\n",
+	fmt.Fprintf(stdout, "Optimal: σ1=%g σ2=%g  Wopt=%.1f  E/W=%.2f  T/W=%.4f\n",
 		b.Sigma1, b.Sigma2, b.W, b.EnergyOverhead, b.TimeOverhead)
 
 	if one, err := respeed.SolveSingleSpeed(cfg, *rho); err == nil {
 		gain := (one.Best.EnergyOverhead - b.EnergyOverhead) / one.Best.EnergyOverhead
-		fmt.Printf("Single-speed baseline: σ=%g  Wopt=%.1f  E/W=%.2f  (two-speed saving: %.1f%%)\n",
+		fmt.Fprintf(stdout, "Single-speed baseline: σ=%g  Wopt=%.1f  E/W=%.2f  (two-speed saving: %.1f%%)\n",
 			one.Best.Sigma1, one.Best.W, one.Best.EnergyOverhead, 100*gain)
 	} else {
-		fmt.Println("Single-speed baseline: infeasible (two speeds strictly required)")
+		fmt.Fprintln(stdout, "Single-speed baseline: infeasible (two speeds strictly required)")
 	}
 
 	if *exact {
 		best, _, err := respeed.SolveExact(cfg, *rho)
 		if err != nil {
-			fmt.Println("Exact optimizer: infeasible")
+			fmt.Fprintln(stdout, "Exact optimizer: infeasible")
 		} else {
-			fmt.Printf("Exact optimizer:  σ1=%g σ2=%g  Wopt=%.1f  E/W=%.2f\n",
+			fmt.Fprintf(stdout, "Exact optimizer:  σ1=%g σ2=%g  Wopt=%.1f  E/W=%.2f\n",
 				best.Sigma1, best.Sigma2, best.W, best.EnergyOverhead)
 		}
 	}
 
 	if *grid {
-		fmt.Println()
-		gt := tablefmt.New("σ1", "σ2", "ρmin", "feasible", "Wopt", "E/W")
-		for _, r := range sol.Pairs {
-			if r.Feasible {
-				gt.AddRowValues(r.Sigma1, r.Sigma2, r.RhoMin, "yes", math.Floor(r.W), r.EnergyOverhead)
-			} else {
-				gt.AddRowValues(r.Sigma1, r.Sigma2, r.RhoMin, "no", "-", "-")
-			}
-		}
-		fmt.Println(gt.String())
+		printGrid(stdout, sol)
 	}
+	return 0
+}
+
+// printGrid renders the full σ1×σ2 evaluation grid.
+func printGrid(w io.Writer, sol respeed.Solution) {
+	fmt.Fprintln(w)
+	gt := tablefmt.New("σ1", "σ2", "ρmin", "feasible", "Wopt", "E/W")
+	for _, r := range sol.Pairs {
+		if r.Feasible {
+			gt.AddRowValues(r.Sigma1, r.Sigma2, r.RhoMin, "yes", math.Floor(r.W), r.EnergyOverhead)
+		} else {
+			gt.AddRowValues(r.Sigma1, r.Sigma2, r.RhoMin, "no", "-", "-")
+		}
+	}
+	fmt.Fprintln(w, gt.String())
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInfeasibleRhoStillPrintsGrid(t *testing.T) {
+	// Regression: -grid used to be skipped entirely when ρ is infeasible,
+	// because main exited on the Solve error before the grid block — even
+	// though Solve returns the fully evaluated grid alongside
+	// ErrInfeasible. ρ=0.5 is below 1/σmax=1, infeasible for every pair.
+	var out, errOut strings.Builder
+	code := run([]string{"-config", "Hera/XScale", "-rho", "0.5", "-grid"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (infeasible)", code)
+	}
+	s := out.String()
+	if !strings.Contains(s, "BiCrit has no solution at this bound.") {
+		t.Errorf("missing infeasibility message:\n%s", s)
+	}
+	if !strings.Contains(s, "ρmin") {
+		t.Errorf("grid header missing — grid was not printed:\n%s", s)
+	}
+	// Hera/XScale has 5 speeds → 25 pairs, all infeasible at ρ=0.5.
+	if n := strings.Count(s, "no"); n < 25 {
+		t.Errorf("expected ≥ 25 infeasible grid rows, found %d:\n%s", n, s)
+	}
+}
+
+func TestFeasibleRhoGridUnchanged(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-config", "Hera/XScale", "-rho", "3", "-grid"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Optimal:") || !strings.Contains(s, "ρmin") {
+		t.Errorf("feasible run should print the optimum and the grid:\n%s", s)
+	}
+}
+
+func TestUnknownConfig(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-config", "No/Such"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown configuration") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestListConfigs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "Hera/XScale") {
+		t.Errorf("list output: %s", out.String())
+	}
+}

@@ -1,0 +1,69 @@
+// Command respeedd is the respeed planning daemon: a long-running
+// HTTP/JSON service exposing the BiCrit solver surface over the
+// platform catalog, with an LRU result cache, singleflight
+// deduplication, bounded in-flight work, and graceful shutdown on
+// SIGINT/SIGTERM.
+//
+// Endpoints:
+//
+//	GET /v1/solve?config=Hera/XScale&rho=3[&speeds=0.4,0.8][&single=1]
+//	GET /v1/sigma1-table?config=...&rho=...
+//	GET /v1/gain?config=...&rho=...
+//	GET /v1/simulate?config=...&rho=...[&n=10000][&seed=1]
+//	GET /v1/configs
+//	GET /healthz
+//	GET /metrics
+//
+// Usage:
+//
+//	respeedd [-addr :8080] [-cache 4096] [-max-inflight N]
+//	         [-timeout 10s] [-drain 15s] [-max-sim 1000000]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"respeed"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 4096, "LRU result-cache capacity (entries)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent solver computations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request wait bound")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound")
+	maxSim := flag.Int("max-sim", 1_000_000, "cap on the n parameter of /v1/simulate")
+	flag.Parse()
+
+	srv := respeed.NewPlanningServer(respeed.ServeOptions{
+		CacheSize:      *cacheSize,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		MaxSimulations: *maxSim,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("respeedd: serving on %s (cache=%d entries, timeout=%s)", ln.Addr(), *cacheSize, *timeout)
+	if err := srv.Run(ctx, ln); err != nil {
+		log.Printf("respeedd: shutdown error: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("respeedd: drained and stopped")
+}

@@ -14,8 +14,9 @@ type jsonTable struct {
 	Rows    [][]string `json:"rows"`
 }
 
-// jsonSeries is the JSON shape of one figure curve. NaN (infeasible
-// points) is encoded as null.
+// jsonSeries is the JSON shape of one figure curve. NaN and ±Inf
+// (infeasible or unbounded points — neither is representable in JSON)
+// are encoded as null.
 type jsonSeries struct {
 	Name string     `json:"name"`
 	Y    []*float64 `json:"y"`
@@ -39,7 +40,8 @@ type jsonResult struct {
 	Notes   []string     `json:"notes,omitempty"`
 }
 
-// encodeY converts a float series to JSON-safe pointers (NaN → null).
+// encodeY converts a float series to JSON-safe pointers (NaN and
+// ±Inf → null).
 func encodeY(ys []float64) []*float64 {
 	out := make([]*float64, len(ys))
 	for i := range ys {

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"respeed/internal/tablefmt"
+)
+
+// TestWriteJSONEncodesInfAsNull pins the documented encodeY contract:
+// NaN and ±Inf are all unrepresentable in JSON and must round-trip to
+// null, while finite values survive exactly.
+func TestWriteJSONEncodesInfAsNull(t *testing.T) {
+	res := Result{
+		ID:    "json-inf-test",
+		Title: "encodeY round trip",
+		Figures: []FigureData{{
+			Name:   "panel",
+			XLabel: "x",
+			X:      []float64{1, 2, 3, 4, 5},
+			Series: []tablefmt.Series{{
+				Name: "curve",
+				Y:    []float64{1.5, math.NaN(), math.Inf(1), math.Inf(-1), -2.25},
+			}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Figures []struct {
+			Series []struct {
+				Y []*float64 `json:"y"`
+			} `json:"series"`
+		} `json:"figures"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	y := decoded.Figures[0].Series[0].Y
+	if len(y) != 5 {
+		t.Fatalf("series length %d, want 5", len(y))
+	}
+	for _, i := range []int{1, 2, 3} {
+		if y[i] != nil {
+			t.Errorf("y[%d] = %v, want null (NaN/±Inf)", i, *y[i])
+		}
+	}
+	if y[0] == nil || *y[0] != 1.5 {
+		t.Errorf("y[0] = %v, want 1.5", y[0])
+	}
+	if y[4] == nil || *y[4] != -2.25 {
+		t.Errorf("y[4] = %v, want -2.25", y[4])
+	}
+}

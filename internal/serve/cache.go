@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// response is one memoized HTTP answer: the status code and the exact
+// body bytes that were (and will again be) served for it. Solves are
+// pure functions of their canonical query, so replaying the bytes is
+// both correct and byte-stable across hits.
+type response struct {
+	status int
+	body   []byte
+}
+
+// lru is a concurrency-safe fixed-capacity LRU map from canonical
+// request keys to memoized responses.
+type lru struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// lruEntry is the list payload: key is kept for eviction bookkeeping.
+type lruEntry struct {
+	key string
+	val response
+}
+
+// newLRU creates a cache holding at most capacity entries (minimum 1).
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the memoized response for key and marks it most recently
+// used.
+func (c *lru) get(key string) (response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return response{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lru) put(key string, val response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightCall is one in-progress computation that any number of
+// identical concurrent requests can wait on. done is closed after val
+// and err are set.
+type flightCall struct {
+	done chan struct{}
+	val  response
+	err  error
+}
+
+// flightGroup deduplicates identical concurrent computations
+// (singleflight): while a key is being computed, later requests for the
+// same key join the existing call instead of recomputing.
+//
+// Unlike x/sync/singleflight, the computation runs in its own goroutine
+// and waiters select on call.done themselves — a waiter whose request
+// context expires can give up (504) while the computation proceeds and
+// still populates the cache for future requests.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// work returns the in-progress call for key, starting fn in a new
+// goroutine if none exists. joined reports whether an existing call was
+// reused. fn must memoize its result (e.g. into the LRU) before
+// returning, so the gap between call removal and result visibility is
+// closed.
+func (g *flightGroup) work(key string, fn func() (response, error)) (c *flightCall, joined bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		return c, true
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("serve: panic computing %q: %v", key, r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+	return c, false
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightGroupDeduplicates(t *testing.T) {
+	g := newFlightGroup()
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	fn := func() (response, error) {
+		computes.Add(1)
+		<-gate
+		return response{status: 200, body: []byte("ok")}, nil
+	}
+	first, joined := g.work("k", fn)
+	if joined {
+		t.Fatal("first caller reported joined")
+	}
+	var wg, entered sync.WaitGroup
+	var joins atomic.Int32
+	entered.Add(10)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, joined := g.work("k", fn)
+			entered.Done()
+			if c != first {
+				t.Error("joiner got a different call")
+			}
+			if joined {
+				joins.Add(1)
+			}
+			<-c.done
+			if string(c.val.body) != "ok" {
+				t.Errorf("body %q", c.val.body)
+			}
+		}()
+	}
+	entered.Wait() // every joiner has attached before the owner finishes
+	close(gate)
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Errorf("computed %d times, want 1", computes.Load())
+	}
+	if joins.Load() != 10 {
+		t.Errorf("joined %d times, want 10", joins.Load())
+	}
+	// After completion the key is free again: a new call recomputes.
+	gate = make(chan struct{})
+	close(gate)
+	c, joined := g.work("k", fn)
+	if joined {
+		t.Error("post-completion caller joined a dead flight")
+	}
+	<-c.done
+	if computes.Load() != 2 {
+		t.Errorf("computed %d times, want 2", computes.Load())
+	}
+}
+
+func TestFlightGroupRecoversPanic(t *testing.T) {
+	g := newFlightGroup()
+	c, _ := g.work("boom", func() (response, error) { panic("kaboom") })
+	<-c.done
+	if c.err == nil || !strings.Contains(c.err.Error(), "kaboom") {
+		t.Errorf("panic not converted to error: %v", c.err)
+	}
+	// The key must have been cleaned up despite the panic.
+	c2, joined := g.work("boom", func() (response, error) {
+		return response{status: 200}, nil
+	})
+	if joined {
+		t.Error("panicked flight was not removed")
+	}
+	<-c2.done
+	if c2.err != nil {
+		t.Errorf("second call failed: %v", c2.err)
+	}
+}
+
+func TestFlightGroupDistinctKeysRunIndependently(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	slow, _ := g.work("slow", func() (response, error) { <-gate; return response{}, nil })
+	fast, joined := g.work("fast", func() (response, error) { return response{status: 200}, nil })
+	if joined {
+		t.Error("distinct key joined another flight")
+	}
+	<-fast.done // must complete while "slow" is still blocked
+	close(gate)
+	<-slow.done
+}

@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"respeed/internal/core"
+	"respeed/internal/energy"
+	"respeed/internal/platform"
+	"respeed/internal/sim"
+)
+
+// maxSpeedOverride bounds the ?speeds= list: the solver is O(K²) in the
+// speed count, so an unbounded list would let one request monopolize a
+// worker.
+const maxSpeedOverride = 64
+
+// paramError is a client-side request problem (bad or missing
+// parameter, unknown config). It is answered directly, without touching
+// the cache.
+type paramError struct {
+	status int
+	msg    string
+}
+
+func (e *paramError) Error() string { return e.msg }
+
+func badParam(format string, args ...any) *paramError {
+	return &paramError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// fmtF renders a float canonically for cache keys (shortest round-trip
+// form, so 3, 3.0 and 3e0 share one entry).
+func fmtF(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// fmtSpeeds renders a resolved speed set canonically.
+func fmtSpeeds(speeds []float64) string {
+	parts := make([]string, len(speeds))
+	for i, s := range speeds {
+		parts[i] = fmtF(s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// solveQuery is the canonicalized common parameter set of the solver
+// endpoints: a catalog config, a positive bound ρ, and the resolved
+// speed set (catalog speeds unless overridden by ?speeds=).
+type solveQuery struct {
+	cfg    platform.Config
+	rho    float64
+	speeds []float64
+}
+
+// parseSolveQuery extracts and validates config/rho/speeds.
+func parseSolveQuery(q url.Values) (solveQuery, *paramError) {
+	name := q.Get("config")
+	if name == "" {
+		return solveQuery{}, badParam("missing config parameter (use /v1/configs to list)")
+	}
+	cfg, ok := platform.ByName(name)
+	if !ok {
+		return solveQuery{}, &paramError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("unknown configuration %q (use /v1/configs to list)", name)}
+	}
+	rhoStr := q.Get("rho")
+	if rhoStr == "" {
+		return solveQuery{}, badParam("missing rho parameter")
+	}
+	rho, err := strconv.ParseFloat(rhoStr, 64)
+	if err != nil || math.IsNaN(rho) || math.IsInf(rho, 0) || rho <= 0 {
+		return solveQuery{}, badParam("rho must be a positive finite number (got %q)", rhoStr)
+	}
+	speeds := cfg.Processor.Speeds
+	if raw := q.Get("speeds"); raw != "" {
+		parts := strings.Split(raw, ",")
+		if len(parts) > maxSpeedOverride {
+			return solveQuery{}, badParam("speeds override limited to %d entries (got %d)",
+				maxSpeedOverride, len(parts))
+		}
+		speeds = make([]float64, len(parts))
+		for i, p := range parts {
+			s, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil || math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+				return solveQuery{}, badParam("speeds[%d] must be a positive finite number (got %q)", i, p)
+			}
+			speeds[i] = s
+		}
+	}
+	return solveQuery{cfg: cfg, rho: rho, speeds: speeds}, nil
+}
+
+// key builds the canonical cache key for an endpoint over this query.
+func (sq solveQuery) key(endpoint string, extra ...string) string {
+	parts := append([]string{endpoint, sq.cfg.Name(), fmtF(sq.rho), fmtSpeeds(sq.speeds)}, extra...)
+	return strings.Join(parts, "|")
+}
+
+// jsonResponse marshals v into a memoizable response.
+func jsonResponse(status int, v any) (response, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return response{}, fmt.Errorf("serve: encode response: %w", err)
+	}
+	return response{status: status, body: append(body, '\n')}, nil
+}
+
+// errorBody is the JSON shape of every non-2xx answer.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// mustErrorResponse builds an error response (the marshal cannot fail).
+func mustErrorResponse(status int, msg string) response {
+	resp, err := jsonResponse(status, errorBody{Error: msg})
+	if err != nil {
+		panic(err) // unreachable: errorBody always marshals
+	}
+	return resp
+}
+
+// reply writes a memoized response verbatim.
+func reply(w http.ResponseWriter, resp response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// direct answers a request that bypasses the cache (health, metrics,
+// parameter errors) and still meters it.
+func (s *Server) direct(w http.ResponseWriter, endpoint string, start time.Time, resp response) {
+	reply(w, resp)
+	s.metrics.observe(endpoint, time.Since(start), false, resp.status)
+}
+
+// requireGet answers 405 for non-GET/HEAD methods.
+func (s *Server) requireGet(w http.ResponseWriter, r *http.Request, endpoint string, start time.Time) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	s.direct(w, endpoint, start, mustErrorResponse(http.StatusMethodNotAllowed, "use GET"))
+	return false
+}
+
+// serveCached answers one cacheable endpoint: LRU lookup, then
+// singleflight-deduplicated computation under the in-flight semaphore,
+// with the request's context bounding how long the caller waits.
+// compute returns the full response (including domain errors such as
+// infeasibility, which are deterministic and therefore cached); a
+// non-nil error means an internal failure and is not cached.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string,
+	compute func() (response, error)) {
+	start := time.Now()
+	if !s.requireGet(w, r, endpoint, start) {
+		return
+	}
+	if resp, ok := s.cache.get(key); ok {
+		reply(w, resp)
+		s.metrics.observe(endpoint, time.Since(start), true, resp.status)
+		return
+	}
+	call, joined := s.flights.work(key, func() (response, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		if s.preCompute != nil {
+			s.preCompute(endpoint)
+		}
+		resp, err := compute()
+		if err == nil {
+			// Memoize before the flight is torn down, so a request
+			// arriving between flight removal and cache fill is
+			// impossible.
+			s.cache.put(key, resp)
+		}
+		return resp, err
+	})
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	select {
+	case <-call.done:
+		if call.err != nil {
+			s.direct(w, endpoint, start, mustErrorResponse(http.StatusInternalServerError, call.err.Error()))
+			return
+		}
+		reply(w, call.val)
+		// A joined waiter got its answer without computing: count it as
+		// a cache hit for hit-rate purposes.
+		s.metrics.observe(endpoint, time.Since(start), joined, call.val.status)
+	case <-ctx.Done():
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusGatewayTimeout,
+			"timed out waiting for result (the computation continues and will be cached)"))
+	}
+}
+
+// --- endpoint payloads ---
+
+// SolveReply is the /v1/solve answer.
+type SolveReply struct {
+	Config   string        `json:"config"`
+	Rho      float64       `json:"rho"`
+	Speeds   []float64     `json:"speeds"`
+	Single   bool          `json:"single,omitempty"`
+	Solution core.Solution `json:"solution"`
+}
+
+// InfeasibleReply is the 422 answer of /v1/solve and /v1/gain: no speed
+// pair satisfies the bound. Pairs carries the fully evaluated
+// (all-infeasible) grid so clients can see how far off the bound is.
+type InfeasibleReply struct {
+	Error string            `json:"error"`
+	Pairs []core.PairResult `json:"pairs,omitempty"`
+}
+
+// Sigma1Row mirrors core.PairResult with a JSON-safe Sigma2: infeasible
+// rows carry Sigma2 = NaN internally, which JSON cannot represent, so
+// it becomes null.
+type Sigma1Row struct {
+	Sigma1         float64  `json:"Sigma1"`
+	Sigma2         *float64 `json:"Sigma2"`
+	RhoMin         float64  `json:"RhoMin"`
+	Feasible       bool     `json:"Feasible"`
+	W              float64  `json:"W"`
+	TimeOverhead   float64  `json:"TimeOverhead"`
+	EnergyOverhead float64  `json:"EnergyOverhead"`
+}
+
+// Sigma1TableReply is the /v1/sigma1-table answer.
+type Sigma1TableReply struct {
+	Config string      `json:"config"`
+	Rho    float64     `json:"rho"`
+	Speeds []float64   `json:"speeds"`
+	Rows   []Sigma1Row `json:"rows"`
+}
+
+// GainReply is the /v1/gain answer.
+type GainReply struct {
+	Config string  `json:"config"`
+	Rho    float64 `json:"rho"`
+	Gain   float64 `json:"gain"`
+}
+
+// SimulateReply is the /v1/simulate answer.
+type SimulateReply struct {
+	Config   string       `json:"config"`
+	Rho      float64      `json:"rho"`
+	N        int          `json:"n"`
+	Seed     uint64       `json:"seed"`
+	Plan     sim.Plan     `json:"plan"`
+	Estimate sim.Estimate `json:"estimate"`
+}
+
+// ConfigEntry is one /v1/configs row.
+type ConfigEntry struct {
+	Name      string             `json:"name"`
+	Platform  platform.Platform  `json:"platform"`
+	Processor platform.Processor `json:"processor"`
+	Pio       float64            `json:"pio"`
+}
+
+// ConfigsReply is the /v1/configs answer.
+type ConfigsReply struct {
+	Configs []ConfigEntry `json:"configs"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.requireGet(w, r, "/healthz", start) {
+		return
+	}
+	resp, _ := jsonResponse(http.StatusOK, map[string]string{"status": "ok"})
+	s.direct(w, "/healthz", start, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.requireGet(w, r, "/metrics", start) {
+		return
+	}
+	resp, err := jsonResponse(http.StatusOK, s.Metrics())
+	if err != nil {
+		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	}
+	reply(w, resp) // /metrics does not meter itself
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(w, r, "/v1/configs", "configs", func() (response, error) {
+		var out ConfigsReply
+		for _, cfg := range platform.Configs() {
+			out.Configs = append(out.Configs, ConfigEntry{
+				Name:      cfg.Name(),
+				Platform:  cfg.Platform,
+				Processor: cfg.Processor,
+				Pio:       cfg.Pio,
+			})
+		}
+		return jsonResponse(http.StatusOK, out)
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	q := r.URL.Query()
+	sq, perr := parseSolveQuery(q)
+	if perr != nil {
+		s.direct(w, "/v1/solve", start, mustErrorResponse(perr.status, perr.msg))
+		return
+	}
+	single := q.Get("single") == "1" || q.Get("single") == "true"
+	s.serveCached(w, r, "/v1/solve", sq.key("solve", strconv.FormatBool(single)),
+		func() (response, error) {
+			p := core.FromConfig(sq.cfg)
+			var (
+				sol core.Solution
+				err error
+			)
+			if single {
+				sol, err = p.SolveSingleSpeed(sq.speeds, sq.rho)
+			} else {
+				sol, err = p.Solve(sq.speeds, sq.rho)
+			}
+			switch {
+			case errors.Is(err, core.ErrInfeasible):
+				return jsonResponse(http.StatusUnprocessableEntity, InfeasibleReply{
+					Error: fmt.Sprintf("no speed pair satisfies rho=%s", fmtF(sq.rho)),
+					Pairs: sol.Pairs,
+				})
+			case err != nil:
+				return response{}, err
+			}
+			return jsonResponse(http.StatusOK, SolveReply{
+				Config: sq.cfg.Name(), Rho: sq.rho, Speeds: sq.speeds,
+				Single: single, Solution: sol,
+			})
+		})
+}
+
+func (s *Server) handleSigma1Table(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sq, perr := parseSolveQuery(r.URL.Query())
+	if perr != nil {
+		s.direct(w, "/v1/sigma1-table", start, mustErrorResponse(perr.status, perr.msg))
+		return
+	}
+	s.serveCached(w, r, "/v1/sigma1-table", sq.key("sigma1-table"), func() (response, error) {
+		rows := core.FromConfig(sq.cfg).Sigma1Table(sq.speeds, sq.rho)
+		out := Sigma1TableReply{
+			Config: sq.cfg.Name(), Rho: sq.rho, Speeds: sq.speeds,
+			Rows: make([]Sigma1Row, len(rows)),
+		}
+		for i, row := range rows {
+			jr := Sigma1Row{
+				Sigma1: row.Sigma1, RhoMin: row.RhoMin, Feasible: row.Feasible,
+				W: row.W, TimeOverhead: row.TimeOverhead, EnergyOverhead: row.EnergyOverhead,
+			}
+			if !math.IsNaN(row.Sigma2) {
+				s2 := row.Sigma2
+				jr.Sigma2 = &s2
+			}
+			out.Rows[i] = jr
+		}
+		return jsonResponse(http.StatusOK, out)
+	})
+}
+
+func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sq, perr := parseSolveQuery(r.URL.Query())
+	if perr != nil {
+		s.direct(w, "/v1/gain", start, mustErrorResponse(perr.status, perr.msg))
+		return
+	}
+	s.serveCached(w, r, "/v1/gain", sq.key("gain"), func() (response, error) {
+		gain, err := core.FromConfig(sq.cfg).TwoSpeedGain(sq.speeds, sq.rho)
+		switch {
+		case errors.Is(err, core.ErrInfeasible):
+			return jsonResponse(http.StatusUnprocessableEntity, InfeasibleReply{
+				Error: fmt.Sprintf("no speed pair satisfies rho=%s", fmtF(sq.rho)),
+			})
+		case err != nil:
+			return response{}, err
+		}
+		return jsonResponse(http.StatusOK, GainReply{Config: sq.cfg.Name(), Rho: sq.rho, Gain: gain})
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	q := r.URL.Query()
+	sq, perr := parseSolveQuery(q)
+	if perr != nil {
+		s.direct(w, "/v1/simulate", start, mustErrorResponse(perr.status, perr.msg))
+		return
+	}
+	n := 10_000
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 2 || v > s.opts.MaxSimulations {
+			s.direct(w, "/v1/simulate", start, mustErrorResponse(http.StatusBadRequest,
+				fmt.Sprintf("n must be an integer in [2, %d] (got %q)", s.opts.MaxSimulations, raw)))
+			return
+		}
+		n = v
+	}
+	var seed uint64 = 1
+	if raw := q.Get("seed"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.direct(w, "/v1/simulate", start, mustErrorResponse(http.StatusBadRequest,
+				fmt.Sprintf("seed must be a uint64 (got %q)", raw)))
+			return
+		}
+		seed = v
+	}
+	key := sq.key("simulate", strconv.Itoa(n), strconv.FormatUint(seed, 10))
+	s.serveCached(w, r, "/v1/simulate", key, func() (response, error) {
+		p := core.FromConfig(sq.cfg)
+		sol, err := p.Solve(sq.speeds, sq.rho)
+		switch {
+		case errors.Is(err, core.ErrInfeasible):
+			return jsonResponse(http.StatusUnprocessableEntity, InfeasibleReply{
+				Error: fmt.Sprintf("no speed pair satisfies rho=%s", fmtF(sq.rho)),
+				Pairs: sol.Pairs,
+			})
+		case err != nil:
+			return response{}, err
+		}
+		plan := sim.Plan{W: sol.Best.W, Sigma1: sol.Best.Sigma1, Sigma2: sol.Best.Sigma2}
+		costs := sim.Costs{C: p.C, V: p.V, R: p.R, LambdaS: p.Lambda}
+		model := energy.Model{Kappa: sq.cfg.Processor.Kappa, Pidle: sq.cfg.Processor.Pidle, Pio: sq.cfg.Pio}
+		// Worker count 0 (GOMAXPROCS): ReplicateParallel is
+		// deterministic in (seed, n) regardless, so the pool size never
+		// leaks into the cached bytes.
+		est, err := sim.ReplicateParallel(plan, costs, model, seed, n, 0)
+		if err != nil {
+			return response{}, err
+		}
+		return jsonResponse(http.StatusOK, SimulateReply{
+			Config: sq.cfg.Name(), Rho: sq.rho, N: n, Seed: seed,
+			Plan: plan, Estimate: est,
+		})
+	})
+}

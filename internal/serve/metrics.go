@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"respeed/internal/stats"
+)
+
+// Latency histogram shape: log10(seconds) from 100 ns to 100 s, 20 bins
+// per decade. Quantiles are read off the cumulative bin counts, so they
+// are accurate to ~12% (half a bin) — plenty for serving dashboards.
+const (
+	latHistLo   = -7.0
+	latHistHi   = 2.0
+	latHistBins = 180
+)
+
+// endpointMetrics accumulates one endpoint's counters and latency
+// moments. Guarded by metrics.mu.
+type endpointMetrics struct {
+	requests    int64
+	errors      int64 // responses with status >= 400
+	cacheHits   int64 // served without computing (LRU hit or joined flight)
+	cacheMisses int64 // required a fresh solve
+	timeouts    int64 // gave up waiting (504)
+	latency     stats.Welford    // seconds
+	hist        *stats.Histogram // log10(seconds)
+}
+
+// metrics is the server-wide registry, reported by /metrics. It reuses
+// internal/stats: Welford for latency moments, Histogram for quantiles.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, elapsed time.Duration, cacheHit bool, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[endpoint]
+	if !ok {
+		em = &endpointMetrics{hist: stats.NewHistogram(latHistLo, latHistHi, latHistBins)}
+		m.endpoints[endpoint] = em
+	}
+	em.requests++
+	if status >= 400 {
+		em.errors++
+	}
+	if status == 504 {
+		em.timeouts++
+	}
+	if cacheHit {
+		em.cacheHits++
+	} else {
+		em.cacheMisses++
+	}
+	sec := elapsed.Seconds()
+	em.latency.Add(sec)
+	if sec > 0 {
+		em.hist.Add(math.Log10(sec))
+	} else {
+		em.hist.Add(latHistLo) // clock granularity floor
+	}
+}
+
+// LatencySnapshot reports one endpoint's latency distribution in
+// milliseconds.
+type LatencySnapshot struct {
+	MeanMs float64 `json:"mean_ms"`
+	MinMs  float64 `json:"min_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// EndpointSnapshot is one endpoint's row in the /metrics report.
+type EndpointSnapshot struct {
+	Requests    int64           `json:"requests"`
+	Errors      int64           `json:"errors"`
+	Timeouts    int64           `json:"timeouts"`
+	CacheHits   int64           `json:"cache_hits"`
+	CacheMisses int64           `json:"cache_misses"`
+	HitRate     float64         `json:"hit_rate"`
+	Latency     LatencySnapshot `json:"latency"`
+}
+
+// MetricsSnapshot is the full /metrics payload.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	CacheEntries  int                         `json:"cache_entries"`
+	CacheCapacity int                         `json:"cache_capacity"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// snapshot captures a JSON-safe copy of all counters. NaNs (empty
+// accumulators) are reported as 0 so the payload is always valid JSON.
+func (m *metrics) snapshot(cacheEntries, cacheCapacity int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		CacheEntries:  cacheEntries,
+		CacheCapacity: cacheCapacity,
+		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
+	}
+	for name, em := range m.endpoints {
+		snap := EndpointSnapshot{
+			Requests:    em.requests,
+			Errors:      em.errors,
+			Timeouts:    em.timeouts,
+			CacheHits:   em.cacheHits,
+			CacheMisses: em.cacheMisses,
+		}
+		if em.requests > 0 {
+			snap.HitRate = float64(em.cacheHits) / float64(em.requests)
+		}
+		snap.Latency = LatencySnapshot{
+			MeanMs: jsonSafeMs(em.latency.Mean()),
+			MinMs:  jsonSafeMs(em.latency.Min()),
+			MaxMs:  jsonSafeMs(em.latency.Max()),
+			P50Ms:  histQuantileMs(em.hist, 0.50),
+			P90Ms:  histQuantileMs(em.hist, 0.90),
+			P99Ms:  histQuantileMs(em.hist, 0.99),
+		}
+		out.Endpoints[name] = snap
+	}
+	return out
+}
+
+// jsonSafeMs converts seconds to milliseconds, mapping NaN/Inf to 0.
+func jsonSafeMs(sec float64) float64 {
+	if math.IsNaN(sec) || math.IsInf(sec, 0) {
+		return 0
+	}
+	return sec * 1e3
+}
+
+// histQuantileMs reads the q-th latency quantile, in milliseconds, off
+// the log10-seconds histogram's cumulative counts.
+func histQuantileMs(h *stats.Histogram, q float64) float64 {
+	total := h.N()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	cum := h.Under
+	if cum >= target {
+		return math.Pow(10, h.Lo) * 1e3
+	}
+	for i, c := range h.Bins {
+		cum += c
+		if cum >= target {
+			return math.Pow(10, h.BinCenter(i)) * 1e3
+		}
+	}
+	return math.Pow(10, h.Hi) * 1e3
+}
+
+// endpointNames returns the observed endpoints, sorted (for tests and
+// stable logs).
+func (m *metrics) endpointNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.endpoints))
+	for n := range m.endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsObserveAndSnapshot(t *testing.T) {
+	m := newMetrics()
+	m.observe("/v1/solve", 2*time.Millisecond, false, 200)
+	m.observe("/v1/solve", 1*time.Millisecond, true, 200)
+	m.observe("/v1/solve", 3*time.Millisecond, true, 422)
+	snap := m.snapshot(5, 100)
+	ep, ok := snap.Endpoints["/v1/solve"]
+	if !ok {
+		t.Fatal("endpoint missing from snapshot")
+	}
+	if ep.Requests != 3 || ep.CacheHits != 2 || ep.CacheMisses != 1 || ep.Errors != 1 {
+		t.Errorf("counters: %+v", ep)
+	}
+	if got, want := ep.HitRate, 2.0/3.0; got != want {
+		t.Errorf("hit rate %g, want %g", got, want)
+	}
+	if ep.Latency.MeanMs < 1.5 || ep.Latency.MeanMs > 2.5 {
+		t.Errorf("mean latency %g ms, want ≈ 2", ep.Latency.MeanMs)
+	}
+	// Histogram quantiles are bin-center approximations: p50 of
+	// {1,2,3} ms must land within ~15% of 2 ms.
+	if ep.Latency.P50Ms < 1.6 || ep.Latency.P50Ms > 2.4 {
+		t.Errorf("p50 %g ms, want ≈ 2", ep.Latency.P50Ms)
+	}
+	if snap.CacheEntries != 5 || snap.CacheCapacity != 100 {
+		t.Errorf("cache gauges: %+v", snap)
+	}
+}
+
+func TestMetricsSnapshotIsAlwaysValidJSON(t *testing.T) {
+	// Empty accumulators produce NaN moments internally; the snapshot
+	// must still marshal (NaN → 0 guards).
+	m := newMetrics()
+	if _, err := json.Marshal(m.snapshot(0, 10)); err != nil {
+		t.Fatalf("empty snapshot does not marshal: %v", err)
+	}
+	m.observe("/healthz", 0, false, 200) // zero-duration edge
+	if _, err := json.Marshal(m.snapshot(0, 10)); err != nil {
+		t.Fatalf("zero-latency snapshot does not marshal: %v", err)
+	}
+}
+
+func TestMetricsQuantileOrdering(t *testing.T) {
+	m := newMetrics()
+	for i := 1; i <= 1000; i++ {
+		m.observe("/v1/gain", time.Duration(i)*time.Microsecond, false, 200)
+	}
+	ep := m.snapshot(0, 10).Endpoints["/v1/gain"]
+	l := ep.Latency
+	if !(l.P50Ms <= l.P90Ms && l.P90Ms <= l.P99Ms) {
+		t.Errorf("quantiles not monotone: %+v", l)
+	}
+	if l.P50Ms < 0.3 || l.P50Ms > 0.8 {
+		t.Errorf("p50 %g ms, want ≈ 0.5", l.P50Ms)
+	}
+	if l.P99Ms < 0.7 || l.P99Ms > 1.3 {
+		t.Errorf("p99 %g ms, want ≈ 1", l.P99Ms)
+	}
+}
+
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := newMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.observe("/v1/solve", time.Millisecond, i%2 == 0, 200)
+			}
+		}()
+	}
+	wg.Wait()
+	ep := m.snapshot(0, 10).Endpoints["/v1/solve"]
+	if ep.Requests != 1600 || ep.CacheHits != 800 {
+		t.Errorf("lost updates: %+v", ep)
+	}
+	if names := m.endpointNames(); len(names) != 1 || names[0] != "/v1/solve" {
+		t.Errorf("endpointNames = %v", names)
+	}
+}

@@ -1,0 +1,135 @@
+// Package serve is respeed's long-running planning service: an
+// HTTP/JSON API over the BiCrit solver surface and the platform
+// catalog, built for sustained traffic rather than one-shot CLI runs.
+//
+// Every answerable query (a solve, a σ1 table, a gain, a Monte-Carlo
+// simulation) is a pure function of its canonicalized parameters —
+// (config, ρ, speeds) and, for simulations, (n, seed) — so the service
+// layers three mechanisms over the solver:
+//
+//   - an LRU result cache keyed by the canonical query, replaying the
+//     exact response bytes of the first computation;
+//   - singleflight deduplication, so a thundering herd of identical
+//     queries computes once;
+//   - a semaphore bounding concurrent solver work, with per-request
+//     context timeouts (a waiter that gives up answers 504 while the
+//     computation still completes and warms the cache).
+//
+// /metrics reports per-endpoint request counts, error counts, cache hit
+// rates and latency quantiles using internal/stats. Run drains in-flight
+// requests on context cancellation (SIGINT/SIGTERM in cmd/respeedd).
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Options configures a Server. The zero value selects sensible
+// defaults; see the field comments.
+type Options struct {
+	// CacheSize is the LRU capacity in entries (default 4096).
+	CacheSize int
+	// MaxInFlight bounds concurrently executing solver computations
+	// (default GOMAXPROCS). Excess work queues on the semaphore.
+	MaxInFlight int
+	// RequestTimeout bounds one request's wait for its result (default
+	// 10 s). Expired waiters answer 504; the computation still finishes
+	// and populates the cache.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown drain (default 15 s).
+	DrainTimeout time.Duration
+	// MaxSimulations caps the n parameter of /v1/simulate
+	// (default 1e6).
+	MaxSimulations int
+}
+
+// withDefaults fills in the zero-valued fields.
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 4096
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 15 * time.Second
+	}
+	if o.MaxSimulations <= 0 {
+		o.MaxSimulations = 1_000_000
+	}
+	return o
+}
+
+// Server is the planning service. Create it with New; it is safe for
+// concurrent use by any number of clients.
+type Server struct {
+	opts    Options
+	cache   *lru
+	flights *flightGroup
+	sem     chan struct{}
+	metrics *metrics
+	mux     *http.ServeMux
+
+	// preCompute, when non-nil, runs at the start of every fresh (non
+	// cached) computation. Test hook: lets tests hold a request in
+	// flight deterministically.
+	preCompute func(endpoint string)
+}
+
+// New builds a Server over the platform catalog.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   newLRU(opts.CacheSize),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		metrics: newMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/configs", s.handleConfigs)
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/sigma1-table", s.handleSigma1Table)
+	s.mux.HandleFunc("/v1/gain", s.handleGain)
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a point-in-time snapshot of the serving counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.metrics.snapshot(s.cache.len(), s.opts.CacheSize)
+}
+
+// Run serves on ln until ctx is canceled, then shuts down gracefully:
+// the listener closes immediately, in-flight requests get up to
+// DrainTimeout to complete, and Run returns nil on a clean drain.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		return err
+	}
+}

@@ -1,0 +1,459 @@
+// Black-box API tests: exercised through httptest against the public
+// handler, with results cross-checked against the respeed façade.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"respeed"
+	"respeed/internal/serve"
+)
+
+func newTestServer(t *testing.T, opts serve.Options) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The service's own answers are JSON; the mux's built-in 404 page
+	// (unrouted paths) is text/plain and exempt.
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" && len(body) > 0 && body[0] == '{' {
+		t.Errorf("%s: Content-Type %q", path, ct)
+	}
+	return resp.StatusCode, body
+}
+
+func solvePath(config string, rho float64) string {
+	return fmt.Sprintf("/v1/solve?config=%s&rho=%g", url.QueryEscape(config), rho)
+}
+
+// TestSolveMatchesFacadeByteForByte is the core serving contract: the
+// solution object in the HTTP answer is the same bytes that
+// json.Marshal(respeed.Solve(...)) produces for the same query.
+func TestSolveMatchesFacadeByteForByte(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	for _, name := range []string{"Hera/XScale", "Atlas/Crusoe", "Coastal SSD/XScale"} {
+		status, body := get(t, ts.URL, solvePath(name, 3))
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, status, body)
+		}
+		var decoded struct {
+			Config   string          `json:"config"`
+			Rho      float64         `json:"rho"`
+			Solution json.RawMessage `json:"solution"`
+		}
+		if err := json.Unmarshal(body, &decoded); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if decoded.Config != name || decoded.Rho != 3 {
+			t.Errorf("echo mismatch: %+v", decoded)
+		}
+		cfg, ok := respeed.ConfigByName(name)
+		if !ok {
+			t.Fatalf("catalog lost %s", name)
+		}
+		sol, err := respeed.Solve(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(decoded.Solution, want) {
+			t.Errorf("%s: served solution differs from respeed.Solve:\n got %s\nwant %s",
+				name, decoded.Solution, want)
+		}
+	}
+}
+
+func TestRepeatedQueryIsRecordedCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{})
+	_, first := get(t, ts.URL, solvePath("Hera/XScale", 3))
+	_, second := get(t, ts.URL, solvePath("Hera/XScale", 3))
+	if !bytes.Equal(first, second) {
+		t.Error("cache replay changed the response bytes")
+	}
+	ep := s.Metrics().Endpoints["/v1/solve"]
+	if ep.Requests != 2 || ep.CacheMisses != 1 || ep.CacheHits != 1 {
+		t.Errorf("requests/hits/misses = %d/%d/%d, want 2/1/1",
+			ep.Requests, ep.CacheHits, ep.CacheMisses)
+	}
+
+	// The same query spelled differently must canonicalize to one entry.
+	_, third := get(t, ts.URL, "/v1/solve?config=Hera%2FXScale&rho=3.0")
+	if !bytes.Equal(first, third) {
+		t.Error("rho=3 and rho=3.0 should share a cache entry")
+	}
+	if ep := s.Metrics().Endpoints["/v1/solve"]; ep.CacheHits != 2 {
+		t.Errorf("canonicalized re-query not a hit: %+v", ep)
+	}
+}
+
+func TestSolveSingleSpeed(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	status, body := get(t, ts.URL, solvePath("Hera/XScale", 3)+"&single=1")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var decoded struct {
+		Single   bool            `json:"single"`
+		Solution json.RawMessage `json:"solution"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Single {
+		t.Error("single flag not echoed")
+	}
+	cfg, _ := respeed.ConfigByName("Hera/XScale")
+	sol, err := respeed.SolveSingleSpeed(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(sol)
+	if !bytes.Equal(decoded.Solution, want) {
+		t.Error("single-speed solution differs from respeed.SolveSingleSpeed")
+	}
+}
+
+func TestSolveInfeasibleIs422WithGrid(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	status, body := get(t, ts.URL, solvePath("Hera/XScale", 0.5))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", status, body)
+	}
+	var decoded struct {
+		Error string            `json:"error"`
+		Pairs []json.RawMessage `json:"pairs"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Error == "" {
+		t.Error("422 without an error message")
+	}
+	if len(decoded.Pairs) != 25 {
+		t.Errorf("infeasible grid has %d pairs, want 25", len(decoded.Pairs))
+	}
+}
+
+func TestSigma1TableEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	// ρ=2 leaves the slowest σ1 infeasible on Hera/XScale, exercising
+	// the NaN→null Sigma2 encoding alongside feasible rows.
+	status, body := get(t, ts.URL, "/v1/sigma1-table?config=Hera%2FXScale&rho=2")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var decoded struct {
+		Rows []struct {
+			Sigma1   float64  `json:"Sigma1"`
+			Sigma2   *float64 `json:"Sigma2"`
+			Feasible bool     `json:"Feasible"`
+			W        float64  `json:"W"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := respeed.ConfigByName("Hera/XScale")
+	want := respeed.Sigma1Table(cfg, 2)
+	if len(decoded.Rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(decoded.Rows), len(want))
+	}
+	for i, row := range decoded.Rows {
+		if row.Feasible != want[i].Feasible || row.Sigma1 != want[i].Sigma1 {
+			t.Errorf("row %d: got (σ1=%g feas=%t), want (σ1=%g feas=%t)",
+				i, row.Sigma1, row.Feasible, want[i].Sigma1, want[i].Feasible)
+		}
+		if want[i].Feasible {
+			if row.Sigma2 == nil || *row.Sigma2 != want[i].Sigma2 {
+				t.Errorf("row %d: Sigma2 = %v, want %g", i, row.Sigma2, want[i].Sigma2)
+			}
+			if row.W != want[i].W {
+				t.Errorf("row %d: W = %g, want %g", i, row.W, want[i].W)
+			}
+		} else if row.Sigma2 != nil {
+			t.Errorf("row %d: infeasible row has Sigma2 = %g, want null", i, *row.Sigma2)
+		}
+	}
+	hasInfeasible := false
+	for _, r := range want {
+		if !r.Feasible {
+			hasInfeasible = true
+		}
+	}
+	if !hasInfeasible {
+		t.Error("test is vacuous: pick a ρ with at least one infeasible σ1")
+	}
+}
+
+func TestGainEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	status, body := get(t, ts.URL, "/v1/gain?config=Atlas%2FCrusoe&rho=3")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var decoded struct {
+		Gain float64 `json:"gain"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := respeed.ConfigByName("Atlas/Crusoe")
+	want, err := respeed.TwoSpeedGain(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Gain != want {
+		t.Errorf("gain %g, want %g", decoded.Gain, want)
+	}
+}
+
+func TestSimulateEndpointMatchesFacade(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	status, body := get(t, ts.URL, "/v1/simulate?config=Hera%2FXScale&rho=3&n=500&seed=42")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var decoded struct {
+		Plan     respeed.Plan    `json:"plan"`
+		Estimate json.RawMessage `json:"estimate"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := respeed.ConfigByName("Hera/XScale")
+	sol, err := respeed.Solve(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPlan := respeed.Plan{W: sol.Best.W, Sigma1: sol.Best.Sigma1, Sigma2: sol.Best.Sigma2}
+	if decoded.Plan != wantPlan {
+		t.Errorf("plan %+v, want %+v", decoded.Plan, wantPlan)
+	}
+	est, err := respeed.SimulatePatternsParallel(cfg, wantPlan, 500, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(est)
+	if !bytes.Equal(decoded.Estimate, want) {
+		t.Errorf("estimate differs from SimulatePatternsParallel:\n got %s\nwant %s",
+			decoded.Estimate, want)
+	}
+
+	// Same (n, seed) again: byte-identical (cached, and deterministic
+	// regardless of worker count).
+	_, second := get(t, ts.URL, "/v1/simulate?config=Hera%2FXScale&rho=3&n=500&seed=42")
+	if !bytes.Equal(body, second) {
+		t.Error("repeated simulation changed bytes")
+	}
+}
+
+func TestConfigsHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	status, body := get(t, ts.URL, "/v1/configs")
+	if status != http.StatusOK {
+		t.Fatalf("configs status %d", status)
+	}
+	var cfgs struct {
+		Configs []struct {
+			Name string `json:"name"`
+		} `json:"configs"`
+	}
+	if err := json.Unmarshal(body, &cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs.Configs) != len(respeed.Configs()) {
+		t.Errorf("%d configs, want %d", len(cfgs.Configs), len(respeed.Configs()))
+	}
+
+	status, body = get(t, ts.URL, "/healthz")
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Errorf("healthz: %d %s", status, body)
+	}
+
+	get(t, ts.URL, solvePath("Hera/XScale", 3))
+	status, body = get(t, ts.URL, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	var snap respeed.ServerMetrics
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics not decodable: %v", err)
+	}
+	if _, ok := snap.Endpoints["/v1/solve"]; !ok {
+		t.Errorf("metrics missing /v1/solve: %s", body)
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{MaxSimulations: 1000})
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/solve", http.StatusBadRequest},                                     // missing config
+		{"/v1/solve?config=Hera%2FXScale", http.StatusBadRequest},                // missing rho
+		{"/v1/solve?config=No%2FSuch&rho=3", http.StatusNotFound},                // unknown config
+		{"/v1/solve?config=Hera%2FXScale&rho=-1", http.StatusBadRequest},         // bad rho
+		{"/v1/solve?config=Hera%2FXScale&rho=NaN", http.StatusBadRequest},        // NaN rho
+		{"/v1/solve?config=Hera%2FXScale&rho=3&speeds=0.4,x", http.StatusBadRequest},
+		{"/v1/solve?config=Hera%2FXScale&rho=3&speeds=0,-0.5", http.StatusBadRequest},
+		{"/v1/simulate?config=Hera%2FXScale&rho=3&n=1", http.StatusBadRequest},    // n too small
+		{"/v1/simulate?config=Hera%2FXScale&rho=3&n=9999", http.StatusBadRequest}, // n over cap
+		{"/v1/simulate?config=Hera%2FXScale&rho=3&seed=-1", http.StatusBadRequest},
+		{"/v1/nope", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		status, body := get(t, ts.URL, c.path)
+		if status != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.path, status, c.want, body)
+		}
+		if c.want != http.StatusNotFound || status != http.StatusNotFound {
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err == nil && e.Error == "" && c.path != "/v1/nope" {
+				t.Errorf("%s: error body missing message: %s", c.path, body)
+			}
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/solve?config=Hera%2FXScale&rho=3", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST answered %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSpeedsOverride(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	status, body := get(t, ts.URL, "/v1/solve?config=Hera%2FXScale&rho=3&speeds=0.4,0.8")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var decoded struct {
+		Speeds   []float64 `json:"speeds"`
+		Solution struct {
+			Pairs []json.RawMessage `json:"Pairs"`
+		} `json:"solution"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Speeds) != 2 || decoded.Speeds[0] != 0.4 || decoded.Speeds[1] != 0.8 {
+		t.Errorf("speeds echo %v", decoded.Speeds)
+	}
+	if len(decoded.Solution.Pairs) != 4 {
+		t.Errorf("grid has %d pairs, want 2×2=4", len(decoded.Solution.Pairs))
+	}
+}
+
+// TestConcurrentClientsHammerCache drives the cache from many
+// goroutines at once (run under -race): every response must be correct
+// and byte-identical per query, and the hit rate must approach 1.
+func TestConcurrentClientsHammerCache(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{})
+	queries := []string{
+		solvePath("Hera/XScale", 3),
+		solvePath("Atlas/Crusoe", 3),
+		solvePath("Coastal/XScale", 4),
+		"/v1/gain?config=Hera%2FXScale&rho=3",
+		"/v1/sigma1-table?config=Atlas%2FXScale&rho=3",
+	}
+	// Reference bodies, computed serially first.
+	want := make(map[string][]byte, len(queries))
+	for _, q := range queries {
+		status, body := get(t, ts.URL, q)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", q, status)
+		}
+		want[q] = body
+	}
+
+	const clients, perClient = 25, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := queries[(c+i)%len(queries)]
+				resp, err := http.Get(ts.URL + q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", q, resp.StatusCode)
+					return
+				}
+				if !bytes.Equal(body, want[q]) {
+					errs <- fmt.Errorf("%s: response bytes changed under concurrency", q)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := s.Metrics()
+	var requests, hits, misses int64
+	for _, ep := range snap.Endpoints {
+		requests += ep.Requests
+		hits += ep.CacheHits
+		misses += ep.CacheMisses
+	}
+	wantTotal := int64(len(queries) + clients*perClient)
+	if requests != wantTotal {
+		t.Errorf("metrics counted %d requests, want %d", requests, wantTotal)
+	}
+	if hits+misses != requests {
+		t.Errorf("hits(%d)+misses(%d) != requests(%d)", hits, misses, requests)
+	}
+	// Every query was pre-warmed serially, so the hammering phase is
+	// all hits: exactly one miss per distinct query.
+	if misses != int64(len(queries)) {
+		t.Errorf("misses = %d, want %d (one per distinct query)", misses, len(queries))
+	}
+	if snap.CacheEntries != len(queries) {
+		t.Errorf("cache holds %d entries, want %d", snap.CacheEntries, len(queries))
+	}
+}

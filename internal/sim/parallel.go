@@ -16,6 +16,20 @@ import (
 // stream seed/"chunk-i", and chunk accumulators merge in index order.
 const replicateChunks = 64
 
+// replicateWorkers resolves the worker-pool size: 0 selects GOMAXPROCS,
+// and the pool is clamped to the chunk count — each worker consumes at
+// least one chunk, so any goroutine beyond chunks would be spawned only
+// to exit idle.
+func replicateWorkers(workers, chunks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	return workers
+}
+
 // ReplicateParallel runs n independent pattern simulations fanned out
 // over a bounded worker pool and returns the same aggregate as
 // Replicate. The estimate is deterministic in (seed, n) and independent
@@ -32,13 +46,11 @@ func ReplicateParallel(plan Plan, costs Costs, model energy.Model, seed uint64, 
 	if err := costs.Validate(); err != nil {
 		return Estimate{}, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	chunks := replicateChunks
 	if chunks > n {
 		chunks = n
 	}
+	workers = replicateWorkers(workers, chunks)
 
 	type chunkResult struct {
 		tw, ew, tpw, epw stats.Welford

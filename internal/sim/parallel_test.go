@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"respeed/internal/workload"
@@ -59,6 +60,44 @@ func TestReplicateParallelSeedSensitivity(t *testing.T) {
 	}
 	if a.Time.Mean == b.Time.Mean {
 		t.Error("different seeds gave identical estimates")
+	}
+}
+
+func TestReplicateWorkersClamp(t *testing.T) {
+	cases := []struct{ workers, chunks, want int }{
+		{1000, 5, 5},     // many workers, few chunks: clamp to chunks
+		{4, 64, 4},       // fewer workers than chunks: untouched
+		{64, 64, 64},     // exact fit
+		{1000, 1, 1},     // n=1 degenerates to a single worker
+		{0, 3, min(3, runtime.GOMAXPROCS(0))}, // default is GOMAXPROCS, still clamped
+	}
+	for _, c := range cases {
+		if got := replicateWorkers(c.workers, c.chunks); got != c.want {
+			t.Errorf("replicateWorkers(%d, %d) = %d, want %d", c.workers, c.chunks, got, c.want)
+		}
+	}
+}
+
+func TestReplicateParallelManyWorkersSmallN(t *testing.T) {
+	// Regression: n < replicateChunks with a huge worker request must not
+	// spawn idle goroutines, and the estimate must stay identical to a
+	// single-worker run (determinism is independent of the pool size).
+	costs, model, _ := heraSetup(1)
+	plan := Plan{W: 100, Sigma1: 1, Sigma2: 1}
+	const n = 7 // < replicateChunks
+	one, err := ReplicateParallel(plan, costs, model, 13, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := ReplicateParallel(plan, costs, model, 13, n, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != many {
+		t.Errorf("worker count changed the estimate:\n  1 worker:    %+v\n  4096 workers: %+v", one, many)
+	}
+	if many.Patterns != n || many.Time.N != n {
+		t.Errorf("bookkeeping: %+v", many)
 	}
 }
 

@@ -11,6 +11,7 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 )
@@ -18,12 +19,57 @@ import (
 // Point is one sweep evaluation: the swept parameter value and an opaque
 // result payload.
 type Point[T any] struct {
-	// X is the parameter value this point was evaluated at.
+	// X is the parameter value this point was evaluated at. Points
+	// produced by Map have no abscissa; their X is NaN and error
+	// messages identify them by index only.
 	X float64
 	// Value is the evaluation result.
 	Value T
 	// Err is non-nil when the evaluation failed; Value is then zero.
 	Err error
+	// hasX records whether X is a real abscissa (Run) or absent (Map),
+	// so diagnostics never report a fabricated x value.
+	hasX bool
+}
+
+// describe labels the point for error messages: with its abscissa when
+// it has one, by index alone otherwise.
+func (p Point[T]) describe(i int) string {
+	if p.hasX {
+		return fmt.Sprintf("point %d (x=%g)", i, p.X)
+	}
+	return fmt.Sprintf("point %d", i)
+}
+
+// forIndexes fans eval(0..n-1) out across at most workers goroutines
+// (0 selects GOMAXPROCS, never more than n). eval must be safe for
+// concurrent invocation.
+func forIndexes(n, workers int, eval func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				eval(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // Run evaluates fn at every x in xs, fanning out across at most workers
@@ -31,46 +77,24 @@ type Point[T any] struct {
 // xs. fn must be safe for concurrent invocation; each call receives the
 // index so callers can derive per-point RNG streams.
 func Run[T any](xs []float64, workers int, fn func(i int, x float64) (T, error)) []Point[T] {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(xs) {
-		workers = len(xs)
-	}
 	out := make([]Point[T], len(xs))
-	if len(xs) == 0 {
-		return out
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	worker := func() {
-		defer wg.Done()
-		for i := range idx {
-			v, err := safeCall(fn, i, xs[i])
-			out[i] = Point[T]{X: xs[i], Value: v, Err: err}
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go worker()
-	}
-	for i := range xs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	forIndexes(len(xs), workers, func(i int) {
+		v, err := safeCall(func() (T, error) { return fn(i, xs[i]) },
+			fmt.Sprintf("point %d (x=%g)", i, xs[i]))
+		out[i] = Point[T]{X: xs[i], Value: v, Err: err, hasX: true}
+	})
 	return out
 }
 
 // safeCall converts a panic in fn into an error so one bad point cannot
 // take down a whole sweep.
-func safeCall[T any](fn func(int, float64) (T, error), i int, x float64) (v T, err error) {
+func safeCall[T any](fn func() (T, error), label string) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("sweep: panic at point %d (x=%g): %v", i, x, r)
+			err = fmt.Errorf("sweep: panic at %s: %v", label, r)
 		}
 	}()
-	return fn(i, x)
+	return fn()
 }
 
 // Values extracts the result payloads, propagating the first error.
@@ -78,7 +102,7 @@ func Values[T any](pts []Point[T]) ([]T, error) {
 	out := make([]T, len(pts))
 	for i, p := range pts {
 		if p.Err != nil {
-			return nil, fmt.Errorf("sweep: point %d (x=%g): %w", i, p.X, p.Err)
+			return nil, fmt.Errorf("sweep: %s: %w", p.describe(i), p.Err)
 		}
 		out[i] = p.Value
 	}
@@ -89,20 +113,22 @@ func Values[T any](pts []Point[T]) ([]T, error) {
 func FirstError[T any](pts []Point[T]) error {
 	for i, p := range pts {
 		if p.Err != nil {
-			return fmt.Errorf("sweep: point %d (x=%g): %w", i, p.X, p.Err)
+			return fmt.Errorf("sweep: %s: %w", p.describe(i), p.Err)
 		}
 	}
 	return nil
 }
 
 // Map runs fn over an arbitrary input slice (not just float64 abscissas)
-// with the same ordering and panic-safety guarantees.
+// with the same ordering and panic-safety guarantees. The resulting
+// points carry no abscissa (X is NaN): diagnostics identify them by
+// index only instead of fabricating an x value.
 func Map[In, Out any](inputs []In, workers int, fn func(i int, in In) (Out, error)) []Point[Out] {
-	xs := make([]float64, len(inputs))
-	for i := range xs {
-		xs[i] = float64(i)
-	}
-	return Run(xs, workers, func(i int, _ float64) (Out, error) {
-		return fn(i, inputs[i])
+	out := make([]Point[Out], len(inputs))
+	forIndexes(len(inputs), workers, func(i int) {
+		v, err := safeCall(func() (Out, error) { return fn(i, inputs[i]) },
+			fmt.Sprintf("point %d", i))
+		out[i] = Point[Out]{X: math.NaN(), Value: v, Err: err}
 	})
+	return out
 }

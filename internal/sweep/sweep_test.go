@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -150,5 +151,55 @@ func TestMapError(t *testing.T) {
 	})
 	if err := FirstError(pts); err == nil {
 		t.Error("expected error")
+	}
+}
+
+func TestMapErrorsCarryNoSyntheticX(t *testing.T) {
+	// Map has no abscissa: errors must identify points by index only,
+	// never with a fabricated "x=<index>".
+	sentinel := errors.New("boom")
+	pts := Map([]string{"a", "b", "c"}, 1, func(i int, s string) (int, error) {
+		if i == 2 {
+			return 0, sentinel
+		}
+		return len(s), nil
+	})
+	for i, p := range pts {
+		if !math.IsNaN(p.X) {
+			t.Errorf("mapped point %d has X=%g, want NaN", i, p.X)
+		}
+	}
+	for _, err := range []error{FirstError(pts), func() error { _, e := Values(pts); return e }()} {
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("error %v does not wrap sentinel", err)
+		}
+		if strings.Contains(err.Error(), "x=") {
+			t.Errorf("mapped error mentions a synthetic abscissa: %v", err)
+		}
+		if !strings.Contains(err.Error(), "point 2") {
+			t.Errorf("mapped error does not identify the point index: %v", err)
+		}
+	}
+}
+
+func TestMapPanicCarriesNoSyntheticX(t *testing.T) {
+	pts := Map([]int{1}, 1, func(i int, v int) (int, error) { panic("kaboom") })
+	if pts[0].Err == nil {
+		t.Fatal("panic was not converted to error")
+	}
+	if strings.Contains(pts[0].Err.Error(), "x=") {
+		t.Errorf("mapped panic mentions a synthetic abscissa: %v", pts[0].Err)
+	}
+}
+
+func TestRunErrorsStillCarryX(t *testing.T) {
+	pts := Run([]float64{2.5}, 1, func(i int, x float64) (int, error) {
+		return 0, errors.New("boom")
+	})
+	if err := FirstError(pts); err == nil || !strings.Contains(err.Error(), "x=2.5") {
+		t.Errorf("Run error lost its abscissa: %v", err)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"respeed/internal/report"
 	"respeed/internal/rngx"
 	"respeed/internal/schedule"
+	"respeed/internal/serve"
 	"respeed/internal/sim"
 	"respeed/internal/trace"
 	"respeed/internal/workload"
@@ -245,6 +246,26 @@ func WriteExperimentReport(w io.Writer, results []ExperimentResult) error {
 		Title: "respeed experiment report",
 	})
 }
+
+// Serving layer: the cached HTTP planning service behind cmd/respeedd.
+// Solves are pure functions of (config, ρ, speeds), so the server
+// memoizes them in an LRU cache, deduplicates identical concurrent
+// queries, bounds in-flight solver work, and reports cache hit rates
+// and latency quantiles on /metrics.
+type (
+	// ServeOptions configures the planning service (zero value =
+	// defaults).
+	ServeOptions = serve.Options
+	// PlanningServer is the HTTP planning service.
+	PlanningServer = serve.Server
+	// ServerMetrics is the /metrics payload shape.
+	ServerMetrics = serve.MetricsSnapshot
+)
+
+// NewPlanningServer builds the cached BiCrit planning service over the
+// platform catalog. Serve it with (*PlanningServer).Run (graceful
+// drain on context cancellation) or mount (*PlanningServer).Handler.
+func NewPlanningServer(opts ServeOptions) *PlanningServer { return serve.New(opts) }
 
 // PartialExec configures intermediate partial verifications in the
 // full-stack simulator (the executable counterpart of PartialPattern).
