@@ -8,6 +8,12 @@
 //
 //	simulate [-config "Hera/XScale"] [-rho 3] [-n 100000] [-boost 50] [-seed 42]
 //	simulate -exec [-workload heat] [-trace]
+//	simulate -scenario cluster-twolevel|partial-failstop [-reps 100]
+//
+// Scenario mode runs the unified engine's composed scenarios — policy
+// combinations the original siloed simulators could not express:
+// a multi-node cluster under two-level (memory+disk) checkpointing, or
+// partial verifications with fail-stop errors in the mix.
 package main
 
 import (
@@ -28,6 +34,8 @@ func main() {
 	execMode := flag.Bool("exec", false, "run the full-stack executable simulator instead")
 	wlName := flag.String("workload", "heat", "exec workload: heat | stream | matvec")
 	showTrace := flag.Bool("trace", false, "print the execution schedule (exec mode)")
+	scenarioName := flag.String("scenario", "", "run a composed engine scenario: cluster-twolevel | partial-failstop")
+	reps := flag.Int("reps", 100, "scenario replications")
 	flag.Parse()
 
 	cfg, ok := respeed.ConfigByName(*configName)
@@ -37,6 +45,10 @@ func main() {
 	}
 	cfg.Platform.Lambda *= *boost
 
+	if *scenarioName != "" {
+		runScenario(cfg, *scenarioName, *seed, *reps)
+		return
+	}
 	if *execMode {
 		runExec(cfg, *wlName, *seed, *showTrace)
 		return
@@ -83,6 +95,65 @@ func relErr(a, b float64) float64 {
 		d = -d
 	}
 	return d / b
+}
+
+// runScenario executes one of the engine's composed scenarios: policy
+// combinations that required the unified discrete-event core.
+func runScenario(cfg respeed.Config, name string, seed uint64, reps int) {
+	p := respeed.ParamsFor(cfg)
+	sc := respeed.Scenario{
+		Plan:      respeed.Plan{W: 50, Sigma1: 0.4, Sigma2: 0.8},
+		Costs:     respeed.Costs{C: p.C, V: p.V, R: p.R},
+		Model:     respeed.PowerModelFor(cfg),
+		TotalWork: 500,
+	}
+	switch name {
+	case "cluster-twolevel":
+		// 4-node platform + memory/disk checkpoint tier.
+		sc.Nodes = respeed.UniformScenarioNodes(4, 2e-3, 5e-4)
+		sc.TwoLevel = &respeed.TwoLevelSpec{MemC: p.C / 4, DiskC: p.C, DiskR: 2 * p.R, Every: 3}
+	case "partial-failstop":
+		// Intermediate partial verifications + fail-stop errors.
+		sc.Costs.LambdaS, sc.Costs.LambdaF = 2e-3, 5e-4
+		sc.Partial = &respeed.PartialExec{Segments: 4, Coverage: 0.8, Cost: p.V / 4}
+	default:
+		fmt.Fprintf(os.Stderr, "simulate: unknown scenario %q (use cluster-twolevel or partial-failstop)\n", name)
+		os.Exit(1)
+	}
+	mk := func() respeed.Workload { return respeed.NewStreamWorkload(7, 64) }
+
+	rep, err := respeed.RunScenario(sc, mk, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %s on %s (one run, seed %d):\n", name, cfg.Name(), seed)
+	fmt.Printf("  makespan        %.1f s\n", rep.Makespan)
+	fmt.Printf("  energy          %.1f mW·s\n", rep.Energy)
+	fmt.Printf("  patterns        %d committed (attempts %d)\n", rep.Patterns, rep.Attempts)
+	fmt.Printf("  silent errors   %d injected, %d detected\n", rep.SilentInjected, rep.SilentDetected)
+	fmt.Printf("  fail-stops      %d\n", rep.FailStops)
+	if sc.TwoLevel != nil {
+		fmt.Printf("  mem/disk ckpts  %d / %d (recoveries %d / %d, patterns lost %d)\n",
+			rep.MemCommits, rep.DiskCommits, rep.MemRecoveries, rep.DiskRecoveries, rep.PatternsLost)
+	}
+	if sc.Partial != nil {
+		fmt.Printf("  partial checks  %d (%d detections)\n", rep.PartialChecks, rep.PartialDetections)
+	}
+	if rep.PerNodeErrors != nil {
+		fmt.Printf("  per-node errors %v\n", rep.PerNodeErrors)
+	}
+	fmt.Printf("  state digest    %016x\n", uint64(rep.StateDigest))
+
+	est, err := respeed.ReplicateScenario(sc, mk, seed, reps, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d replications:\n", reps)
+	fmt.Printf("  makespan        %.1f ± %.1f s (CI95 %.1f)\n", est.Time.Mean, est.Time.StdDev, est.Time.CI95)
+	fmt.Printf("  energy          %.1f ± %.1f mW·s\n", est.Energy.Mean, est.Energy.StdDev)
+	fmt.Printf("  mean attempts   %.2f per run\n", est.MeanAttempts)
 }
 
 func runExec(cfg respeed.Config, wlName string, seed uint64, showTrace bool) {

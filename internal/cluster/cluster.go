@@ -8,30 +8,23 @@
 // of rate λ/N are statistically indistinguishable (at pattern
 // granularity) from one aggregate process of rate λ, because a pattern
 // fails as soon as ANY node is struck.
+//
+// Since the engine unification this package is a thin façade over
+// internal/engine: Sim is engine.PatternEngine configured with
+// engine.PerNodeFaults and the cluster's combined compute+verify
+// billing.
 package cluster
 
 import (
 	"fmt"
-	"math"
 
-	"respeed/internal/des"
 	"respeed/internal/energy"
-	"respeed/internal/rngx"
+	"respeed/internal/engine"
 	"respeed/internal/sim"
-	"respeed/internal/stats"
 )
 
 // Node is one machine of the cluster.
-type Node struct {
-	// ID names the node.
-	ID int
-	// SilentRate and FailStopRate are this node's error rates (per
-	// second of wall-clock while the node is computing).
-	SilentRate, FailStopRate float64
-	// SpeedShare is the node's fraction of the aggregate speed; shares
-	// must sum to 1.
-	SpeedShare float64
-}
+type Node = engine.Node
 
 // Config describes a cluster execution.
 type Config struct {
@@ -50,9 +43,6 @@ type Config struct {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if len(c.Nodes) == 0 {
-		return fmt.Errorf("cluster: need at least one node")
-	}
 	if err := c.Plan.Validate(); err != nil {
 		return err
 	}
@@ -62,52 +52,25 @@ func (c Config) Validate() error {
 	if err := c.Costs.Validate(); err != nil {
 		return err
 	}
-	var share float64
-	for _, n := range c.Nodes {
-		if n.SilentRate < 0 || n.FailStopRate < 0 {
-			return fmt.Errorf("cluster: node %d has negative rates", n.ID)
-		}
-		if n.SpeedShare <= 0 {
-			return fmt.Errorf("cluster: node %d has non-positive speed share", n.ID)
-		}
-		share += n.SpeedShare
-	}
-	if math.Abs(share-1) > 1e-9 {
-		return fmt.Errorf("cluster: speed shares sum to %g, want 1", share)
-	}
-	return nil
+	return engine.ValidateNodes(c.Nodes)
 }
 
 // Uniform builds n identical nodes that together provide the aggregate
 // speed, with the platform rates split evenly — the decomposition the
 // paper's aggregate model implies.
 func Uniform(n int, totalSilentRate, totalFailStopRate float64) []Node {
-	nodes := make([]Node, n)
-	for i := range nodes {
-		nodes[i] = Node{
-			ID:           i,
-			SilentRate:   totalSilentRate / float64(n),
-			FailStopRate: totalFailStopRate / float64(n),
-			SpeedShare:   1 / float64(n),
-		}
-	}
-	return nodes
+	return engine.UniformNodes(n, totalSilentRate, totalFailStopRate)
 }
 
 // Sim executes patterns on the cluster. Not safe for concurrent use.
 type Sim struct {
-	cfg    Config
-	rngs   []*rngx.Stream
-	engine des.Engine
-	clock  float64
-	joules float64
+	eng    *engine.PatternEngine
+	faults *engine.PerNodeFaults
 
 	patterns  int
 	attempts  int
 	silent    int
 	failstops int
-	// perNodeErrors counts errors by node for balance checks.
-	perNodeErrors []int
 }
 
 // NewSim builds a cluster simulator; each node gets an independent
@@ -116,127 +79,39 @@ func NewSim(cfg Config, seed uint64) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Sim{cfg: cfg, perNodeErrors: make([]int, len(cfg.Nodes))}
-	s.rngs = make([]*rngx.Stream, len(cfg.Nodes))
-	for i := range cfg.Nodes {
-		s.rngs[i] = rngx.NewStream(seed, fmt.Sprintf("cluster/node-%d", i))
+	fp, err := engine.NewPerNodeFaults(cfg.Nodes, seed, "cluster")
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	eng, err := engine.NewPatternEngine(engine.PatternConfig{
+		Plan:     cfg.Plan,
+		Costs:    cfg.Costs,
+		Faults:   fp,
+		Recorder: engine.NewSumRecorder(cfg.Model),
+		// Platform-level billing: compute+verify is one aggregate
+		// Compute segment (the historical cluster accounting).
+		CombineVerify: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{eng: eng, faults: fp}, nil
 }
 
 // Clock returns the simulation time; Energy the consumed energy.
-func (s *Sim) Clock() float64  { return s.clock }
-func (s *Sim) Energy() float64 { return s.joules }
-
-// attemptOutcome is what the DES pass over one attempt window decides.
-type attemptOutcome struct {
-	failStopAt float64 // +Inf if none
-	failNode   int
-	silentHit  bool
-	silentNode int
-}
-
-// sampleAttempt schedules every node's next silent and fail-stop
-// arrivals on the engine and runs it over the attempt window, returning
-// the earliest fail-stop (which preempts) and whether any silent error
-// struck before it within the compute span.
-//
-// Silent errors only matter during the compute span; fail-stop errors
-// can strike through compute+verify (the paper's Section 5 assumption).
-func (s *Sim) sampleAttempt(computeDur, verifyDur float64) attemptOutcome {
-	out := attemptOutcome{failStopAt: math.Inf(1), failNode: -1, silentNode: -1}
-	span := computeDur + verifyDur
-	start := s.engine.Now()
-	for i, node := range s.cfg.Nodes {
-		i, node := i, node
-		if node.FailStopRate > 0 {
-			if d := s.rngs[i].Exp(node.FailStopRate); d < span {
-				s.engine.Schedule(d, func(e *des.Engine) {
-					at := e.Now() - start
-					if at < out.failStopAt {
-						out.failStopAt = at
-						out.failNode = i
-					}
-				})
-			}
-		}
-		if node.SilentRate > 0 {
-			if d := s.rngs[i].Exp(node.SilentRate); d < computeDur {
-				s.engine.Schedule(d, func(e *des.Engine) {
-					// Record the first silent strike; whether it matters is
-					// resolved by the caller (a fail-stop anywhere in the
-					// window preempts the attempt regardless).
-					if !out.silentHit {
-						out.silentHit = true
-						out.silentNode = i
-					}
-				})
-			}
-		}
-	}
-	s.engine.RunUntil(start + span)
-	return out
-}
+func (s *Sim) Clock() float64  { return s.eng.Clock() }
+func (s *Sim) Energy() float64 { return s.eng.Energy() }
 
 // RunPattern executes one pattern to its committed checkpoint, exactly
 // mirroring sim.PatternSim's semantics but with node-level error
 // processes.
 func (s *Sim) RunPattern() sim.PatternResult {
-	var res sim.PatternResult
-	startClock, startJoules := s.clock, s.joules
-	for attempt := 0; ; attempt++ {
-		res.Attempts++
-		sigma := s.cfg.Plan.Sigma1
-		if attempt > 0 {
-			sigma = s.cfg.Plan.Sigma2
-		}
-		computeDur := s.cfg.Plan.W / sigma
-		verifyDur := s.cfg.Costs.V / sigma
-
-		// Synchronize the DES clock with the wall clock.
-		if s.engine.Now() < s.clock {
-			s.engine.RunUntil(s.clock)
-		}
-		out := s.sampleAttempt(computeDur, verifyDur)
-
-		if out.failStopAt < computeDur+verifyDur {
-			// Fail-stop preempts the attempt at its arrival.
-			s.advance(out.failStopAt, energy.Compute, sigma)
-			res.FailStopErrors++
-			s.failstops++
-			s.perNodeErrors[out.failNode]++
-			s.advance(s.cfg.Costs.R, energy.Recovery, 0)
-			continue
-		}
-		silent := out.silentHit && out.failStopAt == math.Inf(1)
-		s.advance(computeDur+verifyDur, energy.Compute, sigma)
-		if silent {
-			res.SilentErrors++
-			s.silent++
-			s.perNodeErrors[out.silentNode]++
-			s.advance(s.cfg.Costs.R, energy.Recovery, 0)
-			continue
-		}
-		s.advance(s.cfg.Costs.C, energy.Checkpoint, 0)
-		res.Time = s.clock - startClock
-		res.Energy = s.joules - startJoules
-		s.patterns++
-		s.attempts += res.Attempts
-		return res
-	}
-}
-
-// advance moves the wall clock and bills platform-level energy.
-func (s *Sim) advance(dur float64, act energy.Activity, sigma float64) {
-	s.clock += dur
-	switch act {
-	case energy.Compute, energy.Verify:
-		s.joules += s.cfg.Model.ComputeEnergy(dur, sigma)
-	case energy.Checkpoint, energy.Recovery:
-		s.joules += s.cfg.Model.IOEnergy(dur)
-	default:
-		s.joules += s.cfg.Model.IdleEnergy(dur)
-	}
+	res := s.eng.RunPattern()
+	s.patterns++
+	s.attempts += res.Attempts
+	s.silent += res.SilentErrors
+	s.failstops += res.FailStopErrors
+	return res
 }
 
 // Stats summarizes cluster activity.
@@ -251,7 +126,7 @@ func (s *Sim) Stats() Stats {
 	return Stats{
 		Patterns: s.patterns, Attempts: s.attempts,
 		Silent: s.silent, FailStops: s.failstops,
-		PerNodeErrors: append([]int(nil), s.perNodeErrors...),
+		PerNodeErrors: s.faults.PerNodeErrors(),
 	}
 }
 
@@ -264,22 +139,5 @@ func Replicate(cfg Config, seed uint64, n int) (sim.Estimate, error) {
 	if err != nil {
 		return sim.Estimate{}, err
 	}
-	var tw, ew, tpw, epw stats.Welford
-	attempts := 0
-	for i := 0; i < n; i++ {
-		r := s.RunPattern()
-		tw.Add(r.Time)
-		ew.Add(r.Energy)
-		tpw.Add(r.Time / cfg.Plan.W)
-		epw.Add(r.Energy / cfg.Plan.W)
-		attempts += r.Attempts
-	}
-	return sim.Estimate{
-		Time:          tw.Summarize(),
-		Energy:        ew.Summarize(),
-		TimePerWork:   tpw.Summarize(),
-		EnergyPerWork: epw.Summarize(),
-		MeanAttempts:  float64(attempts) / float64(n),
-		Patterns:      n,
-	}, nil
+	return engine.ReplicatePattern(s.eng, cfg.Plan.W, n)
 }

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Golden equivalence tests: pinned against the pre-engine cluster
+// simulator at fixed seeds. The engine refactor must reproduce the
+// per-node DES sampling, combined compute+verify energy billing, and
+// per-node error attribution bit-for-bit.
+
+func wantBits(t *testing.T, name string, got float64, want string) {
+	t.Helper()
+	g := fmt.Sprintf("0x%016x", math.Float64bits(got))
+	if g != want {
+		t.Errorf("%s: got %s (%v), want %s", name, g, got, want)
+	}
+}
+
+func goldenConfig() Config {
+	cfg, _ := heraCluster(4, 150)
+	cfg.Nodes = Uniform(4, cfg.Nodes[0].SilentRate*4, 2e-5)
+	return cfg
+}
+
+func TestGoldenSim(t *testing.T) {
+	s, err := NewSim(goldenConfig(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		s.RunPattern()
+	}
+	st := s.Stats()
+	wantBits(t, "clock", s.Clock(), "0x41605c8b69f60017")
+	wantBits(t, "energy", s.Energy(), "0x41f46254e9a5201d")
+	if st.Patterns != 300 || st.Attempts != 2089 || st.Silent != 1620 || st.FailStops != 169 {
+		t.Errorf("counters: %+v", st)
+	}
+	wantPerNode := []int{463, 444, 445, 437}
+	for i, w := range wantPerNode {
+		if st.PerNodeErrors[i] != w {
+			t.Errorf("perNode[%d]: got %d, want %d", i, st.PerNodeErrors[i], w)
+		}
+	}
+}
+
+func TestGoldenReplicate(t *testing.T) {
+	est, err := Replicate(goldenConfig(), 201, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits(t, "time.mean", est.Time.Mean, "0x40dc3252b336c955")
+	wantBits(t, "time.stddev", est.Time.StdDev, "0x40d27e18758ba316")
+	wantBits(t, "energy.mean", est.Energy.Mean, "0x41719df7294d4553")
+	wantBits(t, "meanAttempts", est.MeanAttempts, "0x401c0a3d70a3d70a")
+}

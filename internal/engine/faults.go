@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"respeed/internal/des"
+	"respeed/internal/faults"
+	"respeed/internal/rngx"
+)
+
+// Outcome is what a FaultProcess decided for one attempt window.
+type Outcome struct {
+	// FailStop reports a fail-stop strike; FailStopAt is its offset
+	// into the window (math.Inf(1) when none struck).
+	FailStop   bool
+	FailStopAt float64
+	// Silent reports a silent error within the window's compute span.
+	// A fail-stop anywhere in the window preempts the attempt, so a
+	// silent strike is only reported when no fail-stop occurred.
+	Silent bool
+	// FailNode and SilentNode attribute the errors to a node (-1 for
+	// aggregate processes).
+	FailNode, SilentNode int
+}
+
+// FaultProcess samples when errors strike an execution. Implementations
+// must be deterministic in their seed material; each preserves the RNG
+// draw order of the legacy simulator it replaces.
+type FaultProcess interface {
+	// SampleWindow samples one standard attempt window: a fail-stop
+	// anywhere in span seconds starting at now, and a silent error
+	// within the leading silentSpan (the compute phase).
+	SampleWindow(now, span, silentSpan float64) Outcome
+	// SampleFailStop samples only the fail-stop process over span —
+	// the partial-verification path draws it separately from the
+	// per-segment silent checks.
+	SampleFailStop(now, span float64) (at float64, node int, hit bool)
+	// SampleSilent samples only the silent process over dur.
+	SampleSilent(dur float64) (node int, hit bool)
+	// NoteFailStop and NoteSilent record that a sampled error was
+	// acted upon (per-node processes attribute it to the node).
+	NoteFailStop(node int)
+	NoteSilent(node int)
+	// Corrupt flips state bits to materialize a silent error.
+	Corrupt(state []byte)
+}
+
+// AggregateFaults is the paper's platform model: one aggregated silent
+// process and one aggregated fail-stop process, sampled lazily from a
+// single stream (fail-stop first, then silent only if no fail-stop —
+// the historical injector draw order).
+type AggregateFaults struct {
+	inj *faults.Injector
+}
+
+// NewAggregateFaults builds the aggregate process on rng.
+func NewAggregateFaults(lambdaS, lambdaF float64, rng *rngx.Stream) *AggregateFaults {
+	return &AggregateFaults{inj: faults.New(lambdaS, lambdaF, rng)}
+}
+
+// Injector exposes the underlying fault injector (for stats).
+func (a *AggregateFaults) Injector() *faults.Injector { return a.inj }
+
+// SampleWindow implements FaultProcess.
+func (a *AggregateFaults) SampleWindow(now, span, silentSpan float64) Outcome {
+	if at, hit := a.inj.FailStopWithin(span); hit {
+		return Outcome{FailStop: true, FailStopAt: at, FailNode: -1, SilentNode: -1}
+	}
+	return Outcome{FailStopAt: math.Inf(1), FailNode: -1, SilentNode: -1,
+		Silent: a.inj.SilentWithin(silentSpan)}
+}
+
+// SampleFailStop implements FaultProcess.
+func (a *AggregateFaults) SampleFailStop(now, span float64) (float64, int, bool) {
+	at, hit := a.inj.FailStopWithin(span)
+	return at, -1, hit
+}
+
+// SampleSilent implements FaultProcess.
+func (a *AggregateFaults) SampleSilent(dur float64) (int, bool) {
+	return -1, a.inj.SilentWithin(dur)
+}
+
+// NoteFailStop implements FaultProcess (no-op: nothing to attribute).
+func (a *AggregateFaults) NoteFailStop(int) {}
+
+// NoteSilent implements FaultProcess (no-op).
+func (a *AggregateFaults) NoteSilent(int) {}
+
+// Corrupt implements FaultProcess.
+func (a *AggregateFaults) Corrupt(state []byte) { a.inj.CorruptState(state) }
+
+// Node is one machine of a multi-node platform.
+type Node struct {
+	// ID names the node.
+	ID int
+	// SilentRate and FailStopRate are this node's error rates (per
+	// second of wall-clock while the node is computing).
+	SilentRate, FailStopRate float64
+	// SpeedShare is the node's fraction of the aggregate speed; shares
+	// must sum to 1.
+	SpeedShare float64
+}
+
+// UniformNodes builds n identical nodes that together provide the
+// aggregate speed, with the platform rates split evenly — the
+// decomposition the paper's aggregate model implies.
+func UniformNodes(n int, totalSilentRate, totalFailStopRate float64) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{
+			ID:           i,
+			SilentRate:   totalSilentRate / float64(n),
+			FailStopRate: totalFailStopRate / float64(n),
+			SpeedShare:   1 / float64(n),
+		}
+	}
+	return nodes
+}
+
+// ValidateNodes checks a node list: positive speed shares summing to 1
+// and non-negative rates.
+func ValidateNodes(nodes []Node) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("engine: need at least one node")
+	}
+	var share float64
+	for _, n := range nodes {
+		if n.SilentRate < 0 || n.FailStopRate < 0 {
+			return fmt.Errorf("engine: node %d has negative rates", n.ID)
+		}
+		if n.SpeedShare <= 0 {
+			return fmt.Errorf("engine: node %d has non-positive speed share", n.ID)
+		}
+		share += n.SpeedShare
+	}
+	if math.Abs(share-1) > 1e-9 {
+		return fmt.Errorf("engine: speed shares sum to %g, want 1", share)
+	}
+	return nil
+}
+
+// PerNodeFaults models N independent per-node Poisson error processes,
+// resolved on a discrete-event engine: every node's next silent and
+// fail-stop arrivals are scheduled as events and the earliest fail-stop
+// preempts the attempt. Each node consumes its own deterministic
+// substream, so results are independent of node-iteration internals.
+type PerNodeFaults struct {
+	nodes   []Node
+	rngs    []*rngx.Stream
+	engine  des.Engine
+	corrupt *faults.Injector
+	errors  []int
+}
+
+// NewPerNodeFaults builds the per-node process. Node i draws from the
+// substream (seed, "<prefix>/node-<i>"); prefix "cluster" reproduces
+// the historical cluster simulator streams.
+func NewPerNodeFaults(nodes []Node, seed uint64, prefix string) (*PerNodeFaults, error) {
+	if err := ValidateNodes(nodes); err != nil {
+		return nil, err
+	}
+	f := &PerNodeFaults{
+		nodes:  nodes,
+		rngs:   make([]*rngx.Stream, len(nodes)),
+		errors: make([]int, len(nodes)),
+	}
+	for i := range nodes {
+		f.rngs[i] = rngx.NewStream(seed, fmt.Sprintf("%s/node-%d", prefix, i))
+	}
+	// State corruption draws from a dedicated stream so enabling a
+	// real workload does not perturb the per-node arrival processes.
+	f.corrupt = faults.New(0, 0, rngx.NewStream(seed, prefix+"/corrupt"))
+	return f, nil
+}
+
+// PerNodeErrors returns a copy of the per-node error counts.
+func (f *PerNodeFaults) PerNodeErrors() []int {
+	return append([]int(nil), f.errors...)
+}
+
+// SampleWindow implements FaultProcess: it synchronizes the event
+// engine with the wall clock, schedules every node's next arrivals and
+// runs the engine over the window.
+func (f *PerNodeFaults) SampleWindow(now, span, silentSpan float64) Outcome {
+	if f.engine.Now() < now {
+		f.engine.RunUntil(now)
+	}
+	out := Outcome{FailStopAt: math.Inf(1), FailNode: -1, SilentNode: -1}
+	start := f.engine.Now()
+	for i, node := range f.nodes {
+		i, node := i, node
+		if node.FailStopRate > 0 {
+			if d := f.rngs[i].Exp(node.FailStopRate); d < span {
+				f.engine.Schedule(d, func(e *des.Engine) {
+					at := e.Now() - start
+					if at < out.FailStopAt {
+						out.FailStopAt = at
+						out.FailNode = i
+					}
+				})
+			}
+		}
+		if node.SilentRate > 0 {
+			if d := f.rngs[i].Exp(node.SilentRate); d < silentSpan {
+				f.engine.Schedule(d, func(e *des.Engine) {
+					// Record the first silent strike; whether it matters
+					// is resolved below (a fail-stop anywhere in the
+					// window preempts the attempt regardless).
+					if !out.Silent {
+						out.Silent = true
+						out.SilentNode = i
+					}
+				})
+			}
+		}
+	}
+	f.engine.RunUntil(start + span)
+	out.FailStop = out.FailStopAt < span
+	if out.FailStop {
+		out.Silent = false
+		out.SilentNode = -1
+	}
+	return out
+}
+
+// SampleFailStop implements FaultProcess: a window pass over the
+// fail-stop processes only.
+func (f *PerNodeFaults) SampleFailStop(now, span float64) (float64, int, bool) {
+	if f.engine.Now() < now {
+		f.engine.RunUntil(now)
+	}
+	at, node := math.Inf(1), -1
+	start := f.engine.Now()
+	for i, n := range f.nodes {
+		i, n := i, n
+		if n.FailStopRate > 0 {
+			if d := f.rngs[i].Exp(n.FailStopRate); d < span {
+				f.engine.Schedule(d, func(e *des.Engine) {
+					if off := e.Now() - start; off < at {
+						at = off
+						node = i
+					}
+				})
+			}
+		}
+	}
+	f.engine.RunUntil(start + span)
+	return at, node, at < span
+}
+
+// SampleSilent implements FaultProcess: the earliest per-node silent
+// arrival within dur, if any.
+func (f *PerNodeFaults) SampleSilent(dur float64) (int, bool) {
+	best, node := math.Inf(1), -1
+	for i, n := range f.nodes {
+		if n.SilentRate > 0 {
+			if d := f.rngs[i].Exp(n.SilentRate); d < dur && d < best {
+				best, node = d, i
+			}
+		}
+	}
+	return node, node >= 0
+}
+
+// NoteFailStop implements FaultProcess.
+func (f *PerNodeFaults) NoteFailStop(node int) {
+	if node >= 0 {
+		f.errors[node]++
+	}
+}
+
+// NoteSilent implements FaultProcess.
+func (f *PerNodeFaults) NoteSilent(node int) {
+	if node >= 0 {
+		f.errors[node]++
+	}
+}
+
+// Corrupt implements FaultProcess.
+func (f *PerNodeFaults) Corrupt(state []byte) { f.corrupt.CorruptState(state) }

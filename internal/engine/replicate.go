@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"respeed/internal/energy"
+	"respeed/internal/rngx"
+	"respeed/internal/stats"
+)
+
+// estimator accumulates pattern results into Welford summaries, with
+// per-work normalization against w. The accumulation order matches the
+// historical sim.Replicate loop exactly.
+type estimator struct {
+	w                float64
+	tw, ew, tpw, epw stats.Welford
+	attempts         int
+}
+
+func newEstimator(w float64) *estimator { return &estimator{w: w} }
+
+func (a *estimator) add(r PatternResult) {
+	a.tw.Add(r.Time)
+	a.ew.Add(r.Energy)
+	a.tpw.Add(r.Time / a.w)
+	a.epw.Add(r.Energy / a.w)
+	a.attempts += r.Attempts
+}
+
+// merge folds another estimator in (chunk-merge order matters for bit
+// reproducibility — always merge in index order).
+func (a *estimator) merge(o *estimator) {
+	a.tw.Merge(o.tw)
+	a.ew.Merge(o.ew)
+	a.tpw.Merge(o.tpw)
+	a.epw.Merge(o.epw)
+	a.attempts += o.attempts
+}
+
+func (a *estimator) estimate(n int) Estimate {
+	return Estimate{
+		Time:          a.tw.Summarize(),
+		Energy:        a.ew.Summarize(),
+		TimePerWork:   a.tpw.Summarize(),
+		EnergyPerWork: a.epw.Summarize(),
+		MeanAttempts:  float64(a.attempts) / float64(n),
+		Patterns:      n,
+	}
+}
+
+// replicateChunks is the fixed work-partition count for parallel
+// replication. Chunking by a constant — not by worker count — makes the
+// result bit-identical for any GOMAXPROCS: chunk i always consumes the
+// stream seed/"chunk-i", and chunk accumulators merge in index order.
+const replicateChunks = 64
+
+// ReplicateWorkers resolves the worker-pool size: non-positive selects
+// GOMAXPROCS, and the pool is clamped to the chunk count — each worker
+// consumes at least one chunk, so any goroutine beyond chunks would be
+// spawned only to exit idle.
+func ReplicateWorkers(workers, chunks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	return workers
+}
+
+// chunkedFanOut runs n replications split over at most replicateChunks
+// chunks on a bounded worker pool and merges the chunk estimators in
+// index order. runChunk(chunk, lo, hi, acc) executes replications
+// [lo, hi) of chunk into acc; it must derive all randomness from the
+// chunk index so the result is deterministic in (seed, n) and
+// independent of worker count and scheduling.
+func chunkedFanOut(n, workers int, w float64, runChunk func(chunk, lo, hi int, acc *estimator) error) (Estimate, error) {
+	if n < 1 {
+		return Estimate{}, fmt.Errorf("engine: replication count must be ≥ 1")
+	}
+	chunks := replicateChunks
+	if chunks > n {
+		chunks = n
+	}
+	workers = ReplicateWorkers(workers, chunks)
+
+	accs := make([]*estimator, chunks)
+	errs := make([]error, chunks)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for c := range idx {
+				lo := c * n / chunks
+				hi := (c + 1) * n / chunks
+				accs[c] = newEstimator(w)
+				errs[c] = runChunk(c, lo, hi, accs[c])
+			}
+		}()
+	}
+	for c := 0; c < chunks; c++ {
+		idx <- c
+	}
+	close(idx)
+	wg.Wait()
+
+	total := newEstimator(w)
+	for c := 0; c < chunks; c++ {
+		if errs[c] != nil {
+			return Estimate{}, errs[c]
+		}
+		total.merge(accs[c])
+	}
+	return total.estimate(n), nil
+}
+
+// ReplicatePatternParallel runs n independent abstract pattern
+// simulations fanned out over a bounded worker pool and returns the
+// same aggregate as ReplicatePattern. The estimate is deterministic in
+// (seed, n) and independent of worker count and scheduling; it does NOT
+// reproduce sequential replication's exact samples (different
+// substreams), only the same distribution.
+func ReplicatePatternParallel(plan Plan, costs Costs, model energy.Model, seed uint64, n, workers int) (Estimate, error) {
+	if err := plan.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if err := costs.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	return chunkedFanOut(n, workers, plan.W, func(chunk, lo, hi int, acc *estimator) error {
+		rng := rngx.NewStream(seed, fmt.Sprintf("replicate/chunk-%d", chunk))
+		p, err := NewPatternEngine(PatternConfig{
+			Plan:     plan,
+			Costs:    costs,
+			Faults:   NewAggregateFaults(costs.LambdaS, costs.LambdaF, rng),
+			Recorder: NewSumRecorder(model),
+		})
+		if err != nil {
+			return err
+		}
+		for r := lo; r < hi; r++ {
+			acc.add(p.RunPattern())
+		}
+		return nil
+	})
+}

@@ -1,0 +1,41 @@
+package engine
+
+import "respeed/internal/workload"
+
+// Runner adapts any workload-like value for the full-stack executor.
+// In practice callers pass package workload kernels through
+// FromWorkload; the functional form also lets tests inject minimal
+// fakes.
+type Runner struct {
+	name     string
+	advance  func(float64)
+	progress func() float64
+	state    func() []byte
+	restore  func([]byte) error
+	clone    func() *Runner
+}
+
+// NewRunner wraps explicit functions.
+func NewRunner(name string, advance func(float64), progress func() float64,
+	state func() []byte, restore func([]byte) error, clone func() *Runner) *Runner {
+	return &Runner{name: name, advance: advance, progress: progress,
+		state: state, restore: restore, clone: clone}
+}
+
+// FromWorkload adapts a package workload kernel to a Runner.
+func FromWorkload(w workload.Workload) *Runner {
+	return &Runner{
+		name:     w.Name(),
+		advance:  w.Advance,
+		progress: w.Progress,
+		state:    w.State,
+		restore:  w.Restore,
+		clone:    func() *Runner { return FromWorkload(w.Clone()) },
+	}
+}
+
+// Name returns the wrapped workload's name.
+func (r *Runner) Name() string { return r.name }
+
+// Clone returns an independent copy of the runner's workload.
+func (r *Runner) Clone() *Runner { return r.clone() }

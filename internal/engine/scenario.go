@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"fmt"
+
+	"respeed/internal/detect"
+	"respeed/internal/energy"
+	"respeed/internal/rngx"
+	"respeed/internal/trace"
+)
+
+// Scenario composes the engine's policies into one declarative
+// configuration — the scenario space the four original siloed
+// simulators could not express. Any combination of a fault process
+// (aggregate rates or explicit per-node processes), a checkpoint tier
+// (single-level or memory+disk), and a verification discipline
+// (guaranteed, partial+guaranteed, or none) runs through the same
+// full-stack executor, e.g.:
+//
+//   - multi-node cluster + two-level checkpointing: Nodes + TwoLevel
+//   - partial verification + fail-stop errors: Partial + Costs.LambdaF
+//     (or per-node fail-stop rates)
+type Scenario struct {
+	// Plan is the pattern policy (W, σ1, σ2).
+	Plan Plan
+	// Costs supplies C, V, R and — when Nodes is empty — the aggregate
+	// error rates. With Nodes set, rates belong on the nodes and
+	// Costs.LambdaS/LambdaF must be zero. With TwoLevel set, Costs.C
+	// is ignored (the tier's costs replace it).
+	Costs Costs
+	// Model prices energy.
+	Model energy.Model
+	// TotalWork is the application size in work units. With TwoLevel
+	// set it must be a whole multiple of Plan.W.
+	TotalWork float64
+	// Nodes, when non-empty, replaces the aggregate fault process with
+	// independent per-node Poisson processes on the discrete-event
+	// engine.
+	Nodes []Node
+	// TwoLevel, when non-nil, replaces the single-level checkpoint
+	// store with the memory+disk tier.
+	TwoLevel *TwoLevelSpec
+	// Partial, when non-nil, adds intermediate partial verifications.
+	Partial *Partial
+	// SkipVerification disables verification (blind checkpoints).
+	SkipVerification bool
+	// Detector verifies state; nil selects FNV-64a.
+	Detector detect.Detector
+	// Trace, when non-nil, records the schedule of a single Run (not
+	// used by ReplicateScenario).
+	Trace *trace.Recorder
+	// NewWorkload builds the state-carrying workload for each run.
+	NewWorkload func() *Runner
+}
+
+// Validate checks the composition.
+func (sc Scenario) Validate() error {
+	if err := sc.Plan.Validate(); err != nil {
+		return err
+	}
+	if err := sc.Costs.Validate(); err != nil {
+		return err
+	}
+	if sc.TotalWork <= 0 {
+		return fmt.Errorf("engine: TotalWork must be positive")
+	}
+	if len(sc.Nodes) > 0 {
+		if sc.Costs.LambdaS != 0 || sc.Costs.LambdaF != 0 {
+			return fmt.Errorf("engine: error rates belong on nodes, not Costs")
+		}
+		if err := ValidateNodes(sc.Nodes); err != nil {
+			return err
+		}
+	}
+	if sc.TwoLevel != nil {
+		if err := sc.TwoLevel.Validate(); err != nil {
+			return err
+		}
+		n := sc.TotalWork / sc.Plan.W
+		if n != float64(int(n)) {
+			return fmt.Errorf("engine: TotalWork (%g) must be a whole multiple of W (%g) under two-level checkpointing", sc.TotalWork, sc.Plan.W)
+		}
+	}
+	if sc.Partial != nil {
+		if sc.SkipVerification {
+			return fmt.Errorf("engine: Partial and SkipVerification are mutually exclusive")
+		}
+		if err := sc.Partial.Validate(); err != nil {
+			return err
+		}
+	}
+	if sc.NewWorkload == nil {
+		return fmt.Errorf("engine: scenario needs a workload factory")
+	}
+	return nil
+}
+
+// Run executes the scenario once. All randomness derives from seed, so
+// runs are reproducible.
+func (sc Scenario) Run(seed uint64) (Report, error) {
+	if err := sc.Validate(); err != nil {
+		return Report{}, err
+	}
+	return sc.run(seed, "scenario")
+}
+
+// run builds the policy set under the given stream-name prefix and
+// executes. Distinct prefixes give replications independent substreams
+// while staying deterministic in (seed, prefix).
+func (sc Scenario) run(seed uint64, prefix string) (Report, error) {
+	var fp FaultProcess
+	var sampledRNG interface{ Intn(int) int }
+	if len(sc.Nodes) > 0 {
+		pn, err := NewPerNodeFaults(sc.Nodes, seed, prefix)
+		if err != nil {
+			return Report{}, err
+		}
+		fp = pn
+		sampledRNG = rngx.NewStream(seed, prefix+"/partial-positions")
+	} else {
+		stream := rngx.NewStream(seed, prefix+"/exec")
+		fp = NewAggregateFaults(sc.Costs.LambdaS, sc.Costs.LambdaF, stream)
+		// Child derivation does not consume stream state, so the fault
+		// process is unchanged by enabling partial checks.
+		sampledRNG = stream.Child("partial-positions")
+	}
+
+	var tier Tier
+	var sizes []float64
+	if sc.TwoLevel != nil {
+		total := int(sc.TotalWork / sc.Plan.W)
+		tier = NewTwoLevel(*sc.TwoLevel, sc.Costs.R, total)
+		sizes = WholePatterns(total, sc.Plan.W)
+	} else {
+		tier = NewSingleLevel(sc.Costs.C, sc.Costs.R, 1)
+		sizes = PatternSizes(sc.TotalWork, sc.Plan.W)
+	}
+
+	var sampled *detect.SampledVerifier
+	if sc.Partial != nil {
+		sampled = detect.NewSampledVerifier(sc.Detector, sampledRNG, sc.Partial.Coverage)
+	}
+
+	app, err := NewApp(AppConfig{
+		Plan:             sc.Plan,
+		Verify:           sc.Costs.V,
+		Sizes:            sizes,
+		Faults:           fp,
+		Tier:             tier,
+		Recorder:         NewMeterRecorder(sc.Model),
+		Detector:         sc.Detector,
+		Trace:            sc.Trace,
+		SkipVerification: sc.SkipVerification,
+		Partial:          sc.Partial,
+		Sampled:          sampled,
+	}, sc.NewWorkload())
+	if err != nil {
+		return Report{}, err
+	}
+	return app.Run()
+}
+
+// ReplicateScenario runs n independent executions of the scenario
+// fanned out over a bounded worker pool and aggregates makespan and
+// energy. Run i draws from substreams prefixed "scenario/<i>", so the
+// estimate is deterministic in (seed, n) and independent of worker
+// count and scheduling.
+func ReplicateScenario(sc Scenario, seed uint64, n, workers int) (Estimate, error) {
+	if err := sc.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	run := sc // traces are per-run state; never share one recorder across goroutines
+	run.Trace = nil
+	return chunkedFanOut(n, workers, sc.TotalWork, func(chunk, lo, hi int, acc *estimator) error {
+		for i := lo; i < hi; i++ {
+			rep, err := run.run(seed, fmt.Sprintf("scenario/%d", i))
+			if err != nil {
+				return err
+			}
+			acc.add(PatternResult{
+				Time:     rep.Makespan,
+				Energy:   rep.Energy,
+				Attempts: rep.Attempts,
+			})
+		}
+		return nil
+	})
+}

@@ -385,7 +385,11 @@ func runTwoLevelK(o Options) (Result, error) {
 			Model:     energy.Model{Kappa: 1550, Pidle: 60, Pio: 5.23},
 			TotalWork: 1000,
 		}
-		return sim.ReplicateTwoLevel(cfg, mk, o.Seed+uint64(i), reps)
+		est, err := sim.ReplicateTwoLevel(cfg, mk, o.Seed+uint64(i), reps)
+		if err != nil {
+			return 0, err
+		}
+		return est.Time.Mean, nil
 	})
 	means, err := sweep.Values(pts)
 	if err != nil {

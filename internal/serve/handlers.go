@@ -14,8 +14,10 @@ import (
 
 	"respeed/internal/core"
 	"respeed/internal/energy"
+	"respeed/internal/engine"
 	"respeed/internal/platform"
 	"respeed/internal/sim"
+	"respeed/internal/workload"
 )
 
 // maxSpeedOverride bounds the ?speeds= list: the solver is O(K²) in the
@@ -257,6 +259,55 @@ type SimulateReply struct {
 	Estimate sim.Estimate `json:"estimate"`
 }
 
+// ScenarioReply is the /v1/simulate answer when ?scenario= selects one
+// of the composed engine scenarios.
+type ScenarioReply struct {
+	Config   string        `json:"config"`
+	Rho      float64       `json:"rho"`
+	Scenario string        `json:"scenario"`
+	N        int           `json:"n"`
+	Seed     uint64        `json:"seed"`
+	Report   engine.Report `json:"report"`
+	Estimate sim.Estimate  `json:"estimate"`
+}
+
+// maxScenarioSimulations bounds ?n= for scenario runs: unlike the
+// abstract pattern replication, every scenario run drives a real
+// state-carrying workload, so replications are orders of magnitude more
+// expensive.
+const maxScenarioSimulations = 2000
+
+// scenarioByName composes the named engine scenario for a platform's
+// resilience costs. The error rates are boosted (as in cmd/simulate's
+// exec mode) so a short demo execution is error-rich.
+func scenarioByName(name string, p core.Params, model energy.Model) (engine.Scenario, *paramError) {
+	sc := engine.Scenario{
+		Plan:      engine.Plan{W: 50, Sigma1: 0.4, Sigma2: 0.8},
+		Costs:     engine.Costs{C: p.C, V: p.V, R: p.R},
+		Model:     model,
+		TotalWork: 500,
+		NewWorkload: func() *engine.Runner {
+			return engine.FromWorkload(workload.NewStream(7, 64))
+		},
+	}
+	switch name {
+	case "cluster-twolevel":
+		// Multi-node platform under two-level checkpointing — the
+		// composition the siloed simulators could not express.
+		sc.Nodes = engine.UniformNodes(4, 2e-3, 5e-4)
+		sc.TwoLevel = &engine.TwoLevelSpec{MemC: p.C / 4, DiskC: p.C, DiskR: 2 * p.R, Every: 3}
+	case "partial-failstop":
+		// Intermediate partial verifications with fail-stop errors in
+		// the mix.
+		sc.Costs.LambdaS, sc.Costs.LambdaF = 2e-3, 5e-4
+		sc.Partial = &engine.Partial{Segments: 4, Coverage: 0.8, Cost: p.V / 4}
+	default:
+		return engine.Scenario{}, badParam(
+			"unknown scenario %q (use cluster-twolevel or partial-failstop)", name)
+	}
+	return sc, nil
+}
+
 // ConfigEntry is one /v1/configs row.
 type ConfigEntry struct {
 	Name      string             `json:"name"`
@@ -402,12 +453,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.direct(w, "/v1/simulate", start, mustErrorResponse(perr.status, perr.msg))
 		return
 	}
-	n := 10_000
+	scenarioName := q.Get("scenario")
+	n, nMax := 10_000, s.opts.MaxSimulations
+	if scenarioName != "" {
+		n = 100
+		if nMax > maxScenarioSimulations {
+			nMax = maxScenarioSimulations
+		}
+	}
 	if raw := q.Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
-		if err != nil || v < 2 || v > s.opts.MaxSimulations {
+		if err != nil || v < 2 || v > nMax {
 			s.direct(w, "/v1/simulate", start, mustErrorResponse(http.StatusBadRequest,
-				fmt.Sprintf("n must be an integer in [2, %d] (got %q)", s.opts.MaxSimulations, raw)))
+				fmt.Sprintf("n must be an integer in [2, %d] (got %q)", nMax, raw)))
 			return
 		}
 		n = v
@@ -422,6 +480,33 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		seed = v
 	}
+	if scenarioName != "" {
+		model := energy.Model{Kappa: sq.cfg.Processor.Kappa, Pidle: sq.cfg.Processor.Pidle, Pio: sq.cfg.Pio}
+		sc, perr := scenarioByName(scenarioName, core.FromConfig(sq.cfg), model)
+		if perr != nil {
+			s.direct(w, "/v1/simulate", start, mustErrorResponse(perr.status, perr.msg))
+			return
+		}
+		key := sq.key("simulate-scenario", scenarioName, strconv.Itoa(n), strconv.FormatUint(seed, 10))
+		s.serveCached(w, r, "/v1/simulate", key, func() (response, error) {
+			rep, err := sc.Run(seed)
+			if err != nil {
+				return response{}, err
+			}
+			// Worker count 0 (GOMAXPROCS): ReplicateScenario is
+			// deterministic in (seed, n) regardless.
+			est, err := engine.ReplicateScenario(sc, seed, n, 0)
+			if err != nil {
+				return response{}, err
+			}
+			return jsonResponse(http.StatusOK, ScenarioReply{
+				Config: sq.cfg.Name(), Rho: sq.rho, Scenario: scenarioName,
+				N: n, Seed: seed, Report: rep, Estimate: est,
+			})
+		})
+		return
+	}
+
 	key := sq.key("simulate", strconv.Itoa(n), strconv.FormatUint(seed, 10))
 	s.serveCached(w, r, "/v1/simulate", key, func() (response, error) {
 		p := core.FromConfig(sq.cfg)

@@ -6,7 +6,7 @@ import (
 	"respeed/internal/ckpt"
 	"respeed/internal/detect"
 	"respeed/internal/energy"
-	"respeed/internal/faults"
+	"respeed/internal/engine"
 	"respeed/internal/rngx"
 	"respeed/internal/trace"
 	"respeed/internal/workload"
@@ -42,29 +42,7 @@ type ExecConfig struct {
 }
 
 // PartialExec configures intermediate partial verifications for ExecSim.
-type PartialExec struct {
-	// Segments is m ≥ 2 (m = 1 is the base pattern; use Partial = nil).
-	Segments int
-	// Coverage is the sampled-window fraction per partial check; for a
-	// localized corruption the detection probability (recall) equals it.
-	Coverage float64
-	// Cost is one partial check's cost at full speed, in seconds.
-	Cost float64
-}
-
-// Validate rejects nonsensical partial configurations.
-func (pe *PartialExec) Validate() error {
-	if pe.Segments < 2 {
-		return fmt.Errorf("sim: partial execution needs ≥ 2 segments (got %d)", pe.Segments)
-	}
-	if pe.Coverage <= 0 || pe.Coverage > 1 {
-		return fmt.Errorf("sim: partial coverage %g outside (0,1]", pe.Coverage)
-	}
-	if pe.Cost < 0 {
-		return fmt.Errorf("sim: negative partial check cost %g", pe.Cost)
-	}
-	return nil
-}
+type PartialExec = engine.Partial
 
 // ExecReport summarizes a completed full-stack execution.
 type ExecReport struct {
@@ -100,50 +78,22 @@ type ExecReport struct {
 // Runner adapts any workload-like value. In practice callers pass
 // package workload kernels through FromWorkload; the functional form
 // also lets tests inject minimal fakes.
-type Runner struct {
-	name     string
-	advance  func(float64)
-	progress func() float64
-	state    func() []byte
-	restore  func([]byte) error
-	clone    func() *Runner
-}
+type Runner = engine.Runner
 
 // NewRunner wraps explicit functions.
 func NewRunner(name string, advance func(float64), progress func() float64,
 	state func() []byte, restore func([]byte) error, clone func() *Runner) *Runner {
-	return &Runner{name: name, advance: advance, progress: progress,
-		state: state, restore: restore, clone: clone}
+	return engine.NewRunner(name, advance, progress, state, restore, clone)
 }
 
 // FromWorkload adapts a package workload kernel to a Runner.
-func FromWorkload(w workload.Workload) *Runner {
-	return &Runner{
-		name:     w.Name(),
-		advance:  w.Advance,
-		progress: w.Progress,
-		state:    w.State,
-		restore:  w.Restore,
-		clone:    func() *Runner { return FromWorkload(w.Clone()) },
-	}
-}
-
-// Name returns the wrapped workload's name.
-func (r *Runner) Name() string { return r.name }
+func FromWorkload(w workload.Workload) *Runner { return engine.FromWorkload(w) }
 
 // ExecSim drives a real workload through the verified-checkpoint
-// protocol with injected faults.
+// protocol with injected faults. It is a configuration of engine.App:
+// aggregate fault process, single-level checkpoint tier, metered energy.
 type ExecSim struct {
-	cfg      ExecConfig
-	main     *Runner
-	replica  *Runner
-	verifier *detect.Verifier
-	sampled  *detect.SampledVerifier
-	store    *ckpt.Store
-	inj      *faults.Injector
-
-	clock float64
-	meter *energy.Meter
+	app *engine.App
 }
 
 // NewExecSim builds a full-stack simulator around a workload runner.
@@ -176,266 +126,43 @@ func NewExecSim(cfg ExecConfig, wl *Runner, rng *rngx.Stream) (*ExecSim, error) 
 		// process is unchanged by enabling partial checks.
 		sampled = detect.NewSampledVerifier(cfg.Detector, rng.Child("partial-positions"), cfg.Partial.Coverage)
 	}
-	return &ExecSim{
-		cfg:      cfg,
-		main:     wl,
-		replica:  wl.clone(),
-		verifier: detect.NewVerifier(cfg.Detector),
-		sampled:  sampled,
-		store:    ckpt.New(depth),
-		inj:      faults.New(cfg.Costs.LambdaS, cfg.Costs.LambdaF, rng),
-		meter:    energy.NewMeter(cfg.Model),
-	}, nil
-}
-
-// advance moves the clock and bills energy on the meter.
-func (e *ExecSim) advance(dur float64, act energy.Activity, sigma float64) {
-	e.clock += dur
-	e.meter.Record(act, dur, sigma)
+	app, err := engine.NewApp(engine.AppConfig{
+		Plan:             cfg.Plan,
+		Verify:           cfg.Costs.V,
+		Sizes:            engine.PatternSizes(cfg.TotalWork, cfg.Plan.W),
+		Faults:           engine.NewAggregateFaults(cfg.Costs.LambdaS, cfg.Costs.LambdaF, rng),
+		Tier:             engine.NewSingleLevel(cfg.Costs.C, cfg.Costs.R, depth),
+		Recorder:         engine.NewMeterRecorder(cfg.Model),
+		Detector:         cfg.Detector,
+		Trace:            cfg.Trace,
+		SkipVerification: cfg.SkipVerification,
+		Partial:          cfg.Partial,
+		Sampled:          sampled,
+	}, wl)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecSim{app: app}, nil
 }
 
 // Run executes the whole application: ceil(TotalWork / W) patterns (the
 // last one possibly short), each retried until its verification passes
 // and its checkpoint commits. It returns the execution report.
 func (e *ExecSim) Run() (ExecReport, error) {
-	var rep ExecReport
-	rec := e.cfg.Trace
-	remaining := e.cfg.TotalWork
-
-	// The initial state acts as checkpoint zero ("the initial data for
-	// the first pattern").
-	e.store.Stage(e.main.state())
-	e.store.MarkVerified()
-	if _, err := e.store.Commit(-1, e.clock); err != nil {
-		return rep, fmt.Errorf("sim: initial checkpoint: %w", err)
-	}
-
-	for pattern := 0; remaining > 1e-9; pattern++ {
-		w := e.cfg.Plan.W
-		if w > remaining {
-			w = remaining
-		}
-		rec.Append(trace.Event{Time: e.clock, Kind: trace.PatternStart, Pattern: pattern})
-
-		for attempt := 0; ; attempt++ {
-			rep.Attempts++
-			sigma := e.cfg.Plan.Sigma1
-			if attempt > 0 {
-				sigma = e.cfg.Plan.Sigma2
-			}
-			computeDur := w / sigma
-			verifyDur := e.cfg.Costs.V / sigma
-
-			rec.Append(trace.Event{Time: e.clock, Kind: trace.ComputeStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
-
-			if e.cfg.Partial != nil {
-				committed, err := e.attemptPartial(rec, pattern, attempt, w, sigma, &rep)
-				if err != nil {
-					return rep, err
-				}
-				if committed {
-					break
-				}
-				continue
-			}
-
-			// Fail-stop: abort mid-span, recover real state from the store.
-			if at, hit := e.inj.FailStopWithin(computeDur + verifyDur); hit {
-				e.advance(at, energy.Compute, sigma)
-				rep.FailStops++
-				rec.Append(trace.Event{Time: e.clock, Kind: trace.FailStop, Pattern: pattern, Attempt: attempt, Speed: sigma})
-				if err := e.recoverState(); err != nil {
-					return rep, err
-				}
-				rec.Append(trace.Event{Time: e.clock, Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
-				continue
-			}
-
-			// Advance BOTH the main workload and the clean replica by the
-			// same work; then possibly corrupt the main state. The replica
-			// is the verification reference — the "application-specific
-			// check" the paper abstracts as V.
-			e.main.advance(w)
-			e.replica.advance(w)
-			silent := e.inj.SilentWithin(computeDur)
-			if silent {
-				// Corrupt the real state, not just its serialization: flip a
-				// bit in a snapshot and load it back through Restore so the
-				// upset lands in the kernel's live data.
-				corrupted := append([]byte(nil), e.main.state()...)
-				e.inj.CorruptState(corrupted)
-				if err := e.main.restore(corrupted); err != nil {
-					return rep, fmt.Errorf("sim: inject SDC: %w", err)
-				}
-				rep.SilentInjected++
-			}
-			e.advance(computeDur, energy.Compute, sigma)
-			rec.Append(trace.Event{Time: e.clock, Kind: trace.ComputeEnd, Pattern: pattern, Attempt: attempt, Speed: sigma})
-
-			if e.cfg.SkipVerification {
-				// Blind checkpoint: the corruption (if any) is committed.
-				// The store's verified-commit discipline is deliberately
-				// subverted — that is the hazard under study.
-				e.store.Stage(e.main.state())
-				e.store.MarkVerified()
-				if _, err := e.store.Commit(pattern, e.clock); err != nil {
-					return rep, fmt.Errorf("sim: blind checkpoint: %w", err)
-				}
-				e.advance(e.cfg.Costs.C, energy.Checkpoint, 0)
-				rec.Append(trace.Event{Time: e.clock, Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt})
-				rec.Append(trace.Event{Time: e.clock, Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
-				if silent {
-					// Keep the replica in lockstep with the now-corrupted
-					// truth so later digests compare whole-run outcomes.
-					if err := e.replica.restore(e.main.state()); err != nil {
-						return rep, fmt.Errorf("sim: replica sync: %w", err)
-					}
-				}
-				break
-			}
-
-			rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
-			e.advance(verifyDur, energy.Verify, sigma)
-			ok := e.verifier.Verify(e.main.state(), e.replica.state())
-			if !ok {
-				rep.SilentDetected++
-				rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "digest mismatch"})
-				if err := e.recoverState(); err != nil {
-					return rep, err
-				}
-				rec.Append(trace.Event{Time: e.clock, Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
-				continue
-			}
-			if silent {
-				// A flip that verification cannot see would poison the next
-				// checkpoint: fail loudly, this must be impossible with a
-				// sound detector over differing states.
-				return rep, fmt.Errorf("sim: injected SDC escaped verification (pattern %d)", pattern)
-			}
-			rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt})
-
-			e.store.Stage(e.main.state())
-			e.store.MarkVerified()
-			if _, err := e.store.Commit(pattern, e.clock); err != nil {
-				return rep, fmt.Errorf("sim: checkpoint: %w", err)
-			}
-			e.advance(e.cfg.Costs.C, energy.Checkpoint, 0)
-			rec.Append(trace.Event{Time: e.clock, Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt})
-			rec.Append(trace.Event{Time: e.clock, Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
-			break
-		}
-		remaining -= w
-		rep.Patterns++
-	}
-
-	rep.Makespan = e.clock
-	rep.Energy = e.meter.Total()
-	rep.EnergyBreakdown = e.meter.Snapshot()
-	rep.FinalProgress = e.main.progress()
-	rep.StateDigest = e.verifier.Detector().Sum(e.main.state())
-	rep.CkptStats = e.store.Stats()
-	return rep, nil
-}
-
-// recoverState restores both the main workload and the replica to the
-// last verified checkpoint and bills R.
-func (e *ExecSim) recoverState() error {
-	state, err := e.store.Recover()
-	if err != nil {
-		return fmt.Errorf("sim: recover: %w", err)
-	}
-	if err := e.main.restore(state); err != nil {
-		return fmt.Errorf("sim: restore main: %w", err)
-	}
-	if err := e.replica.restore(state); err != nil {
-		return fmt.Errorf("sim: restore replica: %w", err)
-	}
-	e.advance(e.cfg.Costs.R, energy.Recovery, 0)
-	return nil
-}
-
-// attemptPartial executes one attempt of a pattern with intermediate
-// partial verifications: w work units split into Segments chunks, a
-// sampled-window check after each of the first Segments−1 chunks, and
-// the guaranteed verification before the checkpoint. It returns
-// committed=true when the pattern's checkpoint was committed and
-// committed=false when an error was detected and recovery already ran
-// (the caller retries at σ2).
-func (e *ExecSim) attemptPartial(rec *trace.Recorder, pattern, attempt int, w, sigma float64, rep *ExecReport) (committed bool, err error) {
-	pe := e.cfg.Partial
-	m := pe.Segments
-	segWork := w / float64(m)
-	segDur := segWork / sigma
-	partialDur := pe.Cost / sigma
-	verifyDur := e.cfg.Costs.V / sigma
-	span := float64(m)*segDur + float64(m-1)*partialDur + verifyDur
-
-	// Fail-stop errors may strike anywhere in the attempt span.
-	if at, hit := e.inj.FailStopWithin(span); hit {
-		e.advance(at, energy.Compute, sigma)
-		rep.FailStops++
-		rec.Append(trace.Event{Time: e.clock, Kind: trace.FailStop, Pattern: pattern, Attempt: attempt, Speed: sigma})
-		if err := e.recoverState(); err != nil {
-			return false, err
-		}
-		rec.Append(trace.Event{Time: e.clock, Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
-		return false, nil
-	}
-
-	for k := 1; k <= m; k++ {
-		e.main.advance(segWork)
-		e.replica.advance(segWork)
-		if e.inj.SilentWithin(segDur) {
-			corrupted := append([]byte(nil), e.main.state()...)
-			e.inj.CorruptState(corrupted)
-			if err := e.main.restore(corrupted); err != nil {
-				return false, fmt.Errorf("sim: inject SDC: %w", err)
-			}
-			rep.SilentInjected++
-		}
-		e.advance(segDur, energy.Compute, sigma)
-
-		if k <= m-1 {
-			// Partial check: cheap, probabilistic.
-			e.advance(partialDur, energy.Verify, sigma)
-			rep.PartialChecks++
-			rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma, Detail: "partial"})
-			if !e.sampled.Verify(e.main.state(), e.replica.state()) {
-				rep.PartialDetections++
-				rep.SilentDetected++
-				rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "partial"})
-				if err := e.recoverState(); err != nil {
-					return false, err
-				}
-				rec.Append(trace.Event{Time: e.clock, Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
-				return false, nil
-			}
-			rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt, Detail: "partial"})
-		}
-	}
-	rec.Append(trace.Event{Time: e.clock, Kind: trace.ComputeEnd, Pattern: pattern, Attempt: attempt, Speed: sigma})
-
-	// Guaranteed verification before the checkpoint.
-	rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
-	e.advance(verifyDur, energy.Verify, sigma)
-	if !e.verifier.Verify(e.main.state(), e.replica.state()) {
-		rep.SilentDetected++
-		rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "digest mismatch"})
-		if err := e.recoverState(); err != nil {
-			return false, err
-		}
-		rec.Append(trace.Event{Time: e.clock, Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
-		return false, nil
-	}
-	rec.Append(trace.Event{Time: e.clock, Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt})
-
-	e.store.Stage(e.main.state())
-	e.store.MarkVerified()
-	if _, err := e.store.Commit(pattern, e.clock); err != nil {
-		return false, fmt.Errorf("sim: checkpoint: %w", err)
-	}
-	e.advance(e.cfg.Costs.C, energy.Checkpoint, 0)
-	rec.Append(trace.Event{Time: e.clock, Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt})
-	rec.Append(trace.Event{Time: e.clock, Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
-	return true, nil
+	rep, err := e.app.Run()
+	return ExecReport{
+		Makespan:          rep.Makespan,
+		Energy:            rep.Energy,
+		Patterns:          rep.Patterns,
+		Attempts:          rep.Attempts,
+		SilentInjected:    rep.SilentInjected,
+		SilentDetected:    rep.SilentDetected,
+		FailStops:         rep.FailStops,
+		FinalProgress:     rep.FinalProgress,
+		StateDigest:       rep.StateDigest,
+		EnergyBreakdown:   rep.EnergyBreakdown,
+		PartialChecks:     rep.PartialChecks,
+		PartialDetections: rep.PartialDetections,
+		CkptStats:         rep.CkptStats,
+	}, err
 }

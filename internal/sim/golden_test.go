@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"respeed/internal/detect"
+	"respeed/internal/energy"
+	"respeed/internal/rngx"
+	"respeed/internal/trace"
+	"respeed/internal/workload"
+)
+
+// Golden equivalence tests: every value below was pinned against the
+// pre-engine simulators at fixed seeds. The engine refactor must
+// reproduce each report bit-for-bit — makespans and energies are
+// compared via Float64bits, traces via an FNV-64a hash of the JSONL
+// encoding, so even a single reordered float operation or RNG draw
+// shows up as a failure.
+
+func wantBits(t *testing.T, name string, got float64, want string) {
+	t.Helper()
+	g := fmt.Sprintf("0x%016x", math.Float64bits(got))
+	if g != want {
+		t.Errorf("%s: got %s (%v), want %s", name, g, got, want)
+	}
+}
+
+func wantInt(t *testing.T, name string, got, want int) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s: got %d, want %d", name, got, want)
+	}
+}
+
+func traceHash(t *testing.T, rec *trace.Recorder) uint64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return uint64(detect.FNV64{}.Sum(buf.Bytes()))
+}
+
+// TestGoldenExec pins a full ExecSim run with both silent and
+// fail-stop errors, tracing, checkpoint stats, and energy breakdown.
+func TestGoldenExec(t *testing.T) {
+	cfg := execConfig(2e-3, 1e-3)
+	cfg.Trace = trace.New(0)
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(100, "golden-exec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits(t, "makespan", rep.Makespan, "0x40baefee430d6e35")
+	wantBits(t, "energy", rep.Energy, "0x412c4e5783155bc3")
+	wantBits(t, "breakdown.compute", rep.EnergyBreakdown.Compute, "0x411c4cc89fc45120")
+	wantInt(t, "patterns", rep.Patterns, 10)
+	wantInt(t, "attempts", rep.Attempts, 17)
+	wantInt(t, "silentInjected", rep.SilentInjected, 3)
+	wantInt(t, "silentDetected", rep.SilentDetected, 3)
+	wantInt(t, "failStops", rep.FailStops, 4)
+	if got := uint64(rep.StateDigest); got != 0x619331bc6e2290d7 {
+		t.Errorf("digest: got 0x%016x", got)
+	}
+	wantInt(t, "ckpt.commits", rep.CkptStats.Commits, 11)
+	wantInt(t, "ckpt.recoveries", rep.CkptStats.Recoveries, 7)
+	wantInt(t, "ckpt.bytesWritten", int(rep.CkptStats.BytesWritten), 22704)
+	wantInt(t, "ckpt.bytesRead", int(rep.CkptStats.BytesRead), 14448)
+	wantInt(t, "trace.len", cfg.Trace.Len(), 97)
+	if got := traceHash(t, cfg.Trace); got != 0x6f159d315cdaccf0 {
+		t.Errorf("traceHash: got 0x%016x", got)
+	}
+}
+
+// TestGoldenPartial pins ExecSim with partial verifications plus a
+// fail-stop process — sampled-check counts and detections included.
+func TestGoldenPartial(t *testing.T) {
+	cfg := execConfig(3e-3, 5e-4)
+	cfg.Partial = &PartialExec{Segments: 4, Coverage: 0.7, Cost: 2}
+	cfg.Trace = trace.New(0)
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(101, "golden-partial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits(t, "makespan", rep.Makespan, "0x40ba79ab66c9c6f6")
+	wantBits(t, "energy", rep.Energy, "0x412c43e394a48f75")
+	wantInt(t, "patterns", rep.Patterns, 10)
+	wantInt(t, "attempts", rep.Attempts, 16)
+	wantInt(t, "silentInjected", rep.SilentInjected, 5)
+	wantInt(t, "silentDetected", rep.SilentDetected, 5)
+	wantInt(t, "failStops", rep.FailStops, 1)
+	wantInt(t, "partialChecks", rep.PartialChecks, 43)
+	wantInt(t, "partialDetections", rep.PartialDetections, 4)
+	if got := uint64(rep.StateDigest); got != 0x619331bc6e2290d7 {
+		t.Errorf("digest: got 0x%016x", got)
+	}
+	wantInt(t, "trace.len", cfg.Trace.Len(), 172)
+	if got := traceHash(t, cfg.Trace); got != 0x5c1f060f2aacefb7 {
+		t.Errorf("traceHash: got 0x%016x", got)
+	}
+}
+
+// TestGoldenSkipVerification pins the blind-checkpoint path where an
+// undetected SDC survives into the final digest.
+func TestGoldenSkipVerification(t *testing.T) {
+	cfg := execConfig(2e-3, 0)
+	cfg.SkipVerification = true
+	e, err := NewExecSim(cfg, heatRunner(), rngx.NewStream(102, "golden-skip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits(t, "makespan", rep.Makespan, "0x40b09a0000000000")
+	wantBits(t, "energy", rep.Energy, "0x4118170800000000")
+	wantInt(t, "patterns", rep.Patterns, 10)
+	wantInt(t, "attempts", rep.Attempts, 10)
+	wantInt(t, "silentInjected", rep.SilentInjected, 2)
+	wantInt(t, "silentDetected", rep.SilentDetected, 0)
+	if got := uint64(rep.StateDigest); got != 0x82032e3cc7bc9af5 {
+		t.Errorf("digest: got 0x%016x", got)
+	}
+}
+
+// TestGoldenTwoLevel pins a TwoLevelSim run with memory and disk
+// recoveries, frontier re-execution, and pattern-loss accounting.
+func TestGoldenTwoLevel(t *testing.T) {
+	cfg := twoLevelConfig(1.5e-3, 2e-3, 4)
+	s, err := NewTwoLevelSim(cfg, twoLevelRunner(), rngx.NewStream(103, "golden-twolevel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits(t, "makespan", rep.Makespan, "0x40d0e66189fbd9b1")
+	wantBits(t, "energy", rep.Energy, "0x41502675935265ce")
+	wantInt(t, "patterns", rep.Patterns, 20)
+	wantInt(t, "executions", rep.Executions, 81)
+	wantInt(t, "memCommits", rep.MemCommits, 48)
+	wantInt(t, "diskCommits", rep.DiskCommits, 5)
+	wantInt(t, "silentErrors", rep.SilentErrors, 10)
+	wantInt(t, "failStops", rep.FailStops, 23)
+	wantInt(t, "memRecoveries", rep.MemRecoveries, 10)
+	wantInt(t, "diskRecoveries", rep.DiskRecoveries, 23)
+	wantInt(t, "patternsLost", rep.PatternsLost, 28)
+	if got := uint64(rep.StateDigest); got != 0x424fdc774e77170f {
+		t.Errorf("digest: got 0x%016x", got)
+	}
+}
+
+// TestGoldenPattern pins the Monte-Carlo pattern estimator: Welford
+// summaries over 500 replications and a traced 40-pattern run.
+func TestGoldenPattern(t *testing.T) {
+	model := energy.Model{Kappa: 1550, Pidle: 60, Pio: 5.23}
+
+	costs := Costs{C: 6, V: 15.4, R: 30, LambdaS: 2.57e-4, LambdaF: 5e-5}
+	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8}
+	est, err := Replicate(plan, costs, model, rngx.NewStream(104, "golden-pattern"), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits(t, "time.mean", est.Time.Mean, "0x40ca3c967e8ad9f2")
+	wantBits(t, "time.stddev", est.Time.StdDev, "0x40bd7044ac5d4b98")
+	wantBits(t, "energy.mean", est.Energy.Mean, "0x415c6c81bfd389f2")
+	wantBits(t, "timePerWork.mean", est.TimePerWork.Mean, "0x401370b0b6ad4600")
+	wantBits(t, "energyPerWork.mean", est.EnergyPerWork.Mean, "0x40a50f90abc5dd21")
+	wantBits(t, "meanAttempts", est.MeanAttempts, "0x400b374bc6a7ef9e")
+
+	rec := trace.New(0)
+	tracePlan := Plan{W: 50, Sigma1: 0.4, Sigma2: 0.8}
+	traceCosts := Costs{C: 6, V: 15.4, R: 30, LambdaS: 2e-3, LambdaF: 1e-3}
+	s, err := NewPatternSim(tracePlan, traceCosts, model, rngx.NewStream(105, "golden-pattern-trace"), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r PatternResult
+	for i := 0; i < 40; i++ {
+		r = s.RunPattern()
+	}
+	wantBits(t, "clock", s.Clock(), "0x40bfafd86230356f")
+	wantBits(t, "energy", s.Energy(), "0x4140ab4f9da72b77")
+	wantBits(t, "lastTime", r.Time, "0x4065300000000000")
+	wantInt(t, "lastAttempts", r.Attempts, 1)
+	wantInt(t, "trace.len", rec.Len(), 358)
+	if got := traceHash(t, rec); got != 0xec87162a2d28a0f7 {
+		t.Errorf("traceHash: got 0x%016x", got)
+	}
+}
+
+// TestGoldenParallel pins ReplicateParallel's deterministic-in-(seed,n)
+// chunked fan-out: the worker count must not change the result.
+func TestGoldenParallel(t *testing.T) {
+	costs := Costs{C: 6, V: 15.4, R: 30, LambdaS: 2.57e-3, LambdaF: 0}
+	model := energy.Model{Kappa: 1550, Pidle: 60, Pio: 5.23}
+	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8}
+	est, err := ReplicateParallel(plan, costs, model, 106, 700, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits(t, "time.mean", est.Time.Mean, "0x417718c09bd593c1")
+	wantBits(t, "time.stddev", est.Time.StdDev, "0x41784aa409a7562e")
+	wantBits(t, "energy.mean", est.Energy.Mean, "0x421318b8c2291601")
+	wantBits(t, "meanAttempts", est.MeanAttempts, "0x40bafe3b9c869536")
+}
+
+// TestGoldenReplicateTwoLevel pins the per-replicate makespans behind
+// ReplicateTwoLevel's "twolevel/%d" streams. The individual runs are
+// the equivalence surface; the aggregate is checked against the same
+// runs with a small relative tolerance so the estimator may switch
+// from a plain sum to Welford without invalidating the golden.
+func TestGoldenReplicateTwoLevel(t *testing.T) {
+	cfg := twoLevelConfig(5e-4, 2e-3, 4)
+	mk := func() *Runner { return FromWorkload(workload.NewStream(9, 8)) }
+
+	const n = 40
+	var sum float64
+	for i := 0; i < n; i++ {
+		s, err := NewTwoLevelSim(cfg, mk(), rngx.NewStream(107, fmt.Sprintf("twolevel/%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += rep.Makespan
+	}
+	wantBits(t, "sumMean", sum/n, "0x40c46b0b49ef531f")
+
+	est, err := ReplicateTwoLevel(cfg, mk, 107, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := est.Time.Mean
+	if rel := math.Abs(mean-sum/n) / (sum / n); rel > 1e-12 {
+		t.Errorf("aggregate mean: got %v, want %v (rel err %g)", mean, sum/n, rel)
+	}
+}

@@ -2,32 +2,21 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"respeed/internal/energy"
-	"respeed/internal/rngx"
-	"respeed/internal/stats"
+	"respeed/internal/engine"
 )
 
-// replicateChunks is the fixed work-partition count for parallel
-// replication. Chunking by a constant — not by worker count — makes the
-// result bit-identical for any GOMAXPROCS: chunk i always consumes the
-// stream seed/"chunk-i", and chunk accumulators merge in index order.
+// replicateChunks mirrors the engine's fixed work-partition count for
+// parallel replication (see engine.ReplicatePatternParallel): chunking
+// by a constant — not by worker count — makes the result bit-identical
+// for any GOMAXPROCS.
 const replicateChunks = 64
 
-// replicateWorkers resolves the worker-pool size: 0 selects GOMAXPROCS,
-// and the pool is clamped to the chunk count — each worker consumes at
-// least one chunk, so any goroutine beyond chunks would be spawned only
-// to exit idle.
+// replicateWorkers resolves the worker-pool size (see
+// engine.ReplicateWorkers).
 func replicateWorkers(workers, chunks int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > chunks {
-		workers = chunks
-	}
-	return workers
+	return engine.ReplicateWorkers(workers, chunks)
 }
 
 // ReplicateParallel runs n independent pattern simulations fanned out
@@ -40,76 +29,5 @@ func ReplicateParallel(plan Plan, costs Costs, model energy.Model, seed uint64, 
 	if n < 1 {
 		return Estimate{}, fmt.Errorf("sim: replication count must be ≥ 1")
 	}
-	if err := plan.Validate(); err != nil {
-		return Estimate{}, err
-	}
-	if err := costs.Validate(); err != nil {
-		return Estimate{}, err
-	}
-	chunks := replicateChunks
-	if chunks > n {
-		chunks = n
-	}
-	workers = replicateWorkers(workers, chunks)
-
-	type chunkResult struct {
-		tw, ew, tpw, epw stats.Welford
-		attempts         int
-		err              error
-	}
-	results := make([]chunkResult, chunks)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				// Chunk i runs replications [lo, hi).
-				lo := i * n / chunks
-				hi := (i + 1) * n / chunks
-				rng := rngx.NewStream(seed, fmt.Sprintf("replicate/chunk-%d", i))
-				s, err := NewPatternSim(plan, costs, model, rng, nil)
-				if err != nil {
-					results[i].err = err
-					continue
-				}
-				cr := &results[i]
-				for r := lo; r < hi; r++ {
-					pr := s.RunPattern()
-					cr.tw.Add(pr.Time)
-					cr.ew.Add(pr.Energy)
-					cr.tpw.Add(pr.Time / plan.W)
-					cr.epw.Add(pr.Energy / plan.W)
-					cr.attempts += pr.Attempts
-				}
-			}
-		}()
-	}
-	for i := 0; i < chunks; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-
-	var tw, ew, tpw, epw stats.Welford
-	attempts := 0
-	for i := range results {
-		if results[i].err != nil {
-			return Estimate{}, results[i].err
-		}
-		tw.Merge(results[i].tw)
-		ew.Merge(results[i].ew)
-		tpw.Merge(results[i].tpw)
-		epw.Merge(results[i].epw)
-		attempts += results[i].attempts
-	}
-	return Estimate{
-		Time:          tw.Summarize(),
-		Energy:        ew.Summarize(),
-		TimePerWork:   tpw.Summarize(),
-		EnergyPerWork: epw.Summarize(),
-		MeanAttempts:  float64(attempts) / float64(n),
-		Patterns:      n,
-	}, nil
+	return engine.ReplicatePatternParallel(plan, costs, model, seed, n, workers)
 }

@@ -3,6 +3,12 @@
 // measures the realized time and energy, validating the analytical
 // expectations of Propositions 1–5 against sampled executions.
 //
+// Since the engine unification, this package is a thin façade over
+// internal/engine: the simulators here are configurations of the shared
+// discrete-event core, preserved for API stability. New compositions
+// (per-node faults + two-level checkpointing, partial verification +
+// fail-stop, ...) are expressed directly as engine.Scenario values.
+//
 // Two simulators are provided:
 //
 //   - PatternSim replays the abstract renewal process (durations and
@@ -24,189 +30,60 @@ import (
 	"fmt"
 
 	"respeed/internal/energy"
+	"respeed/internal/engine"
 	"respeed/internal/faults"
 	"respeed/internal/rngx"
-	"respeed/internal/stats"
 	"respeed/internal/trace"
 )
 
 // Plan fixes the execution policy of a pattern: its size and speed pair.
-type Plan struct {
-	// W is the pattern size in work units (seconds at speed 1).
-	W float64
-	// Sigma1 is the first-execution speed, Sigma2 the re-execution speed.
-	Sigma1, Sigma2 float64
-}
-
-// Validate rejects non-positive plans.
-func (pl Plan) Validate() error {
-	if !(pl.W > 0) || !(pl.Sigma1 > 0) || !(pl.Sigma2 > 0) {
-		return fmt.Errorf("sim: invalid plan %+v", pl)
-	}
-	return nil
-}
+type Plan = engine.Plan
 
 // Costs fixes the resilience costs and error rates of the platform.
-type Costs struct {
-	// C, V, R in seconds (V at full speed: verifying at σ takes V/σ).
-	C, V, R float64
-	// LambdaS and LambdaF are the silent and fail-stop error rates
-	// (per second); either may be zero.
-	LambdaS, LambdaF float64
-}
-
-// Validate rejects negative costs and rates.
-func (c Costs) Validate() error {
-	if c.C < 0 || c.V < 0 || c.R < 0 || c.LambdaS < 0 || c.LambdaF < 0 {
-		return fmt.Errorf("sim: invalid costs %+v", c)
-	}
-	return nil
-}
+type Costs = engine.Costs
 
 // PatternResult is the realized outcome of one simulated pattern.
-type PatternResult struct {
-	// Time is the wall-clock seconds from pattern start to committed
-	// checkpoint.
-	Time float64
-	// Energy is the consumed energy in mW·s.
-	Energy float64
-	// Attempts counts executions of the pattern (1 = no errors).
-	Attempts int
-	// SilentErrors and FailStopErrors count the errors that struck.
-	SilentErrors, FailStopErrors int
-}
+type PatternResult = engine.PatternResult
 
-// PatternSim samples the renewal process of one pattern policy.
+// Estimate is the aggregated outcome of replicated pattern simulations.
+type Estimate = engine.Estimate
+
+// PatternSim samples the renewal process of one pattern policy. It is a
+// configuration of engine.PatternEngine: aggregate fault process, plain
+// summing energy recorder.
 type PatternSim struct {
-	plan  Plan
-	costs Costs
-	model energy.Model
-	inj   *faults.Injector
-	rec   *trace.Recorder
-
-	clock  float64
-	joules float64 // running energy total, mW·s
-	nextID int
+	eng    *engine.PatternEngine
+	faults *engine.AggregateFaults
 }
 
 // NewPatternSim builds a simulator. rec may be nil to disable tracing.
 func NewPatternSim(plan Plan, costs Costs, model energy.Model, rng *rngx.Stream, rec *trace.Recorder) (*PatternSim, error) {
-	if err := plan.Validate(); err != nil {
+	af := engine.NewAggregateFaults(costs.LambdaS, costs.LambdaF, rng)
+	eng, err := engine.NewPatternEngine(engine.PatternConfig{
+		Plan:     plan,
+		Costs:    costs,
+		Faults:   af,
+		Recorder: engine.NewSumRecorder(model),
+		Trace:    rec,
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := costs.Validate(); err != nil {
-		return nil, err
-	}
-	return &PatternSim{
-		plan:  plan,
-		costs: costs,
-		model: model,
-		inj:   faults.New(costs.LambdaS, costs.LambdaF, rng),
-		rec:   rec,
-	}, nil
+	return &PatternSim{eng: eng, faults: af}, nil
 }
 
 // Clock returns the current simulation time in seconds.
-func (s *PatternSim) Clock() float64 { return s.clock }
+func (s *PatternSim) Clock() float64 { return s.eng.Clock() }
 
 // Energy returns the total energy consumed so far in mW·s.
-func (s *PatternSim) Energy() float64 { return s.joules }
+func (s *PatternSim) Energy() float64 { return s.eng.Energy() }
 
 // Injector exposes the fault injector (for stats in experiments).
-func (s *PatternSim) Injector() *faults.Injector { return s.inj }
-
-// advance moves the clock and bills energy for one segment.
-func (s *PatternSim) advance(dur float64, act energy.Activity, sigma float64) {
-	s.clock += dur
-	switch act {
-	case energy.Compute, energy.Verify:
-		s.joules += s.model.ComputeEnergy(dur, sigma)
-	case energy.Checkpoint, energy.Recovery:
-		s.joules += s.model.IOEnergy(dur)
-	default:
-		s.joules += s.model.IdleEnergy(dur)
-	}
-}
+func (s *PatternSim) Injector() *faults.Injector { return s.faults.Injector() }
 
 // RunPattern executes one pattern to its committed checkpoint and
-// returns the realized time and energy. The execution follows Figure 1:
-//
-//  1. Compute W at the attempt speed (σ1 first, σ2 afterwards). A
-//     fail-stop error may strike anywhere in the compute+verify span and
-//     aborts the attempt at its arrival offset.
-//  2. Verify at the attempt speed; a silent error that struck during the
-//     compute span makes the verification fail.
-//  3. On any error: recovery (R), then re-execute at σ2.
-//  4. On verified success: checkpoint (C) and return.
-func (s *PatternSim) RunPattern() PatternResult {
-	var res PatternResult
-	startClock, startJoules := s.clock, s.joules
-	id := s.nextID
-	s.nextID++
-	s.rec.Append(trace.Event{Time: s.clock, Kind: trace.PatternStart, Pattern: id})
-	for attempt := 0; ; attempt++ {
-		res.Attempts++
-		sigma := s.plan.Sigma1
-		if attempt > 0 {
-			sigma = s.plan.Sigma2
-		}
-		computeDur := s.plan.W / sigma
-		verifyDur := s.costs.V / sigma
-
-		s.rec.Append(trace.Event{Time: s.clock, Kind: trace.ComputeStart, Pattern: id, Attempt: attempt, Speed: sigma})
-
-		// Fail-stop errors can strike anywhere in compute+verify.
-		if at, hit := s.inj.FailStopWithin(computeDur + verifyDur); hit {
-			s.advance(at, energy.Compute, sigma)
-			res.FailStopErrors++
-			s.rec.Append(trace.Event{Time: s.clock, Kind: trace.FailStop, Pattern: id, Attempt: attempt, Speed: sigma})
-			s.advance(s.costs.R, energy.Recovery, 0)
-			s.rec.Append(trace.Event{Time: s.clock, Kind: trace.Recovery, Pattern: id, Attempt: attempt})
-			continue
-		}
-
-		// Silent errors corrupt the compute span only (the paper's model)
-		// and are caught by the verification at the end of the pattern.
-		silent := s.inj.SilentWithin(computeDur)
-		s.advance(computeDur, energy.Compute, sigma)
-		s.rec.Append(trace.Event{Time: s.clock, Kind: trace.ComputeEnd, Pattern: id, Attempt: attempt, Speed: sigma})
-		if silent {
-			res.SilentErrors++
-			s.rec.Append(trace.Event{Time: s.clock, Kind: trace.SilentError, Pattern: id, Attempt: attempt})
-		}
-
-		s.rec.Append(trace.Event{Time: s.clock, Kind: trace.VerifyStart, Pattern: id, Attempt: attempt, Speed: sigma})
-		s.advance(verifyDur, energy.Verify, sigma)
-		if silent {
-			s.rec.Append(trace.Event{Time: s.clock, Kind: trace.VerifyFail, Pattern: id, Attempt: attempt})
-			s.advance(s.costs.R, energy.Recovery, 0)
-			s.rec.Append(trace.Event{Time: s.clock, Kind: trace.Recovery, Pattern: id, Attempt: attempt})
-			continue
-		}
-		s.rec.Append(trace.Event{Time: s.clock, Kind: trace.VerifyOK, Pattern: id, Attempt: attempt})
-
-		s.advance(s.costs.C, energy.Checkpoint, 0)
-		s.rec.Append(trace.Event{Time: s.clock, Kind: trace.Checkpoint, Pattern: id, Attempt: attempt})
-		s.rec.Append(trace.Event{Time: s.clock, Kind: trace.PatternDone, Pattern: id, Attempt: attempt})
-
-		res.Time = s.clock - startClock
-		res.Energy = s.joules - startJoules
-		return res
-	}
-}
-
-// Estimate is the aggregated outcome of replicated pattern simulations.
-type Estimate struct {
-	// Time and Energy summarize the per-pattern realizations.
-	Time, Energy stats.Summary
-	// TimePerWork and EnergyPerWork are the simulated overheads T/W and
-	// E/W directly comparable to the analytical formulas.
-	TimePerWork, EnergyPerWork stats.Summary
-	// MeanAttempts is the average number of executions per pattern.
-	MeanAttempts float64
-	// Patterns is the replication count.
-	Patterns int
-}
+// returns the realized time and energy (see engine.PatternEngine).
+func (s *PatternSim) RunPattern() PatternResult { return s.eng.RunPattern() }
 
 // Replicate runs n independent patterns and aggregates the outcomes.
 func Replicate(plan Plan, costs Costs, model energy.Model, rng *rngx.Stream, n int) (Estimate, error) {
@@ -217,22 +94,5 @@ func Replicate(plan Plan, costs Costs, model energy.Model, rng *rngx.Stream, n i
 	if err != nil {
 		return Estimate{}, err
 	}
-	var tw, ew, tpw, epw stats.Welford
-	attempts := 0
-	for i := 0; i < n; i++ {
-		r := s.RunPattern()
-		tw.Add(r.Time)
-		ew.Add(r.Energy)
-		tpw.Add(r.Time / plan.W)
-		epw.Add(r.Energy / plan.W)
-		attempts += r.Attempts
-	}
-	return Estimate{
-		Time:          tw.Summarize(),
-		Energy:        ew.Summarize(),
-		TimePerWork:   tpw.Summarize(),
-		EnergyPerWork: epw.Summarize(),
-		MeanAttempts:  float64(attempts) / float64(n),
-		Patterns:      n,
-	}, nil
+	return engine.ReplicatePattern(s.eng, plan.W, n)
 }

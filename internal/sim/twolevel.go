@@ -3,11 +3,11 @@ package sim
 import (
 	"fmt"
 
-	"respeed/internal/ckpt"
 	"respeed/internal/detect"
 	"respeed/internal/energy"
-	"respeed/internal/faults"
+	"respeed/internal/engine"
 	"respeed/internal/rngx"
+	"respeed/internal/stats"
 )
 
 // TwoLevelConfig configures two-level checkpointing, the multi-level
@@ -86,18 +86,12 @@ type TwoLevelReport struct {
 	StateDigest detect.Digest
 }
 
-// TwoLevelSim executes an application under two-level checkpointing.
+// TwoLevelSim executes an application under two-level checkpointing. It
+// is a configuration of engine.App: aggregate fault process, two-level
+// (memory+disk) checkpoint tier, plain summing energy recorder.
 type TwoLevelSim struct {
-	cfg      TwoLevelConfig
-	main     *Runner
-	replica  *Runner
-	verifier *detect.Verifier
-	mem      *ckpt.Store
-	disk     *ckpt.Store
-	inj      *faults.Injector
-
-	clock  float64
-	joules float64
+	app   *engine.App
+	total int
 }
 
 // NewTwoLevelSim builds the simulator.
@@ -108,183 +102,75 @@ func NewTwoLevelSim(cfg TwoLevelConfig, wl *Runner, rng *rngx.Stream) (*TwoLevel
 	if wl == nil {
 		return nil, fmt.Errorf("sim: nil workload")
 	}
-	return &TwoLevelSim{
-		cfg:      cfg,
-		main:     wl,
-		replica:  wl.clone(),
-		verifier: detect.NewVerifier(cfg.Detector),
-		mem:      ckpt.New(1),
-		disk:     ckpt.New(1),
-		inj:      faults.New(cfg.Costs.LambdaS, cfg.Costs.LambdaF, rng),
-	}, nil
-}
-
-func (s *TwoLevelSim) advance(dur float64, act energy.Activity, sigma float64) {
-	s.clock += dur
-	switch act {
-	case energy.Compute, energy.Verify:
-		s.joules += s.cfg.Model.ComputeEnergy(dur, sigma)
-	case energy.Checkpoint, energy.Recovery:
-		s.joules += s.cfg.Model.IOEnergy(dur)
-	default:
-		s.joules += s.cfg.Model.IdleEnergy(dur)
-	}
-}
-
-// commit stages and commits the current state to a store.
-func (s *TwoLevelSim) commit(store *ckpt.Store, pattern int) error {
-	store.Stage(s.main.state())
-	store.MarkVerified()
-	_, err := store.Commit(pattern, s.clock)
-	return err
-}
-
-// restoreFrom rolls both workload copies back to a store's snapshot and
-// returns the pattern index the snapshot belongs to.
-func (s *TwoLevelSim) restoreFrom(store *ckpt.Store) (int, error) {
-	snap, err := store.Latest()
+	total := int(cfg.TotalWork / cfg.Plan.W)
+	app, err := engine.NewApp(engine.AppConfig{
+		Plan:   cfg.Plan,
+		Verify: cfg.Costs.V,
+		Sizes:  engine.WholePatterns(total, cfg.Plan.W),
+		Faults: engine.NewAggregateFaults(cfg.Costs.LambdaS, cfg.Costs.LambdaF, rng),
+		Tier: engine.NewTwoLevel(engine.TwoLevelSpec{
+			MemC: cfg.MemC, DiskC: cfg.DiskC, DiskR: cfg.DiskR, Every: cfg.DiskEvery,
+		}, cfg.Costs.R, total),
+		Recorder: engine.NewSumRecorder(cfg.Model),
+		Detector: cfg.Detector,
+	}, wl)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	state, err := store.Recover()
-	if err != nil {
-		return 0, err
-	}
-	if err := s.main.restore(state); err != nil {
-		return 0, err
-	}
-	if err := s.replica.restore(state); err != nil {
-		return 0, err
-	}
-	return snap.Pattern, nil
+	return &TwoLevelSim{app: app, total: total}, nil
 }
 
 // Run executes the application to completion.
 func (s *TwoLevelSim) Run() (TwoLevelReport, error) {
-	var rep TwoLevelReport
-	w := s.cfg.Plan.W
-	total := int(s.cfg.TotalWork / w)
-	rep.Patterns = total
-
-	// Initial state is disk checkpoint zero (pattern index −1).
-	if err := s.commit(s.disk, -1); err != nil {
-		return rep, fmt.Errorf("sim: initial disk checkpoint: %w", err)
-	}
-	if err := s.commit(s.mem, -1); err != nil {
-		return rep, fmt.Errorf("sim: initial memory checkpoint: %w", err)
-	}
-
-	// frontier is the highest pattern index ever committed to memory;
-	// patterns at or below it that run again (after a disk rollback) are
-	// catch-up re-executions and run at σ2.
-	frontier := -1
-	pattern := 0
-	errored := false // current pattern has already failed at least once
-
-	for pattern < total {
-		sigma := s.cfg.Plan.Sigma1
-		if errored || pattern <= frontier {
-			sigma = s.cfg.Plan.Sigma2
-		}
-		computeDur := w / sigma
-		verifyDur := s.cfg.Costs.V / sigma
-		rep.Executions++
-
-		// Fail-stop: wipe memory level, roll back to disk.
-		if at, hit := s.inj.FailStopWithin(computeDur + verifyDur); hit {
-			s.advance(at, energy.Compute, sigma)
-			rep.FailStops++
-			rep.DiskRecoveries++
-			s.advance(s.cfg.DiskR, energy.Recovery, 0)
-			diskPattern, err := s.restoreFrom(s.disk)
-			if err != nil {
-				return rep, fmt.Errorf("sim: disk recovery: %w", err)
-			}
-			// Memory level is gone; reseed it from the disk snapshot.
-			if err := s.commit(s.mem, diskPattern); err != nil {
-				return rep, fmt.Errorf("sim: reseed memory: %w", err)
-			}
-			rep.PatternsLost += pattern - (diskPattern + 1)
-			pattern = diskPattern + 1
-			errored = true
-			continue
-		}
-
-		// Execute the pattern on real state.
-		s.main.advance(w)
-		s.replica.advance(w)
-		silent := s.inj.SilentWithin(computeDur)
-		if silent {
-			corrupted := append([]byte(nil), s.main.state()...)
-			s.inj.CorruptState(corrupted)
-			if err := s.main.restore(corrupted); err != nil {
-				return rep, fmt.Errorf("sim: inject SDC: %w", err)
-			}
-			rep.SilentErrors++
-		}
-		s.advance(computeDur, energy.Compute, sigma)
-		s.advance(verifyDur, energy.Verify, sigma)
-
-		if !s.verifier.Verify(s.main.state(), s.replica.state()) {
-			// Silent error detected: memory-level rollback (R).
-			rep.MemRecoveries++
-			s.advance(s.cfg.Costs.R, energy.Recovery, 0)
-			if _, err := s.restoreFrom(s.mem); err != nil {
-				return rep, fmt.Errorf("sim: memory recovery: %w", err)
-			}
-			errored = true
-			continue
-		}
-		if silent {
-			return rep, fmt.Errorf("sim: injected SDC escaped verification (pattern %d)", pattern)
-		}
-
-		// Verified: commit memory checkpoint, and a disk checkpoint on
-		// every k-th pattern (and always for the final one, so the result
-		// is durable).
-		if err := s.commit(s.mem, pattern); err != nil {
-			return rep, fmt.Errorf("sim: memory checkpoint: %w", err)
-		}
-		s.advance(s.cfg.MemC, energy.Checkpoint, 0)
-		rep.MemCommits++
-		if (pattern+1)%s.cfg.DiskEvery == 0 || pattern == total-1 {
-			if err := s.commit(s.disk, pattern); err != nil {
-				return rep, fmt.Errorf("sim: disk checkpoint: %w", err)
-			}
-			s.advance(s.cfg.DiskC, energy.Checkpoint, 0)
-			rep.DiskCommits++
-		}
-		if pattern > frontier {
-			frontier = pattern
-		}
-		pattern++
-		errored = false
-	}
-
-	rep.Makespan = s.clock
-	rep.Energy = s.joules
-	rep.StateDigest = s.verifier.Detector().Sum(s.main.state())
-	return rep, nil
+	rep, err := s.app.Run()
+	return TwoLevelReport{
+		Makespan:       rep.Makespan,
+		Energy:         rep.Energy,
+		Patterns:       s.total,
+		Executions:     rep.Attempts,
+		MemCommits:     rep.MemCommits,
+		DiskCommits:    rep.DiskCommits,
+		SilentErrors:   rep.SilentInjected,
+		FailStops:      rep.FailStops,
+		MemRecoveries:  rep.MemRecoveries,
+		DiskRecoveries: rep.DiskRecoveries,
+		PatternsLost:   rep.PatternsLost,
+		StateDigest:    rep.StateDigest,
+	}, err
 }
 
 // ReplicateTwoLevel runs n independent executions (different substreams)
-// and returns the mean makespan — the objective the disk interval k is
-// tuned against.
-func ReplicateTwoLevel(cfg TwoLevelConfig, mkWorkload func() *Runner, seed uint64, n int) (meanMakespan float64, err error) {
+// and aggregates them into a full Estimate: Welford mean/stddev of
+// makespan and energy, per-work normalizations against TotalWork, and
+// the mean execution (attempt) count. Time.Mean is the objective the
+// disk interval k is tuned against.
+func ReplicateTwoLevel(cfg TwoLevelConfig, mkWorkload func() *Runner, seed uint64, n int) (Estimate, error) {
 	if n < 1 {
-		return 0, fmt.Errorf("sim: replication count must be ≥ 1")
+		return Estimate{}, fmt.Errorf("sim: replication count must be ≥ 1")
 	}
-	var sum float64
+	var tw, ew, tpw, epw stats.Welford
+	executions := 0
 	for i := 0; i < n; i++ {
 		s, err := NewTwoLevelSim(cfg, mkWorkload(), rngx.NewStream(seed, fmt.Sprintf("twolevel/%d", i)))
 		if err != nil {
-			return 0, err
+			return Estimate{}, err
 		}
 		rep, err := s.Run()
 		if err != nil {
-			return 0, err
+			return Estimate{}, err
 		}
-		sum += rep.Makespan
+		tw.Add(rep.Makespan)
+		ew.Add(rep.Energy)
+		tpw.Add(rep.Makespan / cfg.TotalWork)
+		epw.Add(rep.Energy / cfg.TotalWork)
+		executions += rep.Executions
 	}
-	return sum / float64(n), nil
+	return Estimate{
+		Time:          tw.Summarize(),
+		Energy:        ew.Summarize(),
+		TimePerWork:   tpw.Summarize(),
+		EnergyPerWork: epw.Summarize(),
+		MeanAttempts:  float64(executions) / float64(n),
+		Patterns:      n,
+	}, nil
 }

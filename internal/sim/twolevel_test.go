@@ -155,11 +155,14 @@ func TestTwoLevelKTradeoff(t *testing.T) {
 	mk := func() *Runner { return FromWorkload(workload.NewStream(9, 8)) }
 	mean := func(k int) float64 {
 		cfg := twoLevelConfig(0, 2e-3, k)
-		m, err := ReplicateTwoLevel(cfg, mk, 7, 60)
+		est, err := ReplicateTwoLevel(cfg, mk, 7, 60)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return m
+		if est.Energy.Mean <= 0 || est.Time.StdDev < 0 {
+			t.Fatalf("estimate not aggregated: %+v", est)
+		}
+		return est.Time.Mean
 	}
 	m1, m4, m20 := mean(1), mean(4), mean(20)
 	if !(m4 < m1) {

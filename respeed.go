@@ -29,6 +29,7 @@ import (
 
 	"respeed/internal/core"
 	"respeed/internal/energy"
+	"respeed/internal/engine"
 	"respeed/internal/exp"
 	"respeed/internal/optimize"
 	"respeed/internal/platform"
@@ -297,4 +298,51 @@ func RunTwoLevel(cfg TwoLevelConfig, w Workload, seed uint64) (TwoLevelReport, e
 		return TwoLevelReport{}, err
 	}
 	return s.Run()
+}
+
+// Scenario is the unified engine composition: any combination of a
+// fault process (aggregate rates or per-node processes), a checkpoint
+// tier (single-level or memory+disk) and a verification discipline
+// (guaranteed, partial+guaranteed, or none) runs through the one
+// discrete-event core — including combinations the original siloed
+// simulators could not express, e.g. a multi-node cluster under
+// two-level checkpointing, or partial verification with fail-stop
+// errors. Leave Scenario.NewWorkload nil and pass a workload factory to
+// RunScenario / ReplicateScenario instead.
+type (
+	Scenario = engine.Scenario
+	// ScenarioReport is the unified execution report.
+	ScenarioReport = engine.Report
+	// TwoLevelSpec parameterizes the memory+disk checkpoint tier of a
+	// Scenario.
+	TwoLevelSpec = engine.TwoLevelSpec
+	// ClusterNode is one machine of a Scenario's multi-node platform.
+	ClusterNode = engine.Node
+)
+
+// UniformScenarioNodes splits the aggregate error rates evenly over n
+// identical nodes — the decomposition the paper's aggregate model
+// implies.
+func UniformScenarioNodes(n int, totalSilentRate, totalFailStopRate float64) []ClusterNode {
+	return engine.UniformNodes(n, totalSilentRate, totalFailStopRate)
+}
+
+// RunScenario executes the scenario once on a workload built by mk.
+// The run is deterministic in seed.
+func RunScenario(sc Scenario, mk func() Workload, seed uint64) (ScenarioReport, error) {
+	if mk != nil {
+		sc.NewWorkload = func() *sim.Runner { return sim.FromWorkload(mk()) }
+	}
+	return sc.Run(seed)
+}
+
+// ReplicateScenario runs n independent executions of the scenario over
+// a bounded worker pool (workers ≤ 0 selects GOMAXPROCS) and aggregates
+// makespan and energy; deterministic in (seed, n) independent of worker
+// count.
+func ReplicateScenario(sc Scenario, mk func() Workload, seed uint64, n, workers int) (Estimate, error) {
+	if mk != nil {
+		sc.NewWorkload = func() *sim.Runner { return sim.FromWorkload(mk()) }
+	}
+	return engine.ReplicateScenario(sc, seed, n, workers)
 }
