@@ -2,22 +2,32 @@
 // HTTP/JSON service exposing the BiCrit solver surface over the
 // platform catalog, with an LRU result cache, singleflight
 // deduplication, bounded in-flight work, and graceful shutdown on
-// SIGINT/SIGTERM.
+// SIGINT/SIGTERM. With -jobs-dir it additionally runs the crash-safe
+// campaign subsystem behind /v1/jobs: sharded asynchronous campaigns,
+// journaled to disk after every completed shard, resumed automatically
+// when the daemon restarts over the same directory.
 //
 // Endpoints:
 //
-//	GET /v1/solve?config=Hera/XScale&rho=3[&speeds=0.4,0.8][&single=1]
-//	GET /v1/sigma1-table?config=...&rho=...
-//	GET /v1/gain?config=...&rho=...
-//	GET /v1/simulate?config=...&rho=...[&n=10000][&seed=1]
-//	GET /v1/configs
-//	GET /healthz
-//	GET /metrics
+//	GET    /v1/solve?config=Hera/XScale&rho=3[&speeds=0.4,0.8][&single=1]
+//	GET    /v1/sigma1-table?config=...&rho=...
+//	GET    /v1/gain?config=...&rho=...
+//	GET    /v1/simulate?config=...&rho=...[&n=10000][&seed=1][&scenario=...]
+//	GET    /v1/configs
+//	POST   /v1/jobs                   submit a campaign (with -jobs-dir)
+//	GET    /v1/jobs                   list jobs
+//	GET    /v1/jobs/{id}              job status
+//	GET    /v1/jobs/{id}/result      finished result
+//	GET    /v1/jobs/{id}/events      SSE progress stream
+//	DELETE /v1/jobs/{id}              cancel
+//	GET    /healthz
+//	GET    /metrics
 //
 // Usage:
 //
-//	respeedd [-addr :8080] [-cache 4096] [-max-inflight N]
-//	         [-timeout 10s] [-drain 15s] [-max-sim 1000000]
+//	respeedd [-addr :8080] [-cache-size 4096] [-max-inflight N]
+//	         [-request-timeout 10s] [-drain 15s] [-max-simulations 1000000]
+//	         [-jobs-dir DIR] [-jobs-workers N] [-jobs-max 64]
 package main
 
 import (
@@ -36,19 +46,47 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	cacheSize := flag.Int("cache", 4096, "LRU result-cache capacity (entries)")
-	maxInFlight := flag.Int("max-inflight", 0, "max concurrent solver computations (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 10*time.Second, "per-request wait bound")
-	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound")
-	maxSim := flag.Int("max-sim", 1_000_000, "cap on the n parameter of /v1/simulate")
+
+	var cacheSize int
+	flag.IntVar(&cacheSize, "cache-size", 4096, "LRU result-cache capacity in entries (default 4096)")
+	flag.IntVar(&cacheSize, "cache", 4096, "alias for -cache-size")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent solver computations (default 0 = GOMAXPROCS)")
+	var timeout time.Duration
+	flag.DurationVar(&timeout, "request-timeout", 10*time.Second, "per-request wait bound (default 10s)")
+	flag.DurationVar(&timeout, "timeout", 10*time.Second, "alias for -request-timeout")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound (default 15s)")
+	var maxSim int
+	flag.IntVar(&maxSim, "max-simulations", 1_000_000, "cap on the n parameter of /v1/simulate (default 1000000)")
+	flag.IntVar(&maxSim, "max-sim", 1_000_000, "alias for -max-simulations")
+
+	jobsDir := flag.String("jobs-dir", "", "campaign journal directory; empty disables /v1/jobs")
+	jobsWorkers := flag.Int("jobs-workers", 0, "max concurrently executing campaign shards (default 0 = GOMAXPROCS)")
+	jobsMax := flag.Int("jobs-max", 64, "retained jobs cap; beyond it the oldest finished job is evicted (default 64)")
 	flag.Parse()
 
+	var manager *respeed.JobManager
+	if *jobsDir != "" {
+		var err error
+		manager, err = respeed.NewJobManager(respeed.JobManagerOptions{
+			Dir:     *jobsDir,
+			Workers: *jobsWorkers,
+			MaxJobs: *jobsMax,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("respeedd: campaign manager on %s (%d retained, resumed %d)",
+			*jobsDir, *jobsMax, len(manager.List()))
+	}
+
 	srv := respeed.NewPlanningServer(respeed.ServeOptions{
-		CacheSize:      *cacheSize,
+		CacheSize:      cacheSize,
 		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *timeout,
+		RequestTimeout: timeout,
 		DrainTimeout:   *drain,
-		MaxSimulations: *maxSim,
+		MaxSimulations: maxSim,
+		Jobs:           manager,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -60,8 +98,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("respeedd: serving on %s (cache=%d entries, timeout=%s)", ln.Addr(), *cacheSize, *timeout)
-	if err := srv.Run(ctx, ln); err != nil {
+	log.Printf("respeedd: serving on %s (cache=%d entries, timeout=%s)", ln.Addr(), cacheSize, timeout)
+	err = srv.Run(ctx, ln)
+	if manager != nil {
+		// Close after the HTTP drain: running shards finish their
+		// current attempt and journal; unfinished jobs resume at the
+		// next start.
+		manager.Close()
+	}
+	if err != nil {
 		log.Printf("respeedd: shutdown error: %v", err)
 		os.Exit(1)
 	}

@@ -132,19 +132,28 @@ func ReplicatePatternParallel(plan Plan, costs Costs, model energy.Model, seed u
 		return Estimate{}, err
 	}
 	return chunkedFanOut(n, workers, plan.W, func(chunk, lo, hi int, acc *estimator) error {
-		rng := rngx.NewStream(seed, fmt.Sprintf("replicate/chunk-%d", chunk))
-		p, err := NewPatternEngine(PatternConfig{
-			Plan:     plan,
-			Costs:    costs,
-			Faults:   NewAggregateFaults(costs.LambdaS, costs.LambdaF, rng),
-			Recorder: NewSumRecorder(model),
-		})
-		if err != nil {
-			return err
-		}
-		for r := lo; r < hi; r++ {
-			acc.add(p.RunPattern())
-		}
-		return nil
+		return runPatternChunk(plan, costs, model, seed, chunk, lo, hi, acc)
 	})
+}
+
+// runPatternChunk executes replications [lo, hi) of one fixed chunk into
+// acc, deriving all randomness from (seed, chunk). It is the shared body
+// of ReplicatePatternParallel and the exported chunk API, so a chunk
+// executed in isolation (e.g. as one shard of a batch job) accumulates
+// bit-identically to the same chunk inside the in-process fan-out.
+func runPatternChunk(plan Plan, costs Costs, model energy.Model, seed uint64, chunk, lo, hi int, acc *estimator) error {
+	rng := rngx.NewStream(seed, fmt.Sprintf("replicate/chunk-%d", chunk))
+	p, err := NewPatternEngine(PatternConfig{
+		Plan:     plan,
+		Costs:    costs,
+		Faults:   NewAggregateFaults(costs.LambdaS, costs.LambdaF, rng),
+		Recorder: NewSumRecorder(model),
+	})
+	if err != nil {
+		return err
+	}
+	for r := lo; r < hi; r++ {
+		acc.add(p.RunPattern())
+	}
+	return nil
 }

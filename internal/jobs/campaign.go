@@ -1,0 +1,385 @@
+// Package jobs is respeed's crash-safe asynchronous campaign subsystem.
+//
+// A job is a named campaign — a σ1×σ2 grid solve, a ρ-sweep, or a
+// Monte-Carlo replication study over one or many platform configs (the
+// material behind the paper's tables and figures) — that is too large
+// for one synchronous request. The subsystem applies the repo's own
+// subject matter to itself, exactly as the checkpoint-restart literature
+// prescribes for long-running work:
+//
+//   - the campaign is sharded into deterministic chunks (Monte-Carlo
+//     cells reuse the engine's seed-pinned 64-chunk fan-out, so results
+//     are bit-identical for any worker count or interleaving);
+//   - a bounded worker pool executes shards with per-shard retry and
+//     exponential backoff;
+//   - every completed shard is appended to a CRC-framed JSONL journal
+//     and fsynced — the "checkpoint" — so a killed process resumes from
+//     the journal and re-executes only the shards that were in flight;
+//   - a finished job is snapshotted atomically (temp file + rename) and
+//     its journal retired.
+//
+// A job resumed after a crash produces byte-identical results (and an
+// identical result hash) to the same job run uninterrupted.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"respeed/internal/core"
+	"respeed/internal/energy"
+	"respeed/internal/engine"
+	"respeed/internal/platform"
+	"respeed/internal/sim"
+)
+
+// Kind selects the campaign family.
+type Kind string
+
+const (
+	// KindGrid evaluates the full σ1×σ2 pair grid (the paper's Section
+	// 4.2 tables) for every config×ρ cell.
+	KindGrid Kind = "grid"
+	// KindSweep solves the BiCrit optimum and two-speed gain at every
+	// config×ρ cell — a ρ-sweep when Rhos is a dense list.
+	KindSweep Kind = "sweep"
+	// KindMonteCarlo replicates N pattern simulations per config×ρ cell,
+	// sharded on the engine's deterministic chunk fan-out.
+	KindMonteCarlo Kind = "montecarlo"
+)
+
+// maxMonteCarloN caps replications per cell; the full campaign may still
+// multiply this across many cells.
+const maxMonteCarloN = 10_000_000
+
+// maxCampaignCells bounds the config×ρ cross product of one campaign.
+const maxCampaignCells = 4096
+
+// Campaign is a job specification. It is fully serializable: the journal
+// records the normalized campaign verbatim, and a resumed job re-plans
+// its shards from that record alone.
+type Campaign struct {
+	// Name is an optional human-readable label.
+	Name string `json:"name,omitempty"`
+	// Kind selects the campaign family.
+	Kind Kind `json:"kind"`
+	// Configs names catalog configurations; empty selects the whole
+	// catalog (resolved and pinned at submit time).
+	Configs []string `json:"configs,omitempty"`
+	// Rhos are the performance bounds to evaluate, one cell per
+	// config×ρ combination.
+	Rhos []float64 `json:"rhos"`
+	// N is the Monte-Carlo replication count per cell (montecarlo only;
+	// default 10000).
+	N int `json:"n,omitempty"`
+	// Seed is the Monte-Carlo master seed (montecarlo only; default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// normalize validates the campaign and pins defaults: empty Configs
+// resolves to the full catalog, montecarlo N/Seed get their defaults.
+// The returned campaign is what gets journaled, so resume never depends
+// on catalog evolution or default drift.
+func (c Campaign) normalize() (Campaign, error) {
+	switch c.Kind {
+	case KindGrid, KindSweep:
+		if c.N != 0 || c.Seed != 0 {
+			return Campaign{}, fmt.Errorf("jobs: n and seed apply to montecarlo campaigns only")
+		}
+	case KindMonteCarlo:
+		if c.N == 0 {
+			c.N = 10_000
+		}
+		if c.N < 2 || c.N > maxMonteCarloN {
+			return Campaign{}, fmt.Errorf("jobs: montecarlo n must be in [2, %d] (got %d)", maxMonteCarloN, c.N)
+		}
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+	default:
+		return Campaign{}, fmt.Errorf("jobs: unknown campaign kind %q (use grid, sweep or montecarlo)", c.Kind)
+	}
+	if len(c.Configs) == 0 {
+		c.Configs = platform.Names()
+	}
+	for _, name := range c.Configs {
+		if _, ok := platform.ByName(name); !ok {
+			return Campaign{}, fmt.Errorf("jobs: unknown configuration %q", name)
+		}
+	}
+	if len(c.Rhos) == 0 {
+		return Campaign{}, fmt.Errorf("jobs: campaign needs at least one rho")
+	}
+	for i, rho := range c.Rhos {
+		if math.IsNaN(rho) || math.IsInf(rho, 0) || rho <= 0 {
+			return Campaign{}, fmt.Errorf("jobs: rhos[%d] must be a positive finite number (got %g)", i, rho)
+		}
+	}
+	if cells := len(c.Configs) * len(c.Rhos); cells > maxCampaignCells {
+		return Campaign{}, fmt.Errorf("jobs: campaign spans %d cells, max %d", cells, maxCampaignCells)
+	}
+	return c, nil
+}
+
+// shardPlan locates one shard of a campaign. Grid/sweep campaigns have
+// one shard per config×ρ cell (Chunk = -1); Monte-Carlo campaigns shard
+// each cell into the engine's deterministic chunks, with [Lo, Hi) the
+// chunk's replication index range.
+type shardPlan struct {
+	Config string
+	Rho    float64
+	Chunk  int
+	Lo, Hi int
+}
+
+// planShards enumerates the campaign's shards in canonical order:
+// configs-order × rhos-order × chunk-order. The enumeration is a pure
+// function of the normalized campaign, so a resumed job re-derives the
+// identical plan.
+func (c Campaign) planShards() []shardPlan {
+	var shards []shardPlan
+	for _, cfg := range c.Configs {
+		for _, rho := range c.Rhos {
+			if c.Kind != KindMonteCarlo {
+				shards = append(shards, shardPlan{Config: cfg, Rho: rho, Chunk: -1})
+				continue
+			}
+			chunks := engine.ChunkCount(c.N)
+			for ch := 0; ch < chunks; ch++ {
+				lo, hi := engine.ChunkBounds(c.N, chunks, ch)
+				shards = append(shards, shardPlan{Config: cfg, Rho: rho, Chunk: ch, Lo: lo, Hi: hi})
+			}
+		}
+	}
+	return shards
+}
+
+// shardResult is the journaled outcome of one shard. Exactly one of the
+// payload fields is set (Infeasible counts as a payload for Monte-Carlo
+// shards whose cell admits no plan).
+type shardResult struct {
+	// Infeasible marks a cell with no feasible speed pair at its ρ.
+	Infeasible bool `json:"infeasible,omitempty"`
+	// Cell is a grid or sweep cell outcome.
+	Cell *CellSolution `json:"cell,omitempty"`
+	// Chunk is a Monte-Carlo partial estimate.
+	Chunk *engine.ChunkEstimate `json:"chunk,omitempty"`
+}
+
+// CellSolution is the solver outcome of one grid/sweep cell.
+type CellSolution struct {
+	// Best is the energy-minimizing feasible pair.
+	Best core.PairResult `json:"best"`
+	// Pairs is the full σ1×σ2 grid (grid campaigns only).
+	Pairs []core.PairResult `json:"pairs,omitempty"`
+	// Gain is the two-speed energy gain over the single-speed optimum
+	// (sweep campaigns only).
+	Gain *float64 `json:"gain,omitempty"`
+}
+
+// cellOf resolves a shard's platform parameters. The config was
+// validated at submit; a vanished config (journal from a different
+// build) is reported, not assumed.
+func cellOf(sp shardPlan) (platform.Config, core.Params, error) {
+	cfg, ok := platform.ByName(sp.Config)
+	if !ok {
+		return platform.Config{}, core.Params{}, fmt.Errorf("jobs: configuration %q not in catalog", sp.Config)
+	}
+	return cfg, core.FromConfig(cfg), nil
+}
+
+// runShard executes one shard. Shards are pure functions of
+// (campaign, shard plan): re-executing a shard after a crash or retry
+// yields byte-identical journal records.
+func (c Campaign) runShard(sp shardPlan) (shardResult, error) {
+	cfg, p, err := cellOf(sp)
+	if err != nil {
+		return shardResult{}, err
+	}
+	speeds := cfg.Processor.Speeds
+	sol, solveErr := p.Solve(speeds, sp.Rho)
+	switch c.Kind {
+	case KindGrid:
+		if solveErr != nil && solveErr != core.ErrInfeasible {
+			return shardResult{}, solveErr
+		}
+		cell := &CellSolution{Best: sol.Best, Pairs: sol.Pairs}
+		return shardResult{Infeasible: solveErr != nil, Cell: cell}, nil
+	case KindSweep:
+		if solveErr == core.ErrInfeasible {
+			return shardResult{Infeasible: true}, nil
+		}
+		if solveErr != nil {
+			return shardResult{}, solveErr
+		}
+		gain, err := p.TwoSpeedGain(speeds, sp.Rho)
+		if err != nil {
+			return shardResult{}, err
+		}
+		return shardResult{Cell: &CellSolution{Best: sol.Best, Gain: &gain}}, nil
+	case KindMonteCarlo:
+		if solveErr == core.ErrInfeasible {
+			return shardResult{Infeasible: true}, nil
+		}
+		if solveErr != nil {
+			return shardResult{}, solveErr
+		}
+		plan := sim.Plan{W: sol.Best.W, Sigma1: sol.Best.Sigma1, Sigma2: sol.Best.Sigma2}
+		costs := sim.Costs{C: p.C, V: p.V, R: p.R, LambdaS: p.Lambda}
+		model := energy.Model{Kappa: cfg.Processor.Kappa, Pidle: cfg.Processor.Pidle, Pio: cfg.Pio}
+		seed := c.cellSeed(sp.Config, sp.Rho)
+		ce, err := engine.ReplicatePatternChunk(plan, costs, model, seed, sp.Chunk, sp.Lo, sp.Hi)
+		if err != nil {
+			return shardResult{}, err
+		}
+		return shardResult{Chunk: &ce}, nil
+	default:
+		return shardResult{}, fmt.Errorf("jobs: unknown campaign kind %q", c.Kind)
+	}
+}
+
+// cellSeed derives the per-cell Monte-Carlo seed from the campaign seed
+// and the cell coordinates with FNV-64a, so distinct cells draw
+// independent substreams while staying deterministic in the spec.
+func (c Campaign) cellSeed(config string, rho float64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", c.Seed, config, canonicalFloat(rho))
+	return h.Sum64()
+}
+
+// canonicalFloat renders a float in shortest round-trip form, the same
+// canonicalization the serve cache uses.
+func canonicalFloat(x float64) string {
+	b, _ := json.Marshal(x)
+	return string(b)
+}
+
+// CellOutcome is one config×ρ cell of a finished campaign.
+type CellOutcome struct {
+	Config     string  `json:"config"`
+	Rho        float64 `json:"rho"`
+	Infeasible bool    `json:"infeasible,omitempty"`
+	// Best/Pairs/Gain carry solver outcomes (grid and sweep campaigns,
+	// and the plan backing a Monte-Carlo cell).
+	Best  *core.PairResult  `json:"best,omitempty"`
+	Pairs []core.PairResult `json:"pairs,omitempty"`
+	Gain  *float64          `json:"gain,omitempty"`
+	// Estimate is the merged Monte-Carlo aggregate (montecarlo only).
+	Estimate *engine.Estimate `json:"estimate,omitempty"`
+}
+
+// Result is a finished campaign: every cell in canonical order plus a
+// content hash over the cells, so two runs of the same campaign —
+// interrupted or not — can be compared by one string.
+type Result struct {
+	ID       string        `json:"id"`
+	Campaign Campaign      `json:"campaign"`
+	Cells    []CellOutcome `json:"cells"`
+	// Hash is the FNV-64a digest of the canonical JSON encoding of
+	// Cells, in hex.
+	Hash string `json:"hash"`
+}
+
+// assemble folds the journaled shard results into the final Result.
+// done maps shard index → journaled record bytes; every shard must be
+// present. Decoding ALWAYS goes through the journal encoding (even for
+// never-crashed jobs the manager journals first and assembles from the
+// journal bytes), so interrupted and uninterrupted runs share one code
+// path — Welford JSON round-trips losslessly, making the two
+// byte-identical.
+func (c Campaign) assemble(id string, shards []shardPlan, done map[int]json.RawMessage) (Result, error) {
+	type cellKey struct {
+		config string
+		rho    float64
+	}
+	results := make(map[int]shardResult, len(shards))
+	for i := range shards {
+		raw, ok := done[i]
+		if !ok {
+			return Result{}, fmt.Errorf("jobs: shard %d missing from journal", i)
+		}
+		var sr shardResult
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return Result{}, fmt.Errorf("jobs: decode shard %d: %w", i, err)
+		}
+		results[i] = sr
+	}
+
+	// Group Monte-Carlo chunks per cell, preserving shard (= chunk)
+	// order within each cell.
+	chunksByCell := make(map[cellKey][]engine.ChunkEstimate)
+	for i, sp := range shards {
+		if sr := results[i]; sr.Chunk != nil {
+			k := cellKey{sp.Config, sp.Rho}
+			chunksByCell[k] = append(chunksByCell[k], *sr.Chunk)
+		}
+	}
+
+	var cells []CellOutcome
+	seen := make(map[cellKey]bool)
+	for i, sp := range shards {
+		k := cellKey{sp.Config, sp.Rho}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		sr := results[i]
+		out := CellOutcome{Config: sp.Config, Rho: sp.Rho, Infeasible: sr.Infeasible}
+		switch c.Kind {
+		case KindGrid:
+			if sr.Cell != nil {
+				best := sr.Cell.Best
+				out.Best, out.Pairs = &best, sr.Cell.Pairs
+			}
+		case KindSweep:
+			if sr.Cell != nil {
+				best := sr.Cell.Best
+				out.Best, out.Gain = &best, sr.Cell.Gain
+			}
+		case KindMonteCarlo:
+			if !sr.Infeasible {
+				_, p, err := cellOf(sp)
+				if err != nil {
+					return Result{}, err
+				}
+				cfg, _ := platform.ByName(sp.Config)
+				sol, err := p.Solve(cfg.Processor.Speeds, sp.Rho)
+				if err != nil {
+					return Result{}, fmt.Errorf("jobs: re-solve cell %s ρ=%g: %w", sp.Config, sp.Rho, err)
+				}
+				best := sol.Best
+				est := engine.MergeChunkEstimates(best.W, c.N, chunksByCell[k])
+				out.Best, out.Estimate = &best, &est
+			}
+		}
+		cells = append(cells, out)
+	}
+
+	hash, err := hashCells(cells)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{ID: id, Campaign: c, Cells: cells, Hash: hash}, nil
+}
+
+// hashCells digests the canonical JSON of the cell outcomes.
+func hashCells(cells []CellOutcome) (string, error) {
+	data, err := json.Marshal(cells)
+	if err != nil {
+		return "", fmt.Errorf("jobs: hash result: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// sortedKinds lists the valid campaign kinds (for error messages and
+// discovery endpoints).
+func sortedKinds() []string {
+	kinds := []string{string(KindGrid), string(KindSweep), string(KindMonteCarlo)}
+	sort.Strings(kinds)
+	return kinds
+}

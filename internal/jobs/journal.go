@@ -1,0 +1,301 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Journal framing: one record per line, `%08x <json>\n`, where the hex
+// prefix is the IEEE CRC-32 of the JSON bytes. The CRC makes every
+// single-byte corruption detectable; the framing makes a torn final
+// write (the only damage a crash between append and fsync can cause)
+// distinguishable from corruption of committed records:
+//
+//   - an invalid FINAL line is a torn tail: the record was never
+//     durably committed, so replay drops it and the shard simply
+//     re-executes (deterministically) — a clean resume;
+//   - an invalid EARLIER line means committed history was damaged:
+//     replay reports a typed *CorruptError and never silently drops
+//     completed shards.
+
+// recordSubmit/recordShard/recordCancel are the journal record types.
+const (
+	recordSubmit = "submit"
+	recordShard  = "shard"
+	recordCancel = "cancel"
+)
+
+// record is one journal line.
+type record struct {
+	T string `json:"t"`
+	// Submit fields.
+	ID       string    `json:"id,omitempty"`
+	Campaign *Campaign `json:"campaign,omitempty"`
+	Shards   int       `json:"shards,omitempty"`
+	// Shard fields.
+	Idx    int             `json:"idx,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// CorruptError reports damage to committed journal history — the case
+// that must never be silently repaired, because repairing it would drop
+// completed shards.
+type CorruptError struct {
+	// Path is the journal file.
+	Path string
+	// Line is the 1-based damaged line.
+	Line int
+	// Reason describes the damage.
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("jobs: journal %s corrupt at line %d: %s", e.Path, e.Line, e.Reason)
+}
+
+// journal is an append-only, fsynced record log for one job.
+type journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// createJournal opens a fresh journal file for appending.
+func createJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: create journal: %w", err)
+	}
+	return &journal{path: path, f: f}, nil
+}
+
+// openJournal reopens an existing journal for appending (resume).
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	return &journal{path: path, f: f}, nil
+}
+
+// append frames, writes and fsyncs one record. The fsync before
+// returning is the durability point: a shard is "completed" only once
+// its record survives power loss.
+func (j *journal) append(rec record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encode journal record: %w", err)
+	}
+	line := make([]byte, 0, len(data)+10)
+	line = append(line, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(data))...)
+	line = append(line, data...)
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("jobs: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("jobs: append journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: sync journal: %w", err)
+	}
+	return nil
+}
+
+// close releases the file handle (idempotent).
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// replayed is the recovered state of one journal.
+type replayed struct {
+	ID        string
+	Campaign  Campaign
+	Shards    int
+	Done      map[int]json.RawMessage
+	Cancelled bool
+	// TornTail reports that an incomplete final record was dropped.
+	TornTail bool
+}
+
+// parseLine decodes one framed line; ok=false means the line is not a
+// well-formed committed record (torn or corrupt — the caller decides
+// which by position).
+func parseLine(line []byte) (record, string, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return record{}, "bad frame (want 8-hex-digit CRC prefix)", false
+	}
+	crcWant, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return record{}, "unparseable CRC prefix", false
+	}
+	data := line[9:]
+	if crc32.ChecksumIEEE(data) != uint32(crcWant) {
+		return record{}, "CRC mismatch", false
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return record{}, fmt.Sprintf("undecodable record: %v", err), false
+	}
+	return rec, "", true
+}
+
+// ReplayJournal reads a job journal back. It returns:
+//
+//   - (nil, nil) when the journal holds no durably committed submit
+//     record (empty file, or a submit torn mid-write): the job never
+//     observably existed and the file may be discarded;
+//   - (*replayed, nil) on success, with an invalid final line dropped
+//     as a torn tail (the in-flight shard re-executes on resume);
+//   - (nil, *CorruptError) when a NON-final record is damaged or the
+//     record sequence is structurally impossible: committed history was
+//     lost, which resume must report rather than paper over.
+//
+// It never panics on any input.
+func ReplayJournal(path string) (*replayed, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	corrupt := func(line int, reason string) (*replayed, error) {
+		return nil, &CorruptError{Path: path, Line: line, Reason: reason}
+	}
+
+	// Split into lines; a file not ending in '\n' has a torn last line
+	// by construction.
+	var lines [][]byte
+	rest := raw
+	for len(rest) > 0 {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			lines = append(lines, rest) // unterminated tail
+			break
+		}
+		lines = append(lines, rest[:i])
+		rest = rest[i+1:]
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+
+	var rep *replayed
+	for i, line := range lines {
+		last := i == len(lines)-1
+		rec, reason, ok := parseLine(line)
+		if !ok {
+			if last {
+				if rep != nil {
+					rep.TornTail = true
+					return rep, nil
+				}
+				return nil, nil // submit itself was torn
+			}
+			return corrupt(i+1, reason)
+		}
+		// Structural validation: violations in a CRC-valid record mean
+		// the file is not a journal this code wrote (or interleaved
+		// writes were lost) — corruption, not a torn tail... except on
+		// the final line, where a valid-CRC-but-misplaced record cannot
+		// occur from a torn write and is also corruption.
+		switch rec.T {
+		case recordSubmit:
+			if i != 0 {
+				return corrupt(i+1, "submit record after line 1")
+			}
+			if rec.ID == "" || rec.Campaign == nil || rec.Shards <= 0 {
+				return corrupt(i+1, "incomplete submit record")
+			}
+			norm, err := rec.Campaign.normalize()
+			if err != nil {
+				return corrupt(i+1, fmt.Sprintf("invalid campaign: %v", err))
+			}
+			if want := len(norm.planShards()); want != rec.Shards {
+				return corrupt(i+1, fmt.Sprintf("shard count %d does not match campaign plan (%d)", rec.Shards, want))
+			}
+			rep = &replayed{ID: rec.ID, Campaign: norm, Shards: rec.Shards,
+				Done: make(map[int]json.RawMessage)}
+		case recordShard:
+			if rep == nil {
+				return corrupt(i+1, "shard record before submit")
+			}
+			if rec.Idx < 0 || rec.Idx >= rep.Shards {
+				return corrupt(i+1, fmt.Sprintf("shard index %d outside [0,%d)", rec.Idx, rep.Shards))
+			}
+			if len(rec.Result) == 0 {
+				return corrupt(i+1, "shard record without result")
+			}
+			// Duplicate shard records are legal: a resume can re-execute
+			// a shard whose record was torn. Results are deterministic,
+			// so first-write-wins and last-write-wins agree.
+			if _, dup := rep.Done[rec.Idx]; !dup {
+				rep.Done[rec.Idx] = rec.Result
+			}
+		case recordCancel:
+			if rep == nil {
+				return corrupt(i+1, "cancel record before submit")
+			}
+			rep.Cancelled = true
+		default:
+			return corrupt(i+1, fmt.Sprintf("unknown record type %q", rec.T))
+		}
+	}
+	return rep, nil
+}
+
+// writeSnapshot atomically persists a finished job's result next to the
+// journal: write to a temp file, fsync, rename. After the rename the
+// journal is retired; a crash between the two leaves both, and load
+// prefers the snapshot.
+func writeSnapshot(path string, res Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encode snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return fmt.Errorf("jobs: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobs: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("jobs: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads a finished job's result.
+func readSnapshot(path string) (Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Result{}, fmt.Errorf("jobs: read snapshot: %w", err)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return Result{}, fmt.Errorf("jobs: decode snapshot %s: %w", path, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,814 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a state is final: done, failed or cancelled.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors of the manager API.
+var (
+	// ErrUnknownJob reports a job id the manager does not hold.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrNotDone reports a result request for an unfinished job.
+	ErrNotDone = errors.New("jobs: job has no result yet")
+	// ErrManagerFull reports that the retention cap is reached and every
+	// retained job is still active.
+	ErrManagerFull = errors.New("jobs: manager full (all retained jobs active)")
+	// ErrClosed reports a submit to a closed manager.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Options configures a Manager. The zero value (plus a Dir) selects
+// sensible defaults.
+type Options struct {
+	// Dir is the journal/snapshot directory (required; created if
+	// absent).
+	Dir string
+	// Workers bounds concurrently executing shards across all jobs
+	// (default GOMAXPROCS).
+	Workers int
+	// MaxJobs caps retained jobs; submits beyond it evict the oldest
+	// finished job, or fail with ErrManagerFull when all are active
+	// (default 64).
+	MaxJobs int
+	// ShardRetries is the attempt count per shard before the job fails
+	// (default 3).
+	ShardRetries int
+	// RetryBackoff is the first retry delay; it doubles per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 64
+	}
+	if o.ShardRetries <= 0 {
+		o.ShardRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Event is one progress notification. Every event carries the full
+// cumulative progress snapshot, so dropped events (slow subscribers)
+// lose granularity, never state.
+type Event struct {
+	JobID       string `json:"job"`
+	State       State  `json:"state"`
+	ShardsDone  int    `json:"shards_done"`
+	ShardsTotal int    `json:"shards_total"`
+	// Shard is the just-completed shard index, or -1 for pure
+	// state-transition events.
+	Shard int    `json:"shard"`
+	Error string `json:"error,omitempty"`
+}
+
+// Status is a point-in-time view of one job.
+type Status struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Kind        Kind   `json:"kind"`
+	State       State  `json:"state"`
+	ShardsTotal int    `json:"shards_total"`
+	ShardsDone  int    `json:"shards_done"`
+	Error       string `json:"error,omitempty"`
+	// Hash is the result content hash, set once the job is done.
+	Hash string `json:"hash,omitempty"`
+}
+
+// Stats are the manager-wide gauges exported on /metrics.
+type Stats struct {
+	Queued         int   `json:"queued"`
+	Running        int   `json:"running"`
+	Done           int   `json:"done"`
+	Failed         int   `json:"failed"`
+	Cancelled      int   `json:"cancelled"`
+	ShardsExecuted int64 `json:"shards_executed"`
+}
+
+// job is the manager's per-campaign state.
+type job struct {
+	id       string
+	campaign Campaign
+	shards   []shardPlan
+
+	mu         sync.Mutex
+	state      State
+	done       map[int]json.RawMessage
+	errMsg     string
+	result     *Result
+	journal    *journal
+	cancelled  bool // explicit Cancel (vs. manager shutdown)
+	subs       map[int]chan Event
+	subSeq     int
+	finishedCh chan struct{} // closed on terminal state
+}
+
+// Manager runs campaigns: it shards, executes, journals and resumes
+// them. Open it over a directory; reopening the same directory resumes
+// unfinished jobs from their journals.
+type Manager struct {
+	opts Options
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order (resume order for recovered jobs)
+	seq    int
+	closed bool
+
+	sem        chan struct{}
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	shardsExecuted atomic.Int64
+
+	// testShardHook, when non-nil, runs before every shard attempt and
+	// may inject an error (retry-path coverage).
+	testShardHook func(jobID string, shard, attempt int) error
+	// testShardDelay, when non-nil, runs before every shard execution
+	// (lets tests hold shards in flight).
+	testShardDelay func()
+}
+
+// Open creates (or reopens) a manager over dir: completed snapshots are
+// loaded, unfinished journals are replayed and their jobs resumed —
+// re-executing only the shards without a durable journal record. A
+// corrupt journal fails that job (with the *CorruptError preserved in
+// its status) without affecting others.
+func Open(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("jobs: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		jobs:       make(map[string]*job),
+		sem:        make(chan struct{}, opts.Workers),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	if err := m.load(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return m, nil
+}
+
+// jobID formats the n-th job id; ids sort lexically in submission order.
+func jobID(n int) string { return fmt.Sprintf("j%06d", n) }
+
+// parseJobID extracts the sequence number from an id (for seq recovery).
+func parseJobID(id string) (int, bool) {
+	if len(id) != 7 || id[0] != 'j' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// load scans the directory: snapshots are finished jobs, journals are
+// unfinished ones to resume.
+func (m *Manager) load() error {
+	entries, err := os.ReadDir(m.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("jobs: scan dir: %w", err)
+	}
+	var resumed []*job
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".json"):
+			id := strings.TrimSuffix(name, ".json")
+			if _, ok := parseJobID(id); !ok {
+				continue // foreign file
+			}
+			res, err := readSnapshot(filepath.Join(m.opts.Dir, name))
+			if err != nil {
+				return err
+			}
+			j := &job{
+				id: id, campaign: res.Campaign, shards: res.Campaign.planShards(),
+				state: StateDone, result: &res, finishedCh: make(chan struct{}),
+			}
+			close(j.finishedCh)
+			m.jobs[id] = j
+		case strings.HasSuffix(name, ".journal"):
+			id := strings.TrimSuffix(name, ".journal")
+			if _, ok := parseJobID(id); !ok {
+				continue
+			}
+			path := filepath.Join(m.opts.Dir, name)
+			if _, err := os.Stat(filepath.Join(m.opts.Dir, id+".json")); err == nil {
+				// Snapshot exists: the journal is a retired leftover from
+				// a crash between rename and remove.
+				os.Remove(path)
+				continue
+			}
+			rep, err := ReplayJournal(path)
+			var cerr *CorruptError
+			switch {
+			case errors.As(err, &cerr):
+				// Committed history was damaged: surface a failed job
+				// carrying the typed error; keep the file for forensics.
+				j := &job{
+					id: id, state: StateFailed, errMsg: cerr.Error(),
+					finishedCh: make(chan struct{}),
+				}
+				close(j.finishedCh)
+				m.jobs[id] = j
+				continue
+			case err != nil:
+				return err
+			case rep == nil:
+				// No durable submit: the job never observably existed.
+				os.Remove(path)
+				continue
+			}
+			j := &job{
+				id: id, campaign: rep.Campaign, shards: rep.Campaign.planShards(),
+				done: rep.Done, finishedCh: make(chan struct{}),
+			}
+			if rep.Cancelled {
+				j.state = StateCancelled
+				close(j.finishedCh)
+				m.jobs[id] = j
+				continue
+			}
+			jn, err := openJournal(path)
+			if err != nil {
+				return err
+			}
+			j.journal = jn
+			j.state = StateQueued
+			m.jobs[id] = j
+			resumed = append(resumed, j)
+		}
+	}
+	for id := range m.jobs {
+		if n, ok := parseJobID(id); ok && n > m.seq {
+			m.seq = n
+		}
+	}
+	m.order = make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		m.order = append(m.order, id)
+	}
+	sort.Strings(m.order)
+	sort.Slice(resumed, func(a, b int) bool { return resumed[a].id < resumed[b].id })
+	for _, j := range resumed {
+		m.startJob(j)
+	}
+	return nil
+}
+
+// Submit validates, journals and enqueues a campaign, returning its
+// status once the submit record is durable: from this point a crash
+// cannot lose the job.
+func (m *Manager) Submit(c Campaign) (Status, error) {
+	norm, err := c.normalize()
+	if err != nil {
+		return Status{}, err
+	}
+	shards := norm.planShards()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Status{}, ErrClosed
+	}
+	if err := m.evictLocked(); err != nil {
+		m.mu.Unlock()
+		return Status{}, err
+	}
+	m.seq++
+	id := jobID(m.seq)
+	jn, err := createJournal(filepath.Join(m.opts.Dir, id+".journal"))
+	if err != nil {
+		m.seq--
+		m.mu.Unlock()
+		return Status{}, err
+	}
+	j := &job{
+		id: id, campaign: norm, shards: shards, state: StateQueued,
+		done: make(map[int]json.RawMessage), journal: jn,
+		finishedCh: make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+
+	if err := jn.append(record{T: recordSubmit, ID: id, Campaign: &norm, Shards: len(shards)}); err != nil {
+		jn.close()
+		m.mu.Lock()
+		delete(m.jobs, id)
+		for i, oid := range m.order {
+			if oid == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		os.Remove(filepath.Join(m.opts.Dir, id+".journal"))
+		return Status{}, err
+	}
+	m.startJob(j)
+	return m.statusOf(j), nil
+}
+
+// evictLocked enforces MaxJobs by evicting the oldest finished job
+// (including its files); all-active means the manager is full.
+func (m *Manager) evictLocked() error {
+	if len(m.jobs) < m.opts.MaxJobs {
+		return nil
+	}
+	for i, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		t := j.state.Terminal()
+		j.mu.Unlock()
+		if !t {
+			continue
+		}
+		delete(m.jobs, id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+		os.Remove(filepath.Join(m.opts.Dir, id+".json"))
+		os.Remove(filepath.Join(m.opts.Dir, id+".journal"))
+		return nil
+	}
+	return ErrManagerFull
+}
+
+// startJob launches the job's runner goroutine.
+func (m *Manager) startJob(j *job) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.runJob(j)
+	}()
+}
+
+// runJob drives one job: fan pending shards out over the shared worker
+// pool, journal each completion, then assemble, snapshot and retire the
+// journal. On shutdown (manager Close) it stops without a terminal
+// state so the journal resumes the job later; on explicit Cancel it
+// commits a cancel record.
+func (m *Manager) runJob(j *job) {
+	ctx := m.baseCtx
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+	}
+	pending := make([]int, 0, len(j.shards))
+	for i := range j.shards {
+		if _, ok := j.done[i]; !ok {
+			pending = append(pending, i)
+		}
+	}
+	j.mu.Unlock()
+	m.publish(j, -1)
+
+	var shardWG sync.WaitGroup
+	failed := make(chan error, 1)
+dispatch:
+	for _, idx := range pending {
+		if j.terminalOrCancelled() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case err := <-failed:
+			j.fail(err)
+			break dispatch
+		case m.sem <- struct{}{}:
+		}
+		shardWG.Add(1)
+		go func(idx int) {
+			defer shardWG.Done()
+			defer func() { <-m.sem }()
+			if err := m.runShard(ctx, j, idx); err != nil {
+				select {
+				case failed <- err:
+				default:
+				}
+			}
+		}(idx)
+	}
+	shardWG.Wait()
+	select {
+	case err := <-failed:
+		j.fail(err)
+	default:
+	}
+
+	j.mu.Lock()
+	switch {
+	case j.state == StateFailed:
+		j.finishLocked()
+		j.mu.Unlock()
+		m.publish(j, -1)
+		return
+	case j.cancelled:
+		j.state = StateCancelled
+		j.finishLocked()
+		j.mu.Unlock()
+		m.publish(j, -1)
+		return
+	case ctx.Err() != nil:
+		// Manager shutdown: no terminal state, no journal retirement —
+		// the job stays resumable. Subscribers are released so SSE
+		// streams drain.
+		j.closeSubsLocked()
+		j.mu.Unlock()
+		return
+	}
+	// All shards durable: assemble from the journal bytes.
+	done := make(map[int]json.RawMessage, len(j.done))
+	for k, v := range j.done {
+		done[k] = v
+	}
+	j.mu.Unlock()
+
+	res, err := j.campaign.assemble(j.id, j.shards, done)
+	if err == nil {
+		err = writeSnapshot(filepath.Join(m.opts.Dir, j.id+".json"), res)
+	}
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.finishLocked()
+		j.mu.Unlock()
+		m.publish(j, -1)
+		return
+	}
+	j.result = &res
+	j.state = StateDone
+	j.finishLocked()
+	j.mu.Unlock()
+	os.Remove(filepath.Join(m.opts.Dir, j.id+".journal"))
+	m.publish(j, -1)
+}
+
+// runShard executes one shard with retry+backoff and journals the
+// result. A nil return means the shard is durably recorded (or the job
+// is cancelled/shutting down); an error means the shard exhausted its
+// attempts.
+func (m *Manager) runShard(ctx context.Context, j *job, idx int) error {
+	var lastErr error
+	for attempt := 1; attempt <= m.opts.ShardRetries; attempt++ {
+		if ctx.Err() != nil || j.terminalOrCancelled() {
+			return nil
+		}
+		if attempt > 1 {
+			backoff := m.opts.RetryBackoff << (attempt - 2)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil
+			case <-t.C:
+			}
+		}
+		lastErr = m.tryShard(j, idx, attempt)
+		if lastErr == nil {
+			m.shardsExecuted.Add(1)
+			m.publish(j, idx)
+			return nil
+		}
+	}
+	return fmt.Errorf("shard %d (%s ρ=%g): %w after %d attempts",
+		idx, j.shards[idx].Config, j.shards[idx].Rho, lastErr, m.opts.ShardRetries)
+}
+
+// tryShard is one attempt: compute, encode, journal.
+func (m *Manager) tryShard(j *job, idx, attempt int) error {
+	if m.testShardDelay != nil {
+		m.testShardDelay()
+	}
+	if m.testShardHook != nil {
+		if err := m.testShardHook(j.id, idx, attempt); err != nil {
+			return err
+		}
+	}
+	sr, err := j.campaign.runShard(j.shards[idx])
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(sr)
+	if err != nil {
+		return err
+	}
+	if err := j.journal.append(record{T: recordShard, Idx: idx, Result: raw}); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.done[idx] = raw
+	j.mu.Unlock()
+	return nil
+}
+
+// fail records the first shard failure.
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	if j.state != StateFailed {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.mu.Unlock()
+}
+
+// terminalOrCancelled reports whether the job should stop dispatching.
+func (j *job) terminalOrCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled || j.state.Terminal()
+}
+
+// finishLocked closes the journal and releases subscribers; j.mu held.
+func (j *job) finishLocked() {
+	if j.journal != nil {
+		j.journal.close()
+	}
+	select {
+	case <-j.finishedCh:
+	default:
+		close(j.finishedCh)
+	}
+}
+
+// closeSubsLocked detaches all subscribers (shutdown); j.mu held.
+func (j *job) closeSubsLocked() {
+	for k, ch := range j.subs {
+		close(ch)
+		delete(j.subs, k)
+	}
+}
+
+// publish snapshots progress and fans it out to subscribers
+// (non-blocking; every event is cumulative, so drops are harmless).
+// Terminal events also detach and close the subscribers.
+func (m *Manager) publish(j *job, shard int) {
+	j.mu.Lock()
+	ev := Event{
+		JobID: j.id, State: j.state, ShardsDone: len(j.done),
+		ShardsTotal: len(j.shards), Shard: shard, Error: j.errMsg,
+	}
+	terminal := j.state.Terminal()
+	for k, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		if terminal {
+			close(ch)
+			delete(j.subs, k)
+		}
+	}
+	j.mu.Unlock()
+}
+
+// get looks a job up.
+func (m *Manager) get(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// statusOf snapshots one job.
+func (m *Manager) statusOf(j *job) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, Name: j.campaign.Name, Kind: j.campaign.Kind,
+		State: j.state, ShardsTotal: len(j.shards), ShardsDone: len(j.done),
+		Error: j.errMsg,
+	}
+	if j.result != nil {
+		st.Hash = j.result.Hash
+	}
+	return st
+}
+
+// Status returns a job's current status.
+func (m *Manager) Status(id string) (Status, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return m.statusOf(j), nil
+}
+
+// List returns every retained job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if j, err := m.get(id); err == nil {
+			out = append(out, m.statusOf(j))
+		}
+	}
+	return out
+}
+
+// Result returns a finished job's result (ErrNotDone otherwise).
+func (m *Manager) Result(id string) (Result, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return Result{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return Result{}, fmt.Errorf("%w (job %s is %s)", ErrNotDone, id, j.state)
+	}
+	return *j.result, nil
+}
+
+// Cancel requests cancellation: pending shards stop dispatching, the
+// cancel is journaled (so a restart does not resurrect the job), and
+// the job transitions to cancelled once in-flight shards drain.
+// Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (Status, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	j.mu.Lock()
+	if j.state.Terminal() || j.cancelled {
+		j.mu.Unlock()
+		return m.statusOf(j), nil
+	}
+	j.cancelled = true
+	jn := j.journal
+	j.mu.Unlock()
+	if jn != nil {
+		if err := jn.append(record{T: recordCancel}); err != nil {
+			// The job may have finished (and retired its journal) in
+			// the race window; that is a successful no-op cancel.
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if !terminal {
+				return Status{}, err
+			}
+		}
+	}
+	return m.statusOf(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	select {
+	case <-j.finishedCh:
+		return m.statusOf(j), nil
+	case <-ctx.Done():
+		return m.statusOf(j), ctx.Err()
+	}
+}
+
+// Subscribe attaches a progress listener: the returned channel first
+// delivers the current state, then every subsequent event, and is
+// closed at the job's terminal event (or on unsubscribe/shutdown).
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	j, err := m.get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := make(chan Event, 256)
+	j.mu.Lock()
+	ch <- Event{
+		JobID: j.id, State: j.state, ShardsDone: len(j.done),
+		ShardsTotal: len(j.shards), Shard: -1, Error: j.errMsg,
+	}
+	if j.state.Terminal() {
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}, nil
+	}
+	if j.subs == nil {
+		j.subs = make(map[int]chan Event)
+	}
+	j.subSeq++
+	key := j.subSeq
+	j.subs[key] = ch
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		if c, ok := j.subs[key]; ok {
+			close(c)
+			delete(j.subs, key)
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel, nil
+}
+
+// Stats snapshots the per-state gauges and the shard counter.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	var s Stats
+	s.ShardsExecuted = m.shardsExecuted.Load()
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		case StateCancelled:
+			s.Cancelled++
+		}
+		j.mu.Unlock()
+	}
+	return s
+}
+
+// Kinds lists the valid campaign kinds.
+func Kinds() []string { return sortedKinds() }
+
+// Close stops the manager: running shards finish their current attempt,
+// nothing new dispatches, journals close. Unfinished jobs stay on disk
+// and resume when the directory is reopened. Close is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.journal != nil {
+			j.journal.close()
+		}
+		j.closeSubsLocked()
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+}

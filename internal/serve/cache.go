@@ -21,6 +21,7 @@ type lru struct {
 	capacity int
 	order    *list.List // front = most recently used
 	items    map[string]*list.Element
+	evicted  int64 // lifetime count of capacity evictions
 }
 
 // lruEntry is the list payload: key is kept for eviction bookkeeping.
@@ -69,7 +70,15 @@ func (c *lru) put(key string, val response) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evicted++
 	}
+}
+
+// evictions returns the lifetime eviction count.
+func (c *lru) evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }
 
 // len returns the current entry count.

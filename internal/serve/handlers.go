@@ -15,6 +15,7 @@ import (
 	"respeed/internal/core"
 	"respeed/internal/energy"
 	"respeed/internal/engine"
+	"respeed/internal/jobs"
 	"respeed/internal/platform"
 	"respeed/internal/sim"
 	"respeed/internal/workload"
@@ -277,6 +278,10 @@ type ScenarioReply struct {
 // expensive.
 const maxScenarioSimulations = 2000
 
+// scenarioNames are the valid ?scenario= values of /v1/simulate, in the
+// order /v1/configs advertises them.
+var scenarioNames = []string{"cluster-twolevel", "partial-failstop"}
+
 // scenarioByName composes the named engine scenario for a platform's
 // resilience costs. The error rates are boosted (as in cmd/simulate's
 // exec mode) so a short demo execution is error-rich.
@@ -303,7 +308,7 @@ func scenarioByName(name string, p core.Params, model energy.Model) (engine.Scen
 		sc.Partial = &engine.Partial{Segments: 4, Coverage: 0.8, Cost: p.V / 4}
 	default:
 		return engine.Scenario{}, badParam(
-			"unknown scenario %q (use cluster-twolevel or partial-failstop)", name)
+			"unknown scenario %q (valid: %s)", name, strings.Join(scenarioNames, ", "))
 	}
 	return sc, nil
 }
@@ -316,9 +321,14 @@ type ConfigEntry struct {
 	Pio       float64            `json:"pio"`
 }
 
-// ConfigsReply is the /v1/configs answer.
+// ConfigsReply is the /v1/configs answer. Beyond the catalog it
+// advertises the service's other enumerable vocabularies: the valid
+// ?scenario= names of /v1/simulate and the campaign kinds accepted by
+// POST /v1/jobs.
 type ConfigsReply struct {
-	Configs []ConfigEntry `json:"configs"`
+	Configs       []ConfigEntry `json:"configs"`
+	Scenarios     []string      `json:"scenarios"`
+	CampaignKinds []string      `json:"campaign_kinds"`
 }
 
 // --- handlers ---
@@ -346,7 +356,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, "/v1/configs", "configs", func() (response, error) {
-		var out ConfigsReply
+		out := ConfigsReply{
+			Scenarios:     scenarioNames,
+			CampaignKinds: jobs.Kinds(),
+		}
 		for _, cfg := range platform.Configs() {
 			out.Configs = append(out.Configs, ConfigEntry{
 				Name:      cfg.Name(),

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"respeed/internal/jobs"
+)
+
+// The /v1/jobs endpoints expose the campaign subsystem. Unlike the
+// query endpoints they are stateful, so none of them use the LRU cache
+// or singleflight: job state is mutable and answers must be current.
+//
+//	POST   /v1/jobs              submit a campaign   → 202 + Status
+//	GET    /v1/jobs              list jobs           → {"jobs": [...]}
+//	GET    /v1/jobs/{id}         status              → Status
+//	GET    /v1/jobs/{id}/result  finished result     → Result (409 until done)
+//	GET    /v1/jobs/{id}/events  SSE progress stream
+//	DELETE /v1/jobs/{id}         cancel              → Status
+
+// maxJobBody bounds the submit request body; campaigns are small
+// structured descriptions, never bulk data.
+const maxJobBody = 1 << 20
+
+// jobsManager returns the configured manager, or answers 503 and
+// returns nil when the server runs without one.
+func (s *Server) jobsManager(w http.ResponseWriter, endpoint string, start time.Time) *jobs.Manager {
+	if s.opts.Jobs == nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusServiceUnavailable,
+			"jobs are disabled (start respeedd with -jobs-dir)"))
+		return nil
+	}
+	return s.opts.Jobs
+}
+
+// jobError maps a manager error onto an HTTP error response.
+func jobErrorResponse(err error) response {
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		return mustErrorResponse(http.StatusNotFound, err.Error())
+	case errors.Is(err, jobs.ErrNotDone):
+		return mustErrorResponse(http.StatusConflict, err.Error())
+	case errors.Is(err, jobs.ErrManagerFull):
+		return mustErrorResponse(http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, jobs.ErrClosed):
+		return mustErrorResponse(http.StatusServiceUnavailable, err.Error())
+	default:
+		// Everything else surfaced by Submit is campaign validation.
+		return mustErrorResponse(http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/jobs"
+	m := s.jobsManager(w, endpoint, start)
+	if m == nil {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxJobBody+1))
+	if err != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest,
+			fmt.Sprintf("read request body: %v", err)))
+		return
+	}
+	if len(body) > maxJobBody {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("campaign body exceeds %d bytes", maxJobBody)))
+		return
+	}
+	var camp jobs.Campaign
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&camp); err != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest,
+			fmt.Sprintf("decode campaign: %v", err)))
+		return
+	}
+	st, err := m.Submit(camp)
+	if err != nil {
+		s.direct(w, endpoint, start, jobErrorResponse(err))
+		return
+	}
+	resp, err := jsonResponse(http.StatusAccepted, st)
+	if err != nil {
+		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	}
+	s.direct(w, endpoint, start, resp)
+}
+
+// JobListReply is the GET /v1/jobs answer.
+type JobListReply struct {
+	Jobs []jobs.Status `json:"jobs"`
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/jobs"
+	m := s.jobsManager(w, endpoint, start)
+	if m == nil {
+		return
+	}
+	list := m.List()
+	if list == nil {
+		list = []jobs.Status{}
+	}
+	resp, err := jsonResponse(http.StatusOK, JobListReply{Jobs: list})
+	if err != nil {
+		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	}
+	s.direct(w, endpoint, start, resp)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/jobs/{id}"
+	m := s.jobsManager(w, endpoint, start)
+	if m == nil {
+		return
+	}
+	st, err := m.Status(r.PathValue("id"))
+	if err != nil {
+		s.direct(w, endpoint, start, jobErrorResponse(err))
+		return
+	}
+	resp, err := jsonResponse(http.StatusOK, st)
+	if err != nil {
+		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	}
+	s.direct(w, endpoint, start, resp)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/jobs/{id}"
+	m := s.jobsManager(w, endpoint, start)
+	if m == nil {
+		return
+	}
+	st, err := m.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.direct(w, endpoint, start, jobErrorResponse(err))
+		return
+	}
+	resp, err := jsonResponse(http.StatusOK, st)
+	if err != nil {
+		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	}
+	s.direct(w, endpoint, start, resp)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/jobs/{id}/result"
+	m := s.jobsManager(w, endpoint, start)
+	if m == nil {
+		return
+	}
+	res, err := m.Result(r.PathValue("id"))
+	if err != nil {
+		s.direct(w, endpoint, start, jobErrorResponse(err))
+		return
+	}
+	resp, err := jsonResponse(http.StatusOK, res)
+	if err != nil {
+		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	}
+	s.direct(w, endpoint, start, resp)
+}
+
+// handleJobEvents streams job progress as Server-Sent Events: one
+// `data: <Event JSON>` frame per notification. Every event carries the
+// cumulative progress, so a dropped frame loses granularity, never
+// state. The stream ends after the terminal event, on client
+// disconnect, or when the server begins draining.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/jobs/{id}/events"
+	m := s.jobsManager(w, endpoint, start)
+	if m == nil {
+		return
+	}
+	id := r.PathValue("id")
+	ch, cancel, err := m.Subscribe(id)
+	if err != nil {
+		s.direct(w, endpoint, start, jobErrorResponse(err))
+		return
+	}
+	defer cancel()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusInternalServerError,
+			"streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	status := http.StatusOK
+	writeEvent := func(ev jobs.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	// Lead with the current state so a late subscriber is not blind
+	// until the next shard completes.
+	if st, err := m.Status(id); err == nil {
+		writeEvent(jobs.Event{JobID: st.ID, State: st.State,
+			ShardsDone: st.ShardsDone, ShardsTotal: st.ShardsTotal,
+			Shard: -1, Error: st.Error})
+	}
+stream:
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				break stream // terminal event already delivered
+			}
+			if !writeEvent(ev) {
+				status = http.StatusInternalServerError
+				break stream
+			}
+			if ev.State.Terminal() {
+				break stream
+			}
+		case <-r.Context().Done():
+			break stream
+		case <-s.shutdown:
+			break stream
+		}
+	}
+	s.metrics.observe(endpoint, time.Since(start), false, status)
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"respeed/internal/jobs"
 	"respeed/internal/stats"
 )
 
@@ -96,22 +97,28 @@ type EndpointSnapshot struct {
 
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	CacheEntries  int                         `json:"cache_entries"`
-	CacheCapacity int                         `json:"cache_capacity"`
-	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	UptimeSeconds  float64                     `json:"uptime_seconds"`
+	CacheEntries   int                         `json:"cache_entries"`
+	CacheCapacity  int                         `json:"cache_capacity"`
+	CacheEvictions int64                       `json:"cache_evictions"`
+	// Jobs carries the campaign manager's per-state gauges; omitted
+	// when the server runs without a job manager.
+	Jobs      *jobs.Stats                 `json:"jobs,omitempty"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
 // snapshot captures a JSON-safe copy of all counters. NaNs (empty
 // accumulators) are reported as 0 so the payload is always valid JSON.
-func (m *metrics) snapshot(cacheEntries, cacheCapacity int) MetricsSnapshot {
+func (m *metrics) snapshot(cacheEntries, cacheCapacity int, cacheEvictions int64, jobStats *jobs.Stats) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		CacheEntries:  cacheEntries,
-		CacheCapacity: cacheCapacity,
-		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		CacheEntries:   cacheEntries,
+		CacheCapacity:  cacheCapacity,
+		CacheEvictions: cacheEvictions,
+		Jobs:           jobStats,
+		Endpoints:      make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for name, em := range m.endpoints {
 		snap := EndpointSnapshot{

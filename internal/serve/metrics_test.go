@@ -12,7 +12,7 @@ func TestMetricsObserveAndSnapshot(t *testing.T) {
 	m.observe("/v1/solve", 2*time.Millisecond, false, 200)
 	m.observe("/v1/solve", 1*time.Millisecond, true, 200)
 	m.observe("/v1/solve", 3*time.Millisecond, true, 422)
-	snap := m.snapshot(5, 100)
+	snap := m.snapshot(5, 100, 0, nil)
 	ep, ok := snap.Endpoints["/v1/solve"]
 	if !ok {
 		t.Fatal("endpoint missing from snapshot")
@@ -40,11 +40,11 @@ func TestMetricsSnapshotIsAlwaysValidJSON(t *testing.T) {
 	// Empty accumulators produce NaN moments internally; the snapshot
 	// must still marshal (NaN → 0 guards).
 	m := newMetrics()
-	if _, err := json.Marshal(m.snapshot(0, 10)); err != nil {
+	if _, err := json.Marshal(m.snapshot(0, 10, 0, nil)); err != nil {
 		t.Fatalf("empty snapshot does not marshal: %v", err)
 	}
 	m.observe("/healthz", 0, false, 200) // zero-duration edge
-	if _, err := json.Marshal(m.snapshot(0, 10)); err != nil {
+	if _, err := json.Marshal(m.snapshot(0, 10, 0, nil)); err != nil {
 		t.Fatalf("zero-latency snapshot does not marshal: %v", err)
 	}
 }
@@ -54,7 +54,7 @@ func TestMetricsQuantileOrdering(t *testing.T) {
 	for i := 1; i <= 1000; i++ {
 		m.observe("/v1/gain", time.Duration(i)*time.Microsecond, false, 200)
 	}
-	ep := m.snapshot(0, 10).Endpoints["/v1/gain"]
+	ep := m.snapshot(0, 10, 0, nil).Endpoints["/v1/gain"]
 	l := ep.Latency
 	if !(l.P50Ms <= l.P90Ms && l.P90Ms <= l.P99Ms) {
 		t.Errorf("quantiles not monotone: %+v", l)
@@ -80,7 +80,7 @@ func TestMetricsConcurrentObserve(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	ep := m.snapshot(0, 10).Endpoints["/v1/solve"]
+	ep := m.snapshot(0, 10, 0, nil).Endpoints["/v1/solve"]
 	if ep.Requests != 1600 || ep.CacheHits != 800 {
 		t.Errorf("lost updates: %+v", ep)
 	}

@@ -25,7 +25,10 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
+
+	"respeed/internal/jobs"
 )
 
 // Options configures a Server. The zero value selects sensible
@@ -45,6 +48,11 @@ type Options struct {
 	// MaxSimulations caps the n parameter of /v1/simulate
 	// (default 1e6).
 	MaxSimulations int
+	// Jobs, when non-nil, enables the /v1/jobs campaign endpoints over
+	// this manager. The caller owns the manager's lifecycle: open it
+	// before New, close it after Run returns. When nil the jobs routes
+	// answer 503.
+	Jobs *jobs.Manager
 }
 
 // withDefaults fills in the zero-valued fields.
@@ -77,6 +85,11 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 
+	// shutdown closes when Run begins its graceful drain, so streaming
+	// responses (job SSE) terminate instead of holding the drain open.
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
+
 	// preCompute, when non-nil, runs at the start of every fresh (non
 	// cached) computation. Test hook: lets tests hold a request in
 	// flight deterministically.
@@ -87,11 +100,12 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		cache:   newLRU(opts.CacheSize),
-		flights: newFlightGroup(),
-		sem:     make(chan struct{}, opts.MaxInFlight),
-		metrics: newMetrics(),
+		opts:     opts,
+		cache:    newLRU(opts.CacheSize),
+		flights:  newFlightGroup(),
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		metrics:  newMetrics(),
+		shutdown: make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -101,6 +115,14 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/sigma1-table", s.handleSigma1Table)
 	s.mux.HandleFunc("/v1/gain", s.handleGain)
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	// Campaign endpoints (method+wildcard patterns; the mux answers 405
+	// with an Allow header for unmatched methods on a matched path).
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	return s
 }
 
@@ -109,7 +131,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns a point-in-time snapshot of the serving counters.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.metrics.snapshot(s.cache.len(), s.opts.CacheSize)
+	var jobStats *jobs.Stats
+	if s.opts.Jobs != nil {
+		st := s.opts.Jobs.Stats()
+		jobStats = &st
+	}
+	return s.metrics.snapshot(s.cache.len(), s.opts.CacheSize, s.cache.evictions(), jobStats)
 }
 
 // Run serves on ln until ctx is canceled, then shuts down gracefully:
@@ -126,6 +153,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		s.shutdownOnce.Do(func() { close(s.shutdown) })
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
 		defer cancel()
 		err := srv.Shutdown(drainCtx)

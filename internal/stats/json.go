@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// welfordJSON is the serialized form of a Welford accumulator: the raw
+// sufficient statistics, not derived summaries, so a decoded accumulator
+// continues accumulating (and merging) bit-identically to the original.
+type welfordJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON serializes the accumulator's sufficient statistics.
+// Go's encoder renders float64 in shortest round-trip form, so a
+// marshal/unmarshal cycle is lossless: the decoded accumulator is
+// bit-identical to the original. This is what lets a job journal persist
+// partial Monte-Carlo state across a crash without perturbing the final
+// merged estimate.
+func (w Welford) MarshalJSON() ([]byte, error) {
+	return json.Marshal(welfordJSON{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max})
+}
+
+// UnmarshalJSON restores an accumulator from its serialized sufficient
+// statistics. Non-finite moments are rejected: they cannot arise from
+// Add, so their presence means the payload was corrupted.
+func (w *Welford) UnmarshalJSON(data []byte) error {
+	var j welfordJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.N < 0 {
+		return fmt.Errorf("stats: negative observation count %d", j.N)
+	}
+	for _, v := range []float64{j.Mean, j.M2, j.Min, j.Max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stats: non-finite moment in serialized accumulator")
+		}
+	}
+	*w = Welford{n: j.N, mean: j.Mean, m2: j.M2, min: j.Min, max: j.Max}
+	return nil
+}

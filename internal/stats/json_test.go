@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWelfordJSONRoundTrip verifies that marshal/unmarshal preserves the
+// accumulator bit-for-bit: further Adds and Merges on the decoded copy
+// must match the original exactly. The jobs journal depends on this.
+func TestWelfordJSONRoundTrip(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{3.14159, -2.5, 1e-12, 7.77e8, 0.1} {
+		w.Add(x)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Welford
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != w {
+		t.Fatalf("round trip changed accumulator: got %+v want %+v", got, w)
+	}
+
+	// Continue accumulating on both; they must stay identical.
+	for _, x := range []float64{0.333, 42.0, -1e3} {
+		w.Add(x)
+		got.Add(x)
+	}
+	if got != w {
+		t.Fatalf("post-round-trip divergence: got %+v want %+v", got, w)
+	}
+
+	// Merging decoded partials must equal merging the originals.
+	var a, b Welford
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i) * 0.7)
+		b.Add(float64(i) * -1.3)
+	}
+	direct := a
+	direct.Merge(b)
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	var a2, b2 Welford
+	if err := json.Unmarshal(ab, &a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bb, &b2); err != nil {
+		t.Fatal(err)
+	}
+	a2.Merge(b2)
+	if a2 != direct {
+		t.Fatalf("merge of decoded partials diverged: got %+v want %+v", a2, direct)
+	}
+}
+
+// TestWelfordJSONEmpty round-trips the zero accumulator.
+func TestWelfordJSONEmpty(t *testing.T) {
+	var w Welford
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Welford
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != w {
+		t.Fatalf("zero value changed: got %+v", got)
+	}
+}
+
+// TestWelfordJSONRejectsCorrupt verifies typed rejection of payloads
+// that cannot come from a healthy accumulator.
+func TestWelfordJSONRejectsCorrupt(t *testing.T) {
+	for _, bad := range []string{
+		`{"n":-1,"mean":0,"m2":0,"min":0,"max":0}`,
+		`{"n":1,"mean":1e999,"m2":0,"min":0,"max":0}`,
+		`not json`,
+	} {
+		var w Welford
+		if err := json.Unmarshal([]byte(bad), &w); err == nil {
+			t.Errorf("accepted corrupt payload %s", bad)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("unexpected error text for %s: %v", bad, err)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"respeed/internal/energy"
 	"respeed/internal/engine"
 	"respeed/internal/exp"
+	"respeed/internal/jobs"
 	"respeed/internal/optimize"
 	"respeed/internal/platform"
 	"respeed/internal/report"
@@ -346,3 +347,50 @@ func ReplicateScenario(sc Scenario, mk func() Workload, seed uint64, n, workers 
 	}
 	return engine.ReplicateScenario(sc, seed, n, workers)
 }
+
+// Campaign subsystem: crash-safe asynchronous campaigns (grid solves,
+// ρ-sweeps, Monte-Carlo replications) sharded into deterministic
+// chunks, executed by a bounded worker pool, and journaled to disk
+// after every completed shard. A killed process resumes from the
+// journal, re-executing only in-flight shards, and — because shards are
+// pure functions of the campaign — produces a byte-identical result.
+// Wire a manager into ServeOptions.Jobs to expose it as /v1/jobs.
+type (
+	// JobManager runs campaigns over a journal directory.
+	JobManager = jobs.Manager
+	// JobManagerOptions configures a JobManager (Dir is required).
+	JobManagerOptions = jobs.Options
+	// Campaign describes one campaign to run.
+	Campaign = jobs.Campaign
+	// CampaignKind selects the campaign family ("grid", "sweep",
+	// "montecarlo").
+	CampaignKind = jobs.Kind
+	// JobStatus is a point-in-time view of one job.
+	JobStatus = jobs.Status
+	// JobState is a job's lifecycle state.
+	JobState = jobs.State
+	// JobEvent is one progress notification.
+	JobEvent = jobs.Event
+	// JobResult is a finished campaign: cells in canonical order plus a
+	// content hash for cross-run comparison.
+	JobResult = jobs.Result
+	// JobStats are the manager-wide gauges exported on /metrics.
+	JobStats = jobs.Stats
+)
+
+// Campaign kinds.
+const (
+	CampaignGrid       = jobs.KindGrid
+	CampaignSweep      = jobs.KindSweep
+	CampaignMonteCarlo = jobs.KindMonteCarlo
+)
+
+// NewJobManager opens (or reopens) a campaign manager over a journal
+// directory: completed snapshots load as done jobs, unfinished journals
+// replay and resume. Close it when done; unfinished jobs stay on disk
+// and resume at the next open.
+func NewJobManager(opts JobManagerOptions) (*JobManager, error) { return jobs.Open(opts) }
+
+// SubmitCampaign validates, journals and starts a campaign, returning
+// its initial status. The job is durable once SubmitCampaign returns.
+func SubmitCampaign(m *JobManager, c Campaign) (JobStatus, error) { return m.Submit(c) }
