@@ -13,6 +13,7 @@
 //	GET    /v1/sigma1-table?config=...&rho=...
 //	GET    /v1/gain?config=...&rho=...
 //	GET    /v1/simulate?config=...&rho=...[&n=10000][&seed=1][&scenario=...]
+//	GET    /v1/simulate/events?config=...&rho=...[&n=10][&scenario=...]  (SSE)
 //	GET    /v1/configs
 //	POST   /v1/jobs                   submit a campaign (with -jobs-dir)
 //	GET    /v1/jobs                   list jobs
@@ -20,22 +21,27 @@
 //	GET    /v1/jobs/{id}/result      finished result
 //	GET    /v1/jobs/{id}/events      SSE progress stream
 //	DELETE /v1/jobs/{id}              cancel
-//	GET    /healthz
-//	GET    /metrics
+//	GET    /healthz                   liveness + build info
+//	GET    /metrics                   Prometheus text (?format=json for the snapshot)
+//	GET    /debug/traces              recent request traces
+//
+// With -debug-addr a second, private listener serves net/http/pprof
+// profiles and expvar counters (keep it off the public network).
 //
 // Usage:
 //
 //	respeedd [-addr :8080] [-cache-size 4096] [-max-inflight N]
 //	         [-request-timeout 10s] [-drain 15s] [-max-simulations 1000000]
 //	         [-jobs-dir DIR] [-jobs-workers N] [-jobs-max 64]
+//	         [-log-level info] [-log-format text] [-debug-addr ADDR]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,22 +68,37 @@ func main() {
 	jobsDir := flag.String("jobs-dir", "", "campaign journal directory; empty disables /v1/jobs")
 	jobsWorkers := flag.Int("jobs-workers", 0, "max concurrently executing campaign shards (default 0 = GOMAXPROCS)")
 	jobsMax := flag.Int("jobs-max", 64, "retained jobs cap; beyond it the oldest finished job is evicted (default 64)")
+
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log line format: text or json")
+	debugAddr := flag.String("debug-addr", "", "private pprof/expvar listen address; empty disables it")
 	flag.Parse()
+
+	logger, err := respeed.NewStructuredLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
+		os.Exit(1)
+	}
+
+	// One registry backs /metrics for the server, the job manager and
+	// the engine-level counters, so a single scrape sees everything.
+	telemetry := respeed.NewTelemetry()
 
 	var manager *respeed.JobManager
 	if *jobsDir != "" {
-		var err error
 		manager, err = respeed.NewJobManager(respeed.JobManagerOptions{
-			Dir:     *jobsDir,
-			Workers: *jobsWorkers,
-			MaxJobs: *jobsMax,
+			Dir:      *jobsDir,
+			Workers:  *jobsWorkers,
+			MaxJobs:  *jobsMax,
+			Logger:   logger,
+			Registry: telemetry,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("respeedd: campaign manager on %s (%d retained, resumed %d)",
-			*jobsDir, *jobsMax, len(manager.List()))
+		logger.Info("campaign manager ready",
+			"dir", *jobsDir, "retained", *jobsMax, "resumed", len(manager.List()))
 	}
 
 	srv := respeed.NewPlanningServer(respeed.ServeOptions{
@@ -87,6 +108,8 @@ func main() {
 		DrainTimeout:   *drain,
 		MaxSimulations: maxSim,
 		Jobs:           manager,
+		Logger:         logger,
+		Registry:       telemetry,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -95,10 +118,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
+			os.Exit(1)
+		}
+		dbg := &http.Server{Handler: respeed.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go dbg.Serve(dln)
+		defer dbg.Close()
+		logger.Info("debug listener ready (pprof, expvar)", "addr", dln.Addr().String())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("respeedd: serving on %s (cache=%d entries, timeout=%s)", ln.Addr(), cacheSize, timeout)
+	build := respeed.ReadBuildInfo()
+	logger.Info("serving",
+		"addr", ln.Addr().String(), "cache", cacheSize, "timeout", timeout,
+		"version", build.Version, "revision", build.VCSRevision)
 	err = srv.Run(ctx, ln)
 	if manager != nil {
 		// Close after the HTTP drain: running shards finish their
@@ -107,8 +145,8 @@ func main() {
 		manager.Close()
 	}
 	if err != nil {
-		log.Printf("respeedd: shutdown error: %v", err)
+		logger.Error("shutdown error", "err", err)
 		os.Exit(1)
 	}
-	log.Printf("respeedd: drained and stopped")
+	logger.Info("drained and stopped")
 }

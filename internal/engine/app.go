@@ -56,6 +56,9 @@ type AppConfig struct {
 	Detector detect.Detector
 	// Trace, when non-nil, records the schedule.
 	Trace *trace.Recorder
+	// Obs carries the observability hooks (cumulative counters, live
+	// trace sink); the zero value disables them.
+	Obs Options
 	// SkipVerification disables the verification step entirely: no V
 	// cost is paid and checkpoints are committed blindly — the ablation
 	// showing WHY verified checkpoints are taken.
@@ -182,7 +185,7 @@ func (x *App) Run() (Report, error) {
 	for pattern < len(x.cfg.Sizes) {
 		w := x.cfg.Sizes[pattern]
 		if pattern != started {
-			x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.PatternStart, Pattern: pattern})
+			x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.PatternStart, Pattern: pattern})
 			started = pattern
 			attempt = 0
 		}
@@ -194,7 +197,7 @@ func (x *App) Run() (Report, error) {
 		computeDur := w / sigma
 		verifyDur := x.cfg.Verify / sigma
 
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.ComputeStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.ComputeStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
 
 		if x.cfg.Partial != nil {
 			committed, resume, err := x.attemptPartial(pattern, attempt, w, sigma)
@@ -217,12 +220,12 @@ func (x *App) Run() (Report, error) {
 			x.rec.Advance(out.FailStopAt, energy.Compute, sigma)
 			x.rep.FailStops++
 			x.cfg.Faults.NoteFailStop(out.FailNode)
-			x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.FailStop, Pattern: pattern, Attempt: attempt, Speed: sigma})
+			x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.FailStop, Pattern: pattern, Attempt: attempt, Speed: sigma})
 			resume, err := x.cfg.Tier.OnFailStop(x, pattern)
 			if err != nil {
 				return x.finish(), err
 			}
-			x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
+			x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
 			pattern, attempt, errored = resume, attempt+1, true
 			continue
 		}
@@ -241,7 +244,7 @@ func (x *App) Run() (Report, error) {
 			x.cfg.Faults.NoteSilent(out.SilentNode)
 		}
 		x.rec.Advance(computeDur, energy.Compute, sigma)
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.ComputeEnd, Pattern: pattern, Attempt: attempt, Speed: sigma})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.ComputeEnd, Pattern: pattern, Attempt: attempt, Speed: sigma})
 
 		if x.cfg.SkipVerification {
 			// Blind checkpoint: the corruption (if any) is committed.
@@ -250,7 +253,7 @@ func (x *App) Run() (Report, error) {
 			if err := x.cfg.Tier.Commit(x, pattern, attempt); err != nil {
 				return x.finish(), err
 			}
-			x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
+			x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
 			if out.Silent {
 				// Keep the replica in lockstep with the now-corrupted
 				// truth so later digests compare whole-run outcomes.
@@ -264,16 +267,16 @@ func (x *App) Run() (Report, error) {
 			continue
 		}
 
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
 		x.rec.Advance(verifyDur, energy.Verify, sigma)
 		if !x.verifier.Verify(x.main.state(), x.replica.state()) {
 			x.rep.SilentDetected++
-			x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "digest mismatch"})
+			x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "digest mismatch"})
 			resume, err := x.cfg.Tier.OnVerifyFail(x, pattern)
 			if err != nil {
 				return x.finish(), err
 			}
-			x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
+			x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
 			pattern, attempt, errored = resume, attempt+1, true
 			continue
 		}
@@ -283,12 +286,12 @@ func (x *App) Run() (Report, error) {
 			// sound detector over differing states.
 			return x.finish(), fmt.Errorf("engine: injected SDC escaped verification (pattern %d)", pattern)
 		}
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt})
 
 		if err := x.cfg.Tier.Commit(x, pattern, attempt); err != nil {
 			return x.finish(), err
 		}
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
 		x.rep.Patterns++
 		pattern++
 		errored = false
@@ -297,7 +300,16 @@ func (x *App) Run() (Report, error) {
 	return x.finish(), nil
 }
 
-// finish stamps the closing report fields.
+// emit records a trace event into the recorder and the live sink.
+func (x *App) emit(e trace.Event) {
+	x.trace.Append(e)
+	if x.cfg.Obs.TraceSink != nil {
+		x.cfg.Obs.TraceSink(e)
+	}
+}
+
+// finish stamps the closing report fields and folds the run into the
+// cumulative counters (exactly once per Run, error paths included).
 func (x *App) finish() Report {
 	x.rep.Makespan = x.rec.Clock()
 	x.rep.Energy = x.rec.Energy()
@@ -310,6 +322,7 @@ func (x *App) finish() Report {
 	if pn, ok := x.cfg.Faults.(*PerNodeFaults); ok {
 		x.rep.PerNodeErrors = pn.PerNodeErrors()
 	}
+	x.cfg.Obs.Counters.noteReport(x.rep)
 	return x.rep
 }
 
@@ -333,12 +346,12 @@ func (x *App) attemptPartial(pattern, attempt int, w, sigma float64) (committed 
 		x.rec.Advance(at, energy.Compute, sigma)
 		x.rep.FailStops++
 		x.cfg.Faults.NoteFailStop(node)
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.FailStop, Pattern: pattern, Attempt: attempt, Speed: sigma})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.FailStop, Pattern: pattern, Attempt: attempt, Speed: sigma})
 		resume, err := x.cfg.Tier.OnFailStop(x, pattern)
 		if err != nil {
 			return false, 0, err
 		}
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
 		return false, resume, nil
 	}
 
@@ -358,41 +371,41 @@ func (x *App) attemptPartial(pattern, attempt int, w, sigma float64) (committed 
 			// Partial check: cheap, probabilistic.
 			x.rec.Advance(partialDur, energy.Verify, sigma)
 			x.rep.PartialChecks++
-			x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma, Detail: "partial"})
+			x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma, Detail: "partial"})
 			if !x.cfg.Sampled.Verify(x.main.state(), x.replica.state()) {
 				x.rep.PartialDetections++
 				x.rep.SilentDetected++
-				x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "partial"})
+				x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "partial"})
 				resume, err := x.cfg.Tier.OnVerifyFail(x, pattern)
 				if err != nil {
 					return false, 0, err
 				}
-				x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
+				x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
 				return false, resume, nil
 			}
-			x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt, Detail: "partial"})
+			x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt, Detail: "partial"})
 		}
 	}
-	x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.ComputeEnd, Pattern: pattern, Attempt: attempt, Speed: sigma})
+	x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.ComputeEnd, Pattern: pattern, Attempt: attempt, Speed: sigma})
 
 	// Guaranteed verification before the checkpoint.
-	x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
+	x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyStart, Pattern: pattern, Attempt: attempt, Speed: sigma})
 	x.rec.Advance(verifyDur, energy.Verify, sigma)
 	if !x.verifier.Verify(x.main.state(), x.replica.state()) {
 		x.rep.SilentDetected++
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "digest mismatch"})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyFail, Pattern: pattern, Attempt: attempt, Detail: "digest mismatch"})
 		resume, err := x.cfg.Tier.OnVerifyFail(x, pattern)
 		if err != nil {
 			return false, 0, err
 		}
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.Recovery, Pattern: pattern, Attempt: attempt})
 		return false, resume, nil
 	}
-	x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt})
+	x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.VerifyOK, Pattern: pattern, Attempt: attempt})
 
 	if err := x.cfg.Tier.Commit(x, pattern, attempt); err != nil {
 		return false, 0, err
 	}
-	x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
+	x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.PatternDone, Pattern: pattern, Attempt: attempt})
 	return true, 0, nil
 }

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/rngx"
+	"respeed/internal/trace"
+)
+
+// newCountedPattern builds the bench pattern engine with the given
+// observability hooks.
+func newCountedPattern(t testing.TB, obs Options) *PatternEngine {
+	t.Helper()
+	rng := rngx.NewStream(42, "bench")
+	p, err := NewPatternEngine(PatternConfig{
+		Plan:     Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8},
+		Costs:    Costs{C: 6, V: 1.5, R: 6, LambdaS: 1e-4},
+		Faults:   NewAggregateFaults(1e-4, 0, rng),
+		Recorder: NewSumRecorder(testModel()),
+		Obs:      obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCountersPatternEngine(t *testing.T) {
+	c := &Counters{}
+	p := newCountedPattern(t, Options{Counters: c})
+	const n = 200
+	var wantAttempts, wantSilent, wantTime, wantJoules = 0, 0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		res := p.RunPattern()
+		wantAttempts += res.Attempts
+		wantSilent += res.SilentErrors
+		wantTime += res.Time
+		wantJoules += res.Energy
+	}
+	s := c.Snapshot()
+	if s.Patterns != n {
+		t.Errorf("Patterns = %d, want %d", s.Patterns, n)
+	}
+	if s.Attempts != int64(wantAttempts) || s.SilentErrors != int64(wantSilent) {
+		t.Errorf("Attempts/Silent = %d/%d, want %d/%d", s.Attempts, s.SilentErrors, wantAttempts, wantSilent)
+	}
+	// In the abstract engine every silent error is a caught verification
+	// failure, and every error recovers.
+	if s.VerifyFailures != s.SilentErrors || s.Recoveries != s.SilentErrors+s.FailStopErrors {
+		t.Errorf("VerifyFailures/Recoveries inconsistent: %+v", s)
+	}
+	if wantSilent == 0 {
+		t.Fatal("bench configuration injected no silent errors; counters untested")
+	}
+	if math.Abs(s.SimulatedSeconds-wantTime) > 1e-6*wantTime {
+		t.Errorf("SimulatedSeconds = %g, want %g", s.SimulatedSeconds, wantTime)
+	}
+	if math.Abs(s.SimulatedJoules-wantJoules) > 1e-6*wantJoules {
+		t.Errorf("SimulatedJoules = %g, want %g", s.SimulatedJoules, wantJoules)
+	}
+}
+
+func TestCountersScenarioAndSink(t *testing.T) {
+	c := &Counters{}
+	sc := testScenario()
+	sc.Obs.Counters = c
+	var events []trace.Event
+	sc.Obs.TraceSink = func(e trace.Event) { events = append(events, e) }
+
+	rep, err := sc.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.Patterns != int64(rep.Patterns) || s.Attempts != int64(rep.Attempts) {
+		t.Errorf("counters %+v disagree with report %+v", s, rep)
+	}
+	if s.VerifyFailures != int64(rep.SilentDetected) ||
+		s.Recoveries != int64(rep.SilentDetected+rep.FailStops) {
+		t.Errorf("verify/recovery counters %+v disagree with report %+v", s, rep)
+	}
+	if s.SimulatedSeconds != rep.Makespan || s.SimulatedJoules != rep.Energy {
+		t.Errorf("time/energy counters %+v disagree with report %+v", s, rep)
+	}
+	if len(events) == 0 {
+		t.Fatal("TraceSink saw no events")
+	}
+	// The sink must observe the same schedule a trace recorder records.
+	rec := trace.New(0)
+	sc2 := testScenario()
+	sc2.Trace = rec
+	if _, err := sc2.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	recorded := rec.Events()
+	if len(recorded) != len(events) {
+		t.Fatalf("sink saw %d events, recorder %d", len(events), len(recorded))
+	}
+	for i := range recorded {
+		if recorded[i] != events[i] {
+			t.Fatalf("event %d: sink %+v != recorder %+v", i, events[i], recorded[i])
+		}
+	}
+}
+
+func TestCountersSharedAcrossReplication(t *testing.T) {
+	c := &Counters{}
+	sc := testScenario()
+	sc.Obs.Counters = c
+	sc.Obs.TraceSink = func(trace.Event) { t.Error("TraceSink must be cleared by ReplicateScenario") }
+	const n = 16
+	if _, err := ReplicateScenario(sc, 3, n, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.Patterns < n { // each run commits ≥1 pattern
+		t.Errorf("Patterns = %d, want ≥ %d", s.Patterns, n)
+	}
+	if s.SimulatedSeconds <= 0 || s.SimulatedJoules <= 0 {
+		t.Errorf("totals not accumulated: %+v", s)
+	}
+}
+
+func TestNilCountersNoop(t *testing.T) {
+	var c *Counters
+	c.notePattern(PatternResult{Attempts: 1})
+	c.noteReport(Report{Patterns: 1})
+	if s := c.Snapshot(); s != (CountersSnapshot{}) {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+// TestHooksDisabledNoAllocs pins the acceptance criterion: with the
+// hooks disabled the pattern hot path must not allocate.
+func TestHooksDisabledNoAllocs(t *testing.T) {
+	p := newCountedPattern(t, Options{})
+	if avg := testing.AllocsPerRun(1000, func() { p.RunPattern() }); avg != 0 {
+		t.Errorf("disabled hooks allocate %.1f allocs per pattern, want 0", avg)
+	}
+}
+
+// TestCountersOnlyNoAllocs: enabling counters alone must also stay
+// allocation-free (atomics only, noted once per pattern).
+func TestCountersOnlyNoAllocs(t *testing.T) {
+	p := newCountedPattern(t, Options{Counters: &Counters{}})
+	if avg := testing.AllocsPerRun(1000, func() { p.RunPattern() }); avg != 0 {
+		t.Errorf("counters allocate %.1f allocs per pattern, want 0", avg)
+	}
+}
+
+// BenchmarkPatternEngineHooks compares the hot path with hooks
+// disabled, with shared counters, and with a live trace sink — CI runs
+// it with -benchtime=1x to catch accidental hot-path allocation.
+func BenchmarkPatternEngineHooks(b *testing.B) {
+	var sunk int
+	cases := []struct {
+		name string
+		obs  Options
+	}{
+		{"disabled", Options{}},
+		{"counters", Options{Counters: &Counters{}}},
+		{"sink", Options{TraceSink: func(trace.Event) { sunk++ }}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			p := newCountedPattern(b, tc.obs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := p.RunPattern(); res.Attempts < 1 {
+					b.Fatal("no attempt")
+				}
+			}
+		})
+	}
+}

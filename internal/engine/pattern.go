@@ -20,6 +20,9 @@ type PatternConfig struct {
 	Recorder Recorder
 	// Trace, when non-nil, records the schedule.
 	Trace *trace.Recorder
+	// Obs carries the observability hooks (cumulative counters, live
+	// trace sink); the zero value disables them.
+	Obs Options
 	// CombineVerify bills compute+verify as a single Compute segment —
 	// the platform-level billing the cluster simulator historically
 	// used. When false, compute and verify are billed (and traced)
@@ -72,7 +75,7 @@ func (p *PatternEngine) RunPattern() PatternResult {
 	startClock, startJoules := rec.Clock(), rec.Energy()
 	id := p.nextID
 	p.nextID++
-	p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.PatternStart, Pattern: id})
+	p.emit(trace.Event{Time: rec.Clock(), Kind: trace.PatternStart, Pattern: id})
 	for attempt := 0; ; attempt++ {
 		res.Attempts++
 		sigma := p.cfg.Plan.Sigma1
@@ -82,7 +85,7 @@ func (p *PatternEngine) RunPattern() PatternResult {
 		computeDur := p.cfg.Plan.W / sigma
 		verifyDur := p.cfg.Costs.V / sigma
 
-		p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.ComputeStart, Pattern: id, Attempt: attempt, Speed: sigma})
+		p.emit(trace.Event{Time: rec.Clock(), Kind: trace.ComputeStart, Pattern: id, Attempt: attempt, Speed: sigma})
 
 		// Fail-stop errors can strike anywhere in compute+verify;
 		// silent errors corrupt the compute span only (the paper's
@@ -92,9 +95,9 @@ func (p *PatternEngine) RunPattern() PatternResult {
 			rec.Advance(out.FailStopAt, energy.Compute, sigma)
 			res.FailStopErrors++
 			fp.NoteFailStop(out.FailNode)
-			p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.FailStop, Pattern: id, Attempt: attempt, Speed: sigma})
+			p.emit(trace.Event{Time: rec.Clock(), Kind: trace.FailStop, Pattern: id, Attempt: attempt, Speed: sigma})
 			rec.Advance(p.cfg.Costs.R, energy.Recovery, 0)
-			p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.Recovery, Pattern: id, Attempt: attempt})
+			p.emit(trace.Event{Time: rec.Clock(), Kind: trace.Recovery, Pattern: id, Attempt: attempt})
 			continue
 		}
 
@@ -105,38 +108,47 @@ func (p *PatternEngine) RunPattern() PatternResult {
 			if out.Silent {
 				res.SilentErrors++
 				fp.NoteSilent(out.SilentNode)
-				p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.VerifyFail, Pattern: id, Attempt: attempt})
+				p.emit(trace.Event{Time: rec.Clock(), Kind: trace.VerifyFail, Pattern: id, Attempt: attempt})
 				rec.Advance(p.cfg.Costs.R, energy.Recovery, 0)
-				p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.Recovery, Pattern: id, Attempt: attempt})
+				p.emit(trace.Event{Time: rec.Clock(), Kind: trace.Recovery, Pattern: id, Attempt: attempt})
 				continue
 			}
 		} else {
 			rec.Advance(computeDur, energy.Compute, sigma)
-			p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.ComputeEnd, Pattern: id, Attempt: attempt, Speed: sigma})
+			p.emit(trace.Event{Time: rec.Clock(), Kind: trace.ComputeEnd, Pattern: id, Attempt: attempt, Speed: sigma})
 			if out.Silent {
 				res.SilentErrors++
 				fp.NoteSilent(out.SilentNode)
-				p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.SilentError, Pattern: id, Attempt: attempt})
+				p.emit(trace.Event{Time: rec.Clock(), Kind: trace.SilentError, Pattern: id, Attempt: attempt})
 			}
 
-			p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.VerifyStart, Pattern: id, Attempt: attempt, Speed: sigma})
+			p.emit(trace.Event{Time: rec.Clock(), Kind: trace.VerifyStart, Pattern: id, Attempt: attempt, Speed: sigma})
 			rec.Advance(verifyDur, energy.Verify, sigma)
 			if out.Silent {
-				p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.VerifyFail, Pattern: id, Attempt: attempt})
+				p.emit(trace.Event{Time: rec.Clock(), Kind: trace.VerifyFail, Pattern: id, Attempt: attempt})
 				rec.Advance(p.cfg.Costs.R, energy.Recovery, 0)
-				p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.Recovery, Pattern: id, Attempt: attempt})
+				p.emit(trace.Event{Time: rec.Clock(), Kind: trace.Recovery, Pattern: id, Attempt: attempt})
 				continue
 			}
-			p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.VerifyOK, Pattern: id, Attempt: attempt})
+			p.emit(trace.Event{Time: rec.Clock(), Kind: trace.VerifyOK, Pattern: id, Attempt: attempt})
 		}
 
 		rec.Advance(p.cfg.Costs.C, energy.Checkpoint, 0)
-		p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.Checkpoint, Pattern: id, Attempt: attempt})
-		p.cfg.Trace.Append(trace.Event{Time: rec.Clock(), Kind: trace.PatternDone, Pattern: id, Attempt: attempt})
+		p.emit(trace.Event{Time: rec.Clock(), Kind: trace.Checkpoint, Pattern: id, Attempt: attempt})
+		p.emit(trace.Event{Time: rec.Clock(), Kind: trace.PatternDone, Pattern: id, Attempt: attempt})
 
 		res.Time = rec.Clock() - startClock
 		res.Energy = rec.Energy() - startJoules
+		p.cfg.Obs.Counters.notePattern(res)
 		return res
+	}
+}
+
+// emit records a trace event into the recorder and the live sink.
+func (p *PatternEngine) emit(e trace.Event) {
+	p.cfg.Trace.Append(e)
+	if p.cfg.Obs.TraceSink != nil {
+		p.cfg.Obs.TraceSink(e)
 	}
 }
 

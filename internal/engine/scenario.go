@@ -49,6 +49,10 @@ type Scenario struct {
 	// Trace, when non-nil, records the schedule of a single Run (not
 	// used by ReplicateScenario).
 	Trace *trace.Recorder
+	// Obs carries the observability hooks. ReplicateScenario keeps
+	// Obs.Counters (atomic, shareable across workers) but clears
+	// Obs.TraceSink, which — like Trace — is single-run state.
+	Obs Options
 	// NewWorkload builds the state-carrying workload for each run.
 	NewWorkload func() *Runner
 }
@@ -150,6 +154,7 @@ func (sc Scenario) run(seed uint64, prefix string) (Report, error) {
 		Recorder:         NewMeterRecorder(sc.Model),
 		Detector:         sc.Detector,
 		Trace:            sc.Trace,
+		Obs:              sc.Obs,
 		SkipVerification: sc.SkipVerification,
 		Partial:          sc.Partial,
 		Sampled:          sampled,
@@ -171,6 +176,7 @@ func ReplicateScenario(sc Scenario, seed uint64, n, workers int) (Estimate, erro
 	}
 	run := sc // traces are per-run state; never share one recorder across goroutines
 	run.Trace = nil
+	run.Obs.TraceSink = nil
 	return chunkedFanOut(n, workers, sc.TotalWork, func(chunk, lo, hi int, acc *estimator) error {
 		for i := lo; i < hi; i++ {
 			rep, err := run.run(seed, fmt.Sprintf("scenario/%d", i))

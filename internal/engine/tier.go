@@ -67,7 +67,7 @@ func (t *SingleLevel) Commit(x *App, pattern, attempt int) error {
 		return fmt.Errorf("engine: checkpoint: %w", err)
 	}
 	x.rec.Advance(t.c, energy.Checkpoint, 0)
-	x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt})
+	x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt})
 	return nil
 }
 
@@ -198,14 +198,14 @@ func (t *TwoLevel) Commit(x *App, pattern, attempt int) error {
 	}
 	x.rec.Advance(t.spec.MemC, energy.Checkpoint, 0)
 	x.rep.MemCommits++
-	x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt, Detail: "memory"})
+	x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt, Detail: "memory"})
 	if (pattern+1)%t.spec.Every == 0 || pattern == t.total-1 {
 		if err := t.commitTo(x, t.disk, pattern); err != nil {
 			return fmt.Errorf("engine: disk checkpoint: %w", err)
 		}
 		x.rec.Advance(t.spec.DiskC, energy.Checkpoint, 0)
 		x.rep.DiskCommits++
-		x.trace.Append(trace.Event{Time: x.rec.Clock(), Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt, Detail: "disk"})
+		x.emit(trace.Event{Time: x.rec.Clock(), Kind: trace.Checkpoint, Pattern: pattern, Attempt: attempt, Detail: "disk"})
 	}
 	if pattern > t.frontier {
 		t.frontier = pattern

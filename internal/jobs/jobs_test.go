@@ -314,7 +314,7 @@ func TestShardRetrySucceedsAfterTransientFailures(t *testing.T) {
 	m := mustOpen(t, Options{Dir: t.TempDir(), ShardRetries: 3, RetryBackoff: time.Millisecond})
 	defer m.Close()
 	var failures atomic.Int64
-	m.testShardHook = func(jobID string, shard, attempt int) error {
+	m.opts.BeforeShard = func(jobID string, shard, attempt int) error {
 		if shard == 0 && attempt < 3 {
 			failures.Add(1)
 			return fmt.Errorf("injected transient failure (attempt %d)", attempt)
@@ -337,7 +337,7 @@ func TestShardRetrySucceedsAfterTransientFailures(t *testing.T) {
 func TestShardFailureFailsJobAfterRetries(t *testing.T) {
 	m := mustOpen(t, Options{Dir: t.TempDir(), ShardRetries: 2, RetryBackoff: time.Millisecond})
 	defer m.Close()
-	m.testShardHook = func(jobID string, shard, attempt int) error {
+	m.opts.BeforeShard = func(jobID string, shard, attempt int) error {
 		if shard == 1 {
 			return errors.New("injected permanent failure")
 		}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Journal framing: one record per line, `%08x <json>\n`, where the hex
@@ -59,29 +60,37 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("jobs: journal %s corrupt at line %d: %s", e.Path, e.Line, e.Reason)
 }
 
+// journalStats aggregates journal write traffic across one manager's
+// journals (exported as counters on /metrics).
+type journalStats struct {
+	bytes  atomic.Int64
+	fsyncs atomic.Int64
+}
+
 // journal is an append-only, fsynced record log for one job.
 type journal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	stats *journalStats // may be nil (tests)
 }
 
 // createJournal opens a fresh journal file for appending.
-func createJournal(path string) (*journal, error) {
+func createJournal(path string, stats *journalStats) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: create journal: %w", err)
 	}
-	return &journal{path: path, f: f}, nil
+	return &journal{path: path, f: f, stats: stats}, nil
 }
 
 // openJournal reopens an existing journal for appending (resume).
-func openJournal(path string) (*journal, error) {
+func openJournal(path string, stats *journalStats) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: open journal: %w", err)
 	}
-	return &journal{path: path, f: f}, nil
+	return &journal{path: path, f: f, stats: stats}, nil
 }
 
 // append frames, writes and fsyncs one record. The fsync before
@@ -106,6 +115,10 @@ func (j *journal) append(rec record) error {
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("jobs: sync journal: %w", err)
+	}
+	if j.stats != nil {
+		j.stats.bytes.Add(int64(len(line)))
+		j.stats.fsyncs.Add(1)
 	}
 	return nil
 }

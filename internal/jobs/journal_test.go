@@ -30,7 +30,7 @@ func buildJournal(t *testing.T, k int) ([]byte, []int, Campaign) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "j000001.journal")
-	jn, err := createJournal(path)
+	jn, err := createJournal(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

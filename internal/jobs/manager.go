@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -14,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"respeed/internal/obs"
 )
 
 // State is a job's lifecycle state.
@@ -64,6 +67,18 @@ type Options struct {
 	// RetryBackoff is the first retry delay; it doubles per attempt
 	// (default 50ms).
 	RetryBackoff time.Duration
+	// Logger receives structured job lifecycle logs (nil discards them).
+	Logger *slog.Logger
+	// Tracer, when non-nil, records a span per job run with one child
+	// span per executed shard.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, exports the manager's gauges and counters
+	// (job states, shards, retries, journal I/O, shard latency).
+	Registry *obs.Registry
+	// BeforeShard, when non-nil, runs before every shard attempt and may
+	// inject an error to force the retry path (fault-injection hook,
+	// also used by tests).
+	BeforeShard func(jobID string, shard, attempt int) error
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +93,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -117,6 +135,11 @@ type Stats struct {
 	Failed         int   `json:"failed"`
 	Cancelled      int   `json:"cancelled"`
 	ShardsExecuted int64 `json:"shards_executed"`
+	// ShardRetries counts shard attempts beyond the first; JournalBytes
+	// and JournalFsyncs total the journal write traffic.
+	ShardRetries  int64 `json:"shard_retries"`
+	JournalBytes  int64 `json:"journal_bytes"`
+	JournalFsyncs int64 `json:"journal_fsyncs"`
 }
 
 // job is the manager's per-campaign state.
@@ -155,10 +178,11 @@ type Manager struct {
 	baseCancel context.CancelFunc
 
 	shardsExecuted atomic.Int64
+	shardRetries   atomic.Int64
+	journalIO      journalStats
+	shardHist      *obs.Histogram // shard wall-clock seconds
+	log            *slog.Logger
 
-	// testShardHook, when non-nil, runs before every shard attempt and
-	// may inject an error (retry-path coverage).
-	testShardHook func(jobID string, shard, attempt int) error
 	// testShardDelay, when non-nil, runs before every shard execution
 	// (lets tests hold shards in flight).
 	testShardDelay func()
@@ -184,12 +208,68 @@ func Open(opts Options) (*Manager, error) {
 		sem:        make(chan struct{}, opts.Workers),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		shardHist:  obs.NewHistogram(obs.DurationBuckets()),
+		log:        opts.Logger,
 	}
+	m.registerMetrics(opts.Registry)
 	if err := m.load(); err != nil {
 		cancel()
 		return nil, err
 	}
 	return m, nil
+}
+
+// registerMetrics exports the manager's state on a metrics registry.
+// Gauges and counters read the manager's own atomics at scrape time, so
+// the hot path pays nothing beyond what it already maintains.
+func (m *Manager) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	states := r.NewGaugeVec(obs.Opts{
+		Name:   "respeed_jobs_current",
+		Help:   "Retained campaign jobs by lifecycle state.",
+		Labels: []string{"state"},
+	})
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		st := st
+		states.WithFunc(func() float64 { return float64(m.countState(st)) }, string(st))
+	}
+	r.NewCounterFunc("respeed_jobs_shards_executed_total",
+		"Campaign shards executed to durable completion.",
+		func() float64 { return float64(m.shardsExecuted.Load()) })
+	r.NewCounterFunc("respeed_jobs_shard_retries_total",
+		"Campaign shard attempts beyond the first.",
+		func() float64 { return float64(m.shardRetries.Load()) })
+	r.NewCounterFunc("respeed_jobs_journal_bytes_total",
+		"Bytes appended to campaign journals.",
+		func() float64 { return float64(m.journalIO.bytes.Load()) })
+	r.NewCounterFunc("respeed_jobs_journal_fsyncs_total",
+		"Fsyncs issued by campaign journal appends.",
+		func() float64 { return float64(m.journalIO.fsyncs.Load()) })
+	r.RegisterHistogram(obs.Opts{
+		Name: "respeed_jobs_shard_duration_seconds",
+		Help: "Wall-clock duration of successful shard executions.",
+	}, m.shardHist)
+}
+
+// countState counts retained jobs in one state.
+func (m *Manager) countState(st State) int {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state == st {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
 }
 
 // jobID formats the n-th job id; ids sort lexically in submission order.
@@ -275,7 +355,7 @@ func (m *Manager) load() error {
 				m.jobs[id] = j
 				continue
 			}
-			jn, err := openJournal(path)
+			jn, err := openJournal(path, &m.journalIO)
 			if err != nil {
 				return err
 			}
@@ -297,7 +377,15 @@ func (m *Manager) load() error {
 	sort.Strings(m.order)
 	sort.Slice(resumed, func(a, b int) bool { return resumed[a].id < resumed[b].id })
 	for _, j := range resumed {
+		j.mu.Lock()
+		doneShards, total := len(j.done), len(j.shards)
+		j.mu.Unlock()
+		m.log.Info("resuming job from journal", "job", j.id,
+			"shards_done", doneShards, "shards_total", total)
 		m.startJob(j)
+	}
+	if len(m.jobs) > 0 {
+		m.log.Info("job directory loaded", "jobs", len(m.jobs), "resumed", len(resumed))
 	}
 	return nil
 }
@@ -323,7 +411,7 @@ func (m *Manager) Submit(c Campaign) (Status, error) {
 	}
 	m.seq++
 	id := jobID(m.seq)
-	jn, err := createJournal(filepath.Join(m.opts.Dir, id+".journal"))
+	jn, err := createJournal(filepath.Join(m.opts.Dir, id+".journal"), &m.journalIO)
 	if err != nil {
 		m.seq--
 		m.mu.Unlock()
@@ -352,6 +440,8 @@ func (m *Manager) Submit(c Campaign) (Status, error) {
 		os.Remove(filepath.Join(m.opts.Dir, id+".journal"))
 		return Status{}, err
 	}
+	m.log.Info("job submitted", "job", id, "kind", norm.Kind,
+		"name", norm.Name, "shards", len(shards))
 	m.startJob(j)
 	return m.statusOf(j), nil
 }
@@ -394,7 +484,11 @@ func (m *Manager) startJob(j *job) {
 // state so the journal resumes the job later; on explicit Cancel it
 // commits a cancel record.
 func (m *Manager) runJob(j *job) {
-	ctx := m.baseCtx
+	ctx := obs.WithTracer(m.baseCtx, m.opts.Tracer)
+	ctx, span := obs.StartSpan(ctx, "job")
+	span.Annotate("job", j.id)
+	span.Annotate("kind", string(j.campaign.Kind))
+	defer span.End()
 	j.mu.Lock()
 	if j.state == StateQueued {
 		j.state = StateRunning
@@ -445,14 +539,17 @@ dispatch:
 	j.mu.Lock()
 	switch {
 	case j.state == StateFailed:
+		errMsg := j.errMsg
 		j.finishLocked()
 		j.mu.Unlock()
+		m.log.Warn("job failed", "job", j.id, "error", errMsg)
 		m.publish(j, -1)
 		return
 	case j.cancelled:
 		j.state = StateCancelled
 		j.finishLocked()
 		j.mu.Unlock()
+		m.log.Info("job cancelled", "job", j.id)
 		m.publish(j, -1)
 		return
 	case ctx.Err() != nil:
@@ -480,6 +577,7 @@ dispatch:
 		j.errMsg = err.Error()
 		j.finishLocked()
 		j.mu.Unlock()
+		m.log.Warn("job failed to assemble", "job", j.id, "error", err)
 		m.publish(j, -1)
 		return
 	}
@@ -488,6 +586,7 @@ dispatch:
 	j.finishLocked()
 	j.mu.Unlock()
 	os.Remove(filepath.Join(m.opts.Dir, j.id+".journal"))
+	m.log.Info("job done", "job", j.id, "shards", len(j.shards), "hash", res.Hash)
 	m.publish(j, -1)
 }
 
@@ -496,12 +595,19 @@ dispatch:
 // is cancelled/shutting down); an error means the shard exhausted its
 // attempts.
 func (m *Manager) runShard(ctx context.Context, j *job, idx int) error {
+	_, span := obs.StartSpan(ctx, "shard")
+	span.Annotate("job", j.id)
+	span.Annotate("shard", strconv.Itoa(idx))
+	defer span.End()
 	var lastErr error
 	for attempt := 1; attempt <= m.opts.ShardRetries; attempt++ {
 		if ctx.Err() != nil || j.terminalOrCancelled() {
 			return nil
 		}
 		if attempt > 1 {
+			m.shardRetries.Add(1)
+			m.log.Warn("retrying shard", "job", j.id, "shard", idx,
+				"attempt", attempt, "error", lastErr)
 			backoff := m.opts.RetryBackoff << (attempt - 2)
 			t := time.NewTimer(backoff)
 			select {
@@ -511,8 +617,10 @@ func (m *Manager) runShard(ctx context.Context, j *job, idx int) error {
 			case <-t.C:
 			}
 		}
+		start := time.Now()
 		lastErr = m.tryShard(j, idx, attempt)
 		if lastErr == nil {
+			m.shardHist.Observe(time.Since(start).Seconds())
 			m.shardsExecuted.Add(1)
 			m.publish(j, idx)
 			return nil
@@ -527,8 +635,8 @@ func (m *Manager) tryShard(j *job, idx, attempt int) error {
 	if m.testShardDelay != nil {
 		m.testShardDelay()
 	}
-	if m.testShardHook != nil {
-		if err := m.testShardHook(j.id, idx, attempt); err != nil {
+	if m.opts.BeforeShard != nil {
+		if err := m.opts.BeforeShard(j.id, idx, attempt); err != nil {
 			return err
 		}
 	}
@@ -765,6 +873,9 @@ func (m *Manager) Stats() Stats {
 	m.mu.Unlock()
 	var s Stats
 	s.ShardsExecuted = m.shardsExecuted.Load()
+	s.ShardRetries = m.shardRetries.Load()
+	s.JournalBytes = m.journalIO.bytes.Load()
+	s.JournalFsyncs = m.journalIO.fsyncs.Load()
 	for _, j := range jobs {
 		j.mu.Lock()
 		switch j.state {

@@ -1,0 +1,120 @@
+package jobs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"respeed/internal/obs"
+)
+
+// TestManagerObservability exercises the telemetry surface end to end:
+// registry series, journal counters, shard latency histogram, shard
+// spans and structured logs.
+func TestManagerObservability(t *testing.T) {
+	var logBuf bytes.Buffer
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(16)
+	m := mustOpen(t, Options{
+		Dir:      t.TempDir(),
+		Logger:   obs.NewLogger(&logBuf, "info", "text"),
+		Tracer:   tracer,
+		Registry: reg,
+	})
+	defer m.Close()
+
+	st, err := m.Submit(Campaign{Kind: KindSweep, Configs: []string{"Hera/XScale"}, Rhos: []float64{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+
+	var expo bytes.Buffer
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(expo.Bytes())
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, expo.String())
+	}
+	if v, err := exp.Value("respeed_jobs_shards_executed_total", nil); err != nil || v < 2 {
+		t.Errorf("shards_executed = %v (%v), want ≥ 2", v, err)
+	}
+	if v, err := exp.Value("respeed_jobs_current", map[string]string{"state": "done"}); err != nil || v != 1 {
+		t.Errorf("jobs_current{done} = %v (%v), want 1", v, err)
+	}
+	if v, err := exp.Value("respeed_jobs_journal_fsyncs_total", nil); err != nil || v < 3 {
+		t.Errorf("journal_fsyncs = %v (%v), want ≥ 3 (submit + 2 shards)", v, err)
+	}
+	if v, err := exp.Value("respeed_jobs_shard_duration_seconds_count", nil); err != nil || v < 2 {
+		t.Errorf("shard_duration count = %v (%v), want ≥ 2", v, err)
+	}
+
+	stats := m.Stats()
+	if stats.JournalBytes <= 0 || stats.JournalFsyncs < 3 || stats.ShardRetries != 0 {
+		t.Errorf("Stats journal fields = %+v", stats)
+	}
+
+	// One root span per job run, with one child span per shard.
+	deadline := time.Now().Add(2 * time.Second)
+	var roots []obs.SpanSnapshot
+	for time.Now().Before(deadline) {
+		roots = tracer.Roots()
+		if len(roots) == 1 && len(roots[0].Children) == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(roots) != 1 {
+		t.Fatalf("tracer roots = %d, want 1", len(roots))
+	}
+	if roots[0].Name != "job" || roots[0].Attrs["job"] != st.ID {
+		t.Errorf("root span = %+v", roots[0])
+	}
+	if len(roots[0].Children) != 2 {
+		t.Errorf("shard spans = %d, want 2", len(roots[0].Children))
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{"job submitted", "job done", st.ID} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("logs lack %q:\n%s", want, logs)
+		}
+	}
+}
+
+// TestManagerRetryCounters verifies shard retries are counted.
+func TestManagerRetryCounters(t *testing.T) {
+	fail := true
+	m := mustOpen(t, Options{
+		Dir: t.TempDir(), ShardRetries: 3, RetryBackoff: time.Millisecond,
+		BeforeShard: func(jobID string, shard, attempt int) error {
+			if shard == 0 && attempt == 1 && fail {
+				fail = false
+				return errTransient
+			}
+			return nil
+		},
+	})
+	defer m.Close()
+	st, err := m.Submit(Campaign{Kind: KindSweep, Configs: []string{"Hera/XScale"}, Rhos: []float64{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, m, st.ID); st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if got := m.Stats().ShardRetries; got != 1 {
+		t.Errorf("ShardRetries = %d, want 1", got)
+	}
+}
+
+var errTransient = &transientErr{}
+
+type transientErr struct{}
+
+func (*transientErr) Error() string { return "injected transient failure" }

@@ -1,0 +1,493 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the MIME type of the Prometheus text exposition
+// format this package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family of the registry in Prometheus
+// text exposition format: families sorted by name, each preceded by its
+// HELP and TYPE lines, series sorted by label values, label values
+// escaped per the format specification.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.gather() {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// write renders one family.
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snaps := make([]seriesSnapshot, 0, len(keys))
+	for _, k := range keys {
+		s := f.series[k]
+		snap := seriesSnapshot{labelValues: s.labelValues}
+		switch {
+		case f.kind == KindHistogram:
+			snap.hist = s.hist.Snapshot()
+		case s.fn != nil:
+			snap.value = s.fn()
+		default:
+			snap.value = math.Float64frombits(s.bits.Load())
+		}
+		snaps = append(snaps, snap)
+	}
+	f.mu.Unlock()
+
+	if len(snaps) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.opts.Name, escapeHelp(f.opts.Help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.opts.Name, f.kind)
+	for _, snap := range snaps {
+		if f.kind == KindHistogram {
+			writeHistogramSeries(w, f.opts.Name, f.opts.Labels, snap.labelValues, snap.hist)
+		} else {
+			writeSample(w, f.opts.Name, f.opts.Labels, snap.labelValues, "", "", snap.value)
+		}
+	}
+	return nil
+}
+
+// seriesSnapshot decouples rendering from live series state.
+type seriesSnapshot struct {
+	labelValues []string
+	value       float64
+	hist        HistogramSnapshot
+}
+
+// writeSample renders one sample line, optionally with one extra label
+// (the histogram "le").
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraK, extraV string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, `%s="%s"`, l, escapeLabel(values[i]))
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, `%s="%s"`, extraK, escapeLabel(extraV))
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// writeHistogramSeries renders one histogram series: its cumulative
+// buckets (with the implicit +Inf), _sum and _count.
+func writeHistogramSeries(w *bufio.Writer, name string, labels, values []string, h HistogramSnapshot) {
+	for i, up := range h.Uppers {
+		writeSample(w, name+"_bucket", labels, values, "le", formatValue(up), float64(h.Cumulative[i]))
+	}
+	writeSample(w, name+"_bucket", labels, values, "le", "+Inf", float64(h.Count))
+	writeSample(w, name+"_sum", labels, values, "", "", h.Sum)
+	writeSample(w, name+"_count", labels, values, "", "", float64(h.Count))
+}
+
+// formatValue renders a float in the exposition format.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value: backslash, double-quote, newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes HELP text: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// --- strict parser / validator ---
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed scrape: the TYPE of every declared family and
+// every sample in document order.
+type Exposition struct {
+	Types   map[string]Kind
+	Samples []Sample
+}
+
+// Find returns the samples with the given metric name.
+func (e *Exposition) Find(name string) []Sample {
+	var out []Sample
+	for _, s := range e.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the value of the unique sample with the given name and
+// label subset, or an error when absent or ambiguous.
+func (e *Exposition) Value(name string, labels map[string]string) (float64, error) {
+	var hits []Sample
+sample:
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue sample
+			}
+		}
+		hits = append(hits, s)
+	}
+	if len(hits) != 1 {
+		return 0, fmt.Errorf("obs: %d samples match %s%v", len(hits), name, labels)
+	}
+	return hits[0].Value, nil
+}
+
+// ParseExposition parses Prometheus text exposition strictly. Beyond
+// the grammar it enforces the invariants a well-behaved exporter must
+// uphold:
+//
+//   - at most one HELP and one TYPE line per family, TYPE before any of
+//     the family's samples;
+//   - every sample belongs to a family declared by a TYPE line
+//     (histogram samples via the _bucket/_sum/_count suffixes);
+//   - valid metric/label names, correctly escaped label values, float
+//     values;
+//   - no duplicate series (same name and label set);
+//   - histogram buckets cumulative and consistent with _count.
+//
+// It returns the parsed exposition so tests can assert on samples.
+func ParseExposition(data []byte) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]Kind)}
+	helpSeen := make(map[string]bool)
+	samplesSeen := make(map[string]bool) // name + canonical label set
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "" {
+		return nil, fmt.Errorf("obs: exposition must end with a newline")
+	}
+	lines = lines[:len(lines)-1]
+	for i, line := range lines {
+		errAt := func(format string, args ...any) error {
+			return fmt.Errorf("obs: exposition line %d: %s", i+1, fmt.Sprintf(format, args...))
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				name := fields[2]
+				if !metricNameRe.MatchString(name) {
+					return nil, errAt("HELP for invalid metric name %q", name)
+				}
+				if helpSeen[name] {
+					return nil, errAt("duplicate HELP for %q", name)
+				}
+				helpSeen[name] = true
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, errAt("malformed TYPE line")
+				}
+				name, kind := fields[2], Kind(fields[3])
+				if !metricNameRe.MatchString(name) {
+					return nil, errAt("TYPE for invalid metric name %q", name)
+				}
+				if _, dup := exp.Types[name]; dup {
+					return nil, errAt("duplicate TYPE for %q", name)
+				}
+				switch kind {
+				case KindCounter, KindGauge, KindHistogram, "summary", "untyped":
+				default:
+					return nil, errAt("unknown TYPE %q", fields[3])
+				}
+				exp.Types[name] = kind
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, errAt("%v", err)
+		}
+		if _, ok := familyOf(exp.Types, s.Name); !ok {
+			return nil, errAt("sample %q has no TYPE declaration", s.Name)
+		}
+		key := s.Name + canonicalLabels(s.Labels)
+		if samplesSeen[key] {
+			return nil, errAt("duplicate series %s", key)
+		}
+		samplesSeen[key] = true
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := validateHistograms(exp); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// familyOf resolves a sample name to its declared family, honoring the
+// histogram suffixes.
+func familyOf(types map[string]Kind, name string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == KindHistogram {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// canonicalLabels renders a label set order-independently.
+func canonicalLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "{%s=%q}", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: make(map[string]string)}
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:end]
+	if !metricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'value [timestamp]' after name, got %q", rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder.
+func parseLabels(rest string, out map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !labelNameRe.MatchString(name) && name != "le" {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " ")
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("label %q value not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+	value:
+		for {
+			if rest == "" {
+				return "", fmt.Errorf("unterminated value for label %q", name)
+			}
+			switch rest[0] {
+			case '\\':
+				if len(rest) < 2 {
+					return "", fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch rest[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case 'n':
+					val.WriteByte('\n')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return "", fmt.Errorf("invalid escape \\%c in label %q", rest[1], name)
+				}
+				rest = rest[2:]
+			case '"':
+				rest = rest[1:]
+				break value
+			case '\n':
+				return "", fmt.Errorf("raw newline in label %q", name)
+			default:
+				val.WriteByte(rest[0])
+				rest = rest[1:]
+			}
+		}
+		if _, dup := out[name]; dup {
+			return "", fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		rest = strings.TrimLeft(rest, " ")
+		switch {
+		case strings.HasPrefix(rest, ","):
+			rest = rest[1:]
+		case strings.HasPrefix(rest, "}"):
+			return rest[1:], nil
+		default:
+			return "", fmt.Errorf("expected ',' or '}' after label %q", name)
+		}
+	}
+}
+
+// parseValue parses a sample value, accepting the special forms.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid sample value %q", s)
+	}
+	return v, nil
+}
+
+// validateHistograms checks every histogram family's structural
+// invariants: +Inf bucket present per series, buckets cumulative, and
+// _count equal to the +Inf bucket.
+func validateHistograms(exp *Exposition) error {
+	type hseries struct {
+		buckets map[float64]float64 // le → cumulative count
+		count   *float64
+	}
+	byKey := make(map[string]*hseries)
+	get := func(base, labelKey string) *hseries {
+		k := base + "|" + labelKey
+		h, ok := byKey[k]
+		if !ok {
+			h = &hseries{buckets: make(map[float64]float64)}
+			byKey[k] = h
+		}
+		return h
+	}
+	for _, s := range exp.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket") && exp.Types[strings.TrimSuffix(s.Name, "_bucket")] == KindHistogram:
+			base := strings.TrimSuffix(s.Name, "_bucket")
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: %s_bucket series without le label", base)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("obs: %s_bucket has invalid le %q", base, leStr)
+			}
+			rest := make(map[string]string, len(s.Labels))
+			for k, v := range s.Labels {
+				if k != "le" {
+					rest[k] = v
+				}
+			}
+			get(base, canonicalLabels(rest)).buckets[le] = s.Value
+		case strings.HasSuffix(s.Name, "_count") && exp.Types[strings.TrimSuffix(s.Name, "_count")] == KindHistogram:
+			base := strings.TrimSuffix(s.Name, "_count")
+			v := s.Value
+			get(base, canonicalLabels(s.Labels)).count = &v
+		}
+	}
+	for key, h := range byKey {
+		uppers := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			uppers = append(uppers, le)
+		}
+		sort.Float64s(uppers)
+		if len(uppers) == 0 || !math.IsInf(uppers[len(uppers)-1], 1) {
+			return fmt.Errorf("obs: histogram %s lacks a +Inf bucket", key)
+		}
+		prev := -1.0
+		for _, le := range uppers {
+			if c := h.buckets[le]; c < prev {
+				return fmt.Errorf("obs: histogram %s buckets not cumulative at le=%g", key, le)
+			} else {
+				prev = c
+			}
+		}
+		if h.count == nil {
+			return fmt.Errorf("obs: histogram %s lacks a _count sample", key)
+		}
+		if *h.count != h.buckets[math.Inf(1)] {
+			return fmt.Errorf("obs: histogram %s _count %g != +Inf bucket %g", key, *h.count, h.buckets[math.Inf(1)])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// NewLogger builds a slog.Logger writing to w at the given level
+// ("debug", "info", "warn", "error") and format ("text", "json").
+// Unknown levels default to info; unknown formats to text.
+func NewLogger(w io.Writer, level, format string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if strings.ToLower(format) == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLogLevel validates a -log-level flag value.
+func ParseLogLevel(level string) error {
+	switch strings.ToLower(level) {
+	case "debug", "info", "warn", "warning", "error":
+		return nil
+	}
+	return fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+}
+
+// ParseLogFormat validates a -log-format flag value.
+func ParseLogFormat(format string) error {
+	switch strings.ToLower(format) {
+	case "text", "json":
+		return nil
+	}
+	return fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+}
+
+// discardHandler drops every record (slog.DiscardHandler is newer than
+// this module's minimum Go version).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// NopLogger returns a logger that discards everything; use it as the
+// default when no logger is configured.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// BuildInfo is the build identity served by /healthz.
+type BuildInfo struct {
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	GoVersion   string `json:"go_version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfoVal  BuildInfo
+)
+
+// ReadBuildInfo extracts module and VCS identity from the binary's
+// embedded build information. The result is cached after the first call.
+func ReadBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfoVal = BuildInfo{
+			Module:    bi.Main.Path,
+			Version:   bi.Main.Version,
+			GoVersion: bi.GoVersion,
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfoVal.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfoVal.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfoVal.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfoVal
+}
+
+// DebugHandler bundles net/http/pprof and expvar on a fresh mux, for an
+// opt-in -debug-addr listener kept off the public serving port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "respeed debug listener: /debug/pprof/  /debug/vars")
+	})
+	return mux
+}

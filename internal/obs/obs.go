@@ -1,0 +1,24 @@
+// Package obs is respeed's telemetry spine: a dependency-light
+// observability toolkit threaded through the serving stack (serve,
+// jobs, engine, cmd/respeedd). It deliberately reimplements the small
+// fraction of the usual client libraries the daemon needs, so the
+// module keeps zero third-party dependencies:
+//
+//   - a metrics registry (counters, gauges, histograms, each optionally
+//     labeled or backed by a read-time function) with Prometheus text
+//     exposition — plus a strict parser of that format, so CI can
+//     verify every scrape is well-formed (HELP/TYPE lines, label
+//     escaping, no duplicate series, cumulative histogram buckets);
+//   - request tracing: context-propagated spans with per-request IDs,
+//     recorded into a bounded in-memory ring inspectable at
+//     /debug/traces;
+//   - structured logging helpers (log/slog constructors behind
+//     -log-level / -log-format flags) and build-info introspection for
+//     /healthz;
+//   - an opt-in debug HTTP handler bundling net/http/pprof and expvar
+//     for a separate -debug-addr listener.
+//
+// Everything here is safe for concurrent use unless noted otherwise,
+// and every hook is designed to cost ~nothing when disabled: nil
+// tracers, nil spans and nil registries are valid no-op receivers.
+package obs

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// ctxKey is the private type for context keys of this package.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeySpan
+	ctxKeyTracer
+)
+
+// NewRequestID returns a fresh 16-hex-character request/span ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed
+		// ID keeps telemetry non-fatal.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stores a request ID in the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestIDFrom returns the request ID stored in the context, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// Tracer records finished root spans into a bounded ring so the most
+// recent request traces can be inspected at /debug/traces. A nil Tracer
+// is a valid no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*Span // most recent last
+	cap   int
+	total uint64
+}
+
+// NewTracer creates a tracer retaining the last capacity root spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{cap: capacity}
+}
+
+// push retains a finished root span.
+func (t *Tracer) push(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	t.ring = append(t.ring, s)
+	if len(t.ring) > t.cap {
+		t.ring = t.ring[len(t.ring)-t.cap:]
+	}
+}
+
+// Total reports how many root spans have finished since startup.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Roots snapshots the retained root spans, most recent last. Snapshots
+// are deep copies: late-arriving children mutate the live span, not the
+// returned data.
+func (t *Tracer) Roots() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.ring...)
+	t.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.snapshot())
+	}
+	return out
+}
+
+// WithTracer stores the tracer in the context so StartSpan can create
+// root spans without explicit plumbing.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyTracer, t)
+}
+
+// maxChildren bounds per-span child growth so a pathological request
+// cannot grow a trace without limit.
+const maxChildren = 256
+
+// Span is one timed operation in a request trace. All methods are
+// nil-safe no-ops, so instrumented code paths need no tracing-enabled
+// checks.
+type Span struct {
+	mu       sync.Mutex
+	tracer   *Tracer // root spans only
+	name     string
+	id       string
+	start    time.Time
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+	dropped  int
+}
+
+// SpanSnapshot is the JSON shape of a finished (or in-flight) span as
+// served by /debug/traces.
+type SpanSnapshot struct {
+	Name       string            `json:"name"`
+	ID         string            `json:"id"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	InFlight   bool              `json:"in_flight,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanSnapshot    `json:"children,omitempty"`
+	Dropped    int               `json:"dropped_children,omitempty"`
+}
+
+// StartSpan opens a span named name. If the context already carries a
+// span the new one is attached as its child; otherwise it becomes a
+// root span of the context's tracer (if any). The returned context
+// carries the new span; pass it down so nested StartSpan calls nest.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(ctxKeySpan).(*Span)
+	tracer, _ := ctx.Value(ctxKeyTracer).(*Tracer)
+	if parent == nil && tracer == nil {
+		return ctx, nil // tracing disabled: no allocation beyond the lookups
+	}
+	s := &Span{name: name, start: time.Now()}
+	if parent != nil {
+		s.id = RequestIDFrom(ctx)
+		parent.addChild(s)
+	} else {
+		id := RequestIDFrom(ctx)
+		if id == "" {
+			id = NewRequestID()
+		}
+		s.id = id
+		s.tracer = tracer
+	}
+	return context.WithValue(ctx, ctxKeySpan, s), s
+}
+
+// addChild appends a child span, bounded by maxChildren.
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.children) >= maxChildren {
+		s.dropped++
+		return
+	}
+	s.children = append(s.children, c)
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// End finishes the span. Root spans are handed to their tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	tracer := s.tracer
+	s.mu.Unlock()
+	tracer.push(s)
+}
+
+// snapshot deep-copies the span tree.
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:    s.name,
+		ID:      s.id,
+		Start:   s.start,
+		Dropped: s.dropped,
+	}
+	if s.end.IsZero() {
+		snap.InFlight = true
+		snap.DurationMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	} else {
+		snap.DurationMS = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			snap.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -16,6 +17,7 @@ import (
 	"respeed/internal/energy"
 	"respeed/internal/engine"
 	"respeed/internal/jobs"
+	"respeed/internal/obs"
 	"respeed/internal/platform"
 	"respeed/internal/sim"
 	"respeed/internal/workload"
@@ -140,7 +142,7 @@ func reply(w http.ResponseWriter, resp response) {
 // parameter errors) and still meters it.
 func (s *Server) direct(w http.ResponseWriter, endpoint string, start time.Time, resp response) {
 	reply(w, resp)
-	s.metrics.observe(endpoint, time.Since(start), false, resp.status)
+	s.observe(endpoint, time.Since(start), false, resp.status)
 }
 
 // requireGet answers 405 for non-GET/HEAD methods.
@@ -167,7 +169,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 	}
 	if resp, ok := s.cache.get(key); ok {
 		reply(w, resp)
-		s.metrics.observe(endpoint, time.Since(start), true, resp.status)
+		s.observe(endpoint, time.Since(start), true, resp.status)
 		return
 	}
 	call, joined := s.flights.work(key, func() (response, error) {
@@ -176,6 +178,13 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		if s.preCompute != nil {
 			s.preCompute(endpoint)
 		}
+		// Child span under the initiating request's root (the context
+		// is only read for its tracer linkage, never for cancellation:
+		// the computation outlives an expired waiter by design).
+		_, span := obs.StartSpan(r.Context(), "compute")
+		span.Annotate("endpoint", endpoint)
+		span.Annotate("key", key)
+		defer span.End()
 		resp, err := compute()
 		if err == nil {
 			// Memoize before the flight is torn down, so a request
@@ -196,7 +205,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		reply(w, call.val)
 		// A joined waiter got its answer without computing: count it as
 		// a cache hit for hit-rate purposes.
-		s.metrics.observe(endpoint, time.Since(start), joined, call.val.status)
+		s.observe(endpoint, time.Since(start), joined, call.val.status)
 	case <-ctx.Done():
 		s.direct(w, endpoint, start, mustErrorResponse(http.StatusGatewayTimeout,
 			"timed out waiting for result (the computation continues and will be cached)"))
@@ -333,25 +342,61 @@ type ConfigsReply struct {
 
 // --- handlers ---
 
+// HealthReply is the /healthz answer: liveness plus enough build and
+// uptime context to identify the running binary at a glance.
+type HealthReply struct {
+	Status        string        `json:"status"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Build         obs.BuildInfo `json:"build"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if !s.requireGet(w, r, "/healthz", start) {
 		return
 	}
-	resp, _ := jsonResponse(http.StatusOK, map[string]string{"status": "ok"})
+	resp, err := jsonResponse(http.StatusOK, HealthReply{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Build:         obs.ReadBuildInfo(),
+	})
+	if err != nil {
+		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	}
 	s.direct(w, "/healthz", start, resp)
 }
 
+// handleMetrics negotiates between the two exposition formats: the
+// Prometheus text format by default, the legacy JSON snapshot when the
+// client asks for it with ?format=json or Accept: application/json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if !s.requireGet(w, r, "/metrics", start) {
 		return
 	}
-	resp, err := jsonResponse(http.StatusOK, s.Metrics())
-	if err != nil {
-		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	format := r.URL.Query().Get("format")
+	wantJSON := format == "json" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "application/json"))
+	switch {
+	case wantJSON:
+		resp, err := jsonResponse(http.StatusOK, s.Metrics())
+		if err != nil {
+			resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+		}
+		reply(w, resp) // /metrics does not meter itself
+	case format == "" || format == "prometheus" || format == "text":
+		var buf bytes.Buffer
+		if err := s.obsReg.WritePrometheus(&buf); err != nil {
+			reply(w, mustErrorResponse(http.StatusInternalServerError, err.Error()))
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf.Bytes())
+	default:
+		reply(w, mustErrorResponse(http.StatusBadRequest,
+			fmt.Sprintf("unknown format %q (valid: prometheus, json)", format)))
 	}
-	reply(w, resp) // /metrics does not meter itself
 }
 
 func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
@@ -500,6 +545,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			s.direct(w, "/v1/simulate", start, mustErrorResponse(perr.status, perr.msg))
 			return
 		}
+		// Fresh computations feed the engine-level telemetry under this
+		// scenario's label; cache hits replay bytes without simulating,
+		// so they correctly leave the counters untouched.
+		sc.Obs.Counters = s.engCounters[scenarioName]
 		key := sq.key("simulate-scenario", scenarioName, strconv.Itoa(n), strconv.FormatUint(seed, 10))
 		s.serveCached(w, r, "/v1/simulate", key, func() (response, error) {
 			rep, err := sc.Run(seed)
@@ -543,6 +592,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return response{}, err
 		}
+		s.engCounters[enginePatternLabel].NoteEstimate(est)
 		return jsonResponse(http.StatusOK, SimulateReply{
 			Config: sq.cfg.Name(), Rho: sq.rho, N: n, Seed: seed,
 			Plan: plan, Estimate: est,

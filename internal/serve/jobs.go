@@ -192,15 +192,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		s.direct(w, endpoint, start, mustErrorResponse(http.StatusInternalServerError,
-			"streaming unsupported by this connection"))
-		return
-	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// ResponseController flushes through middleware wrappers (they
+	// expose Unwrap) where a direct http.Flusher assertion would fail.
+	rc := http.NewResponseController(w)
 
 	status := http.StatusOK
 	writeEvent := func(ev jobs.Event) bool {
@@ -211,8 +208,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
 			return false
 		}
-		flusher.Flush()
-		return true
+		return rc.Flush() == nil
 	}
 	// Lead with the current state so a late subscriber is not blind
 	// until the next shard completes.
@@ -221,6 +217,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			ShardsDone: st.ShardsDone, ShardsTotal: st.ShardsTotal,
 			Shard: -1, Error: st.Error})
 	}
+	// Comment frames keep the connection alive through proxy idle
+	// timeouts while a long shard computes.
+	keepalive := time.NewTicker(s.opts.SSEKeepalive)
+	defer keepalive.Stop()
 stream:
 	for {
 		select {
@@ -235,11 +235,18 @@ stream:
 			if ev.State.Terminal() {
 				break stream
 			}
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				break stream
+			}
+			if rc.Flush() != nil {
+				break stream
+			}
 		case <-r.Context().Done():
 			break stream
 		case <-s.shutdown:
 			break stream
 		}
 	}
-	s.metrics.observe(endpoint, time.Since(start), false, status)
+	s.observe(endpoint, time.Since(start), false, status)
 }

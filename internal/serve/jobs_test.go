@@ -146,7 +146,7 @@ func TestJobsHTTPLifecycle(t *testing.T) {
 
 	// /metrics carries the job gauges and the jobs endpoints rows.
 	var snap MetricsSnapshot
-	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &snap); code != http.StatusOK {
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics?format=json", nil, &snap); code != http.StatusOK {
 		t.Fatalf("metrics: %d", code)
 	}
 	if snap.Jobs == nil {

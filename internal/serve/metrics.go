@@ -23,10 +23,10 @@ const (
 // moments. Guarded by metrics.mu.
 type endpointMetrics struct {
 	requests    int64
-	errors      int64 // responses with status >= 400
-	cacheHits   int64 // served without computing (LRU hit or joined flight)
-	cacheMisses int64 // required a fresh solve
-	timeouts    int64 // gave up waiting (504)
+	errors      int64            // responses with status >= 400
+	cacheHits   int64            // served without computing (LRU hit or joined flight)
+	cacheMisses int64            // required a fresh solve
+	timeouts    int64            // gave up waiting (504)
 	latency     stats.Welford    // seconds
 	hist        *stats.Histogram // log10(seconds)
 }
@@ -97,10 +97,10 @@ type EndpointSnapshot struct {
 
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
-	UptimeSeconds  float64                     `json:"uptime_seconds"`
-	CacheEntries   int                         `json:"cache_entries"`
-	CacheCapacity  int                         `json:"cache_capacity"`
-	CacheEvictions int64                       `json:"cache_evictions"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	CacheEvictions int64   `json:"cache_evictions"`
 	// Jobs carries the campaign manager's per-state gauges; omitted
 	// when the server runs without a job manager.
 	Jobs      *jobs.Stats                 `json:"jobs,omitempty"`
@@ -155,25 +155,11 @@ func jsonSafeMs(sec float64) float64 {
 // histQuantileMs reads the q-th latency quantile, in milliseconds, off
 // the log10-seconds histogram's cumulative counts.
 func histQuantileMs(h *stats.Histogram, q float64) float64 {
-	total := h.N()
-	if total == 0 {
+	lq := h.Quantile(q)
+	if math.IsNaN(lq) {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(total)))
-	if target < 1 {
-		target = 1
-	}
-	cum := h.Under
-	if cum >= target {
-		return math.Pow(10, h.Lo) * 1e3
-	}
-	for i, c := range h.Bins {
-		cum += c
-		if cum >= target {
-			return math.Pow(10, h.BinCenter(i)) * 1e3
-		}
-	}
-	return math.Pow(10, h.Hi) * 1e3
+	return math.Pow(10, lq) * 1e3
 }
 
 // endpointNames returns the observed endpoints, sorted (for tests and

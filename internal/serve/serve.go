@@ -22,13 +22,16 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
+	"respeed/internal/engine"
 	"respeed/internal/jobs"
+	"respeed/internal/obs"
 )
 
 // Options configures a Server. The zero value selects sensible
@@ -53,6 +56,21 @@ type Options struct {
 	// before New, close it after Run returns. When nil the jobs routes
 	// answer 503.
 	Jobs *jobs.Manager
+	// Logger receives structured request logs (one line per finished
+	// request, carrying the request ID). Nil discards them.
+	Logger *slog.Logger
+	// Registry backs the Prometheus text exposition of /metrics. When
+	// nil the server creates a private registry. Pass the same registry
+	// to jobs.Options.Registry so one scrape covers both subsystems; a
+	// registry must back at most one Server.
+	Registry *obs.Registry
+	// TraceCapacity bounds the /debug/traces ring buffer (default 64
+	// retained root spans).
+	TraceCapacity int
+	// SSEKeepalive is the interval between `: keepalive` comment frames
+	// on the SSE streams (default 15 s), so idle streams defeat proxy
+	// and LB idle timeouts.
+	SSEKeepalive time.Duration
 }
 
 // withDefaults fills in the zero-valued fields.
@@ -72,6 +90,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxSimulations <= 0 {
 		o.MaxSimulations = 1_000_000
 	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.TraceCapacity <= 0 {
+		o.TraceCapacity = 64
+	}
+	if o.SSEKeepalive <= 0 {
+		o.SSEKeepalive = 15 * time.Second
+	}
 	return o
 }
 
@@ -84,6 +114,16 @@ type Server struct {
 	sem     chan struct{}
 	metrics *metrics
 	mux     *http.ServeMux
+
+	// Observability spine: the Prometheus-style registry behind
+	// /metrics, per-endpoint instruments, the bounded trace ring behind
+	// /debug/traces, engine counters keyed by scenario label, and the
+	// request logger.
+	obsReg      *obs.Registry
+	prom        map[string]*promEndpoint
+	tracer      *obs.Tracer
+	engCounters map[string]*engine.Counters
+	log         *slog.Logger
 
 	// shutdown closes when Run begins its graceful drain, so streaming
 	// responses (job SSE) terminate instead of holding the drain open.
@@ -107,14 +147,17 @@ func New(opts Options) *Server {
 		metrics:  newMetrics(),
 		shutdown: make(chan struct{}),
 	}
+	s.initObs()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("/v1/configs", s.handleConfigs)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/sigma1-table", s.handleSigma1Table)
 	s.mux.HandleFunc("/v1/gain", s.handleGain)
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/simulate/events", s.handleSimulateEvents)
 	// Campaign endpoints (method+wildcard patterns; the mux answers 405
 	// with an Allow header for unmatched methods on a matched path).
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -126,8 +169,10 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler (for tests and
+// embedding): the route mux wrapped in the observability middleware
+// (request IDs, root spans, structured request logs).
+func (s *Server) Handler() http.Handler { return s.middleware(s.mux) }
 
 // Metrics returns a point-in-time snapshot of the serving counters.
 func (s *Server) Metrics() MetricsSnapshot {
@@ -144,7 +189,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 // DrainTimeout to complete, and Run returns nil on a clean drain.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
-		Handler:           s.mux,
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

@@ -296,7 +296,7 @@ func TestConfigsHealthzAndMetrics(t *testing.T) {
 	}
 
 	get(t, ts.URL, solvePath("Hera/XScale", 3))
-	status, body = get(t, ts.URL, "/metrics")
+	status, body = get(t, ts.URL, "/metrics?format=json")
 	if status != http.StatusOK {
 		t.Fatalf("metrics status %d", status)
 	}
@@ -315,11 +315,11 @@ func TestParameterValidation(t *testing.T) {
 		path string
 		want int
 	}{
-		{"/v1/solve", http.StatusBadRequest},                                     // missing config
-		{"/v1/solve?config=Hera%2FXScale", http.StatusBadRequest},                // missing rho
-		{"/v1/solve?config=No%2FSuch&rho=3", http.StatusNotFound},                // unknown config
-		{"/v1/solve?config=Hera%2FXScale&rho=-1", http.StatusBadRequest},         // bad rho
-		{"/v1/solve?config=Hera%2FXScale&rho=NaN", http.StatusBadRequest},        // NaN rho
+		{"/v1/solve", http.StatusBadRequest},                              // missing config
+		{"/v1/solve?config=Hera%2FXScale", http.StatusBadRequest},         // missing rho
+		{"/v1/solve?config=No%2FSuch&rho=3", http.StatusNotFound},         // unknown config
+		{"/v1/solve?config=Hera%2FXScale&rho=-1", http.StatusBadRequest},  // bad rho
+		{"/v1/solve?config=Hera%2FXScale&rho=NaN", http.StatusBadRequest}, // NaN rho
 		{"/v1/solve?config=Hera%2FXScale&rho=3&speeds=0.4,x", http.StatusBadRequest},
 		{"/v1/solve?config=Hera%2FXScale&rho=3&speeds=0,-0.5", http.StatusBadRequest},
 		{"/v1/simulate?config=Hera%2FXScale&rho=3&n=1", http.StatusBadRequest},    // n too small

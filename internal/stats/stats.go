@@ -269,6 +269,36 @@ func (h *Histogram) BinCenter(i int) float64 {
 	return h.Lo + (float64(i)+0.5)*width
 }
 
+// Quantile reads the q-th quantile (0 ≤ q ≤ 1) off the cumulative bin
+// counts: the center of the first bin whose cumulative count reaches
+// ⌈q·N⌉ (at least 1). Observations below Lo resolve to Lo, above Hi to
+// Hi — the histogram cannot localize them further. It returns NaN on an
+// empty histogram and panics on q outside [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile level outside [0,1]")
+	}
+	total := h.n
+	if total == 0 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	cum := h.Under
+	if cum >= target {
+		return h.Lo
+	}
+	for i, c := range h.Bins {
+		cum += c
+		if cum >= target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.Hi
+}
+
 // Mode returns the center of the most populated bin.
 func (h *Histogram) Mode() float64 {
 	best := 0

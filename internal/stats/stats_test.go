@@ -300,3 +300,90 @@ func TestSummaryString(t *testing.T) {
 		t.Error("empty summary string")
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%g) on empty histogram = %g, want NaN", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingle(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(3.2)
+	want := h.BinCenter(3) // 3.5: the single observation's bin center
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileClamped(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5) // under
+	h.Add(-1) // under
+	h.Add(50) // over
+	// 2 of 3 observations are below Lo: low/median quantiles clamp to Lo,
+	// the top one to Hi.
+	if got := h.Quantile(0.5); got != h.Lo {
+		t.Errorf("median of under-heavy histogram = %g, want Lo=%g", got, h.Lo)
+	}
+	if got := h.Quantile(1); got != h.Hi {
+		t.Errorf("Quantile(1) with Over count = %g, want Hi=%g", got, h.Hi)
+	}
+	// All mass under Lo.
+	h2 := NewHistogram(0, 10, 10)
+	h2.Add(-1)
+	if got := h2.Quantile(1); got != h2.Lo {
+		t.Errorf("all-under Quantile(1) = %g, want Lo=%g", got, h2.Lo)
+	}
+	// All mass over Hi.
+	h3 := NewHistogram(0, 10, 10)
+	h3.Add(99)
+	if got := h3.Quantile(0); got != h3.Hi {
+		t.Errorf("all-over Quantile(0) = %g, want Hi=%g", got, h3.Hi)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram(-2, 2, 37)
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Add(rng.NormFloat64()) // spills past both edges
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			got := h.Quantile(q)
+			if math.IsNaN(got) {
+				t.Fatalf("trial %d: Quantile(%g) = NaN on non-empty histogram", trial, q)
+			}
+			if got < prev {
+				t.Fatalf("trial %d: Quantile(%g) = %g < Quantile at lower level %g", trial, q, got, prev)
+			}
+			if got < h.Lo || got > h.Hi {
+				t.Fatalf("trial %d: Quantile(%g) = %g outside [%g,%g]", trial, q, got, h.Lo, h.Hi)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestHistogramQuantilePanicsOutsideRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0.5)
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%g) did not panic", q)
+				}
+			}()
+			h.Quantile(q)
+		}()
+	}
+}

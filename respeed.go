@@ -26,12 +26,15 @@ package respeed
 
 import (
 	"io"
+	"log/slog"
+	"net/http"
 
 	"respeed/internal/core"
 	"respeed/internal/energy"
 	"respeed/internal/engine"
 	"respeed/internal/exp"
 	"respeed/internal/jobs"
+	"respeed/internal/obs"
 	"respeed/internal/optimize"
 	"respeed/internal/platform"
 	"respeed/internal/report"
@@ -268,6 +271,45 @@ type (
 // platform catalog. Serve it with (*PlanningServer).Run (graceful
 // drain on context cancellation) or mount (*PlanningServer).Handler.
 func NewPlanningServer(opts ServeOptions) *PlanningServer { return serve.New(opts) }
+
+// Observability: the telemetry spine threaded through the server, the
+// job manager and the simulation engine. One Telemetry registry backs
+// the Prometheus text exposition of /metrics; pass the same registry
+// (and logger) to ServeOptions and JobManagerOptions so a single
+// scrape covers every subsystem.
+type (
+	// Telemetry is a Prometheus-style metric registry (counters,
+	// gauges, histograms, rendered as text exposition format 0.0.4).
+	Telemetry = obs.Registry
+	// BuildInfo is the build metadata /healthz reports.
+	BuildInfo = obs.BuildInfo
+)
+
+// NewTelemetry creates an empty metric registry.
+func NewTelemetry() *Telemetry { return obs.NewRegistry() }
+
+// NewStructuredLogger builds a level-filtered slog logger writing
+// "text" or "json" lines to w, validating both choices (for flag
+// parsing). Level is one of debug, info, warn, error.
+func NewStructuredLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	if err := obs.ParseLogLevel(level); err != nil {
+		return nil, err
+	}
+	if err := obs.ParseLogFormat(format); err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(w, level, format), nil
+}
+
+// ReadBuildInfo reports the running binary's module version and VCS
+// stamp, when the build recorded them.
+func ReadBuildInfo() BuildInfo { return obs.ReadBuildInfo() }
+
+// DebugHandler serves the runtime introspection surface (net/http/pprof
+// profiles and expvar counters). It is not mounted on the planning
+// server; bind it to a separate, private listener (respeedd's
+// -debug-addr flag).
+func DebugHandler() http.Handler { return obs.DebugHandler() }
 
 // PartialExec configures intermediate partial verifications in the
 // full-stack simulator (the executable counterpart of PartialPattern).
