@@ -1,0 +1,220 @@
+// Command benchcmp compares `go test -bench` output against the
+// repository's JSON benchmark baseline (BENCH_engine.json) and prints a
+// per-benchmark delta table.
+//
+// It is report-only by design: benchmark numbers from shared CI runners
+// are too noisy to gate merges on, so the tool always exits 0 when it
+// can parse its inputs — the value is the table in the build log, read
+// by a human. Hard regressions are instead caught by the allocation
+// pins (TestRunPatternNoAllocs and friends), which assert discrete,
+// scheduler-independent counts.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./internal/engine/ | benchcmp -baseline BENCH_engine.json
+//	benchcmp -baseline BENCH_engine.json bench-output.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	Description string           `json:"description"`
+	Benchmarks  []baselineRecord `json:"benchmarks"`
+}
+
+type baselineRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type measurement struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_engine.json", "JSON benchmark baseline to compare against")
+	flag.Parse()
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	report(os.Stdout, base, current)
+}
+
+func readBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// parseBenchOutput extracts measurements from standard `go test -bench`
+// output. Package headers ("pkg: ...") qualify subsequent benchmark
+// names, matching the fully-qualified names the baseline stores.
+func parseBenchOutput(r io.Reader) (map[string]measurement, error) {
+	out := make(map[string]measurement)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		// Expect: Name  N  ns ns/op [B B/op allocs allocs/op]
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		var m measurement
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.nsPerOp, ok = v, true
+			case "B/op":
+				m.bytesPerOp, m.hasMem = v, true
+			case "allocs/op":
+				m.allocsPerOp, m.hasMem = v, true
+			}
+		}
+		if ok {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix removes the -GOMAXPROCS suffix go test appends to
+// benchmark names when GOMAXPROCS > 1 ("BenchmarkFoo-4" → "BenchmarkFoo").
+// Sub-benchmark names may legitimately end in -<digits> (PerNodeFaults/
+// nodes-4), so callers try an exact match before falling back to this.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// lookup finds the measurement for a baseline name: exact first, then
+// any measured name whose proc suffix trims down to it.
+func lookup(current map[string]measurement, name string) (measurement, bool) {
+	if m, ok := current[name]; ok {
+		return m, true
+	}
+	for k, m := range current {
+		if trimProcSuffix(k) == name {
+			return m, true
+		}
+	}
+	return measurement{}, false
+}
+
+func report(w io.Writer, base *baseline, current map[string]measurement) {
+	fmt.Fprintf(w, "benchcmp: comparing against baseline (%d reference benchmarks)\n", len(base.Benchmarks))
+	fmt.Fprintf(w, "%-62s %14s %14s %9s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	matched := 0
+	for _, b := range base.Benchmarks {
+		m, ok := lookup(current, b.Name)
+		if !ok {
+			fmt.Fprintf(w, "%-62s %14s %14s %9s %16s\n", shorten(b.Name), fmtNs(b.NsPerOp), "-", "-", "not run")
+			continue
+		}
+		matched++
+		allocs := "n/a"
+		if m.hasMem {
+			allocs = fmt.Sprintf("%.0f→%.0f", b.AllocsPerOp, m.allocsPerOp)
+		}
+		fmt.Fprintf(w, "%-62s %14s %14s %9s %16s\n",
+			shorten(b.Name), fmtNs(b.NsPerOp), fmtNs(m.nsPerOp), delta(b.NsPerOp, m.nsPerOp), allocs)
+	}
+	for name := range current {
+		if !inBaseline(base, name) {
+			fmt.Fprintf(w, "%-62s %14s %14s %9s %16s\n", shorten(name), "-", fmtNs(current[name].nsPerOp), "new", "")
+		}
+	}
+	fmt.Fprintf(w, "benchcmp: %d/%d baseline benchmarks matched (report only, never fails the build)\n",
+		matched, len(base.Benchmarks))
+}
+
+func inBaseline(base *baseline, name string) bool {
+	trimmed := trimProcSuffix(name)
+	for _, b := range base.Benchmarks {
+		if b.Name == name || b.Name == trimmed {
+			return true
+		}
+	}
+	return false
+}
+
+// shorten drops the module prefix for readability.
+func shorten(name string) string {
+	return strings.TrimPrefix(name, "respeed/internal/")
+}
+
+func fmtNs(v float64) string {
+	if v >= 100 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"respeed/internal/mathx"
+)
+
+// pairTerms holds the ρ-independent invariants of one (σ1, σ2) pair:
+// the Eq. 6 feasibility bound ρ_{1,2}, the Eq. 5 unconstrained
+// energy-optimal size We, and the Theorem 1 quadratic's coefficients
+// with the bound split off (b(ρ) = bBase − ρ, exactly the grouping Go
+// evaluates in QuadraticCoefficients, so the subtraction is
+// bit-identical to the non-precomputed path).
+type pairTerms struct {
+	s1, s2 float64
+	rhoMin float64
+	we     float64
+	a      float64
+	bBase  float64
+	c      float64
+}
+
+// eval is evalPair with the per-pair invariants already in hand: one
+// square root (the quadratic's) instead of three (quadratic + ρ_{i,j} +
+// We) per evaluated pair. The result is bit-identical to
+// Params.evalPair — the final overheads go through the very same
+// TimeOverheadFO/EnergyOverheadFO calls.
+func (t *pairTerms) eval(p Params, rho float64) PairResult {
+	res := PairResult{Sigma1: t.s1, Sigma2: t.s2, RhoMin: t.rhoMin}
+	w1, w2, rerr := mathx.QuadraticRoots(t.a, t.bBase-rho, t.c)
+	if rerr != nil || w2 <= 0 {
+		return res
+	}
+	w := math.Min(math.Max(w1, t.we), w2)
+	res.Feasible = true
+	res.W = w
+	res.TimeOverhead = p.TimeOverheadFO(w, t.s1, t.s2)
+	res.EnergyOverhead = p.EnergyOverheadFO(w, t.s1, t.s2)
+	return res
+}
+
+// PairGrid precomputes, for one (Params, speed set), every ρ-independent
+// per-pair invariant of the BiCrit solver, so grid solves over many ρ
+// values stop re-deriving them once per ρ. Every method returns results
+// bit-identical to the corresponding Params method (asserted by the
+// test suite); Solve and SolveSingleSpeed additionally memoize whole
+// solutions per ρ, which is what lets the 64 Monte-Carlo chunk shards
+// of one campaign cell share a single solve.
+//
+// A PairGrid is safe for concurrent use. Returned Solution values may
+// share memoized slices between callers and must be treated as
+// read-only.
+type PairGrid struct {
+	p      Params
+	speeds []float64
+	pairs  []pairTerms // K×K, σ1-major — the iteration order of Solve
+
+	mu         sync.Mutex
+	memo       map[float64]gridSolution // ρ → Solve outcome
+	memoSingle map[float64]gridSolution // ρ → SolveSingleSpeed outcome
+}
+
+// gridSolution is a memoized solver outcome (sol carries the Pairs grid
+// even when err is ErrInfeasible, matching the Params methods).
+type gridSolution struct {
+	sol Solution
+	err error
+}
+
+// gridMemoCap bounds the per-grid ρ-memos; past it, solves still work
+// but stop caching (a campaign is capped well below this anyway).
+const gridMemoCap = 4096
+
+// NewPairGrid validates the speed set and precomputes the invariants of
+// all K² pairs.
+func NewPairGrid(p Params, speeds []float64) (*PairGrid, error) {
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("core: NewPairGrid needs a non-empty speed set")
+	}
+	g := &PairGrid{
+		p:          p,
+		speeds:     append([]float64(nil), speeds...),
+		pairs:      make([]pairTerms, 0, len(speeds)*len(speeds)),
+		memo:       make(map[float64]gridSolution),
+		memoSingle: make(map[float64]gridSolution),
+	}
+	for _, s1 := range speeds {
+		for _, s2 := range speeds {
+			a, bBase, c := p.QuadraticCoefficients(s1, s2, 0)
+			g.pairs = append(g.pairs, pairTerms{
+				s1: s1, s2: s2,
+				rhoMin: p.RhoMin(s1, s2),
+				we:     p.WEnergy(s1, s2),
+				a:      a, bBase: bBase, c: c,
+			})
+		}
+	}
+	return g, nil
+}
+
+// Params returns the model parameters the grid was built for.
+func (g *PairGrid) Params() Params { return g.p }
+
+// Speeds returns the grid's speed set (read-only).
+func (g *PairGrid) Speeds() []float64 { return g.speeds }
+
+// Solve is Params.Solve over the precomputed pairs: the energy-minimal
+// feasible pair at bound ρ, plus the full grid in (σ1, σ2) order.
+func (g *PairGrid) Solve(rho float64) (Solution, error) {
+	return g.memoized(g.memo, rho, g.solve)
+}
+
+// SolveSingleSpeed is Params.SolveSingleSpeed over the precomputed
+// diagonal (σ2 = σ1) pairs.
+func (g *PairGrid) SolveSingleSpeed(rho float64) (Solution, error) {
+	return g.memoized(g.memoSingle, rho, g.solveSingle)
+}
+
+// memoized looks a ρ up in the given memo, computing and (capacity
+// permitting) storing on miss.
+func (g *PairGrid) memoized(memo map[float64]gridSolution, rho float64, compute func(rho float64) (Solution, error)) (Solution, error) {
+	g.mu.Lock()
+	if got, ok := memo[rho]; ok {
+		g.mu.Unlock()
+		return got.sol, got.err
+	}
+	g.mu.Unlock()
+	sol, err := compute(rho)
+	g.mu.Lock()
+	if len(memo) < gridMemoCap {
+		memo[rho] = gridSolution{sol: sol, err: err}
+	}
+	g.mu.Unlock()
+	return sol, err
+}
+
+func (g *PairGrid) solve(rho float64) (Solution, error) {
+	sol := Solution{Pairs: make([]PairResult, 0, len(g.pairs))}
+	bestIdx := -1
+	for i := range g.pairs {
+		res := g.pairs[i].eval(g.p, rho)
+		sol.Pairs = append(sol.Pairs, res)
+		if !res.Feasible {
+			continue
+		}
+		if bestIdx < 0 || res.EnergyOverhead < sol.Pairs[bestIdx].EnergyOverhead {
+			bestIdx = len(sol.Pairs) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return sol, ErrInfeasible
+	}
+	sol.Best = sol.Pairs[bestIdx]
+	return sol, nil
+}
+
+func (g *PairGrid) solveSingle(rho float64) (Solution, error) {
+	k := len(g.speeds)
+	sol := Solution{Pairs: make([]PairResult, 0, k)}
+	bestIdx := -1
+	for i := 0; i < k; i++ {
+		res := g.pairs[i*k+i].eval(g.p, rho)
+		sol.Pairs = append(sol.Pairs, res)
+		if !res.Feasible {
+			continue
+		}
+		if bestIdx < 0 || res.EnergyOverhead < sol.Pairs[bestIdx].EnergyOverhead {
+			bestIdx = len(sol.Pairs) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return sol, ErrInfeasible
+	}
+	sol.Best = sol.Pairs[bestIdx]
+	return sol, nil
+}
+
+// TwoSpeedGain is Params.TwoSpeedGain on the grid's memoized solves.
+func (g *PairGrid) TwoSpeedGain(rho float64) (float64, error) {
+	two, err := g.Solve(rho)
+	if err != nil {
+		return 0, err
+	}
+	one, err := g.SolveSingleSpeed(rho)
+	if err != nil {
+		return 1, nil
+	}
+	return (one.Best.EnergyOverhead - two.Best.EnergyOverhead) / one.Best.EnergyOverhead, nil
+}
+
+// Sigma1Table is Params.Sigma1Table over the precomputed pairs: the
+// best σ2 for every σ1 at bound ρ, in speeds order.
+func (g *PairGrid) Sigma1Table(rho float64) []PairResult {
+	k := len(g.speeds)
+	rows := make([]PairResult, 0, k)
+	for i := 0; i < k; i++ {
+		var best PairResult
+		ok := false
+		for j := 0; j < k; j++ {
+			r := g.pairs[i*k+j].eval(g.p, rho)
+			if !r.Feasible {
+				continue
+			}
+			if !ok || r.EnergyOverhead < best.EnergyOverhead {
+				best, ok = r, true
+			}
+		}
+		if !ok {
+			best = PairResult{Sigma1: g.speeds[i], Sigma2: math.NaN(), RhoMin: g.pairs[i*k+i].rhoMin}
+		}
+		rows = append(rows, best)
+	}
+	return rows
+}
+
+// gridCache memoizes PairGrids per (Params, speed set) process-wide:
+// repeated solves against the same catalog configuration — the jobs
+// and serve hot paths — reuse one grid and its ρ-memos.
+var gridCache struct {
+	sync.Mutex
+	grids map[gridKey]*PairGrid
+}
+
+type gridKey struct {
+	p      Params
+	speeds string // float64 bit patterns, little-endian concatenated
+}
+
+// gridCacheCap bounds the process-wide grid cache; the catalog holds a
+// handful of configurations, so the cap only guards pathological use
+// (it evicts everything rather than tracking recency).
+const gridCacheCap = 256
+
+func speedsKey(speeds []float64) string {
+	b := make([]byte, 8*len(speeds))
+	for i, s := range speeds {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(s))
+	}
+	return string(b)
+}
+
+// GridFor returns the process-wide memoized PairGrid for (p, speeds),
+// building it on first use.
+func GridFor(p Params, speeds []float64) (*PairGrid, error) {
+	key := gridKey{p: p, speeds: speedsKey(speeds)}
+	gridCache.Lock()
+	if g, ok := gridCache.grids[key]; ok {
+		gridCache.Unlock()
+		return g, nil
+	}
+	gridCache.Unlock()
+	g, err := NewPairGrid(p, speeds)
+	if err != nil {
+		return nil, err
+	}
+	gridCache.Lock()
+	if gridCache.grids == nil || len(gridCache.grids) >= gridCacheCap {
+		gridCache.grids = make(map[gridKey]*PairGrid)
+	}
+	gridCache.grids[key] = g
+	gridCache.Unlock()
+	return g, nil
+}

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"respeed/internal/core"
+	"respeed/internal/platform"
+)
+
+// bitEq compares float64s by bit pattern so NaN == NaN and +0 ≠ −0:
+// PairGrid promises bit-exact agreement with the Params methods, not
+// merely numerical closeness.
+func bitEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func pairEq(a, b core.PairResult) bool {
+	return bitEq(a.Sigma1, b.Sigma1) && bitEq(a.Sigma2, b.Sigma2) &&
+		bitEq(a.RhoMin, b.RhoMin) && a.Feasible == b.Feasible &&
+		bitEq(a.W, b.W) && bitEq(a.TimeOverhead, b.TimeOverhead) &&
+		bitEq(a.EnergyOverhead, b.EnergyOverhead)
+}
+
+func checkSolution(t *testing.T, label string, got core.Solution, gotErr error, want core.Solution, wantErr error) {
+	t.Helper()
+	if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, core.ErrInfeasible) != !errors.Is(wantErr, core.ErrInfeasible)) {
+		t.Fatalf("%s: error mismatch: grid=%v params=%v", label, gotErr, wantErr)
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("%s: pair count %d, want %d", label, len(got.Pairs), len(want.Pairs))
+	}
+	for i := range want.Pairs {
+		if !pairEq(got.Pairs[i], want.Pairs[i]) {
+			t.Fatalf("%s: pair %d differs:\n grid   %+v\n params %+v", label, i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+	if !pairEq(got.Best, want.Best) {
+		t.Fatalf("%s: best differs:\n grid   %+v\n params %+v", label, got.Best, want.Best)
+	}
+}
+
+// TestPairGridBitExact sweeps every catalog configuration and a ρ range
+// spanning fully-infeasible through comfortably-feasible, asserting the
+// precomputed grid reproduces the scalar solver bit for bit.
+func TestPairGridBitExact(t *testing.T) {
+	for _, cfg := range platform.Configs() {
+		p := core.FromConfig(cfg)
+		speeds := cfg.Processor.Speeds
+		g, err := core.NewPairGrid(p, speeds)
+		if err != nil {
+			t.Fatalf("%s: NewPairGrid: %v", cfg.Name(), err)
+		}
+		// ρ from below every pair's ρ_min (infeasible) up to generous
+		// slack; include the exact single-speed ρ_min values, where
+		// feasibility flips.
+		rhos := []float64{0.5, 1, 1.2, 1.5, 2, 3, 5, 8, 15, 40}
+		for _, s := range speeds {
+			rhos = append(rhos, p.RhoMin(s, s))
+		}
+		for _, rho := range rhos {
+			wantSol, wantErr := p.Solve(speeds, rho)
+			gotSol, gotErr := g.Solve(rho)
+			checkSolution(t, cfg.Name()+"/Solve", gotSol, gotErr, wantSol, wantErr)
+
+			wantSol, wantErr = p.SolveSingleSpeed(speeds, rho)
+			gotSol, gotErr = g.SolveSingleSpeed(rho)
+			checkSolution(t, cfg.Name()+"/SolveSingleSpeed", gotSol, gotErr, wantSol, wantErr)
+
+			wantRows := p.Sigma1Table(speeds, rho)
+			gotRows := g.Sigma1Table(rho)
+			if len(gotRows) != len(wantRows) {
+				t.Fatalf("%s: Sigma1Table row count %d, want %d", cfg.Name(), len(gotRows), len(wantRows))
+			}
+			for i := range wantRows {
+				if !pairEq(gotRows[i], wantRows[i]) {
+					t.Fatalf("%s: Sigma1Table row %d differs:\n grid   %+v\n params %+v", cfg.Name(), i, gotRows[i], wantRows[i])
+				}
+			}
+
+			wantGain, wantGainErr := p.TwoSpeedGain(speeds, rho)
+			gotGain, gotGainErr := g.TwoSpeedGain(rho)
+			if (gotGainErr == nil) != (wantGainErr == nil) || !bitEq(gotGain, wantGain) {
+				t.Fatalf("%s: TwoSpeedGain(%g) = (%v, %v), want (%v, %v)", cfg.Name(), rho, gotGain, gotGainErr, wantGain, wantGainErr)
+			}
+		}
+	}
+}
+
+// TestPairGridMemoStable asserts repeated solves return identical
+// results (the memo must not perturb anything).
+func TestPairGridMemoStable(t *testing.T) {
+	cfg, _ := platform.ByName(platform.Configs()[0].Name())
+	p := core.FromConfig(cfg)
+	g, err := core.NewPairGrid(p, cfg.Processor.Speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err1 := g.Solve(2)
+	second, err2 := g.Solve(2)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Solve errors: %v, %v", err1, err2)
+	}
+	if &first.Pairs[0] != &second.Pairs[0] {
+		t.Error("memoized Solve should return the cached Pairs slice")
+	}
+	if !pairEq(first.Best, second.Best) {
+		t.Error("memoized Solve changed the best pair")
+	}
+}
+
+// TestGridFor asserts the process-wide cache hands back the same grid
+// for equal (Params, speeds) and distinct grids otherwise.
+func TestGridFor(t *testing.T) {
+	cfgs := platform.Configs()
+	a1, err := core.GridFor(core.FromConfig(cfgs[0]), cfgs[0].Processor.Speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.GridFor(core.FromConfig(cfgs[0]), cfgs[0].Processor.Speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("GridFor returned distinct grids for identical inputs")
+	}
+	b, err := core.GridFor(core.FromConfig(cfgs[1]), cfgs[1].Processor.Speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == b {
+		t.Error("GridFor conflated two different configurations")
+	}
+	if _, err := core.GridFor(core.FromConfig(cfgs[0]), nil); err == nil {
+		t.Error("GridFor with empty speeds should error")
+	}
+}

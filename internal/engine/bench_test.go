@@ -12,8 +12,8 @@ import (
 )
 
 // benchPattern builds the abstract pattern engine with frequent errors
-// so re-execution paths are exercised.
-func benchPattern(b *testing.B) *PatternEngine {
+// so re-execution paths are exercised (shared with the allocation pins).
+func benchPattern(b testing.TB) *PatternEngine {
 	b.Helper()
 	rng := rngx.NewStream(42, "bench")
 	p, err := NewPatternEngine(PatternConfig{

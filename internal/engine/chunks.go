@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"respeed/internal/energy"
@@ -58,16 +59,15 @@ func (a *estimator) state() ChunkEstimate {
 	}
 }
 
-// estimator rebuilds the internal accumulator a chunk snapshot came from.
-func (ce ChunkEstimate) estimator(w float64) *estimator {
-	return &estimator{
-		w:        w,
-		tw:       ce.Time,
-		ew:       ce.Energy,
-		tpw:      ce.TimePerWork,
-		epw:      ce.EnergyPerWork,
-		attempts: ce.Attempts,
-	}
+// mergeState folds a chunk snapshot directly into the accumulator —
+// the same index-order merge as estimator.merge, without rebuilding an
+// intermediate *estimator per chunk.
+func (a *estimator) mergeState(ce ChunkEstimate) {
+	a.tw.Merge(ce.Time)
+	a.ew.Merge(ce.Energy)
+	a.tpw.Merge(ce.TimePerWork)
+	a.epw.Merge(ce.EnergyPerWork)
+	a.attempts += ce.Attempts
 }
 
 // ReplicatePatternChunk executes replications [lo, hi) of chunk `chunk`
@@ -77,6 +77,14 @@ func (ce ChunkEstimate) estimator(w float64) *estimator {
 // them with MergeChunkEstimates reproduces ReplicatePatternParallel's
 // result exactly.
 func ReplicatePatternChunk(plan Plan, costs Costs, model energy.Model, seed uint64, chunk, lo, hi int) (ChunkEstimate, error) {
+	return ReplicatePatternChunkCtx(context.Background(), plan, costs, model, seed, chunk, lo, hi)
+}
+
+// ReplicatePatternChunkCtx is ReplicatePatternChunk with cancellation:
+// the chunk loop polls ctx and returns its error at the next poll
+// boundary once cancelled, so an aborted campaign shard stops burning
+// replications mid-chunk.
+func ReplicatePatternChunkCtx(ctx context.Context, plan Plan, costs Costs, model energy.Model, seed uint64, chunk, lo, hi int) (ChunkEstimate, error) {
 	if err := plan.Validate(); err != nil {
 		return ChunkEstimate{}, err
 	}
@@ -86,8 +94,11 @@ func ReplicatePatternChunk(plan Plan, costs Costs, model energy.Model, seed uint
 	if chunk < 0 || lo < 0 || hi < lo {
 		return ChunkEstimate{}, fmt.Errorf("engine: invalid chunk range chunk=%d [%d,%d)", chunk, lo, hi)
 	}
-	acc := newEstimator(plan.W)
-	if err := runPatternChunk(plan, costs, model, seed, chunk, lo, hi, acc); err != nil {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	acc := estimator{w: plan.W}
+	if err := runPatternChunk(ctx, plan, costs, model, seed, chunk, lo, hi, &acc); err != nil {
 		return ChunkEstimate{}, err
 	}
 	return acc.state(), nil
@@ -97,9 +108,9 @@ func ReplicatePatternChunk(plan Plan, costs Costs, model energy.Model, seed uint
 // be supplied in chunk-index order, the order chunkedFanOut merges in —
 // into the final n-replication Estimate.
 func MergeChunkEstimates(w float64, n int, parts []ChunkEstimate) Estimate {
-	total := newEstimator(w)
+	total := estimator{w: w}
 	for _, p := range parts {
-		total.merge(p.estimator(w))
+		total.mergeState(p)
 	}
 	return total.estimate(n)
 }

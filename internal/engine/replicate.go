@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"respeed/internal/energy"
+	"respeed/internal/faults"
 	"respeed/internal/rngx"
 	"respeed/internal/stats"
 )
@@ -56,6 +58,12 @@ func (a *estimator) estimate(n int) Estimate {
 // stream seed/"chunk-i", and chunk accumulators merge in index order.
 const replicateChunks = 64
 
+// ctxPollMask throttles in-chunk cancellation polls: replication loops
+// check ctx.Err() once every ctxPollMask+1 iterations, so a cancelled
+// context is observed well under one chunk boundary without putting a
+// branch-per-pattern on the hot path's profile.
+const ctxPollMask = 1023
+
 // ReplicateWorkers resolves the worker-pool size: non-positive selects
 // GOMAXPROCS, and the pool is clamped to the chunk count — each worker
 // consumes at least one chunk, so any goroutine beyond chunks would be
@@ -71,14 +79,17 @@ func ReplicateWorkers(workers, chunks int) int {
 }
 
 // chunkedFanOut runs n replications split over at most replicateChunks
-// chunks on a bounded worker pool and merges the chunk estimators in
-// index order. runChunk(chunk, lo, hi, acc) executes replications
+// chunks on the shared executor and merges the chunk estimators in
+// index order. runChunk(ctx, chunk, lo, hi, acc) executes replications
 // [lo, hi) of chunk into acc; it must derive all randomness from the
 // chunk index so the result is deterministic in (seed, n) and
 // independent of worker count and scheduling.
-func chunkedFanOut(n, workers int, w float64, runChunk func(chunk, lo, hi int, acc *estimator) error) (Estimate, error) {
+func chunkedFanOut(ctx context.Context, n, workers int, w float64, runChunk func(ctx context.Context, chunk, lo, hi int, acc *estimator) error) (Estimate, error) {
 	if n < 1 {
 		return Estimate{}, fmt.Errorf("engine: replication count must be ≥ 1")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	chunks := replicateChunks
 	if chunks > n {
@@ -86,53 +97,88 @@ func chunkedFanOut(n, workers int, w float64, runChunk func(chunk, lo, hi int, a
 	}
 	workers = ReplicateWorkers(workers, chunks)
 
-	accs := make([]*estimator, chunks)
+	// Value slices: one estimator per chunk, merged in index order below
+	// — no per-chunk heap allocations beyond the two slices themselves.
+	accs := make([]estimator, chunks)
 	errs := make([]error, chunks)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer wg.Done()
-			for c := range idx {
-				lo := c * n / chunks
-				hi := (c + 1) * n / chunks
-				accs[c] = newEstimator(w)
-				errs[c] = runChunk(c, lo, hi, accs[c])
-			}
-		}()
-	}
-	for c := 0; c < chunks; c++ {
-		idx <- c
-	}
-	close(idx)
-	wg.Wait()
-
-	total := newEstimator(w)
+	ferr := SharedExecutor().FanOut(ctx, chunks, workers, func(c int) error {
+		lo, hi := ChunkBounds(n, chunks, c)
+		accs[c].w = w
+		errs[c] = runChunk(ctx, c, lo, hi, &accs[c])
+		return errs[c]
+	})
+	// Scan recorded errors in chunk-index order so the reported error is
+	// deterministic regardless of which worker tripped first.
 	for c := 0; c < chunks; c++ {
 		if errs[c] != nil {
 			return Estimate{}, errs[c]
 		}
-		total.merge(accs[c])
+	}
+	if ferr != nil {
+		return Estimate{}, ferr
+	}
+	total := estimator{w: w}
+	for c := range accs {
+		total.merge(&accs[c])
 	}
 	return total.estimate(n), nil
 }
 
+// patternScratch is the per-chunk working set of a pattern replication
+// — stream, injector, fault process, recorder and engine — recycled
+// through a sync.Pool so steady-state fan-outs allocate none of it.
+// reset rebuilds every component in place to the exact state a fresh
+// construction would have, which is what keeps pooled runs bit-exact.
+type patternScratch struct {
+	rng rngx.Stream
+	inj faults.Injector
+	agg AggregateFaults
+	rec SumRecorder
+	eng PatternEngine
+}
+
+var patternScratchPool = sync.Pool{New: func() any { return new(patternScratch) }}
+
+// reset reconfigures the scratch for one chunk: the stream is reseeded
+// to (seed, "replicate/chunk-<chunk>") and every downstream component
+// is rebuilt by plain struct assignment (counters, clocks and the
+// engine's pattern IDs all return to zero).
+func (s *patternScratch) reset(plan Plan, costs Costs, model energy.Model, seed uint64, chunk int) {
+	s.rng.ReseedIndexed(seed, "replicate/chunk-", chunk)
+	s.inj.Reset(costs.LambdaS, costs.LambdaF, &s.rng)
+	s.agg = AggregateFaults{inj: &s.inj}
+	s.rec = SumRecorder{model: model}
+	s.eng = PatternEngine{cfg: PatternConfig{
+		Plan:     plan,
+		Costs:    costs,
+		Faults:   &s.agg,
+		Recorder: &s.rec,
+	}}
+}
+
 // ReplicatePatternParallel runs n independent abstract pattern
-// simulations fanned out over a bounded worker pool and returns the
+// simulations fanned out over the shared executor and returns the
 // same aggregate as ReplicatePattern. The estimate is deterministic in
 // (seed, n) and independent of worker count and scheduling; it does NOT
 // reproduce sequential replication's exact samples (different
 // substreams), only the same distribution.
 func ReplicatePatternParallel(plan Plan, costs Costs, model energy.Model, seed uint64, n, workers int) (Estimate, error) {
+	return ReplicatePatternParallelCtx(context.Background(), plan, costs, model, seed, n, workers)
+}
+
+// ReplicatePatternParallelCtx is ReplicatePatternParallel with
+// cancellation: once ctx is cancelled no further chunk starts, in-flight
+// chunks stop at the next poll boundary, and the context's error is
+// returned.
+func ReplicatePatternParallelCtx(ctx context.Context, plan Plan, costs Costs, model energy.Model, seed uint64, n, workers int) (Estimate, error) {
 	if err := plan.Validate(); err != nil {
 		return Estimate{}, err
 	}
 	if err := costs.Validate(); err != nil {
 		return Estimate{}, err
 	}
-	return chunkedFanOut(n, workers, plan.W, func(chunk, lo, hi int, acc *estimator) error {
-		return runPatternChunk(plan, costs, model, seed, chunk, lo, hi, acc)
+	return chunkedFanOut(ctx, n, workers, plan.W, func(ctx context.Context, chunk, lo, hi int, acc *estimator) error {
+		return runPatternChunk(ctx, plan, costs, model, seed, chunk, lo, hi, acc)
 	})
 }
 
@@ -141,19 +187,18 @@ func ReplicatePatternParallel(plan Plan, costs Costs, model energy.Model, seed u
 // of ReplicatePatternParallel and the exported chunk API, so a chunk
 // executed in isolation (e.g. as one shard of a batch job) accumulates
 // bit-identically to the same chunk inside the in-process fan-out.
-func runPatternChunk(plan Plan, costs Costs, model energy.Model, seed uint64, chunk, lo, hi int, acc *estimator) error {
-	rng := rngx.NewStream(seed, fmt.Sprintf("replicate/chunk-%d", chunk))
-	p, err := NewPatternEngine(PatternConfig{
-		Plan:     plan,
-		Costs:    costs,
-		Faults:   NewAggregateFaults(costs.LambdaS, costs.LambdaF, rng),
-		Recorder: NewSumRecorder(model),
-	})
-	if err != nil {
-		return err
-	}
+// plan and costs must already be validated by the caller.
+func runPatternChunk(ctx context.Context, plan Plan, costs Costs, model energy.Model, seed uint64, chunk, lo, hi int, acc *estimator) error {
+	s := patternScratchPool.Get().(*patternScratch)
+	defer patternScratchPool.Put(s)
+	s.reset(plan, costs, model, seed, chunk)
 	for r := lo; r < hi; r++ {
-		acc.add(p.RunPattern())
+		acc.add(s.eng.RunPattern())
+		if (r-lo)&ctxPollMask == ctxPollMask {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

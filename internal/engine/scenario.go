@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"respeed/internal/detect"
 	"respeed/internal/energy"
@@ -112,6 +114,23 @@ func (sc Scenario) Run(seed uint64) (Report, error) {
 // executes. Distinct prefixes give replications independent substreams
 // while staying deterministic in (seed, prefix).
 func (sc Scenario) run(seed uint64, prefix string) (Report, error) {
+	return sc.runSized(seed, prefix, nil)
+}
+
+// patternSizes returns the scenario's pattern work sequence — the same
+// values every run of the scenario computes, so replication precomputes
+// them once and shares the (read-only) slice across all runs.
+func (sc Scenario) patternSizes() []float64 {
+	if sc.TwoLevel != nil {
+		return WholePatterns(int(sc.TotalWork/sc.Plan.W), sc.Plan.W)
+	}
+	return PatternSizes(sc.TotalWork, sc.Plan.W)
+}
+
+// runSized is run with an optional precomputed pattern-size sequence
+// (nil recomputes it). App never mutates the slice, so concurrent runs
+// may share one.
+func (sc Scenario) runSized(seed uint64, prefix string, sizes []float64) (Report, error) {
 	var fp FaultProcess
 	var sampledRNG interface{ Intn(int) int }
 	if len(sc.Nodes) > 0 {
@@ -130,14 +149,13 @@ func (sc Scenario) run(seed uint64, prefix string) (Report, error) {
 	}
 
 	var tier Tier
-	var sizes []float64
+	if sizes == nil {
+		sizes = sc.patternSizes()
+	}
 	if sc.TwoLevel != nil {
-		total := int(sc.TotalWork / sc.Plan.W)
-		tier = NewTwoLevel(*sc.TwoLevel, sc.Costs.R, total)
-		sizes = WholePatterns(total, sc.Plan.W)
+		tier = NewTwoLevel(*sc.TwoLevel, sc.Costs.R, int(sc.TotalWork/sc.Plan.W))
 	} else {
 		tier = NewSingleLevel(sc.Costs.C, sc.Costs.R, 1)
-		sizes = PatternSizes(sc.TotalWork, sc.Plan.W)
 	}
 
 	var sampled *detect.SampledVerifier
@@ -166,20 +184,28 @@ func (sc Scenario) run(seed uint64, prefix string) (Report, error) {
 }
 
 // ReplicateScenario runs n independent executions of the scenario
-// fanned out over a bounded worker pool and aggregates makespan and
+// fanned out over the shared executor and aggregates makespan and
 // energy. Run i draws from substreams prefixed "scenario/<i>", so the
 // estimate is deterministic in (seed, n) and independent of worker
 // count and scheduling.
 func ReplicateScenario(sc Scenario, seed uint64, n, workers int) (Estimate, error) {
+	return ReplicateScenarioCtx(context.Background(), sc, seed, n, workers)
+}
+
+// ReplicateScenarioCtx is ReplicateScenario with cancellation: once ctx
+// is cancelled no further chunk starts, in-flight chunks stop at the
+// next run boundary, and the context's error is returned.
+func ReplicateScenarioCtx(ctx context.Context, sc Scenario, seed uint64, n, workers int) (Estimate, error) {
 	if err := sc.Validate(); err != nil {
 		return Estimate{}, err
 	}
 	run := sc // traces are per-run state; never share one recorder across goroutines
 	run.Trace = nil
 	run.Obs.TraceSink = nil
-	return chunkedFanOut(n, workers, sc.TotalWork, func(chunk, lo, hi int, acc *estimator) error {
+	sizes := sc.patternSizes()
+	return chunkedFanOut(ctx, n, workers, sc.TotalWork, func(ctx context.Context, chunk, lo, hi int, acc *estimator) error {
 		for i := lo; i < hi; i++ {
-			rep, err := run.run(seed, fmt.Sprintf("scenario/%d", i))
+			rep, err := run.runSized(seed, "scenario/"+strconv.Itoa(i), sizes)
 			if err != nil {
 				return err
 			}
@@ -188,6 +214,11 @@ func ReplicateScenario(sc Scenario, seed uint64, n, workers int) (Estimate, erro
 				Energy:   rep.Energy,
 				Attempts: rep.Attempts,
 			})
+			// Scenario runs are full application executions — heavy
+			// enough to poll cancellation at every run boundary.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		return nil
 	})

@@ -24,13 +24,23 @@ type Injector struct {
 // New creates an injector with the given rates (either may be zero) and
 // random stream. It panics on negative rates or a nil stream.
 func New(silentRate, failStopRate float64, rng *rngx.Stream) *Injector {
+	in := &Injector{}
+	in.Reset(silentRate, failStopRate, rng)
+	return in
+}
+
+// Reset re-initializes the injector in place — same validation and
+// resulting state as New, without the allocation. It lets replication
+// hot paths recycle one injector across chunks (the rng is expected to
+// be reseeded by the caller).
+func (in *Injector) Reset(silentRate, failStopRate float64, rng *rngx.Stream) {
 	if silentRate < 0 || failStopRate < 0 {
 		panic("faults: negative error rate")
 	}
 	if rng == nil {
 		panic("faults: nil rng stream")
 	}
-	return &Injector{silentRate: silentRate, failStopRate: failStopRate, rng: rng}
+	*in = Injector{silentRate: silentRate, failStopRate: failStopRate, rng: rng}
 }
 
 // NextSilent samples the time until the next silent error. It returns

@@ -23,6 +23,7 @@
 package jobs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -180,27 +181,34 @@ type CellSolution struct {
 	Gain *float64 `json:"gain,omitempty"`
 }
 
-// cellOf resolves a shard's platform parameters. The config was
-// validated at submit; a vanished config (journal from a different
-// build) is reported, not assumed.
-func cellOf(sp shardPlan) (platform.Config, core.Params, error) {
+// cellOf resolves a shard's platform parameters and the process-wide
+// precomputed solver grid for them. The config was validated at submit;
+// a vanished config (journal from a different build) is reported, not
+// assumed. The memoized grid is what keeps a Monte-Carlo cell's 64
+// chunk shards (and assemble's final pass) from re-deriving the same
+// solve 65 times.
+func cellOf(sp shardPlan) (platform.Config, *core.PairGrid, error) {
 	cfg, ok := platform.ByName(sp.Config)
 	if !ok {
-		return platform.Config{}, core.Params{}, fmt.Errorf("jobs: configuration %q not in catalog", sp.Config)
+		return platform.Config{}, nil, fmt.Errorf("jobs: configuration %q not in catalog", sp.Config)
 	}
-	return cfg, core.FromConfig(cfg), nil
+	g, err := core.GridFor(core.FromConfig(cfg), cfg.Processor.Speeds)
+	if err != nil {
+		return platform.Config{}, nil, err
+	}
+	return cfg, g, nil
 }
 
 // runShard executes one shard. Shards are pure functions of
 // (campaign, shard plan): re-executing a shard after a crash or retry
-// yields byte-identical journal records.
-func (c Campaign) runShard(sp shardPlan) (shardResult, error) {
-	cfg, p, err := cellOf(sp)
+// yields byte-identical journal records. A cancelled ctx aborts a
+// Monte-Carlo shard mid-chunk and surfaces the context's error.
+func (c Campaign) runShard(ctx context.Context, sp shardPlan) (shardResult, error) {
+	cfg, g, err := cellOf(sp)
 	if err != nil {
 		return shardResult{}, err
 	}
-	speeds := cfg.Processor.Speeds
-	sol, solveErr := p.Solve(speeds, sp.Rho)
+	sol, solveErr := g.Solve(sp.Rho)
 	switch c.Kind {
 	case KindGrid:
 		if solveErr != nil && solveErr != core.ErrInfeasible {
@@ -215,7 +223,7 @@ func (c Campaign) runShard(sp shardPlan) (shardResult, error) {
 		if solveErr != nil {
 			return shardResult{}, solveErr
 		}
-		gain, err := p.TwoSpeedGain(speeds, sp.Rho)
+		gain, err := g.TwoSpeedGain(sp.Rho)
 		if err != nil {
 			return shardResult{}, err
 		}
@@ -227,11 +235,12 @@ func (c Campaign) runShard(sp shardPlan) (shardResult, error) {
 		if solveErr != nil {
 			return shardResult{}, solveErr
 		}
+		p := g.Params()
 		plan := sim.Plan{W: sol.Best.W, Sigma1: sol.Best.Sigma1, Sigma2: sol.Best.Sigma2}
 		costs := sim.Costs{C: p.C, V: p.V, R: p.R, LambdaS: p.Lambda}
 		model := energy.Model{Kappa: cfg.Processor.Kappa, Pidle: cfg.Processor.Pidle, Pio: cfg.Pio}
 		seed := c.cellSeed(sp.Config, sp.Rho)
-		ce, err := engine.ReplicatePatternChunk(plan, costs, model, seed, sp.Chunk, sp.Lo, sp.Hi)
+		ce, err := engine.ReplicatePatternChunkCtx(ctx, plan, costs, model, seed, sp.Chunk, sp.Lo, sp.Hi)
 		if err != nil {
 			return shardResult{}, err
 		}
@@ -341,12 +350,11 @@ func (c Campaign) assemble(id string, shards []shardPlan, done map[int]json.RawM
 			}
 		case KindMonteCarlo:
 			if !sr.Infeasible {
-				_, p, err := cellOf(sp)
+				_, g, err := cellOf(sp)
 				if err != nil {
 					return Result{}, err
 				}
-				cfg, _ := platform.ByName(sp.Config)
-				sol, err := p.Solve(cfg.Processor.Speeds, sp.Rho)
+				sol, err := g.Solve(sp.Rho)
 				if err != nil {
 					return Result{}, fmt.Errorf("jobs: re-solve cell %s ρ=%g: %w", sp.Config, sp.Rho, err)
 				}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -38,7 +39,7 @@ func buildJournal(t *testing.T, k int) ([]byte, []int, Campaign) {
 		t.Fatal(err)
 	}
 	for i := 0; i < k; i++ {
-		sr, err := camp.runShard(shards[i])
+		sr, err := camp.runShard(context.Background(), shards[i])
 		if err != nil {
 			t.Fatal(err)
 		}

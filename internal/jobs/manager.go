@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"respeed/internal/engine"
 	"respeed/internal/obs"
 )
 
@@ -154,7 +155,8 @@ type job struct {
 	errMsg     string
 	result     *Result
 	journal    *journal
-	cancelled  bool // explicit Cancel (vs. manager shutdown)
+	cancelled  bool               // explicit Cancel (vs. manager shutdown)
+	cancel     context.CancelFunc // aborts the job's in-flight shards mid-chunk
 	subs       map[int]chan Event
 	subSeq     int
 	finishedCh chan struct{} // closed on terminal state
@@ -478,18 +480,22 @@ func (m *Manager) startJob(j *job) {
 	}()
 }
 
-// runJob drives one job: fan pending shards out over the shared worker
-// pool, journal each completion, then assemble, snapshot and retire the
-// journal. On shutdown (manager Close) it stops without a terminal
-// state so the journal resumes the job later; on explicit Cancel it
-// commits a cancel record.
+// runJob drives one job: fan pending shards out over the shared
+// replication executor, journal each completion, then assemble,
+// snapshot and retire the journal. On shutdown (manager Close) it stops
+// without a terminal state so the journal resumes the job later; on
+// explicit Cancel the per-job context aborts in-flight shards mid-chunk
+// and a cancel record is committed.
 func (m *Manager) runJob(j *job) {
 	ctx := obs.WithTracer(m.baseCtx, m.opts.Tracer)
 	ctx, span := obs.StartSpan(ctx, "job")
 	span.Annotate("job", j.id)
 	span.Annotate("kind", string(j.campaign.Kind))
 	defer span.End()
+	jctx, jcancel := context.WithCancel(ctx)
+	defer jcancel()
 	j.mu.Lock()
+	j.cancel = jcancel
 	if j.state == StateQueued {
 		j.state = StateRunning
 	}
@@ -502,38 +508,27 @@ func (m *Manager) runJob(j *job) {
 	j.mu.Unlock()
 	m.publish(j, -1)
 
-	var shardWG sync.WaitGroup
-	failed := make(chan error, 1)
-dispatch:
-	for _, idx := range pending {
+	// The manager-wide semaphore (bounding shards across ALL jobs) is
+	// taken inside the chunk function, under the job context, so a
+	// cancelled job never waits on a slot. A shard error aborts the
+	// remaining dispatch (FanOut's fail-fast); context errors are not
+	// failures — the terminal-state switch below distinguishes explicit
+	// cancel from manager shutdown.
+	ferr := engine.SharedExecutor().FanOut(jctx, len(pending), m.opts.Workers, func(i int) error {
+		idx := pending[i]
 		if j.terminalOrCancelled() {
-			break
+			return nil
 		}
 		select {
-		case <-ctx.Done():
-			break dispatch
-		case err := <-failed:
-			j.fail(err)
-			break dispatch
+		case <-jctx.Done():
+			return jctx.Err()
 		case m.sem <- struct{}{}:
 		}
-		shardWG.Add(1)
-		go func(idx int) {
-			defer shardWG.Done()
-			defer func() { <-m.sem }()
-			if err := m.runShard(ctx, j, idx); err != nil {
-				select {
-				case failed <- err:
-				default:
-				}
-			}
-		}(idx)
-	}
-	shardWG.Wait()
-	select {
-	case err := <-failed:
-		j.fail(err)
-	default:
+		defer func() { <-m.sem }()
+		return m.runShard(jctx, j, idx)
+	})
+	if ferr != nil && !errors.Is(ferr, context.Canceled) && !errors.Is(ferr, context.DeadlineExceeded) {
+		j.fail(ferr)
 	}
 
 	j.mu.Lock()
@@ -618,7 +613,7 @@ func (m *Manager) runShard(ctx context.Context, j *job, idx int) error {
 			}
 		}
 		start := time.Now()
-		lastErr = m.tryShard(j, idx, attempt)
+		lastErr = m.tryShard(ctx, j, idx, attempt)
 		if lastErr == nil {
 			m.shardHist.Observe(time.Since(start).Seconds())
 			m.shardsExecuted.Add(1)
@@ -631,7 +626,7 @@ func (m *Manager) runShard(ctx context.Context, j *job, idx int) error {
 }
 
 // tryShard is one attempt: compute, encode, journal.
-func (m *Manager) tryShard(j *job, idx, attempt int) error {
+func (m *Manager) tryShard(ctx context.Context, j *job, idx, attempt int) error {
 	if m.testShardDelay != nil {
 		m.testShardDelay()
 	}
@@ -640,7 +635,7 @@ func (m *Manager) tryShard(j *job, idx, attempt int) error {
 			return err
 		}
 	}
-	sr, err := j.campaign.runShard(j.shards[idx])
+	sr, err := j.campaign.runShard(ctx, j.shards[idx])
 	if err != nil {
 		return err
 	}
@@ -796,7 +791,13 @@ func (m *Manager) Cancel(id string) (Status, error) {
 	}
 	j.cancelled = true
 	jn := j.journal
+	cancel := j.cancel
 	j.mu.Unlock()
+	if cancel != nil {
+		// Abort in-flight shards promptly: Monte-Carlo chunks poll this
+		// context and stop mid-chunk instead of burning out their range.
+		cancel()
+	}
 	if jn != nil {
 		if err := jn.append(record{T: recordCancel}); err != nil {
 			// The job may have finished (and retired its journal) in

@@ -1,0 +1,127 @@
+package rngx
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// The batch and in-place-reseed APIs exist purely to remove per-call
+// overhead from the replication hot path; their contract is that the
+// produced variate sequences are bit-identical to the scalar / freshly
+// constructed forms. These tests pin that contract across empty, single,
+// odd and large sizes.
+
+var batchSizes = []int{0, 1, 2, 7, 63, 64, 65, 1024}
+
+func TestFillFloat64MatchesScalar(t *testing.T) {
+	for _, n := range batchSizes {
+		batch := NewStream(42, "batch")
+		scalar := NewStream(42, "batch")
+		dst := make([]float64, n)
+		batch.FillFloat64(dst)
+		for i, got := range dst {
+			want := scalar.Float64()
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d: FillFloat64[%d] = %v, scalar = %v", n, i, got, want)
+			}
+		}
+		// The streams must also agree on what comes next.
+		if batch.Uint64() != scalar.Uint64() {
+			t.Fatalf("n=%d: streams diverged after the batch", n)
+		}
+	}
+}
+
+func TestFillExpMatchesScalar(t *testing.T) {
+	for _, rate := range []float64{0.25, 1, 3.5} {
+		for _, n := range batchSizes {
+			batch := NewStream(7, "exp-batch")
+			scalar := NewStream(7, "exp-batch")
+			dst := make([]float64, n)
+			batch.FillExp(dst, rate)
+			for i, got := range dst {
+				want := scalar.Exp(rate)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("rate=%g n=%d: FillExp[%d] = %v, scalar = %v", rate, n, i, got, want)
+				}
+			}
+			if batch.Uint64() != scalar.Uint64() {
+				t.Fatalf("rate=%g n=%d: streams diverged after the batch", rate, n)
+			}
+		}
+	}
+}
+
+func TestFillExpRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FillExp(rate=%g) should panic even for an empty dst", rate)
+				}
+			}()
+			NewStream(1, "x").FillExp(nil, rate)
+		}()
+	}
+}
+
+// sampleSome draws a mixed variate sequence exercising every sampler
+// state (including the cached Box-Muller pair).
+func sampleSome(st *Stream) []float64 {
+	out := make([]float64, 0, 16)
+	for i := 0; i < 4; i++ {
+		out = append(out, st.Float64(), st.Exp(1.5), st.Normal(0, 1), float64(st.Intn(1000)))
+	}
+	return out
+}
+
+func sequencesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReseedMatchesNewStream(t *testing.T) {
+	st := NewStream(9, "first")
+	sampleSome(st) // dirty the sampler state (Box-Muller cache)
+	st.Reseed(11, "second")
+	got := sampleSome(st)
+	want := sampleSome(NewStream(11, "second"))
+	if !sequencesEqual(got, want) {
+		t.Fatal("Reseed did not reproduce a fresh stream's sequence")
+	}
+	if st.Name() != "second" || st.Seed() != 11 {
+		t.Fatalf("Reseed identity: name=%q seed=%d", st.Name(), st.Seed())
+	}
+}
+
+func TestReseedIndexedMatchesSprintfName(t *testing.T) {
+	st := &Stream{}
+	for _, idx := range []int{0, 1, 9, 10, 63, 12345} {
+		st.ReseedIndexed(3, "replicate/chunk-", idx)
+		name := fmt.Sprintf("replicate/chunk-%d", idx)
+		want := sampleSome(NewStream(3, name))
+		got := sampleSome(st)
+		if !sequencesEqual(got, want) {
+			t.Fatalf("idx=%d: ReseedIndexed sequence differs from NewStream(%q)", idx, name)
+		}
+		if st.Name() != name {
+			t.Fatalf("idx=%d: Name() = %q, want %q", idx, st.Name(), name)
+		}
+	}
+}
+
+func TestNewStreamIndexedMatchesNewStream(t *testing.T) {
+	a := NewStreamIndexed(5, "scenario/", 17)
+	b := NewStream(5, "scenario/17")
+	if !sequencesEqual(sampleSome(a), sampleSome(b)) {
+		t.Fatal("NewStreamIndexed sequence differs from NewStream with the concatenated name")
+	}
+}

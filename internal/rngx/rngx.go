@@ -19,6 +19,7 @@ package rngx
 import (
 	"math"
 	"math/bits"
+	"strconv"
 )
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
@@ -47,6 +48,31 @@ func hashName(name string) uint64 {
 	return splitMix64(&h)
 }
 
+// hashNameIndexed is hashName(prefix + strconv.Itoa(index)) computed
+// without materializing the concatenated string. FNV-1a is
+// byte-sequential, so hashing the prefix bytes followed by the decimal
+// digits of index is exactly the hash of the concatenation — this is
+// what lets the replication hot path derive per-chunk streams with zero
+// allocations.
+func hashNameIndexed(prefix string, index int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(prefix); i++ {
+		h ^= uint64(prefix[i])
+		h *= prime64
+	}
+	var buf [20]byte
+	digits := strconv.AppendInt(buf[:0], int64(index), 10)
+	for _, c := range digits {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return splitMix64(&h)
+}
+
 // Source is a xoshiro256** generator. The zero value is invalid; use
 // NewSource or Stream.
 type Source struct {
@@ -57,16 +83,22 @@ type Source struct {
 // Any seed, including zero, produces a valid non-degenerate state.
 func NewSource(seed uint64) *Source {
 	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed (re)initializes the generator state in place from seed — the
+// allocation-free equivalent of NewSource.
+func (s *Source) Seed(seed uint64) {
 	sm := seed
-	for i := range src.s {
-		src.s[i] = splitMix64(&sm)
+	for i := range s.s {
+		s.s[i] = splitMix64(&sm)
 	}
 	// xoshiro must not start at the all-zero state; SplitMix64 cannot
 	// produce four consecutive zeros, but guard anyway.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 // Uint64 returns the next 64 random bits.
@@ -106,11 +138,20 @@ func (s *Source) Jump() {
 }
 
 // Stream is a named, seeded random variate generator. It wraps a Source
-// with the distribution samplers the simulator needs.
+// with the distribution samplers the simulator needs. The Source is
+// embedded by value so a Stream is a single allocation, and Reseed /
+// ReseedIndexed re-derive it in place with none.
 type Stream struct {
-	src  *Source
+	src  Source
 	name string
 	seed uint64
+
+	// idx/indexed carry the numeric suffix of a stream derived by
+	// NewStreamIndexed/ReseedIndexed; Name() re-materializes the full
+	// name only when asked (cold path), keeping the hot path free of
+	// string building.
+	idx     int
+	indexed bool
 
 	// Cached second normal variate from the last Box-Muller pair.
 	haveGauss bool
@@ -120,15 +161,62 @@ type Stream struct {
 // NewStream derives an independent stream from (seed, name). Identical
 // pairs always yield identical sequences.
 func NewStream(seed uint64, name string) *Stream {
-	mixed := seed ^ hashName(name)
+	st := &Stream{}
+	st.Reseed(seed, name)
+	return st
+}
+
+// Reseed re-derives the stream in place as NewStream(seed, name) would,
+// without allocating. All sampler state (including the cached Box-Muller
+// variate) is reset, so the subsequent variate sequence is identical to
+// a freshly created stream's.
+func (st *Stream) Reseed(seed uint64, name string) {
+	st.reseedHashed(seed, hashName(name))
+	st.name = name
+	st.indexed = false
+}
+
+// NewStreamIndexed derives the stream NewStream(seed, prefix+decimal(index))
+// — the naming convention of per-chunk and per-replication substreams —
+// with a single allocation (the Stream itself).
+func NewStreamIndexed(seed uint64, prefix string, index int) *Stream {
+	st := &Stream{}
+	st.ReseedIndexed(seed, prefix, index)
+	return st
+}
+
+// ReseedIndexed re-derives the stream in place as
+// NewStream(seed, prefix+decimal(index)) would, without allocating: the
+// concatenated name is never materialized (its hash is computed from the
+// parts), which is what makes per-chunk stream derivation in the
+// replication hot path allocation-free.
+func (st *Stream) ReseedIndexed(seed uint64, prefix string, index int) {
+	st.reseedHashed(seed, hashNameIndexed(prefix, index))
+	st.name = prefix
+	st.idx = index
+	st.indexed = true
+}
+
+// reseedHashed resets the generator and sampler state from the master
+// seed and a pre-hashed name.
+func (st *Stream) reseedHashed(seed, nameHash uint64) {
+	mixed := seed ^ nameHash
 	// One extra SplitMix64 round decorrelates seed and name contributions.
 	mixed2 := mixed
 	_ = splitMix64(&mixed2)
-	return &Stream{src: NewSource(mixed2), name: name, seed: seed}
+	st.src.Seed(mixed2)
+	st.seed = seed
+	st.haveGauss = false
+	st.gauss = 0
 }
 
 // Name returns the stream's name.
-func (st *Stream) Name() string { return st.name }
+func (st *Stream) Name() string {
+	if st.indexed {
+		return st.name + strconv.Itoa(st.idx)
+	}
+	return st.name
+}
 
 // Seed returns the master seed the stream was derived from.
 func (st *Stream) Seed() uint64 { return st.seed }
@@ -137,7 +225,7 @@ func (st *Stream) Seed() uint64 { return st.seed }
 // NewStream(seed, "x/a"). Use it to give each pattern, worker, or
 // replication its own reproducible randomness.
 func (st *Stream) Child(name string) *Stream {
-	return NewStream(st.seed, st.name+"/"+name)
+	return NewStream(st.seed, st.Name()+"/"+name)
 }
 
 // Uint64 returns the next 64 random bits.
@@ -179,6 +267,30 @@ func (st *Stream) Exp(rate float64) float64 {
 	}
 	u := st.Float64() // in [0, 1)
 	return -math.Log1p(-u) / rate
+}
+
+// FillFloat64 fills dst with uniform variates in [0, 1). The sequence is
+// exactly the one len(dst) scalar Float64 calls would produce on the same
+// stream — the batch form only removes per-call overhead, never changes
+// the draw.
+func (st *Stream) FillFloat64(dst []float64) {
+	for i := range dst {
+		dst[i] = float64(st.src.Uint64()>>11) * 0x1p-53
+	}
+}
+
+// FillExp fills dst with exponential variates of the given rate. The
+// sequence is exactly the one len(dst) scalar Exp calls would produce on
+// the same stream. It panics if rate <= 0 (even for an empty dst, like
+// the scalar call would on its first draw).
+func (st *Stream) FillExp(dst []float64, rate float64) {
+	if rate <= 0 {
+		panic("rngx: FillExp with non-positive rate")
+	}
+	for i := range dst {
+		u := float64(st.src.Uint64()>>11) * 0x1p-53
+		dst[i] = -math.Log1p(-u) / rate
+	}
 }
 
 // Normal returns a normal variate with the given mean and standard

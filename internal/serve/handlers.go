@@ -161,8 +161,16 @@ func (s *Server) requireGet(w http.ResponseWriter, r *http.Request, endpoint str
 // compute returns the full response (including domain errors such as
 // infeasibility, which are deterministic and therefore cached); a
 // non-nil error means an internal failure and is not cached.
+//
+// compute receives a context bounded by the server's request timeout —
+// deliberately NOT the initiating request's context, because the
+// singleflight result is shared with coalesced followers and cached for
+// later requests. Once the timeout passes no waiter can still be
+// served, so cancellation-aware computations (the Monte-Carlo fan-outs)
+// stop burning chunks instead of completing into a cache nobody asked
+// to keep warm past the deadline.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string,
-	compute func() (response, error)) {
+	compute func(ctx context.Context) (response, error)) {
 	start := time.Now()
 	if !s.requireGet(w, r, endpoint, start) {
 		return
@@ -178,14 +186,16 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		if s.preCompute != nil {
 			s.preCompute(endpoint)
 		}
-		// Child span under the initiating request's root (the context
+		cctx, ccancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		defer ccancel()
+		// Child span under the initiating request's root (that context
 		// is only read for its tracer linkage, never for cancellation:
 		// the computation outlives an expired waiter by design).
 		_, span := obs.StartSpan(r.Context(), "compute")
 		span.Annotate("endpoint", endpoint)
 		span.Annotate("key", key)
 		defer span.End()
-		resp, err := compute()
+		resp, err := compute(cctx)
 		if err == nil {
 			// Memoize before the flight is torn down, so a request
 			// arriving between flight removal and cache fill is
@@ -199,7 +209,13 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 	select {
 	case <-call.done:
 		if call.err != nil {
-			s.direct(w, endpoint, start, mustErrorResponse(http.StatusInternalServerError, call.err.Error()))
+			status := http.StatusInternalServerError
+			if errors.Is(call.err, context.DeadlineExceeded) || errors.Is(call.err, context.Canceled) {
+				// The computation hit the request deadline and aborted
+				// (nothing was cached).
+				status = http.StatusGatewayTimeout
+			}
+			s.direct(w, endpoint, start, mustErrorResponse(status, call.err.Error()))
 			return
 		}
 		reply(w, call.val)
@@ -400,7 +416,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
-	s.serveCached(w, r, "/v1/configs", "configs", func() (response, error) {
+	s.serveCached(w, r, "/v1/configs", "configs", func(context.Context) (response, error) {
 		out := ConfigsReply{
 			Scenarios:     scenarioNames,
 			CampaignKinds: jobs.Kinds(),
@@ -427,16 +443,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	single := q.Get("single") == "1" || q.Get("single") == "true"
 	s.serveCached(w, r, "/v1/solve", sq.key("solve", strconv.FormatBool(single)),
-		func() (response, error) {
-			p := core.FromConfig(sq.cfg)
-			var (
-				sol core.Solution
-				err error
-			)
+		func(context.Context) (response, error) {
+			g, err := core.GridFor(core.FromConfig(sq.cfg), sq.speeds)
+			if err != nil {
+				return response{}, err
+			}
+			var sol core.Solution
 			if single {
-				sol, err = p.SolveSingleSpeed(sq.speeds, sq.rho)
+				sol, err = g.SolveSingleSpeed(sq.rho)
 			} else {
-				sol, err = p.Solve(sq.speeds, sq.rho)
+				sol, err = g.Solve(sq.rho)
 			}
 			switch {
 			case errors.Is(err, core.ErrInfeasible):
@@ -461,8 +477,12 @@ func (s *Server) handleSigma1Table(w http.ResponseWriter, r *http.Request) {
 		s.direct(w, "/v1/sigma1-table", start, mustErrorResponse(perr.status, perr.msg))
 		return
 	}
-	s.serveCached(w, r, "/v1/sigma1-table", sq.key("sigma1-table"), func() (response, error) {
-		rows := core.FromConfig(sq.cfg).Sigma1Table(sq.speeds, sq.rho)
+	s.serveCached(w, r, "/v1/sigma1-table", sq.key("sigma1-table"), func(context.Context) (response, error) {
+		g, err := core.GridFor(core.FromConfig(sq.cfg), sq.speeds)
+		if err != nil {
+			return response{}, err
+		}
+		rows := g.Sigma1Table(sq.rho)
 		out := Sigma1TableReply{
 			Config: sq.cfg.Name(), Rho: sq.rho, Speeds: sq.speeds,
 			Rows: make([]Sigma1Row, len(rows)),
@@ -489,8 +509,12 @@ func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
 		s.direct(w, "/v1/gain", start, mustErrorResponse(perr.status, perr.msg))
 		return
 	}
-	s.serveCached(w, r, "/v1/gain", sq.key("gain"), func() (response, error) {
-		gain, err := core.FromConfig(sq.cfg).TwoSpeedGain(sq.speeds, sq.rho)
+	s.serveCached(w, r, "/v1/gain", sq.key("gain"), func(context.Context) (response, error) {
+		g, gerr := core.GridFor(core.FromConfig(sq.cfg), sq.speeds)
+		if gerr != nil {
+			return response{}, gerr
+		}
+		gain, err := g.TwoSpeedGain(sq.rho)
 		switch {
 		case errors.Is(err, core.ErrInfeasible):
 			return jsonResponse(http.StatusUnprocessableEntity, InfeasibleReply{
@@ -550,14 +574,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		// so they correctly leave the counters untouched.
 		sc.Obs.Counters = s.engCounters[scenarioName]
 		key := sq.key("simulate-scenario", scenarioName, strconv.Itoa(n), strconv.FormatUint(seed, 10))
-		s.serveCached(w, r, "/v1/simulate", key, func() (response, error) {
+		s.serveCached(w, r, "/v1/simulate", key, func(ctx context.Context) (response, error) {
 			rep, err := sc.Run(seed)
 			if err != nil {
 				return response{}, err
 			}
 			// Worker count 0 (GOMAXPROCS): ReplicateScenario is
-			// deterministic in (seed, n) regardless.
-			est, err := engine.ReplicateScenario(sc, seed, n, 0)
+			// deterministic in (seed, n) regardless. The context aborts
+			// the fan-out at the request deadline.
+			est, err := engine.ReplicateScenarioCtx(ctx, sc, seed, n, 0)
 			if err != nil {
 				return response{}, err
 			}
@@ -570,9 +595,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := sq.key("simulate", strconv.Itoa(n), strconv.FormatUint(seed, 10))
-	s.serveCached(w, r, "/v1/simulate", key, func() (response, error) {
+	s.serveCached(w, r, "/v1/simulate", key, func(ctx context.Context) (response, error) {
 		p := core.FromConfig(sq.cfg)
-		sol, err := p.Solve(sq.speeds, sq.rho)
+		g, err := core.GridFor(p, sq.speeds)
+		if err != nil {
+			return response{}, err
+		}
+		sol, err := g.Solve(sq.rho)
 		switch {
 		case errors.Is(err, core.ErrInfeasible):
 			return jsonResponse(http.StatusUnprocessableEntity, InfeasibleReply{
@@ -587,8 +616,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		model := energy.Model{Kappa: sq.cfg.Processor.Kappa, Pidle: sq.cfg.Processor.Pidle, Pio: sq.cfg.Pio}
 		// Worker count 0 (GOMAXPROCS): ReplicateParallel is
 		// deterministic in (seed, n) regardless, so the pool size never
-		// leaks into the cached bytes.
-		est, err := sim.ReplicateParallel(plan, costs, model, seed, n, 0)
+		// leaks into the cached bytes. The context aborts the fan-out
+		// at the request deadline.
+		est, err := sim.ReplicateParallelCtx(ctx, plan, costs, model, seed, n, 0)
 		if err != nil {
 			return response{}, err
 		}

@@ -341,7 +341,12 @@ func (s *Server) handleSimulateEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		sol, err := p.Solve(sq.speeds, sq.rho)
+		g, err := core.GridFor(p, sq.speeds)
+		if err != nil {
+			runErr = err
+			return
+		}
+		sol, err := g.Solve(sq.rho)
 		if err != nil {
 			runErr = err // includes core.ErrInfeasible
 			return

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"respeed/internal/energy"
@@ -26,8 +27,15 @@ func replicateWorkers(workers, chunks int) int {
 // Replicate's exact samples (different substreams), only the same
 // distribution.
 func ReplicateParallel(plan Plan, costs Costs, model energy.Model, seed uint64, n, workers int) (Estimate, error) {
+	return ReplicateParallelCtx(context.Background(), plan, costs, model, seed, n, workers)
+}
+
+// ReplicateParallelCtx is ReplicateParallel with cancellation: once ctx
+// is cancelled the fan-out stops promptly and the context's error is
+// returned (see engine.ReplicatePatternParallelCtx).
+func ReplicateParallelCtx(ctx context.Context, plan Plan, costs Costs, model energy.Model, seed uint64, n, workers int) (Estimate, error) {
 	if n < 1 {
 		return Estimate{}, fmt.Errorf("sim: replication count must be ≥ 1")
 	}
-	return engine.ReplicatePatternParallel(plan, costs, model, seed, n, workers)
+	return engine.ReplicatePatternParallelCtx(ctx, plan, costs, model, seed, n, workers)
 }

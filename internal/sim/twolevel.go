@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"respeed/internal/detect"
@@ -145,12 +146,26 @@ func (s *TwoLevelSim) Run() (TwoLevelReport, error) {
 // the mean execution (attempt) count. Time.Mean is the objective the
 // disk interval k is tuned against.
 func ReplicateTwoLevel(cfg TwoLevelConfig, mkWorkload func() *Runner, seed uint64, n int) (Estimate, error) {
+	return ReplicateTwoLevelCtx(context.Background(), cfg, mkWorkload, seed, n)
+}
+
+// ReplicateTwoLevelCtx is ReplicateTwoLevel with cancellation: the
+// (deliberately sequential — the accumulation order is golden-pinned)
+// replication loop polls ctx between runs and returns its error once
+// cancelled.
+func ReplicateTwoLevelCtx(ctx context.Context, cfg TwoLevelConfig, mkWorkload func() *Runner, seed uint64, n int) (Estimate, error) {
 	if n < 1 {
 		return Estimate{}, fmt.Errorf("sim: replication count must be ≥ 1")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var tw, ew, tpw, epw stats.Welford
 	executions := 0
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
 		s, err := NewTwoLevelSim(cfg, mkWorkload(), rngx.NewStream(seed, fmt.Sprintf("twolevel/%d", i)))
 		if err != nil {
 			return Estimate{}, err

@@ -10,10 +10,11 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"respeed/internal/engine"
 )
 
 // Point is one sweep evaluation: the swept parameter value and an opaque
@@ -41,35 +42,18 @@ func (p Point[T]) describe(i int) string {
 	return fmt.Sprintf("point %d", i)
 }
 
-// forIndexes fans eval(0..n-1) out across at most workers goroutines
-// (0 selects GOMAXPROCS, never more than n). eval must be safe for
-// concurrent invocation.
+// forIndexes fans eval(0..n-1) out across at most workers concurrent
+// executions (0 selects GOMAXPROCS, never more than n) on the shared
+// replication executor — sweeps and the Monte-Carlo fan-outs they
+// invoke draw from one amortized pool instead of spawning a goroutine
+// set per call. eval must be safe for concurrent invocation. eval never
+// returns an error and panics are handled by safeCall, so the fan-out
+// itself cannot fail.
 func forIndexes(n, workers int, eval func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if n == 0 {
-		return
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				eval(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	engine.SharedExecutor().FanOut(context.Background(), n, workers, func(i int) error {
+		eval(i)
+		return nil
+	})
 }
 
 // Run evaluates fn at every x in xs, fanning out across at most workers

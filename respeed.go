@@ -25,6 +25,7 @@
 package respeed
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"net/http"
@@ -102,13 +103,26 @@ func ParamsFor(cfg Config) Params { return core.FromConfig(cfg) }
 // minimize expected energy per work unit subject to expected time per
 // work unit ≤ rho, choosing the pattern size W and the speed pair
 // (σ1, σ2) from the processor's speed set.
+//
+// Solve (like SolveSingleSpeed, Sigma1Table and TwoSpeedGain) goes
+// through the process-wide solver-grid memo: per-pair invariants are
+// derived once per configuration and whole solutions once per
+// (configuration, rho), bit-identical to the direct Params methods.
 func Solve(cfg Config, rho float64) (Solution, error) {
-	return core.FromConfig(cfg).Solve(cfg.Processor.Speeds, rho)
+	g, err := core.GridFor(core.FromConfig(cfg), cfg.Processor.Speeds)
+	if err != nil {
+		return Solution{}, err
+	}
+	return g.Solve(rho)
 }
 
 // SolveSingleSpeed solves the one-speed baseline (σ2 = σ1).
 func SolveSingleSpeed(cfg Config, rho float64) (Solution, error) {
-	return core.FromConfig(cfg).SolveSingleSpeed(cfg.Processor.Speeds, rho)
+	g, err := core.GridFor(core.FromConfig(cfg), cfg.Processor.Speeds)
+	if err != nil {
+		return Solution{}, err
+	}
+	return g.SolveSingleSpeed(rho)
 }
 
 // SolveExact cross-validates Solve by minimizing the exact (un-truncated)
@@ -121,13 +135,22 @@ func SolveExact(cfg Config, rho float64) (optimize.Result, []optimize.Result, er
 // tables: for each σ1, the best re-execution speed σ2, Wopt, and the
 // energy overhead under bound rho.
 func Sigma1Table(cfg Config, rho float64) []PairResult {
-	return core.FromConfig(cfg).Sigma1Table(cfg.Processor.Speeds, rho)
+	p := core.FromConfig(cfg)
+	g, err := core.GridFor(p, cfg.Processor.Speeds)
+	if err != nil {
+		return p.Sigma1Table(cfg.Processor.Speeds, rho)
+	}
+	return g.Sigma1Table(rho)
 }
 
 // TwoSpeedGain returns the relative energy saving of the two-speed
 // optimum over the single-speed optimum at bound rho.
 func TwoSpeedGain(cfg Config, rho float64) (float64, error) {
-	return core.FromConfig(cfg).TwoSpeedGain(cfg.Processor.Speeds, rho)
+	g, err := core.GridFor(core.FromConfig(cfg), cfg.Processor.Speeds)
+	if err != nil {
+		return 0, err
+	}
+	return g.TwoSpeedGain(rho)
 }
 
 // PowerModelFor builds the energy model of a configuration.
@@ -202,9 +225,16 @@ type AppPlan = schedule.AppPlan
 // SimulatePatternsParallel is SimulatePatterns fanned out over a bounded
 // worker pool; deterministic in (seed, n) independent of worker count.
 func SimulatePatternsParallel(cfg Config, plan Plan, n int, seed uint64, workers int) (Estimate, error) {
+	return SimulatePatternsParallelCtx(context.Background(), cfg, plan, n, seed, workers)
+}
+
+// SimulatePatternsParallelCtx is SimulatePatternsParallel with
+// cancellation: once ctx is cancelled the fan-out stops promptly and
+// the context's error is returned.
+func SimulatePatternsParallelCtx(ctx context.Context, cfg Config, plan Plan, n int, seed uint64, workers int) (Estimate, error) {
 	p := core.FromConfig(cfg)
 	costs := Costs{C: p.C, V: p.V, R: p.R, LambdaS: p.Lambda}
-	return sim.ReplicateParallel(plan, costs, PowerModelFor(cfg), seed, n, workers)
+	return sim.ReplicateParallelCtx(ctx, plan, costs, PowerModelFor(cfg), seed, n, workers)
 }
 
 // SolveCombined solves the BiCrit problem numerically under both
@@ -384,10 +414,17 @@ func RunScenario(sc Scenario, mk func() Workload, seed uint64) (ScenarioReport, 
 // makespan and energy; deterministic in (seed, n) independent of worker
 // count.
 func ReplicateScenario(sc Scenario, mk func() Workload, seed uint64, n, workers int) (Estimate, error) {
+	return ReplicateScenarioCtx(context.Background(), sc, mk, seed, n, workers)
+}
+
+// ReplicateScenarioCtx is ReplicateScenario with cancellation: once ctx
+// is cancelled the fan-out stops promptly and the context's error is
+// returned.
+func ReplicateScenarioCtx(ctx context.Context, sc Scenario, mk func() Workload, seed uint64, n, workers int) (Estimate, error) {
 	if mk != nil {
 		sc.NewWorkload = func() *sim.Runner { return sim.FromWorkload(mk()) }
 	}
-	return engine.ReplicateScenario(sc, seed, n, workers)
+	return engine.ReplicateScenarioCtx(ctx, sc, seed, n, workers)
 }
 
 // Campaign subsystem: crash-safe asynchronous campaigns (grid solves,
