@@ -33,6 +33,8 @@
 //	respeedd [-addr :8080] [-cache-size 4096] [-max-inflight N]
 //	         [-request-timeout 10s] [-drain 15s] [-max-simulations 1000000]
 //	         [-jobs-dir DIR] [-jobs-workers N] [-jobs-max 64]
+//	         [-admit-policy SPEC] [-admit-express N] [-admit-queue N]
+//	         [-admit-overload reject|degrade]
 //	         [-log-level info] [-log-format text] [-debug-addr ADDR]
 package main
 
@@ -44,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -69,6 +72,15 @@ func main() {
 	jobsWorkers := flag.Int("jobs-workers", 0, "max concurrently executing campaign shards (default 0 = GOMAXPROCS)")
 	jobsMax := flag.Int("jobs-max", 64, "retained jobs cap; beyond it the oldest finished job is evicted (default 64)")
 
+	admitPolicy := flag.String("admit-policy", "always",
+		"admission policy: always | reject | token-bucket:rate=R,burst=B | fair-share:rate=R,burst=B,tenants=N")
+	admitExpress := flag.Int("admit-express", 0,
+		"express-lane slots for closed-form endpoints (default 0 = -max-inflight)")
+	admitQueue := flag.Int("admit-queue", 0,
+		"per-lane wait-queue bound; past it requests answer 429 immediately (0 = 4x the lane's slots, negative disables queueing)")
+	admitOverload := flag.String("admit-overload", "reject",
+		"saturated heavy-lane answer: reject (429 + Retry-After) or degrade (reduced-n partial estimate)")
+
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log line format: text or json")
 	debugAddr := flag.String("debug-addr", "", "private pprof/expvar listen address; empty disables it")
@@ -79,6 +91,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
 		os.Exit(1)
 	}
+
+	policy, err := respeed.NewAdmissionPolicy(*admitPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
+		os.Exit(1)
+	}
+	if *admitOverload != respeed.OverloadReject && *admitOverload != respeed.OverloadDegrade {
+		fmt.Fprintf(os.Stderr, "respeedd: -admit-overload must be %q or %q (got %q)\n",
+			respeed.OverloadReject, respeed.OverloadDegrade, *admitOverload)
+		os.Exit(1)
+	}
+
+	// The heavy lane is built here, not inside the server, so campaign
+	// shards and interactive /v1/simulate traffic share one compute
+	// bound: shards wait (never shed) while foreground requests past
+	// the queue bound fail fast or degrade.
+	heavySlots := *maxInFlight
+	if heavySlots <= 0 {
+		heavySlots = runtime.GOMAXPROCS(0)
+	}
+	heavyQueue := *admitQueue
+	if heavyQueue == 0 {
+		heavyQueue = 4 * heavySlots
+	}
+	heavyLane := respeed.NewAdmitLane("heavy", heavySlots, heavyQueue)
 
 	// One registry backs /metrics for the server, the job manager and
 	// the engine-level counters, so a single scrape sees everything.
@@ -92,6 +129,7 @@ func main() {
 			MaxJobs:  *jobsMax,
 			Logger:   logger,
 			Registry: telemetry,
+			Gate:     heavyLane,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
@@ -102,15 +140,23 @@ func main() {
 	}
 
 	srv := respeed.NewPlanningServer(respeed.ServeOptions{
-		CacheSize:      cacheSize,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: timeout,
-		DrainTimeout:   *drain,
-		MaxSimulations: maxSim,
-		Jobs:           manager,
-		Logger:         logger,
-		Registry:       telemetry,
+		CacheSize:       cacheSize,
+		MaxInFlight:     *maxInFlight,
+		RequestTimeout:  timeout,
+		DrainTimeout:    *drain,
+		MaxSimulations:  maxSim,
+		Jobs:            manager,
+		Logger:          logger,
+		Registry:        telemetry,
+		Admission:       policy,
+		ExpressInFlight: *admitExpress,
+		QueueBound:      *admitQueue,
+		HeavyLane:       heavyLane,
+		OverloadMode:    *admitOverload,
 	})
+	logger.Info("admission ready",
+		"policy", policy.Name(), "overload", *admitOverload,
+		"heavy_slots", heavySlots, "queue_bound", heavyQueue)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

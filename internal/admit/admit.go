@@ -1,0 +1,301 @@
+// Package admit is the serving layer's admission control: policies
+// that decide, before any compute is spent, whether a request may
+// proceed, and priority lanes that bound how much compute each traffic
+// class can hold once admitted.
+//
+// The split mirrors the two failure modes of an overloaded planner:
+//
+//   - too many requests *arriving* — an AdmissionPolicy (token bucket,
+//     per-tenant fair share, reject-all for drain) sheds excess load at
+//     the door with an immediate, cheap answer and a Retry-After hint,
+//     instead of letting it burn its whole deadline in a queue;
+//   - too much *work in flight* — a Lane bounds concurrently executing
+//     computations per traffic class, with a bounded wait queue: a
+//     request past the queue bound fails fast (or degrades) rather
+//     than waiting out a timeout it cannot meet.
+//
+// Policies are cheap, concurrency-safe, and deterministic given a
+// clock; the package depends only on the standard library.
+package admit
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request is the admission-relevant shape of one incoming request.
+type Request struct {
+	// Tenant identifies the caller (the X-Tenant-ID header). Empty
+	// means anonymous; fair-share policies account anonymous traffic
+	// under one shared default bucket.
+	Tenant string
+	// Endpoint is the route being requested (for logs and future
+	// per-endpoint policies).
+	Endpoint string
+	// Heavy marks Monte-Carlo-class work (simulation, campaign
+	// shards) as opposed to closed-form solves.
+	Heavy bool
+}
+
+// Decision is a policy's verdict on one request.
+type Decision struct {
+	// Admitted reports whether the request may proceed to compute.
+	Admitted bool
+	// RetryAfter, for shed requests, is the policy's estimate of when
+	// retrying could succeed (zero = unknown; servers should still
+	// send a conservative hint).
+	RetryAfter time.Duration
+	// Reason explains a shed decision ("token bucket empty",
+	// "draining", ...).
+	Reason string
+}
+
+// Policy decides whether requests are admitted. Implementations must
+// be safe for concurrent use. The returned release function must be
+// called exactly once when the request finishes (it is never nil);
+// rate-based policies return a no-op, concurrency-based policies
+// return the slot.
+type Policy interface {
+	Admit(ctx context.Context, req Request) (Decision, func())
+	// Name identifies the policy in metrics and logs.
+	Name() string
+}
+
+// noRelease is the shared no-op release for rate-based policies.
+func noRelease() {}
+
+// --- AlwaysAdmit ---
+
+// AlwaysAdmit admits everything: admission control disabled.
+type AlwaysAdmit struct{}
+
+// Admit implements Policy.
+func (AlwaysAdmit) Admit(context.Context, Request) (Decision, func()) {
+	return Decision{Admitted: true}, noRelease
+}
+
+// Name implements Policy.
+func (AlwaysAdmit) Name() string { return "always" }
+
+// --- RejectAll ---
+
+// RejectAll sheds everything — the drain policy: flip it in ahead of a
+// planned shutdown so clients back off while in-flight work and the
+// cache keep answering.
+type RejectAll struct {
+	// RetryAfter is the backoff hint sent with every shed (default
+	// 10s).
+	RetryAfter time.Duration
+}
+
+// Admit implements Policy.
+func (p RejectAll) Admit(context.Context, Request) (Decision, func()) {
+	ra := p.RetryAfter
+	if ra <= 0 {
+		ra = 10 * time.Second
+	}
+	return Decision{RetryAfter: ra, Reason: "draining: admission rejects all new work"}, noRelease
+}
+
+// Name implements Policy.
+func (RejectAll) Name() string { return "reject" }
+
+// --- TokenBucket ---
+
+// TokenBucket admits requests against a single global token bucket:
+// sustained throughput Rate requests/second with bursts up to Burst.
+// Refill is lazy (computed from the clock on each Admit), so an idle
+// bucket costs nothing.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock (tests)
+}
+
+// NewTokenBucket creates a full bucket admitting rate requests/second
+// with bursts up to burst. Panics on non-positive parameters
+// (programmer error).
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if !(rate > 0) || math.IsInf(rate, 0) || burst < 1 {
+		panic("admit: token bucket needs rate > 0 and burst >= 1")
+	}
+	return &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}
+}
+
+// Admit implements Policy: one token per request.
+func (p *TokenBucket) Admit(_ context.Context, _ Request) (Decision, func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if !p.last.IsZero() {
+		p.tokens = math.Min(p.burst, p.tokens+now.Sub(p.last).Seconds()*p.rate)
+	}
+	p.last = now
+	if p.tokens >= 1 {
+		p.tokens--
+		return Decision{Admitted: true}, noRelease
+	}
+	// Time until one whole token has accumulated.
+	wait := time.Duration((1 - p.tokens) / p.rate * float64(time.Second))
+	return Decision{RetryAfter: wait, Reason: "token bucket empty"}, noRelease
+}
+
+// Name implements Policy.
+func (p *TokenBucket) Name() string { return "token-bucket" }
+
+// --- FairShare ---
+
+// defaultTenant is the shared bucket for requests without a tenant ID.
+const defaultTenant = "_default"
+
+// FairShare admits requests against per-tenant token buckets keyed by
+// Request.Tenant (anonymous requests share one default bucket), so one
+// flooding tenant exhausts only its own budget and cannot starve the
+// others. Buckets are created on first use; when MaxTenants distinct
+// tenants are tracked, the least recently used bucket is evicted (a
+// returning evicted tenant starts with a fresh, full bucket — strictly
+// in its favor).
+type FairShare struct {
+	mu         sync.Mutex
+	rate       float64
+	burst      float64
+	maxTenants int
+	order      *list.List               // front = most recently used
+	tenants    map[string]*list.Element // value: *tenantBucket
+	now        func() time.Time
+}
+
+// tenantBucket is one tenant's lazily refilled bucket.
+type tenantBucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// NewFairShare creates a per-tenant fair-share policy: each tenant
+// gets rate requests/second with bursts up to burst, tracking at most
+// maxTenants buckets (0 = 1024). Panics on non-positive rate/burst.
+func NewFairShare(rate float64, burst, maxTenants int) *FairShare {
+	if !(rate > 0) || math.IsInf(rate, 0) || burst < 1 {
+		panic("admit: fair share needs rate > 0 and burst >= 1")
+	}
+	if maxTenants < 1 {
+		maxTenants = 1024
+	}
+	return &FairShare{
+		rate: rate, burst: float64(burst), maxTenants: maxTenants,
+		order: list.New(), tenants: make(map[string]*list.Element), now: time.Now,
+	}
+}
+
+// Admit implements Policy: one token from the request's tenant bucket.
+func (p *FairShare) Admit(_ context.Context, req Request) (Decision, func()) {
+	key := req.Tenant
+	if key == "" {
+		key = defaultTenant
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	var b *tenantBucket
+	if el, ok := p.tenants[key]; ok {
+		b = el.Value.(*tenantBucket)
+		b.tokens = math.Min(p.burst, b.tokens+now.Sub(b.last).Seconds()*p.rate)
+		p.order.MoveToFront(el)
+	} else {
+		b = &tenantBucket{key: key, tokens: p.burst}
+		p.tenants[key] = p.order.PushFront(b)
+		if p.order.Len() > p.maxTenants {
+			oldest := p.order.Back()
+			p.order.Remove(oldest)
+			delete(p.tenants, oldest.Value.(*tenantBucket).key)
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return Decision{Admitted: true}, noRelease
+	}
+	wait := time.Duration((1 - b.tokens) / p.rate * float64(time.Second))
+	return Decision{RetryAfter: wait, Reason: fmt.Sprintf("tenant %q over its fair share", req.Tenant)}, noRelease
+}
+
+// Name implements Policy.
+func (p *FairShare) Name() string { return "fair-share" }
+
+// Tenants returns the number of tracked tenant buckets.
+func (p *FairShare) Tenants() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.order.Len()
+}
+
+// --- factory ---
+
+// New builds a policy from a flag-friendly spec string:
+//
+//	always
+//	reject
+//	token-bucket:rate=100,burst=200
+//	fair-share:rate=10,burst=20,tenants=1024
+//
+// rate defaults to 100 req/s, burst to 2×rate, tenants to 1024.
+func New(spec string) (Policy, error) {
+	kind, args, _ := strings.Cut(spec, ":")
+	rate, burst, tenants := 100.0, 0, 0
+	if args != "" {
+		for _, kv := range strings.Split(args, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("admit: malformed policy option %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "rate":
+				rate, err = strconv.ParseFloat(v, 64)
+				if err == nil && (!(rate > 0) || math.IsInf(rate, 0)) {
+					err = fmt.Errorf("rate must be a positive finite number")
+				}
+			case "burst":
+				burst, err = strconv.Atoi(v)
+				if err == nil && burst < 1 {
+					err = fmt.Errorf("burst must be >= 1")
+				}
+			case "tenants":
+				tenants, err = strconv.Atoi(v)
+				if err == nil && tenants < 1 {
+					err = fmt.Errorf("tenants must be >= 1")
+				}
+			default:
+				err = fmt.Errorf("unknown option")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("admit: policy option %q: %v", kv, err)
+			}
+		}
+	}
+	if burst == 0 {
+		burst = int(math.Ceil(2 * rate))
+	}
+	switch kind {
+	case "", "always":
+		return AlwaysAdmit{}, nil
+	case "reject":
+		return RejectAll{}, nil
+	case "token-bucket":
+		return NewTokenBucket(rate, burst), nil
+	case "fair-share":
+		return NewFairShare(rate, burst, tenants), nil
+	default:
+		return nil, fmt.Errorf("admit: unknown policy %q (valid: always, token-bucket, fair-share, reject)", kind)
+	}
+}

@@ -1,0 +1,179 @@
+package admit
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func admit1(p Policy, req Request) Decision {
+	d, rel := p.Admit(context.Background(), req)
+	rel()
+	return d
+}
+
+func TestAlwaysAdmit(t *testing.T) {
+	d := admit1(AlwaysAdmit{}, Request{})
+	if !d.Admitted {
+		t.Fatal("AlwaysAdmit shed a request")
+	}
+	if (AlwaysAdmit{}).Name() != "always" {
+		t.Error("name")
+	}
+}
+
+func TestRejectAll(t *testing.T) {
+	d := admit1(RejectAll{}, Request{Tenant: "a"})
+	if d.Admitted {
+		t.Fatal("RejectAll admitted a request")
+	}
+	if d.RetryAfter <= 0 {
+		t.Error("RejectAll must carry a Retry-After hint")
+	}
+	if d.Reason == "" {
+		t.Error("shed decision without reason")
+	}
+}
+
+func TestTokenBucketBurstThenShedThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	p := NewTokenBucket(2, 3) // 2 tokens/s, burst 3
+	p.now = clk.now
+
+	for i := 0; i < 3; i++ {
+		if d := admit1(p, Request{}); !d.Admitted {
+			t.Fatalf("request %d within burst was shed", i)
+		}
+	}
+	d := admit1(p, Request{})
+	if d.Admitted {
+		t.Fatal("request beyond burst was admitted")
+	}
+	if d.RetryAfter <= 0 || d.RetryAfter > time.Second {
+		t.Errorf("RetryAfter = %v, want (0, 500ms] at rate 2/s (got a whole-token wait)", d.RetryAfter)
+	}
+
+	clk.advance(time.Second) // 2 tokens accrue
+	for i := 0; i < 2; i++ {
+		if d := admit1(p, Request{}); !d.Admitted {
+			t.Fatalf("request %d after refill was shed", i)
+		}
+	}
+	if d := admit1(p, Request{}); d.Admitted {
+		t.Error("third request after a 2-token refill was admitted")
+	}
+
+	clk.advance(time.Hour) // refill clamps at burst
+	for i := 0; i < 3; i++ {
+		if d := admit1(p, Request{}); !d.Admitted {
+			t.Fatalf("burst request %d after long idle was shed", i)
+		}
+	}
+	if d := admit1(p, Request{}); d.Admitted {
+		t.Error("bucket did not clamp at burst after long idle")
+	}
+}
+
+func TestFairShareIsolatesTenants(t *testing.T) {
+	clk := newFakeClock()
+	p := NewFairShare(1, 5, 0)
+	p.now = clk.now
+
+	// Tenant "flood" burns its whole budget and more.
+	shed := 0
+	for i := 0; i < 50; i++ {
+		if d := admit1(p, Request{Tenant: "flood"}); !d.Admitted {
+			shed++
+		}
+	}
+	if shed != 45 {
+		t.Errorf("flooding tenant: %d shed, want 45 (burst 5)", shed)
+	}
+	// Tenant "quiet" is untouched by the flood.
+	for i := 0; i < 5; i++ {
+		if d := admit1(p, Request{Tenant: "quiet"}); !d.Admitted {
+			t.Fatalf("quiet tenant request %d shed while another tenant floods", i)
+		}
+	}
+	// Anonymous traffic shares one default bucket.
+	for i := 0; i < 5; i++ {
+		if d := admit1(p, Request{}); !d.Admitted {
+			t.Fatalf("anonymous request %d shed", i)
+		}
+	}
+	if d := admit1(p, Request{}); d.Admitted {
+		t.Error("anonymous bucket not shared: sixth request admitted at burst 5")
+	}
+	if d := admit1(p, Request{Tenant: "flood"}); d.Admitted || !strings.Contains(d.Reason, "flood") {
+		t.Errorf("flooded tenant decision: %+v, want shed with tenant in reason", d)
+	}
+}
+
+func TestFairShareEvictsLRUTenant(t *testing.T) {
+	p := NewFairShare(1, 1, 2)
+	admit1(p, Request{Tenant: "a"})
+	admit1(p, Request{Tenant: "b"})
+	admit1(p, Request{Tenant: "c"}) // evicts a
+	if n := p.Tenants(); n != 2 {
+		t.Fatalf("tracking %d tenants, want 2", n)
+	}
+	// "a" returns with a fresh bucket (eviction is in its favor).
+	if d := admit1(p, Request{Tenant: "a"}); !d.Admitted {
+		t.Error("returning evicted tenant should get a fresh bucket")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"", "always"},
+		{"always", "always"},
+		{"reject", "reject"},
+		{"token-bucket", "token-bucket"},
+		{"token-bucket:rate=50,burst=100", "token-bucket"},
+		{"fair-share:rate=10,burst=20,tenants=16", "fair-share"},
+	}
+	for _, c := range cases {
+		p, err := New(c.spec)
+		if err != nil {
+			t.Errorf("New(%q): %v", c.spec, err)
+			continue
+		}
+		if p.Name() != c.name {
+			t.Errorf("New(%q).Name() = %q, want %q", c.spec, p.Name(), c.name)
+		}
+	}
+	for _, bad := range []string{
+		"nope", "token-bucket:rate=0", "token-bucket:rate=x", "token-bucket:burst=0",
+		"fair-share:tenants=0", "token-bucket:frobnicate=1", "token-bucket:rate",
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestFactoryDefaultBurst(t *testing.T) {
+	p, err := New("token-bucket:rate=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := p.(*TokenBucket)
+	for i := 0; i < 6; i++ { // burst defaults to 2×rate = 6
+		if d := admit1(tb, Request{}); !d.Admitted {
+			t.Fatalf("request %d within default burst shed", i)
+		}
+	}
+	if d := admit1(tb, Request{}); d.Admitted {
+		t.Error("request beyond default burst admitted")
+	}
+}

@@ -1,0 +1,107 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated reports that a lane's wait queue is already at its
+// bound: the request cannot obtain compute within any useful deadline
+// and should be answered immediately (429, or a degraded result)
+// instead of timing out.
+var ErrSaturated = errors.New("admit: lane saturated (queue at bound)")
+
+// Lane is one priority class's compute bound: a semaphore of `slots`
+// concurrently executing computations plus a bounded wait queue.
+// Splitting traffic over two lanes (an express lane for closed-form
+// solves, a heavy lane for Monte-Carlo replication) is what keeps a
+// microsecond solve from queueing behind a multi-second simulation.
+type Lane struct {
+	name       string
+	slots      chan struct{}
+	queueBound int
+	queued     atomic.Int64
+	inflight   atomic.Int64
+}
+
+// NewLane creates a lane with `slots` concurrent executions and at
+// most queueBound foreground waiters (queueBound < 0 disables queueing
+// entirely: every request past the in-flight bound fails fast).
+// Panics on slots < 1 (programmer error).
+func NewLane(name string, slots, queueBound int) *Lane {
+	if slots < 1 {
+		panic("admit: lane needs at least one slot")
+	}
+	if queueBound < 0 {
+		queueBound = 0
+	}
+	return &Lane{name: name, slots: make(chan struct{}, slots), queueBound: queueBound}
+}
+
+// Acquire obtains a slot for foreground (request-path) work. If no
+// slot is free and the wait queue is at its bound it returns
+// ErrSaturated immediately — the fast-fail that turns a doomed 504
+// into an instant 429. Otherwise it waits for a slot or ctx. The
+// release function must be called exactly once.
+func (l *Lane) Acquire(ctx context.Context) (func(), error) {
+	select {
+	case l.slots <- struct{}{}:
+		return l.taken(), nil
+	default:
+	}
+	if int(l.queued.Add(1)) > l.queueBound {
+		l.queued.Add(-1)
+		return nil, ErrSaturated
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return l.taken(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Wait obtains a slot for background work (campaign shards): it is
+// exempt from the queue bound — background work has no deadline to
+// protect and must not be shed — but still counts in the queue-depth
+// gauge and still yields every slot to ctx cancellation.
+func (l *Lane) Wait(ctx context.Context) (func(), error) {
+	l.queued.Add(1)
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return l.taken(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// taken registers an acquired slot and builds its release.
+func (l *Lane) taken() func() {
+	l.inflight.Add(1)
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			l.inflight.Add(-1)
+			<-l.slots
+		}
+	}
+}
+
+// Name returns the lane's label ("express", "heavy").
+func (l *Lane) Name() string { return l.name }
+
+// Capacity returns the concurrent-execution bound.
+func (l *Lane) Capacity() int { return cap(l.slots) }
+
+// QueueBound returns the foreground wait-queue bound.
+func (l *Lane) QueueBound() int { return l.queueBound }
+
+// InFlight returns the currently executing count.
+func (l *Lane) InFlight() int { return int(l.inflight.Load()) }
+
+// Queued returns the currently waiting count (foreground and
+// background).
+func (l *Lane) Queued() int { return int(l.queued.Load()) }

@@ -1,0 +1,169 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLaneBoundsInFlight(t *testing.T) {
+	l := NewLane("heavy", 2, 10)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	// Third acquire waits; release one slot to unblock it.
+	done := make(chan error, 1)
+	go func() {
+		r3, err := l.Acquire(context.Background())
+		if err == nil {
+			r3()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("third acquire did not wait (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	r1()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	r2()
+	if got := l.InFlight(); got != 0 {
+		t.Errorf("InFlight after releases = %d, want 0", got)
+	}
+}
+
+func TestLaneFastFailsPastQueueBound(t *testing.T) {
+	l := NewLane("heavy", 1, 1)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// One waiter is allowed to queue...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	waiting := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		defer wg.Done()
+		close(waiting)
+		if r, err := l.Acquire(ctx); err == nil {
+			r()
+		}
+	}()
+	<-waiting
+	deadline := time.Now().Add(time.Second)
+	for l.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued waiter never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...the next forerground request must fail immediately, not wait.
+	start := time.Now()
+	_, err = l.Acquire(context.Background())
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("over-bound acquire: err = %v, want ErrSaturated", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("fast-fail took %v", elapsed)
+	}
+	cancel()
+	wg.Wait()
+}
+
+func TestLaneZeroQueueNeverWaits(t *testing.T) {
+	l := NewLane("heavy", 1, -1) // queueing disabled
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated with no queue allowed", err)
+	}
+}
+
+func TestLaneAcquireHonorsContext(t *testing.T) {
+	l := NewLane("heavy", 1, 5)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if got := l.Queued(); got != 0 {
+		t.Errorf("Queued after abandoned wait = %d, want 0", got)
+	}
+}
+
+func TestLaneWaitIgnoresQueueBound(t *testing.T) {
+	l := NewLane("heavy", 1, -1)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Background Wait queues even though the foreground queue is closed.
+	got := make(chan error, 1)
+	go func() {
+		r, err := l.Wait(context.Background())
+		if err == nil {
+			defer r()
+		}
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("Wait returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	release()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaneReleaseIsIdempotent(t *testing.T) {
+	l := NewLane("x", 1, 0)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // second call must not free a phantom slot
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Errorf("double release freed a phantom slot: err = %v", err)
+	}
+}
+
+func TestLaneAccessors(t *testing.T) {
+	l := NewLane("express", 3, 7)
+	if l.Name() != "express" || l.Capacity() != 3 || l.QueueBound() != 7 {
+		t.Errorf("accessors: %s/%d/%d", l.Name(), l.Capacity(), l.QueueBound())
+	}
+}

@@ -80,6 +80,19 @@ type Options struct {
 	// inject an error to force the retry path (fault-injection hook,
 	// also used by tests).
 	BeforeShard func(jobID string, shard, attempt int) error
+	// Gate, when non-nil, bounds shard execution against an external
+	// compute lane (the serving layer's heavy lane), so background
+	// campaign shards and interactive simulations respect one bound.
+	// Wait blocks until a slot is free or ctx is done; the returned
+	// release must be called once. admit.Lane satisfies it, and
+	// background waits are exempt from the lane's foreground queue
+	// bound — shards have no deadline to protect and must not be shed.
+	Gate Gate
+}
+
+// Gate is an external concurrency bound for shard execution.
+type Gate interface {
+	Wait(ctx context.Context) (func(), error)
 }
 
 func (o Options) withDefaults() Options {
@@ -525,6 +538,15 @@ func (m *Manager) runJob(j *job) {
 		case m.sem <- struct{}{}:
 		}
 		defer func() { <-m.sem }()
+		if m.opts.Gate != nil {
+			// The shared heavy lane: shards yield to interactive
+			// simulation capacity, waiting (never shedding) for a slot.
+			release, err := m.opts.Gate.Wait(jctx)
+			if err != nil {
+				return err
+			}
+			defer release()
+		}
 		return m.runShard(jctx, j, idx)
 	})
 	if ferr != nil && !errors.Is(ferr, context.Canceled) && !errors.Is(ferr, context.DeadlineExceeded) {

@@ -12,6 +12,10 @@ import (
 type response struct {
 	status int
 	body   []byte
+	// volatile marks a degraded (reduced-accuracy) answer produced
+	// under heavy-lane saturation: it is not the canonical result for
+	// its key and must never be memoized.
+	volatile bool
 }
 
 // lru is a concurrency-safe fixed-capacity LRU map from canonical

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"respeed/internal/admit"
 	"respeed/internal/core"
 	"respeed/internal/energy"
 	"respeed/internal/engine"
@@ -155,10 +156,40 @@ func (s *Server) requireGet(w http.ResponseWriter, r *http.Request, endpoint str
 	return false
 }
 
-// serveCached answers one cacheable endpoint: LRU lookup, then
-// singleflight-deduplicated computation under the in-flight semaphore,
-// with the request's context bounding how long the caller waits.
-// compute returns the full response (including domain errors such as
+// tenantHeader identifies the calling tenant for fair-share admission.
+// Requests without it share one default bucket.
+const tenantHeader = "X-Tenant-ID"
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, minimum 1 (a zero would invite an immediate retry storm).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// tooManyRequests answers an immediate 429 with a Retry-After hint —
+// the fast-fail that replaces burning the whole request deadline
+// toward a certain 504.
+func (s *Server) tooManyRequests(w http.ResponseWriter, endpoint string, start time.Time,
+	reason string, retryAfter time.Duration) {
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	s.direct(w, endpoint, start, mustErrorResponse(http.StatusTooManyRequests, reason))
+}
+
+// serveCached answers one express (closed-form) cacheable endpoint.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string,
+	compute func(ctx context.Context) (response, error)) {
+	s.serveGated(w, r, endpoint, key, false, compute, nil)
+}
+
+// serveGated answers one cacheable endpoint through the full QoS path:
+// LRU lookup, admission policy, then singleflight-deduplicated
+// computation under the endpoint class's priority lane, with the
+// request's context bounding how long the caller waits. compute
+// returns the full response (including domain errors such as
 // infeasibility, which are deterministic and therefore cached); a
 // non-nil error means an internal failure and is not cached.
 //
@@ -169,8 +200,14 @@ func (s *Server) requireGet(w http.ResponseWriter, r *http.Request, endpoint str
 // served, so cancellation-aware computations (the Monte-Carlo fan-outs)
 // stop burning chunks instead of completing into a cache nobody asked
 // to keep warm past the deadline.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string,
-	compute func(ctx context.Context) (response, error)) {
+//
+// degrade, when non-nil, is the saturation fallback under
+// OverloadDegrade: a cheaper reduced-accuracy variant of compute, run
+// inline (without a lane slot) when the lane's queue is at its bound.
+// Its answer is volatile — served to every coalesced waiter but never
+// cached.
+func (s *Server) serveGated(w http.ResponseWriter, r *http.Request, endpoint, key string,
+	heavy bool, compute, degrade func(ctx context.Context) (response, error)) {
 	start := time.Now()
 	if !s.requireGet(w, r, endpoint, start) {
 		return
@@ -180,14 +217,52 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		s.observe(endpoint, time.Since(start), true, resp.status)
 		return
 	}
-	call, joined := s.flights.work(key, func() (response, error) {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
+	// Admission: the policy sheds excess arrivals at the door, before
+	// any compute is spent. Cache hits above bypass it — they are free,
+	// and a draining (reject-all) server keeps answering what it
+	// already knows.
+	dec, release := s.admission.Admit(r.Context(), admit.Request{
+		Tenant:   r.Header.Get(tenantHeader),
+		Endpoint: endpoint,
+		Heavy:    heavy,
+	})
+	if !dec.Admitted {
+		s.admitShed.Inc()
+		s.tooManyRequests(w, endpoint, start, dec.Reason, dec.RetryAfter)
+		return
+	}
+	s.admitAdmitted.Inc()
+	defer release()
+
+	lane := s.express
+	if heavy {
+		lane = s.heavy
+	}
+	fn := func() (response, error) {
+		// The computation window opens when the flight starts: it
+		// bounds the wait for a lane slot and the computation itself.
+		cctx, ccancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		defer ccancel()
+		releaseSlot, err := lane.Acquire(cctx)
+		if err != nil {
+			if errors.Is(err, admit.ErrSaturated) && degrade != nil &&
+				s.opts.OverloadMode == OverloadDegrade {
+				// Graceful degradation: the heavy lane cannot take more
+				// work, so serve a cheaper reduced-replica estimate
+				// inline instead of shedding. The result is volatile —
+				// not the canonical answer for this key.
+				resp, derr := degrade(cctx)
+				if derr == nil {
+					resp.volatile = true
+				}
+				return resp, derr
+			}
+			return response{}, err
+		}
+		defer releaseSlot()
 		if s.preCompute != nil {
 			s.preCompute(endpoint)
 		}
-		cctx, ccancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
-		defer ccancel()
 		// Child span under the initiating request's root (that context
 		// is only read for its tracer linkage, never for cancellation:
 		// the computation outlives an expired waiter by design).
@@ -203,28 +278,56 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 			s.cache.put(key, resp)
 		}
 		return resp, err
-	})
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
-	select {
-	case <-call.done:
-		if call.err != nil {
+	// Two attempts: a follower that joined a flight whose LEADER hit
+	// its own computation deadline must not inherit the leader's
+	// context error — the follower's deadline may be fine, so it
+	// retries and either owns the key or joins a newer flight.
+	const maxAttempts = 2
+	for attempt := 0; ; attempt++ {
+		call, joined := s.flights.work(key, fn)
+		select {
+		case <-call.done:
+			if call.err == nil {
+				reply(w, call.val)
+				if call.val.volatile {
+					s.admitDegraded.Inc()
+				}
+				// A joined waiter got its answer without computing:
+				// count it as a cache hit for hit-rate purposes.
+				s.observe(endpoint, time.Since(start), joined, call.val.status)
+				return
+			}
+			if errors.Is(call.err, admit.ErrSaturated) {
+				// Fast-fail: the lane's queue is at its bound, so no
+				// useful deadline can be met — answer now.
+				s.admitShed.Inc()
+				s.tooManyRequests(w, endpoint, start,
+					fmt.Sprintf("%s lane saturated (server overloaded)", lane.Name()),
+					s.opts.RequestTimeout)
+				return
+			}
+			ctxErr := errors.Is(call.err, context.DeadlineExceeded) ||
+				errors.Is(call.err, context.Canceled)
+			if ctxErr && joined && attempt+1 < maxAttempts && ctx.Err() == nil {
+				continue // the leader's deadline expired, not ours
+			}
 			status := http.StatusInternalServerError
-			if errors.Is(call.err, context.DeadlineExceeded) || errors.Is(call.err, context.Canceled) {
+			if ctxErr {
 				// The computation hit the request deadline and aborted
 				// (nothing was cached).
 				status = http.StatusGatewayTimeout
 			}
 			s.direct(w, endpoint, start, mustErrorResponse(status, call.err.Error()))
 			return
+		case <-ctx.Done():
+			s.direct(w, endpoint, start, mustErrorResponse(http.StatusGatewayTimeout,
+				"timed out waiting for result (the computation continues and will be cached)"))
+			return
 		}
-		reply(w, call.val)
-		// A joined waiter got its answer without computing: count it as
-		// a cache hit for hit-rate purposes.
-		s.observe(endpoint, time.Since(start), joined, call.val.status)
-	case <-ctx.Done():
-		s.direct(w, endpoint, start, mustErrorResponse(http.StatusGatewayTimeout,
-			"timed out waiting for result (the computation continues and will be cached)"))
 	}
 }
 
@@ -277,12 +380,18 @@ type GainReply struct {
 
 // SimulateReply is the /v1/simulate answer.
 type SimulateReply struct {
-	Config   string       `json:"config"`
-	Rho      float64      `json:"rho"`
-	N        int          `json:"n"`
-	Seed     uint64       `json:"seed"`
-	Plan     sim.Plan     `json:"plan"`
-	Estimate sim.Estimate `json:"estimate"`
+	Config string   `json:"config"`
+	Rho    float64  `json:"rho"`
+	N      int      `json:"n"`
+	Seed   uint64   `json:"seed"`
+	Plan   sim.Plan `json:"plan"`
+	// Partial marks a degraded answer: the heavy lane was saturated
+	// and the estimate was computed at the reduced replica count N
+	// instead of the requested RequestedN, so the confidence interval
+	// is wider. Degraded answers are never cached.
+	Partial    bool         `json:"partial,omitempty"`
+	RequestedN int          `json:"requested_n,omitempty"`
+	Estimate   sim.Estimate `json:"estimate"`
 }
 
 // ScenarioReply is the /v1/simulate answer when ?scenario= selects one
@@ -294,7 +403,11 @@ type ScenarioReply struct {
 	N        int           `json:"n"`
 	Seed     uint64        `json:"seed"`
 	Report   engine.Report `json:"report"`
-	Estimate sim.Estimate  `json:"estimate"`
+	// Partial and RequestedN mark a degraded answer, exactly as on
+	// SimulateReply.
+	Partial    bool         `json:"partial,omitempty"`
+	RequestedN int          `json:"requested_n,omitempty"`
+	Estimate   sim.Estimate `json:"estimate"`
 }
 
 // maxScenarioSimulations bounds ?n= for scenario runs: unlike the
@@ -574,58 +687,82 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		// so they correctly leave the counters untouched.
 		sc.Obs.Counters = s.engCounters[scenarioName]
 		key := sq.key("simulate-scenario", scenarioName, strconv.Itoa(n), strconv.FormatUint(seed, 10))
-		s.serveCached(w, r, "/v1/simulate", key, func(ctx context.Context) (response, error) {
-			rep, err := sc.Run(seed)
-			if err != nil {
-				return response{}, err
+		run := func(nRun int) func(ctx context.Context) (response, error) {
+			return func(ctx context.Context) (response, error) {
+				rep, err := sc.Run(seed)
+				if err != nil {
+					return response{}, err
+				}
+				// Worker count 0 (GOMAXPROCS): ReplicateScenario is
+				// deterministic in (seed, n) regardless. The context aborts
+				// the fan-out at the request deadline.
+				est, err := engine.ReplicateScenarioCtx(ctx, sc, seed, nRun, 0)
+				if err != nil {
+					return response{}, err
+				}
+				out := ScenarioReply{
+					Config: sq.cfg.Name(), Rho: sq.rho, Scenario: scenarioName,
+					N: nRun, Seed: seed, Report: rep, Estimate: est,
+				}
+				if nRun != n {
+					out.Partial, out.RequestedN = true, n
+				}
+				return jsonResponse(http.StatusOK, out)
 			}
-			// Worker count 0 (GOMAXPROCS): ReplicateScenario is
-			// deterministic in (seed, n) regardless. The context aborts
-			// the fan-out at the request deadline.
-			est, err := engine.ReplicateScenarioCtx(ctx, sc, seed, n, 0)
-			if err != nil {
-				return response{}, err
-			}
-			return jsonResponse(http.StatusOK, ScenarioReply{
-				Config: sq.cfg.Name(), Rho: sq.rho, Scenario: scenarioName,
-				N: n, Seed: seed, Report: rep, Estimate: est,
-			})
-		})
+		}
+		s.serveGated(w, r, "/v1/simulate", key, true, run(n), run(degradedN(n)))
 		return
 	}
 
 	key := sq.key("simulate", strconv.Itoa(n), strconv.FormatUint(seed, 10))
-	s.serveCached(w, r, "/v1/simulate", key, func(ctx context.Context) (response, error) {
-		p := core.FromConfig(sq.cfg)
-		g, err := core.GridFor(p, sq.speeds)
-		if err != nil {
-			return response{}, err
+	run := func(nRun int) func(ctx context.Context) (response, error) {
+		return func(ctx context.Context) (response, error) {
+			p := core.FromConfig(sq.cfg)
+			g, err := core.GridFor(p, sq.speeds)
+			if err != nil {
+				return response{}, err
+			}
+			sol, err := g.Solve(sq.rho)
+			switch {
+			case errors.Is(err, core.ErrInfeasible):
+				return jsonResponse(http.StatusUnprocessableEntity, InfeasibleReply{
+					Error: fmt.Sprintf("no speed pair satisfies rho=%s", fmtF(sq.rho)),
+					Pairs: sol.Pairs,
+				})
+			case err != nil:
+				return response{}, err
+			}
+			plan := sim.Plan{W: sol.Best.W, Sigma1: sol.Best.Sigma1, Sigma2: sol.Best.Sigma2}
+			costs := sim.Costs{C: p.C, V: p.V, R: p.R, LambdaS: p.Lambda}
+			model := energy.Model{Kappa: sq.cfg.Processor.Kappa, Pidle: sq.cfg.Processor.Pidle, Pio: sq.cfg.Pio}
+			// Worker count 0 (GOMAXPROCS): ReplicateParallel is
+			// deterministic in (seed, n) regardless, so the pool size never
+			// leaks into the cached bytes. The context aborts the fan-out
+			// at the request deadline.
+			est, err := sim.ReplicateParallelCtx(ctx, plan, costs, model, seed, nRun, 0)
+			if err != nil {
+				return response{}, err
+			}
+			s.engCounters[enginePatternLabel].NoteEstimate(est)
+			out := SimulateReply{
+				Config: sq.cfg.Name(), Rho: sq.rho, N: nRun, Seed: seed,
+				Plan: plan, Estimate: est,
+			}
+			if nRun != n {
+				out.Partial, out.RequestedN = true, n
+			}
+			return jsonResponse(http.StatusOK, out)
 		}
-		sol, err := g.Solve(sq.rho)
-		switch {
-		case errors.Is(err, core.ErrInfeasible):
-			return jsonResponse(http.StatusUnprocessableEntity, InfeasibleReply{
-				Error: fmt.Sprintf("no speed pair satisfies rho=%s", fmtF(sq.rho)),
-				Pairs: sol.Pairs,
-			})
-		case err != nil:
-			return response{}, err
-		}
-		plan := sim.Plan{W: sol.Best.W, Sigma1: sol.Best.Sigma1, Sigma2: sol.Best.Sigma2}
-		costs := sim.Costs{C: p.C, V: p.V, R: p.R, LambdaS: p.Lambda}
-		model := energy.Model{Kappa: sq.cfg.Processor.Kappa, Pidle: sq.cfg.Processor.Pidle, Pio: sq.cfg.Pio}
-		// Worker count 0 (GOMAXPROCS): ReplicateParallel is
-		// deterministic in (seed, n) regardless, so the pool size never
-		// leaks into the cached bytes. The context aborts the fan-out
-		// at the request deadline.
-		est, err := sim.ReplicateParallelCtx(ctx, plan, costs, model, seed, n, 0)
-		if err != nil {
-			return response{}, err
-		}
-		s.engCounters[enginePatternLabel].NoteEstimate(est)
-		return jsonResponse(http.StatusOK, SimulateReply{
-			Config: sq.cfg.Name(), Rho: sq.rho, N: n, Seed: seed,
-			Plan: plan, Estimate: est,
-		})
-	})
+	}
+	s.serveGated(w, r, "/v1/simulate", key, true, run(n), run(degradedN(n)))
+}
+
+// degradedN is the replica count of a degraded answer: a tenth of the
+// request (an order of magnitude cheaper), floored at the smallest n
+// with a defined confidence interval.
+func degradedN(n int) int {
+	if n/10 < 2 {
+		return 2
+	}
+	return n / 10
 }

@@ -55,6 +55,19 @@ func jobErrorResponse(err error) response {
 	}
 }
 
+// jobsRetryAfter is the backoff hint on transient jobs 503s.
+const jobsRetryAfter = 10 * time.Second
+
+// jobError answers a manager error. Transient 503s — manager full or
+// closed, both of which clear as jobs finish or the process restarts —
+// carry a Retry-After hint so clients back off instead of hammering.
+func (s *Server) jobError(w http.ResponseWriter, endpoint string, start time.Time, err error) {
+	if errors.Is(err, jobs.ErrManagerFull) || errors.Is(err, jobs.ErrClosed) {
+		w.Header().Set("Retry-After", retryAfterSeconds(jobsRetryAfter))
+	}
+	s.direct(w, endpoint, start, jobErrorResponse(err))
+}
+
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	const endpoint = "/v1/jobs"
@@ -83,7 +96,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := m.Submit(camp)
 	if err != nil {
-		s.direct(w, endpoint, start, jobErrorResponse(err))
+		s.jobError(w, endpoint, start, err)
 		return
 	}
 	resp, err := jsonResponse(http.StatusAccepted, st)
@@ -125,7 +138,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := m.Status(r.PathValue("id"))
 	if err != nil {
-		s.direct(w, endpoint, start, jobErrorResponse(err))
+		s.jobError(w, endpoint, start, err)
 		return
 	}
 	resp, err := jsonResponse(http.StatusOK, st)
@@ -144,7 +157,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := m.Cancel(r.PathValue("id"))
 	if err != nil {
-		s.direct(w, endpoint, start, jobErrorResponse(err))
+		s.jobError(w, endpoint, start, err)
 		return
 	}
 	resp, err := jsonResponse(http.StatusOK, st)
@@ -163,7 +176,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := m.Result(r.PathValue("id"))
 	if err != nil {
-		s.direct(w, endpoint, start, jobErrorResponse(err))
+		s.jobError(w, endpoint, start, err)
 		return
 	}
 	resp, err := jsonResponse(http.StatusOK, res)
@@ -188,7 +201,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, cancel, err := m.Subscribe(id)
 	if err != nil {
-		s.direct(w, endpoint, start, jobErrorResponse(err))
+		s.jobError(w, endpoint, start, err)
 		return
 	}
 	defer cancel()

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"respeed/internal/admit"
 	"respeed/internal/jobs"
 	"respeed/internal/stats"
 )
@@ -95,12 +96,43 @@ type EndpointSnapshot struct {
 	Latency     LatencySnapshot `json:"latency"`
 }
 
+// LaneSnapshot is one priority lane's point-in-time occupancy.
+type LaneSnapshot struct {
+	Capacity   int `json:"capacity"`
+	QueueBound int `json:"queue_bound"`
+	InFlight   int `json:"in_flight"`
+	Queued     int `json:"queued"`
+}
+
+// AdmissionSnapshot reports the edge-QoS layer: the active admission
+// policy, its verdict counters, and per-lane occupancy.
+type AdmissionSnapshot struct {
+	Policy   string                  `json:"policy"`
+	Overload string                  `json:"overload"`
+	Admitted int64                   `json:"admitted"`
+	Shed     int64                   `json:"shed"`
+	Degraded int64                   `json:"degraded"`
+	Lanes    map[string]LaneSnapshot `json:"lanes"`
+}
+
+// laneSnapshot captures one lane's occupancy.
+func laneSnapshot(l *admit.Lane) LaneSnapshot {
+	return LaneSnapshot{
+		Capacity:   l.Capacity(),
+		QueueBound: l.QueueBound(),
+		InFlight:   l.InFlight(),
+		Queued:     l.Queued(),
+	}
+}
+
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	CacheEntries   int     `json:"cache_entries"`
 	CacheCapacity  int     `json:"cache_capacity"`
 	CacheEvictions int64   `json:"cache_evictions"`
+	// Admission reports the edge-QoS counters and lane occupancy.
+	Admission *AdmissionSnapshot `json:"admission,omitempty"`
 	// Jobs carries the campaign manager's per-state gauges; omitted
 	// when the server runs without a job manager.
 	Jobs      *jobs.Stats                 `json:"jobs,omitempty"`

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"respeed/internal/admit"
 	"respeed/internal/core"
 	"respeed/internal/energy"
 	"respeed/internal/engine"
@@ -91,6 +92,28 @@ func (s *Server) initObs() {
 	r.NewCounterFunc("respeed_traces_total",
 		"Root request traces recorded (the /debug/traces ring retains the newest).",
 		func() float64 { return float64(s.tracer.Total()) })
+	// Edge-QoS series: admission verdicts plus per-lane occupancy,
+	// exported read-time off the lanes' atomic counters.
+	s.admitAdmitted = r.NewCounter("respeed_admit_admitted_total",
+		"Requests admitted past the admission policy.")
+	s.admitShed = r.NewCounter("respeed_admit_shed_total",
+		"Requests shed with 429: admission policy verdict or saturated lane.")
+	s.admitDegraded = r.NewCounter("respeed_admit_degraded_total",
+		"Requests answered with a degraded (partial, reduced-replica) estimate.")
+	r.NewGaugeVec(obs.Opts{Name: "respeed_admit_policy_info",
+		Help:   "Active admission policy; the value is always 1.",
+		Labels: []string{"policy"},
+	}).With(s.admission.Name()).Set(1)
+	laneQueue := r.NewGaugeVec(obs.Opts{Name: "respeed_lane_queue_depth",
+		Help: "Requests waiting for a lane slot.", Labels: []string{"lane"}})
+	laneInflight := r.NewGaugeVec(obs.Opts{Name: "respeed_lane_inflight",
+		Help: "Computations currently holding a lane slot.", Labels: []string{"lane"}})
+	for _, l := range []*admit.Lane{s.express, s.heavy} {
+		l := l
+		laneQueue.WithFunc(func() float64 { return float64(l.Queued()) }, l.Name())
+		laneInflight.WithFunc(func() float64 { return float64(l.InFlight()) }, l.Name())
+	}
+
 	bi := obs.ReadBuildInfo()
 	r.NewGaugeVec(obs.Opts{Name: "respeed_build_info",
 		Help:   "Build metadata; the value is always 1.",

@@ -11,9 +11,16 @@
 //     exact response bytes of the first computation;
 //   - singleflight deduplication, so a thundering herd of identical
 //     queries computes once;
-//   - a semaphore bounding concurrent solver work, with per-request
-//     context timeouts (a waiter that gives up answers 504 while the
-//     computation still completes and warms the cache).
+//   - an admission layer (internal/admit) ahead of compute: a pluggable
+//     policy (token bucket, per-tenant fair share, reject-all for
+//     drain) sheds excess arrivals with an immediate 429 + Retry-After,
+//     and two priority lanes bound work in flight — an express lane for
+//     closed-form solves and a heavy lane for Monte-Carlo simulation —
+//     each with a bounded wait queue. A request past the heavy lane's
+//     queue bound fails fast or, under OverloadDegrade, is answered
+//     with a reduced-replica "partial" estimate instead of a 503.
+//     Per-request context timeouts still apply (a waiter that gives up
+//     answers 504 while the computation completes and warms the cache).
 //
 // /metrics reports per-endpoint request counts, error counts, cache hit
 // rates and latency quantiles using internal/stats. Run drains in-flight
@@ -29,9 +36,21 @@ import (
 	"sync"
 	"time"
 
+	"respeed/internal/admit"
 	"respeed/internal/engine"
 	"respeed/internal/jobs"
 	"respeed/internal/obs"
+)
+
+// Overload modes: what a saturated heavy lane answers once its wait
+// queue is at the bound.
+const (
+	// OverloadReject answers 429 with a Retry-After hint.
+	OverloadReject = "reject"
+	// OverloadDegrade re-runs the simulation at a reduced replica count
+	// and answers 200 with "partial": true and a widened confidence
+	// interval. Degraded answers are never cached.
+	OverloadDegrade = "degrade"
 )
 
 // Options configures a Server. The zero value selects sensible
@@ -39,8 +58,10 @@ import (
 type Options struct {
 	// CacheSize is the LRU capacity in entries (default 4096).
 	CacheSize int
-	// MaxInFlight bounds concurrently executing solver computations
-	// (default GOMAXPROCS). Excess work queues on the semaphore.
+	// MaxInFlight bounds concurrently executing heavy (Monte-Carlo)
+	// computations (default GOMAXPROCS). Excess work queues on the
+	// heavy lane up to QueueBound, then fails fast. It is also the
+	// default for ExpressInFlight.
 	MaxInFlight int
 	// RequestTimeout bounds one request's wait for its result (default
 	// 10 s). Expired waiters answer 504; the computation still finishes
@@ -71,6 +92,30 @@ type Options struct {
 	// on the SSE streams (default 15 s), so idle streams defeat proxy
 	// and LB idle timeouts.
 	SSEKeepalive time.Duration
+	// Admission gates fresh computations before any compute is spent
+	// (cache hits are always served, so a draining server keeps
+	// answering what it already knows). Shed requests answer 429 with a
+	// Retry-After hint. Nil admits everything.
+	Admission admit.Policy
+	// ExpressInFlight bounds concurrently executing closed-form
+	// computations — the express lane serving /v1/solve,
+	// /v1/sigma1-table, /v1/gain and /v1/configs (default MaxInFlight).
+	// MaxInFlight bounds the heavy lane (/v1/simulate).
+	ExpressInFlight int
+	// QueueBound caps foreground waiters per lane: a request past the
+	// bound fails fast (429, or a degraded answer under
+	// OverloadDegrade) instead of waiting out RequestTimeout toward a
+	// certain 504. 0 selects 4× the lane's slots; negative disables
+	// queueing entirely.
+	QueueBound int
+	// HeavyLane, when non-nil, replaces the internally built heavy
+	// lane. Share one lane between this field and jobs.Options.Gate so
+	// interactive simulations and campaign shards respect a single
+	// compute bound.
+	HeavyLane *admit.Lane
+	// OverloadMode selects the saturated-heavy-lane answer:
+	// OverloadReject (the default) or OverloadDegrade.
+	OverloadMode string
 }
 
 // withDefaults fills in the zero-valued fields.
@@ -102,7 +147,26 @@ func (o Options) withDefaults() Options {
 	if o.SSEKeepalive <= 0 {
 		o.SSEKeepalive = 15 * time.Second
 	}
+	if o.Admission == nil {
+		o.Admission = admit.AlwaysAdmit{}
+	}
+	if o.ExpressInFlight <= 0 {
+		o.ExpressInFlight = o.MaxInFlight
+	}
+	if o.OverloadMode == "" {
+		o.OverloadMode = OverloadReject
+	}
 	return o
+}
+
+// laneQueueBound resolves the configured queue bound for a lane with
+// the given slot count: 0 = 4×slots, negative = no queueing (the lane
+// normalizes it to zero).
+func laneQueueBound(configured, slots int) int {
+	if configured == 0 {
+		return 4 * slots
+	}
+	return configured
 }
 
 // Server is the planning service. Create it with New; it is safe for
@@ -111,9 +175,19 @@ type Server struct {
 	opts    Options
 	cache   *lru
 	flights *flightGroup
-	sem     chan struct{}
 	metrics *metrics
 	mux     *http.ServeMux
+
+	// Edge QoS: the admission policy sheds excess arrivals before any
+	// compute; the two lanes bound work in flight per traffic class, so
+	// a microsecond solve never queues behind a multi-second
+	// simulation. The counters back both /metrics expositions.
+	admission     admit.Policy
+	express       *admit.Lane
+	heavy         *admit.Lane
+	admitAdmitted *obs.Counter
+	admitShed     *obs.Counter
+	admitDegraded *obs.Counter
 
 	// Observability spine: the Prometheus-style registry behind
 	// /metrics, per-endpoint instruments, the bounded trace ring behind
@@ -140,12 +214,19 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:     opts,
-		cache:    newLRU(opts.CacheSize),
-		flights:  newFlightGroup(),
-		sem:      make(chan struct{}, opts.MaxInFlight),
-		metrics:  newMetrics(),
-		shutdown: make(chan struct{}),
+		opts:      opts,
+		cache:     newLRU(opts.CacheSize),
+		flights:   newFlightGroup(),
+		metrics:   newMetrics(),
+		admission: opts.Admission,
+		shutdown:  make(chan struct{}),
+	}
+	s.express = admit.NewLane("express", opts.ExpressInFlight,
+		laneQueueBound(opts.QueueBound, opts.ExpressInFlight))
+	s.heavy = opts.HeavyLane
+	if s.heavy == nil {
+		s.heavy = admit.NewLane("heavy", opts.MaxInFlight,
+			laneQueueBound(opts.QueueBound, opts.MaxInFlight))
 	}
 	s.initObs()
 	s.mux = http.NewServeMux()
@@ -181,7 +262,19 @@ func (s *Server) Metrics() MetricsSnapshot {
 		st := s.opts.Jobs.Stats()
 		jobStats = &st
 	}
-	return s.metrics.snapshot(s.cache.len(), s.opts.CacheSize, s.cache.evictions(), jobStats)
+	snap := s.metrics.snapshot(s.cache.len(), s.opts.CacheSize, s.cache.evictions(), jobStats)
+	snap.Admission = &AdmissionSnapshot{
+		Policy:   s.admission.Name(),
+		Overload: s.opts.OverloadMode,
+		Admitted: int64(s.admitAdmitted.Value()),
+		Shed:     int64(s.admitShed.Value()),
+		Degraded: int64(s.admitDegraded.Value()),
+		Lanes: map[string]LaneSnapshot{
+			s.express.Name(): laneSnapshot(s.express),
+			s.heavy.Name():   laneSnapshot(s.heavy),
+		},
+	}
+	return snap
 }
 
 // Run serves on ln until ctx is canceled, then shuts down gracefully:

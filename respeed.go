@@ -29,7 +29,9 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"time"
 
+	"respeed/internal/admit"
 	"respeed/internal/core"
 	"respeed/internal/energy"
 	"respeed/internal/engine"
@@ -301,6 +303,80 @@ type (
 // platform catalog. Serve it with (*PlanningServer).Run (graceful
 // drain on context cancellation) or mount (*PlanningServer).Handler.
 func NewPlanningServer(opts ServeOptions) *PlanningServer { return serve.New(opts) }
+
+// Edge QoS: admission control and priority lanes ahead of compute.
+// An AdmissionPolicy sheds excess arrivals at the door (429 +
+// Retry-After) before any solver work is spent; an AdmitLane bounds
+// work in flight per traffic class with a bounded wait queue, so a
+// microsecond solve never queues behind a multi-second Monte-Carlo
+// simulation. Wire a policy into ServeOptions.Admission, and share one
+// heavy AdmitLane between ServeOptions.HeavyLane and
+// JobManagerOptions.Gate so interactive simulations and campaign
+// shards respect a single compute bound.
+type (
+	// AdmissionPolicy decides, per request, whether compute may be
+	// spent on it.
+	AdmissionPolicy = admit.Policy
+	// AdmitRequest is the admission-relevant shape of one request.
+	AdmitRequest = admit.Request
+	// AdmitDecision is a policy's verdict (plus a Retry-After hint for
+	// shed requests).
+	AdmitDecision = admit.Decision
+	// AdmitLane is one priority class's compute bound: a slot
+	// semaphore with a bounded foreground wait queue.
+	AdmitLane = admit.Lane
+)
+
+// Overload modes for a saturated heavy lane
+// (ServeOptions.OverloadMode).
+const (
+	// OverloadReject answers 429 with a Retry-After hint.
+	OverloadReject = serve.OverloadReject
+	// OverloadDegrade answers a reduced-replica estimate marked
+	// "partial": true, with a correspondingly wider confidence
+	// interval, instead of shedding.
+	OverloadDegrade = serve.OverloadDegrade
+)
+
+// NewAdmissionPolicy parses a flag-style policy spec:
+//
+//	always
+//	reject
+//	token-bucket:rate=100,burst=200
+//	fair-share:rate=10,burst=20,tenants=1024
+//
+// Token-bucket admits against one global budget; fair-share keys
+// per-tenant buckets off the X-Tenant-ID header so one flooding tenant
+// cannot starve the others; reject sheds everything (the drain mode —
+// cache hits are still served).
+func NewAdmissionPolicy(spec string) (AdmissionPolicy, error) { return admit.New(spec) }
+
+// NewTokenBucketPolicy admits rate requests/second with bursts up to
+// burst against a single global bucket.
+func NewTokenBucketPolicy(rate float64, burst int) AdmissionPolicy {
+	return admit.NewTokenBucket(rate, burst)
+}
+
+// NewFairSharePolicy gives every tenant its own token bucket (rate
+// req/s, bursts up to burst), tracking at most maxTenants buckets
+// (0 = 1024) with LRU eviction.
+func NewFairSharePolicy(rate float64, burst, maxTenants int) AdmissionPolicy {
+	return admit.NewFairShare(rate, burst, maxTenants)
+}
+
+// RejectAllPolicy sheds every request with the given Retry-After hint
+// (0 = 10 s) — flip it in ahead of a planned shutdown.
+func RejectAllPolicy(retryAfter time.Duration) AdmissionPolicy {
+	return admit.RejectAll{RetryAfter: retryAfter}
+}
+
+// NewAdmitLane creates a priority lane with slots concurrent
+// executions and at most queueBound foreground waiters (negative
+// disables queueing: every request past the in-flight bound fails
+// fast).
+func NewAdmitLane(name string, slots, queueBound int) *AdmitLane {
+	return admit.NewLane(name, slots, queueBound)
+}
 
 // Observability: the telemetry spine threaded through the server, the
 // job manager and the simulation engine. One Telemetry registry backs
