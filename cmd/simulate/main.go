@@ -9,11 +9,14 @@
 //	simulate [-config "Hera/XScale"] [-rho 3] [-n 100000] [-boost 50] [-seed 42]
 //	simulate -exec [-workload heat] [-trace]
 //	simulate -scenario cluster-twolevel|partial-failstop [-reps 100]
+//	simulate -spec examples/spec/weibull-failstop.json [-reps 100]
 //
 // Scenario mode runs the unified engine's composed scenarios — policy
 // combinations the original siloed simulators could not express:
 // a multi-node cluster under two-level (memory+disk) checkpointing, or
-// partial verifications with fail-stop errors in the mix.
+// partial verifications with fail-stop errors in the mix. Spec mode
+// runs the same engine from a declarative JSON scenario document (CSV
+// fault-trace references resolve relative to the spec file).
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 	wlName := flag.String("workload", "heat", "exec workload: heat | stream | matvec")
 	showTrace := flag.Bool("trace", false, "print the execution schedule (exec mode)")
 	scenarioName := flag.String("scenario", "", "run a composed engine scenario: cluster-twolevel | partial-failstop")
+	specPath := flag.String("spec", "", "run a declarative scenario spec from a JSON file")
 	reps := flag.Int("reps", 100, "scenario replications")
 	flag.Parse()
 
@@ -45,6 +49,10 @@ func main() {
 	}
 	cfg.Platform.Lambda *= *boost
 
+	if *specPath != "" {
+		runSpec(cfg, *specPath, *seed, *reps)
+		return
+	}
 	if *scenarioName != "" {
 		runScenario(cfg, *scenarioName, *seed, *reps)
 		return
@@ -146,6 +154,64 @@ func runScenario(cfg respeed.Config, name string, seed uint64, reps int) {
 	fmt.Printf("  state digest    %016x\n", uint64(rep.StateDigest))
 
 	est, err := respeed.ReplicateScenario(sc, mk, seed, reps, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d replications:\n", reps)
+	fmt.Printf("  makespan        %.1f ± %.1f s (CI95 %.1f)\n", est.Time.Mean, est.Time.StdDev, est.Time.CI95)
+	fmt.Printf("  energy          %.1f ± %.1f mW·s\n", est.Energy.Mean, est.Energy.StdDev)
+	fmt.Printf("  mean attempts   %.2f per run\n", est.MeanAttempts)
+}
+
+// runSpec executes a declarative scenario spec file: the same composed
+// engine as -scenario, driven by a JSON document instead of a named
+// preset.
+func runSpec(cfg respeed.Config, path string, seed uint64, reps int) {
+	s, err := respeed.ParseScenarioSpecFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+	sc, err := respeed.CompileSpec(s, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+	hash, err := respeed.SpecHash(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+	name := s.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+
+	rep, err := respeed.RunScenario(sc, nil, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("spec %s [%s] on %s (one run, seed %d):\n", name, hash, cfg.Name(), seed)
+	fmt.Printf("  makespan        %.1f s\n", rep.Makespan)
+	fmt.Printf("  energy          %.1f mW·s\n", rep.Energy)
+	fmt.Printf("  patterns        %d committed (attempts %d)\n", rep.Patterns, rep.Attempts)
+	fmt.Printf("  silent errors   %d injected, %d detected\n", rep.SilentInjected, rep.SilentDetected)
+	fmt.Printf("  fail-stops      %d\n", rep.FailStops)
+	if sc.TwoLevel != nil {
+		fmt.Printf("  mem/disk ckpts  %d / %d (recoveries %d / %d, patterns lost %d)\n",
+			rep.MemCommits, rep.DiskCommits, rep.MemRecoveries, rep.DiskRecoveries, rep.PatternsLost)
+	}
+	if sc.Partial != nil {
+		fmt.Printf("  partial checks  %d (%d detections)\n", rep.PartialChecks, rep.PartialDetections)
+	}
+	if rep.PerNodeErrors != nil {
+		fmt.Printf("  per-node errors %v\n", rep.PerNodeErrors)
+	}
+	fmt.Printf("  state digest    %016x\n", uint64(rep.StateDigest))
+
+	est, err := respeed.ReplicateScenario(sc, nil, seed, reps, 0)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
 		os.Exit(1)

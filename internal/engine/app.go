@@ -319,7 +319,7 @@ func (x *App) finish() Report {
 	x.rep.FinalProgress = x.main.progress()
 	x.rep.StateDigest = x.verifier.Detector().Sum(x.main.state())
 	x.rep.CkptStats = x.cfg.Tier.Stats()
-	if pn, ok := x.cfg.Faults.(*PerNodeFaults); ok {
+	if pn, ok := x.cfg.Faults.(interface{ PerNodeErrors() []int }); ok {
 		x.rep.PerNodeErrors = pn.PerNodeErrors()
 	}
 	x.cfg.Obs.Counters.noteReport(x.rep)

@@ -39,6 +39,13 @@ type Scenario struct {
 	// independent per-node Poisson processes on the discrete-event
 	// engine.
 	Nodes []Node
+	// Faults, when non-nil, replaces both built-in fault constructions
+	// with a custom process factory (e.g. renewal channels over Weibull
+	// or log-normal inter-arrivals, or trace replay). Mutually exclusive
+	// with Nodes and with non-zero Costs.LambdaS/LambdaF. The factory is
+	// invoked once per run with the run's seed material and must return
+	// a process deterministic in (seed, prefix).
+	Faults FaultFactory
 	// TwoLevel, when non-nil, replaces the single-level checkpoint
 	// store with the memory+disk tier.
 	TwoLevel *TwoLevelSpec
@@ -78,6 +85,14 @@ func (sc Scenario) Validate() error {
 			return err
 		}
 	}
+	if sc.Faults != nil {
+		if len(sc.Nodes) > 0 {
+			return fmt.Errorf("engine: Faults factory and Nodes are mutually exclusive")
+		}
+		if sc.Costs.LambdaS != 0 || sc.Costs.LambdaF != 0 {
+			return fmt.Errorf("engine: error rates belong to the Faults factory, not Costs")
+		}
+	}
 	if sc.TwoLevel != nil {
 		if err := sc.TwoLevel.Validate(); err != nil {
 			return err
@@ -100,6 +115,11 @@ func (sc Scenario) Validate() error {
 	}
 	return nil
 }
+
+// FaultFactory builds a custom fault process for one run. All
+// randomness must derive from (seed, prefix) so replications stay
+// deterministic and worker-independent.
+type FaultFactory func(seed uint64, prefix string) (FaultProcess, error)
 
 // Run executes the scenario once. All randomness derives from seed, so
 // runs are reproducible.
@@ -133,7 +153,14 @@ func (sc Scenario) patternSizes() []float64 {
 func (sc Scenario) runSized(seed uint64, prefix string, sizes []float64) (Report, error) {
 	var fp FaultProcess
 	var sampledRNG interface{ Intn(int) int }
-	if len(sc.Nodes) > 0 {
+	if sc.Faults != nil {
+		p, err := sc.Faults(seed, prefix)
+		if err != nil {
+			return Report{}, err
+		}
+		fp = p
+		sampledRNG = rngx.NewStream(seed, prefix+"/partial-positions")
+	} else if len(sc.Nodes) > 0 {
 		pn, err := NewPerNodeFaults(sc.Nodes, seed, prefix)
 		if err != nil {
 			return Report{}, err
@@ -204,22 +231,62 @@ func ReplicateScenarioCtx(ctx context.Context, sc Scenario, seed uint64, n, work
 	run.Obs.TraceSink = nil
 	sizes := sc.patternSizes()
 	return chunkedFanOut(ctx, n, workers, sc.TotalWork, func(ctx context.Context, chunk, lo, hi int, acc *estimator) error {
-		for i := lo; i < hi; i++ {
-			rep, err := run.runSized(seed, "scenario/"+strconv.Itoa(i), sizes)
-			if err != nil {
-				return err
-			}
-			acc.add(PatternResult{
-				Time:     rep.Makespan,
-				Energy:   rep.Energy,
-				Attempts: rep.Attempts,
-			})
-			// Scenario runs are full application executions — heavy
-			// enough to poll cancellation at every run boundary.
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runScenarioRange(ctx, run, seed, lo, hi, sizes, acc)
 	})
+}
+
+// runScenarioRange executes replications [lo, hi) of a scenario
+// campaign into acc. Run i draws from substreams prefixed
+// "scenario/<i>" — the same prefix for in-process fan-out and isolated
+// chunk execution, which is what makes the two bit-identical.
+func runScenarioRange(ctx context.Context, sc Scenario, seed uint64, lo, hi int, sizes []float64, acc *estimator) error {
+	for i := lo; i < hi; i++ {
+		rep, err := sc.runSized(seed, "scenario/"+strconv.Itoa(i), sizes)
+		if err != nil {
+			return err
+		}
+		acc.add(PatternResult{
+			Time:     rep.Makespan,
+			Energy:   rep.Energy,
+			Attempts: rep.Attempts,
+		})
+		// Scenario runs are full application executions — heavy
+		// enough to poll cancellation at every run boundary.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplicateScenarioChunk executes replications [lo, hi) of an
+// n-replication scenario campaign and returns the chunk's partial
+// estimate — the scenario counterpart of ReplicatePatternChunk. Running
+// the chunks of ChunkCount(n) in any order and merging them in index
+// order with MergeChunkEstimates(sc.TotalWork, n, parts) reproduces
+// ReplicateScenario's result exactly.
+func ReplicateScenarioChunk(sc Scenario, seed uint64, lo, hi int) (ChunkEstimate, error) {
+	return ReplicateScenarioChunkCtx(context.Background(), sc, seed, lo, hi)
+}
+
+// ReplicateScenarioChunkCtx is ReplicateScenarioChunk with
+// cancellation, polled at every run boundary.
+func ReplicateScenarioChunkCtx(ctx context.Context, sc Scenario, seed uint64, lo, hi int) (ChunkEstimate, error) {
+	if err := sc.Validate(); err != nil {
+		return ChunkEstimate{}, err
+	}
+	if lo < 0 || hi < lo {
+		return ChunkEstimate{}, fmt.Errorf("engine: invalid scenario chunk range [%d,%d)", lo, hi)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run := sc
+	run.Trace = nil
+	run.Obs.TraceSink = nil
+	acc := estimator{w: sc.TotalWork}
+	if err := runScenarioRange(ctx, run, seed, lo, hi, sc.patternSizes(), &acc); err != nil {
+		return ChunkEstimate{}, err
+	}
+	return acc.state(), nil
 }

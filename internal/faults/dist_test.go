@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"respeed/internal/rngx"
+)
+
+// TestDistValidate exercises the parameter checks of every family.
+func TestDistValidate(t *testing.T) {
+	valid := []Dist{
+		Exponential{Rate: 2e-3},
+		Weibull{Shape: 0.7, Scale: 500},
+		Weibull{Shape: 1, Scale: 1},
+		LogNormal{Mu: 5, Sigma: 1.2},
+		LogNormal{Mu: -2, Sigma: 0.1},
+	}
+	for _, d := range valid {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", d, err)
+		}
+	}
+	invalid := []Dist{
+		Exponential{},
+		Exponential{Rate: -1},
+		Exponential{Rate: math.Inf(1)},
+		Weibull{Shape: 0, Scale: 1},
+		Weibull{Shape: 1, Scale: 0},
+		Weibull{Shape: -2, Scale: 3},
+		LogNormal{Mu: math.NaN(), Sigma: 1},
+		LogNormal{Mu: 0, Sigma: 0},
+		LogNormal{Mu: math.Inf(1), Sigma: 1},
+	}
+	for _, d := range invalid {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%v: expected a validation error", d)
+		}
+	}
+}
+
+// TestDistDeterminism pins that sampling is a pure function of the
+// stream: two streams with identical seed material produce identical
+// draws for every family.
+func TestDistDeterminism(t *testing.T) {
+	for _, d := range []Dist{
+		Exponential{Rate: 1e-3},
+		Weibull{Shape: 0.7, Scale: 800},
+		LogNormal{Mu: 6, Sigma: 1.5},
+	} {
+		a := rngx.NewStream(42, "dist")
+		b := rngx.NewStream(42, "dist")
+		for i := 0; i < 100; i++ {
+			x, y := d.Sample(a), d.Sample(b)
+			if x != y {
+				t.Fatalf("%v: draw %d diverged: %g vs %g", d, i, x, y)
+			}
+			if !(x >= 0) || math.IsInf(x, 0) {
+				t.Fatalf("%v: draw %d out of range: %g", d, i, x)
+			}
+		}
+	}
+}
+
+// TestWeibullShapeOneIsExponential: Weibull with shape 1 must equal
+// Exponential with rate 1/scale distributionally — check the sample
+// means agree (same stream gives slightly different draw sequences, so
+// compare statistics, not bits).
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	const n = 200_000
+	w := Weibull{Shape: 1, Scale: 250}
+	rng := rngx.NewStream(7, "weibull-exp")
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += w.Sample(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-250)/250 > 0.02 {
+		t.Errorf("shape-1 weibull mean = %g, want ≈ 250", mean)
+	}
+}
+
+// TestWeibullMean checks the sample mean against Scale·Γ(1+1/Shape).
+func TestWeibullMean(t *testing.T) {
+	const n = 200_000
+	d := Weibull{Shape: 2, Scale: 100}
+	want := 100 * math.Gamma(1+1.0/2)
+	rng := rngx.NewStream(9, "weibull-mean")
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("weibull(2,100) mean = %g, want ≈ %g", mean, want)
+	}
+}
+
+// TestLogNormalMean checks the sample mean against exp(Mu + Sigma²/2).
+func TestLogNormalMean(t *testing.T) {
+	const n = 400_000
+	d := LogNormal{Mu: 3, Sigma: 0.5}
+	want := math.Exp(3 + 0.5*0.5/2)
+	rng := rngx.NewStream(11, "lognormal-mean")
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("lognormal(3,0.5) mean = %g, want ≈ %g", mean, want)
+	}
+}
+
+// TestRenewalCarryOver pins the exposure-clock semantics: a pending
+// arrival survives windows that end before it and strikes at the right
+// offset once a window reaches it.
+func TestRenewalCarryOver(t *testing.T) {
+	// fixedDist returns a constant delay, making the arithmetic exact.
+	r := NewRenewal(fixedDist(100), rngx.NewStream(1, "carry"))
+	if _, hit := r.Within(30); hit {
+		t.Fatal("arrival at 100 must not strike a [0,30) window")
+	}
+	if _, hit := r.Within(30); hit {
+		t.Fatal("arrival at 100 must not strike a [30,60) window")
+	}
+	at, hit := r.Within(60)
+	if !hit || at != 40 {
+		t.Fatalf("expected strike at offset 40, got (%g, %v)", at, hit)
+	}
+	// The next arrival was redrawn from the strike instant: another
+	// constant 100 s away.
+	if _, hit := r.Within(99); hit {
+		t.Fatal("redrawn arrival must not strike a 99 s window")
+	}
+	at, hit = r.Within(10)
+	if !hit || at != 1 {
+		t.Fatalf("expected strike at offset 1, got (%g, %v)", at, hit)
+	}
+}
+
+// fixedDist is a test Dist with constant inter-arrival delay.
+type fixedDist float64
+
+func (d fixedDist) Sample(*rngx.Stream) float64 { return float64(d) }
+func (d fixedDist) Validate() error             { return nil }
+func (d fixedDist) String() string              { return "fixed" }
+
+// TestRenewalZeroSpan: zero and negative spans consume nothing.
+func TestRenewalZeroSpan(t *testing.T) {
+	r := NewRenewal(fixedDist(10), rngx.NewStream(1, "zero"))
+	for i := 0; i < 5; i++ {
+		if _, hit := r.Within(0); hit {
+			t.Fatal("zero span must not strike")
+		}
+	}
+	at, hit := r.Within(11)
+	if !hit || at != 10 {
+		t.Fatalf("pending must be untouched by zero spans: got (%g, %v)", at, hit)
+	}
+}
+
+// TestScheduleReplay pins trace replay: recorded times strike at their
+// offsets, in order, exactly once, and the clock only advances with
+// exposure.
+func TestScheduleReplay(t *testing.T) {
+	s, err := NewSchedule([]float64{50, 120, 120.5, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, hit := s.Within(100) // clock [0,100): strikes 50
+	if !hit || at != 50 {
+		t.Fatalf("want strike at 50, got (%g, %v)", at, hit)
+	}
+	// Clock resumed at 50; window of 60 covers [50,110): no arrival.
+	if _, hit := s.Within(60); hit {
+		t.Fatal("no arrival in [50,110)")
+	}
+	at, hit = s.Within(100) // [110,210): strikes 120 at offset 10
+	if !hit || at != 10 {
+		t.Fatalf("want strike at offset 10, got (%g, %v)", at, hit)
+	}
+	at, hit = s.Within(100) // clock 120; [120,220): strikes 120.5
+	if !hit || at != 0.5 {
+		t.Fatalf("want strike at offset 0.5, got (%g, %v)", at, hit)
+	}
+	if s.Remaining() != 1 {
+		t.Fatalf("remaining = %d, want 1", s.Remaining())
+	}
+	for i := 0; i < 10; i++ {
+		if _, hit := s.Within(10); hit {
+			t.Fatalf("arrival 400 delivered too early (clock window %d)", i)
+		}
+	}
+	at, hit = s.Within(1000)
+	if !hit {
+		t.Fatal("arrival 400 never delivered")
+	}
+	if _, hit := s.Within(1e9); hit {
+		t.Fatal("exhausted schedule must not strike")
+	}
+}
+
+// TestScheduleValidation rejects malformed time lists.
+func TestScheduleValidation(t *testing.T) {
+	bad := [][]float64{
+		{-1},
+		{math.NaN()},
+		{math.Inf(1)},
+		{10, 5},
+	}
+	for _, times := range bad {
+		if _, err := NewSchedule(times); err == nil {
+			t.Errorf("times %v: expected an error", times)
+		}
+	}
+	if _, err := NewSchedule(nil); err != nil {
+		t.Errorf("empty schedule must be valid (a channel with no arrivals): %v", err)
+	}
+	// Equal adjacent times are allowed (two faults in the same instant
+	// of a recorded log).
+	if _, err := NewSchedule([]float64{5, 5}); err != nil {
+		t.Errorf("equal adjacent times must be valid: %v", err)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"respeed/internal/engine"
 	"respeed/internal/platform"
 	"respeed/internal/sim"
+	"respeed/internal/spec"
 )
 
 // Kind selects the campaign family.
@@ -50,11 +51,20 @@ const (
 	// KindMonteCarlo replicates N pattern simulations per config×ρ cell,
 	// sharded on the engine's deterministic chunk fan-out.
 	KindMonteCarlo Kind = "montecarlo"
+	// KindSpec replicates a declarative scenario spec N times per
+	// config, sharded on the engine's scenario chunk fan-out. The spec
+	// fixes its own plan, so spec campaigns take no rhos.
+	KindSpec Kind = "spec"
 )
 
 // maxMonteCarloN caps replications per cell; the full campaign may still
 // multiply this across many cells.
 const maxMonteCarloN = 10_000_000
+
+// maxSpecN caps spec-campaign replications per config: scenario runs
+// drive a real state-carrying workload, so they are orders of magnitude
+// more expensive than abstract pattern replications.
+const maxSpecN = 100_000
 
 // maxCampaignCells bounds the config×ρ cross product of one campaign.
 const maxCampaignCells = 4096
@@ -73,11 +83,14 @@ type Campaign struct {
 	// Rhos are the performance bounds to evaluate, one cell per
 	// config×ρ combination.
 	Rhos []float64 `json:"rhos"`
-	// N is the Monte-Carlo replication count per cell (montecarlo only;
-	// default 10000).
+	// N is the replication count per cell (montecarlo: default 10000;
+	// spec: default 100).
 	N int `json:"n,omitempty"`
-	// Seed is the Monte-Carlo master seed (montecarlo only; default 1).
+	// Seed is the replication master seed (montecarlo and spec only;
+	// default 1).
 	Seed uint64 `json:"seed,omitempty"`
+	// Spec is the declarative scenario document of a spec campaign.
+	Spec *spec.ScenarioSpec `json:"spec,omitempty"`
 }
 
 // normalize validates the campaign and pins defaults: empty Configs
@@ -85,10 +98,13 @@ type Campaign struct {
 // The returned campaign is what gets journaled, so resume never depends
 // on catalog evolution or default drift.
 func (c Campaign) normalize() (Campaign, error) {
+	if c.Kind != KindSpec && c.Spec != nil {
+		return Campaign{}, fmt.Errorf("jobs: spec applies to spec campaigns only")
+	}
 	switch c.Kind {
 	case KindGrid, KindSweep:
 		if c.N != 0 || c.Seed != 0 {
-			return Campaign{}, fmt.Errorf("jobs: n and seed apply to montecarlo campaigns only")
+			return Campaign{}, fmt.Errorf("jobs: n and seed apply to montecarlo and spec campaigns only")
 		}
 	case KindMonteCarlo:
 		if c.N == 0 {
@@ -100,16 +116,49 @@ func (c Campaign) normalize() (Campaign, error) {
 		if c.Seed == 0 {
 			c.Seed = 1
 		}
+	case KindSpec:
+		if c.Spec == nil {
+			return Campaign{}, fmt.Errorf("jobs: spec campaign needs a spec document")
+		}
+		if len(c.Rhos) != 0 {
+			return Campaign{}, fmt.Errorf("jobs: rhos do not apply to spec campaigns (the spec fixes its own plan)")
+		}
+		if err := c.Spec.Validate(); err != nil {
+			return Campaign{}, fmt.Errorf("jobs: %w", err)
+		}
+		if c.N == 0 {
+			c.N = 100
+		}
+		if c.N < 2 || c.N > maxSpecN {
+			return Campaign{}, fmt.Errorf("jobs: spec n must be in [2, %d] (got %d)", maxSpecN, c.N)
+		}
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
 	default:
-		return Campaign{}, fmt.Errorf("jobs: unknown campaign kind %q (use grid, sweep or montecarlo)", c.Kind)
+		return Campaign{}, fmt.Errorf("jobs: unknown campaign kind %q (use grid, sweep, montecarlo or spec)", c.Kind)
 	}
 	if len(c.Configs) == 0 {
 		c.Configs = platform.Names()
 	}
 	for _, name := range c.Configs {
-		if _, ok := platform.ByName(name); !ok {
+		cfg, ok := platform.ByName(name)
+		if !ok {
 			return Campaign{}, fmt.Errorf("jobs: unknown configuration %q", name)
 		}
+		// A spec must compile for every pinned config at submit time, so
+		// a campaign never fails shard-by-shard on a bad combination.
+		if c.Kind == KindSpec {
+			if _, err := c.Spec.Compile(spec.EnvFor(cfg)); err != nil {
+				return Campaign{}, fmt.Errorf("jobs: spec does not compile for %q: %w", name, err)
+			}
+		}
+	}
+	if c.Kind == KindSpec {
+		if len(c.Configs) > maxCampaignCells {
+			return Campaign{}, fmt.Errorf("jobs: campaign spans %d cells, max %d", len(c.Configs), maxCampaignCells)
+		}
+		return c, nil
 	}
 	if len(c.Rhos) == 0 {
 		return Campaign{}, fmt.Errorf("jobs: campaign needs at least one rho")
@@ -143,6 +192,16 @@ type shardPlan struct {
 func (c Campaign) planShards() []shardPlan {
 	var shards []shardPlan
 	for _, cfg := range c.Configs {
+		if c.Kind == KindSpec {
+			// One cell per config (Rho stays 0 — the spec fixes the
+			// plan), sharded into the engine's deterministic chunks.
+			chunks := engine.ChunkCount(c.N)
+			for ch := 0; ch < chunks; ch++ {
+				lo, hi := engine.ChunkBounds(c.N, chunks, ch)
+				shards = append(shards, shardPlan{Config: cfg, Chunk: ch, Lo: lo, Hi: hi})
+			}
+			continue
+		}
 		for _, rho := range c.Rhos {
 			if c.Kind != KindMonteCarlo {
 				shards = append(shards, shardPlan{Config: cfg, Rho: rho, Chunk: -1})
@@ -204,6 +263,25 @@ func cellOf(sp shardPlan) (platform.Config, *core.PairGrid, error) {
 // yields byte-identical journal records. A cancelled ctx aborts a
 // Monte-Carlo shard mid-chunk and surfaces the context's error.
 func (c Campaign) runShard(ctx context.Context, sp shardPlan) (shardResult, error) {
+	if c.Kind == KindSpec {
+		cfg, ok := platform.ByName(sp.Config)
+		if !ok {
+			return shardResult{}, fmt.Errorf("jobs: configuration %q not in catalog", sp.Config)
+		}
+		sc, err := c.Spec.Compile(spec.EnvFor(cfg))
+		if err != nil {
+			return shardResult{}, err
+		}
+		// The campaign seed is used directly — not a per-cell derivation
+		// — so a cell's merged estimate is bit-identical to
+		// engine.ReplicateScenario(sc, c.Seed, c.N, ...) run in one
+		// piece.
+		ce, err := engine.ReplicateScenarioChunkCtx(ctx, sc, c.Seed, sp.Lo, sp.Hi)
+		if err != nil {
+			return shardResult{}, err
+		}
+		return shardResult{Chunk: &ce}, nil
+	}
 	cfg, g, err := cellOf(sp)
 	if err != nil {
 		return shardResult{}, err
@@ -348,6 +426,9 @@ func (c Campaign) assemble(id string, shards []shardPlan, done map[int]json.RawM
 				best := sr.Cell.Best
 				out.Best, out.Gain = &best, sr.Cell.Gain
 			}
+		case KindSpec:
+			est := engine.MergeChunkEstimates(c.Spec.TotalWork, c.N, chunksByCell[k])
+			out.Estimate = &est
 		case KindMonteCarlo:
 			if !sr.Infeasible {
 				_, g, err := cellOf(sp)
@@ -387,7 +468,7 @@ func hashCells(cells []CellOutcome) (string, error) {
 // sortedKinds lists the valid campaign kinds (for error messages and
 // discovery endpoints).
 func sortedKinds() []string {
-	kinds := []string{string(KindGrid), string(KindSweep), string(KindMonteCarlo)}
+	kinds := []string{string(KindGrid), string(KindSweep), string(KindMonteCarlo), string(KindSpec)}
 	sort.Strings(kinds)
 	return kinds
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/url"
@@ -21,7 +22,7 @@ import (
 	"respeed/internal/obs"
 	"respeed/internal/platform"
 	"respeed/internal/sim"
-	"respeed/internal/workload"
+	"respeed/internal/spec"
 )
 
 // maxSpeedOverride bounds the ?speeds= list: the solver is O(K²) in the
@@ -107,6 +108,26 @@ func parseSolveQuery(q url.Values) (solveQuery, *paramError) {
 func (sq solveQuery) key(endpoint string, extra ...string) string {
 	parts := append([]string{endpoint, sq.cfg.Name(), fmtF(sq.rho), fmtSpeeds(sq.speeds)}, extra...)
 	return strings.Join(parts, "|")
+}
+
+// checkQueryParams rejects unknown query parameters, naming the
+// offender: a typoed ?sseed= must fail loudly instead of silently
+// running with the default.
+func checkQueryParams(q url.Values, allowed ...string) *paramError {
+	for name := range q {
+		known := false
+		for _, a := range allowed {
+			if name == a {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return badParam("unknown query parameter %q (valid: %s)",
+				name, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
 }
 
 // jsonResponse marshals v into a memoizable response.
@@ -208,8 +229,24 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 // cached.
 func (s *Server) serveGated(w http.ResponseWriter, r *http.Request, endpoint, key string,
 	heavy bool, compute, degrade func(ctx context.Context) (response, error)) {
+	s.serveGatedMethod(w, r, endpoint, "", key, heavy, compute, degrade)
+}
+
+// serveGatedMethod is serveGated with an explicit method requirement:
+// "" accepts GET/HEAD (the read-only default), anything else must match
+// exactly (POST /v1/simulate). Everything past the method check is the
+// same QoS path — the cache and singleflight key the canonicalized
+// request, not the verb.
+func (s *Server) serveGatedMethod(w http.ResponseWriter, r *http.Request, endpoint, method, key string,
+	heavy bool, compute, degrade func(ctx context.Context) (response, error)) {
 	start := time.Now()
-	if !s.requireGet(w, r, endpoint, start) {
+	if method == "" {
+		if !s.requireGet(w, r, endpoint, start) {
+			return
+		}
+	} else if r.Method != method {
+		w.Header().Set("Allow", method)
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusMethodNotAllowed, "use "+method))
 		return
 	}
 	if resp, ok := s.cache.get(key); ok {
@@ -416,37 +453,25 @@ type ScenarioReply struct {
 // expensive.
 const maxScenarioSimulations = 2000
 
-// scenarioNames are the valid ?scenario= values of /v1/simulate, in the
-// order /v1/configs advertises them.
-var scenarioNames = []string{"cluster-twolevel", "partial-failstop"}
+// scenarioNames are the valid ?scenario= values of /v1/simulate — the
+// spec registry's built-ins, in the order /v1/configs advertises them.
+var scenarioNames = spec.Names()
 
-// scenarioByName composes the named engine scenario for a platform's
-// resilience costs. The error rates are boosted (as in cmd/simulate's
-// exec mode) so a short demo execution is error-rich.
-func scenarioByName(name string, p core.Params, model energy.Model) (engine.Scenario, *paramError) {
-	sc := engine.Scenario{
-		Plan:      engine.Plan{W: 50, Sigma1: 0.4, Sigma2: 0.8},
-		Costs:     engine.Costs{C: p.C, V: p.V, R: p.R},
-		Model:     model,
-		TotalWork: 500,
-		NewWorkload: func() *engine.Runner {
-			return engine.FromWorkload(workload.NewStream(7, 64))
-		},
-	}
-	switch name {
-	case "cluster-twolevel":
-		// Multi-node platform under two-level checkpointing — the
-		// composition the siloed simulators could not express.
-		sc.Nodes = engine.UniformNodes(4, 2e-3, 5e-4)
-		sc.TwoLevel = &engine.TwoLevelSpec{MemC: p.C / 4, DiskC: p.C, DiskR: 2 * p.R, Every: 3}
-	case "partial-failstop":
-		// Intermediate partial verifications with fail-stop errors in
-		// the mix.
-		sc.Costs.LambdaS, sc.Costs.LambdaF = 2e-3, 5e-4
-		sc.Partial = &engine.Partial{Segments: 4, Coverage: 0.8, Cost: p.V / 4}
-	default:
+// scenarioByName compiles the named built-in spec for a configuration:
+// a thin lookup into the internal/spec registry, which re-expresses the
+// hand-built scenario catalog as declarative documents (the golden
+// tests in internal/spec prove the two constructions bit-identical).
+func scenarioByName(name string, cfg platform.Config) (engine.Scenario, *paramError) {
+	sp, ok := spec.ByName(name)
+	if !ok {
 		return engine.Scenario{}, badParam(
 			"unknown scenario %q (valid: %s)", name, strings.Join(scenarioNames, ", "))
+	}
+	sc, err := sp.Compile(spec.EnvFor(cfg))
+	if err != nil {
+		// Built-ins compile for every catalog config; a failure here is
+		// a server bug, not a client error.
+		return engine.Scenario{}, &paramError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
 	return sc, nil
 }
@@ -461,12 +486,14 @@ type ConfigEntry struct {
 
 // ConfigsReply is the /v1/configs answer. Beyond the catalog it
 // advertises the service's other enumerable vocabularies: the valid
-// ?scenario= names of /v1/simulate and the campaign kinds accepted by
-// POST /v1/jobs.
+// ?scenario= names of /v1/simulate (the spec registry's built-ins), the
+// campaign kinds accepted by POST /v1/jobs, and the scenario-spec
+// schema version accepted by POST /v1/simulate.
 type ConfigsReply struct {
 	Configs       []ConfigEntry `json:"configs"`
 	Scenarios     []string      `json:"scenarios"`
 	CampaignKinds []string      `json:"campaign_kinds"`
+	SpecVersion   int           `json:"spec_version"`
 }
 
 // --- handlers ---
@@ -533,6 +560,7 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 		out := ConfigsReply{
 			Scenarios:     scenarioNames,
 			CampaignKinds: jobs.Kinds(),
+			SpecVersion:   spec.SchemaVersion,
 		}
 		for _, cfg := range platform.Configs() {
 			out.Configs = append(out.Configs, ConfigEntry{
@@ -641,8 +669,21 @@ func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleSimulateSpec(w, r)
+		return
+	}
 	start := time.Now()
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD, POST")
+		s.direct(w, "/v1/simulate", start, mustErrorResponse(http.StatusMethodNotAllowed, "use GET or POST"))
+		return
+	}
 	q := r.URL.Query()
+	if perr := checkQueryParams(q, "config", "rho", "speeds", "n", "seed", "scenario"); perr != nil {
+		s.direct(w, "/v1/simulate", start, mustErrorResponse(perr.status, perr.msg))
+		return
+	}
 	sq, perr := parseSolveQuery(q)
 	if perr != nil {
 		s.direct(w, "/v1/simulate", start, mustErrorResponse(perr.status, perr.msg))
@@ -676,8 +717,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		seed = v
 	}
 	if scenarioName != "" {
-		model := energy.Model{Kappa: sq.cfg.Processor.Kappa, Pidle: sq.cfg.Processor.Pidle, Pio: sq.cfg.Pio}
-		sc, perr := scenarioByName(scenarioName, core.FromConfig(sq.cfg), model)
+		sc, perr := scenarioByName(scenarioName, sq.cfg)
 		if perr != nil {
 			s.direct(w, "/v1/simulate", start, mustErrorResponse(perr.status, perr.msg))
 			return
@@ -685,7 +725,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		// Fresh computations feed the engine-level telemetry under this
 		// scenario's label; cache hits replay bytes without simulating,
 		// so they correctly leave the counters untouched.
-		sc.Obs.Counters = s.engCounters[scenarioName]
+		sc.Obs.Counters = s.engineCounters(scenarioName)
 		key := sq.key("simulate-scenario", scenarioName, strconv.Itoa(n), strconv.FormatUint(seed, 10))
 		run := func(nRun int) func(ctx context.Context) (response, error) {
 			return func(ctx context.Context) (response, error) {
@@ -743,7 +783,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return response{}, err
 			}
-			s.engCounters[enginePatternLabel].NoteEstimate(est)
+			s.engineCounters(enginePatternLabel).NoteEstimate(est)
 			out := SimulateReply{
 				Config: sq.cfg.Name(), Rho: sq.rho, N: nRun, Seed: seed,
 				Plan: plan, Estimate: est,
@@ -755,6 +795,134 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.serveGated(w, r, "/v1/simulate", key, true, run(n), run(degradedN(n)))
+}
+
+// maxSpecBody bounds the POST /v1/simulate request body: a scenario
+// spec is a small document, so anything past a mebibyte is abuse.
+const maxSpecBody = 1 << 20
+
+// SpecReply is the POST /v1/simulate answer: one traced run plus a
+// replication estimate of the posted scenario spec.
+type SpecReply struct {
+	Config string `json:"config"`
+	// Spec is the document's optional name; SpecHash is the FNV-64a
+	// digest of its canonical form — the identity the result cache keys
+	// on, so two spellings of one spec share an entry.
+	Spec     string        `json:"spec,omitempty"`
+	SpecHash string        `json:"spec_hash"`
+	N        int           `json:"n"`
+	Seed     uint64        `json:"seed"`
+	Report   engine.Report `json:"report"`
+	// Partial and RequestedN mark a degraded answer, exactly as on
+	// SimulateReply.
+	Partial    bool         `json:"partial,omitempty"`
+	RequestedN int          `json:"requested_n,omitempty"`
+	Estimate   sim.Estimate `json:"estimate"`
+}
+
+// handleSimulateSpec answers POST /v1/simulate: the body is a
+// declarative scenario spec, parsed strictly (unknown fields answer 400
+// naming the offender), compiled against the ?config= platform and run
+// exactly like a named scenario. CSV trace references are rejected —
+// the HTTP surface takes inlined arrival times only.
+func (s *Server) handleSimulateSpec(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/simulate"
+	q := r.URL.Query()
+	if perr := checkQueryParams(q, "config", "n", "seed"); perr != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(perr.status, perr.msg))
+		return
+	}
+	name := q.Get("config")
+	if name == "" {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest,
+			"missing config parameter (use /v1/configs to list)"))
+		return
+	}
+	cfg, ok := platform.ByName(name)
+	if !ok {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusNotFound,
+			fmt.Sprintf("unknown configuration %q (use /v1/configs to list)", name)))
+		return
+	}
+	n, nMax := 100, s.opts.MaxSimulations
+	if nMax > maxScenarioSimulations {
+		nMax = maxScenarioSimulations
+	}
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 2 || v > nMax {
+			s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest,
+				fmt.Sprintf("n must be an integer in [2, %d] (got %q)", nMax, raw)))
+			return
+		}
+		n = v
+	}
+	var seed uint64 = 1
+	if raw := q.Get("seed"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest,
+				fmt.Sprintf("seed must be a uint64 (got %q)", raw)))
+			return
+		}
+		seed = v
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.direct(w, endpoint, start, mustErrorResponse(status, err.Error()))
+		return
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest, err.Error()))
+		return
+	}
+	// Compile up front so every spec-level problem (and any
+	// config-dependent one) answers 400 before the QoS path is engaged.
+	sc, err := sp.Compile(spec.EnvFor(cfg))
+	if err != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest, err.Error()))
+		return
+	}
+	hash, err := spec.Hash(sp)
+	if err != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusInternalServerError, err.Error()))
+		return
+	}
+	label := sp.Name
+	if label == "" {
+		label = hash
+	}
+	sc.Obs.Counters = s.engineCounters("spec:" + label)
+	key := strings.Join([]string{"simulate-spec", cfg.Name(), hash,
+		strconv.Itoa(n), strconv.FormatUint(seed, 10)}, "|")
+	run := func(nRun int) func(ctx context.Context) (response, error) {
+		return func(ctx context.Context) (response, error) {
+			rep, err := sc.Run(seed)
+			if err != nil {
+				return response{}, err
+			}
+			est, err := engine.ReplicateScenarioCtx(ctx, sc, seed, nRun, 0)
+			if err != nil {
+				return response{}, err
+			}
+			out := SpecReply{
+				Config: cfg.Name(), Spec: sp.Name, SpecHash: hash,
+				N: nRun, Seed: seed, Report: rep, Estimate: est,
+			}
+			if nRun != n {
+				out.Partial, out.RequestedN = true, n
+			}
+			return jsonResponse(http.StatusOK, out)
+		}
+	}
+	s.serveGatedMethod(w, r, endpoint, http.MethodPost, key, true, run(n), run(degradedN(n)))
 }
 
 // degradedN is the replica count of a degraded answer: a tenth of the

@@ -265,8 +265,11 @@ func TestConfigsAdvertisesVocabularies(t *testing.T) {
 	if want := []string{"cluster-twolevel", "partial-failstop"}; !equalStrings(reply.Scenarios, want) {
 		t.Errorf("scenarios = %v, want %v", reply.Scenarios, want)
 	}
-	if want := []string{"grid", "montecarlo", "sweep"}; !equalStrings(reply.CampaignKinds, want) {
+	if want := []string{"grid", "montecarlo", "spec", "sweep"}; !equalStrings(reply.CampaignKinds, want) {
 		t.Errorf("campaign kinds = %v, want %v", reply.CampaignKinds, want)
+	}
+	if reply.SpecVersion < 1 {
+		t.Errorf("spec version = %d, want >= 1", reply.SpecVersion)
 	}
 }
 

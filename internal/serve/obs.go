@@ -122,12 +122,10 @@ func (s *Server) initObs() {
 
 	// Engine-level series: one Counters per scenario label, shared by
 	// every simulation the server runs under that label, exported
-	// read-time so scrapes never lock simulation state.
+	// read-time so scrapes never lock simulation state. The pattern and
+	// built-in-scenario labels are eager; spec labels are minted on
+	// first use by engineCounters.
 	s.engCounters = make(map[string]*engine.Counters, len(scenarioNames)+1)
-	s.engCounters[enginePatternLabel] = &engine.Counters{}
-	for _, name := range scenarioNames {
-		s.engCounters[name] = &engine.Counters{}
-	}
 	engFamilies := []struct {
 		name, help string
 		read       func(engine.CountersSnapshot) float64
@@ -149,13 +147,51 @@ func (s *Server) initObs() {
 		{"respeed_engine_simulated_joules_total", "Simulated energy (mW*s).",
 			func(c engine.CountersSnapshot) float64 { return c.SimulatedJoules }},
 	}
+	s.engVecs = make([]engCounterVec, 0, len(engFamilies))
 	for _, f := range engFamilies {
 		vec := r.NewCounterVec(obs.Opts{Name: f.name, Help: f.help, Labels: []string{"scenario"}})
-		for label, c := range s.engCounters {
-			c, read := c, f.read
-			vec.WithFunc(func() float64 { return read(c.Snapshot()) }, label)
+		s.engVecs = append(s.engVecs, engCounterVec{vec: vec, read: f.read})
+	}
+	s.engineCounters(enginePatternLabel)
+	for _, name := range scenarioNames {
+		s.engineCounters(name)
+	}
+}
+
+// maxEngineLabels caps the scenario-label cardinality of the engine
+// counter families: every distinct POSTed spec would otherwise mint
+// eight series forever. Past the cap, new specs share "spec:other".
+const maxEngineLabels = 64
+
+// engCounterVec pairs one engine counter family's vec handle with its
+// snapshot reader, so labels can be registered after initObs.
+type engCounterVec struct {
+	vec  *obs.CounterVec
+	read func(engine.CountersSnapshot) float64
+}
+
+// engineCounters returns the engine.Counters behind a scenario label,
+// minting the label's exposition series on first use. Safe for
+// concurrent use; scrapes read the returned counters lock-free.
+func (s *Server) engineCounters(label string) *engine.Counters {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	if c, ok := s.engCounters[label]; ok {
+		return c
+	}
+	if len(s.engCounters) >= maxEngineLabels {
+		label = "spec:other"
+		if c, ok := s.engCounters[label]; ok {
+			return c
 		}
 	}
+	c := &engine.Counters{}
+	s.engCounters[label] = c
+	for _, v := range s.engVecs {
+		read := v.read
+		v.vec.WithFunc(func() float64 { return read(c.Snapshot()) }, label)
+	}
+	return c
 }
 
 // observe meters one finished request into both the legacy JSON
@@ -325,7 +361,7 @@ func (s *Server) handleSimulateEvents(w http.ResponseWriter, r *http.Request) {
 	var sc engine.Scenario
 	if scenarioName != "" {
 		var perr *paramError
-		if sc, perr = scenarioByName(scenarioName, p, model); perr != nil {
+		if sc, perr = scenarioByName(scenarioName, sq.cfg); perr != nil {
 			s.direct(w, endpoint, start, mustErrorResponse(perr.status, perr.msg))
 			return
 		}
@@ -349,7 +385,7 @@ func (s *Server) handleSimulateEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if scenarioName != "" {
-			counters := s.engCounters[scenarioName]
+			counters := s.engineCounters(scenarioName)
 			for run := 0; run < n; run++ {
 				run := run
 				sc.Obs = engine.Options{Counters: counters,
@@ -384,7 +420,7 @@ func (s *Server) handleSimulateEvents(w http.ResponseWriter, r *http.Request) {
 				rngx.NewStream(seed, "serve-events")),
 			Recorder: engine.NewSumRecorder(model),
 			Obs: engine.Options{
-				Counters:  s.engCounters[enginePatternLabel],
+				Counters:  s.engineCounters(enginePatternLabel),
 				TraceSink: func(e trace.Event) { emit(run, e) },
 			},
 		})

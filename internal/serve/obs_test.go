@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 
 	"respeed/internal/jobs"
 	"respeed/internal/obs"
+	"respeed/internal/spec"
 )
 
 // scrape fetches /metrics in the requested shape and returns the body.
@@ -61,6 +63,18 @@ func TestPrometheusExposition(t *testing.T) {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
+	}
+	// A POSTed spec mints its own scenario label (spec:<name>).
+	sp, _ := spec.ByName("cluster-twolevel")
+	doc, _ := spec.Canonical(sp)
+	resp, err := http.Post(ts.URL+"/v1/simulate?config=Hera%2FXScale&n=2",
+		"application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spec POST: %d", resp.StatusCode)
 	}
 	var st jobs.Status
 	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
@@ -116,6 +130,8 @@ func TestPrometheusExposition(t *testing.T) {
 	atLeast("respeed_engine_simulated_seconds_total", map[string]string{"scenario": "pattern"}, 1)
 	atLeast("respeed_engine_patterns_total", map[string]string{"scenario": "partial-failstop"}, 1)
 	atLeast("respeed_engine_recoveries_total", map[string]string{"scenario": "partial-failstop"}, 1)
+	// The POSTed spec's dynamically minted label moved its counters too.
+	atLeast("respeed_engine_patterns_total", map[string]string{"scenario": "spec:cluster-twolevel"}, 1)
 	// Jobs-level series from the shared registry.
 	atLeast("respeed_jobs_shards_executed_total", nil, 2)
 	atLeast("respeed_jobs_shard_duration_seconds_count", nil, 2)

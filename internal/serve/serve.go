@@ -192,11 +192,15 @@ type Server struct {
 	// Observability spine: the Prometheus-style registry behind
 	// /metrics, per-endpoint instruments, the bounded trace ring behind
 	// /debug/traces, engine counters keyed by scenario label, and the
-	// request logger.
+	// request logger. Scenario labels are minted dynamically (POST
+	// /v1/simulate labels series by spec name or hash), so the counter
+	// map and the family vec handles live behind engMu.
 	obsReg      *obs.Registry
 	prom        map[string]*promEndpoint
 	tracer      *obs.Tracer
+	engMu       sync.Mutex
 	engCounters map[string]*engine.Counters
+	engVecs     []engCounterVec
 	log         *slog.Logger
 
 	// shutdown closes when Run begins its graceful drain, so streaming

@@ -1,0 +1,240 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+
+	"respeed/internal/core"
+	"respeed/internal/energy"
+	"respeed/internal/engine"
+	"respeed/internal/faults"
+	"respeed/internal/platform"
+	"respeed/internal/rngx"
+	"respeed/internal/workload"
+)
+
+// Env is the compile environment: the platform parameters quantities
+// resolve against and the default energy model.
+type Env struct {
+	Params core.Params
+	Model  energy.Model
+}
+
+// EnvFor derives the compile environment from a catalog configuration,
+// exactly as the serve and CLI layers historically did.
+func EnvFor(cfg platform.Config) Env {
+	return Env{
+		Params: core.FromConfig(cfg),
+		Model:  energy.Model{Kappa: cfg.Processor.Kappa, Pidle: cfg.Processor.Pidle, Pio: cfg.Pio},
+	}
+}
+
+// Compile lowers the spec into an engine.Scenario against env.
+//
+// Fault lowering preserves bit-exactness with the legacy hand-built
+// constructions: plain exponential channels without correlation or
+// trace replay compile to the exact legacy fault processes (aggregate
+// rates on Costs, or UniformNodes for multi-node platforms), so a spec
+// re-expressing a named scenario reproduces its goldens byte for byte.
+// Only compositions the legacy paths cannot express — Weibull or
+// log-normal inter-arrivals, correlated bursts, trace replay — use the
+// renewal fault factory.
+func (s ScenarioSpec) Compile(env Env) (engine.Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return engine.Scenario{}, err
+	}
+	p := env.Params
+	sc := engine.Scenario{
+		Plan:      engine.Plan{W: s.Plan.W, Sigma1: s.Plan.Sigma1, Sigma2: s.Plan.Sigma2},
+		Costs:     engine.Costs{C: p.C, V: p.V, R: p.R},
+		Model:     env.Model,
+		TotalWork: s.TotalWork,
+	}
+	if s.Costs != nil {
+		if s.Costs.C != nil {
+			sc.Costs.C = s.Costs.C.Resolve(p)
+		}
+		if s.Costs.V != nil {
+			sc.Costs.V = s.Costs.V.Resolve(p)
+		}
+		if s.Costs.R != nil {
+			sc.Costs.R = s.Costs.R.Resolve(p)
+		}
+	}
+	if s.Energy != nil {
+		if s.Energy.Kappa != nil {
+			sc.Model.Kappa = *s.Energy.Kappa
+		}
+		if s.Energy.Pidle != nil {
+			sc.Model.Pidle = *s.Energy.Pidle
+		}
+		if s.Energy.Pio != nil {
+			sc.Model.Pio = *s.Energy.Pio
+		}
+	}
+	sc.NewWorkload = s.workloadFactory()
+	s.compileFaults(&sc)
+	if cp := s.Checkpoint; cp != nil && cp.Tier == "two-level" {
+		sc.TwoLevel = &engine.TwoLevelSpec{
+			MemC:  cp.MemC.Resolve(p),
+			DiskC: cp.DiskC.Resolve(p),
+			DiskR: cp.DiskR.Resolve(p),
+			Every: cp.Every,
+		}
+	}
+	if v := s.Verification; v != nil {
+		switch v.Mode {
+		case "partial":
+			sc.Partial = &engine.Partial{
+				Segments: v.Segments,
+				Coverage: v.Coverage,
+				Cost:     v.Cost.Resolve(p),
+			}
+		case "none":
+			sc.SkipVerification = true
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return engine.Scenario{}, fmt.Errorf("spec: compiled scenario invalid: %w", err)
+	}
+	return sc, nil
+}
+
+// workloadFactory builds the scenario's workload constructor. The spec
+// is already validated, so the constructors' panic preconditions hold.
+func (s ScenarioSpec) workloadFactory() func() *engine.Runner {
+	w := s.Workload
+	if w == nil {
+		// The historical demo workload every hand-built scenario used.
+		return func() *engine.Runner { return engine.FromWorkload(workload.NewStream(7, 64)) }
+	}
+	switch w.Kind {
+	case "heat":
+		return func() *engine.Runner { return engine.FromWorkload(workload.NewHeat(w.Size, w.Alpha)) }
+	case "heat2d":
+		return func() *engine.Runner { return engine.FromWorkload(workload.NewHeat2D(w.Size, w.Alpha)) }
+	case "matvec":
+		return func() *engine.Runner { return engine.FromWorkload(workload.NewMatVec(w.Size)) }
+	default: // "stream"
+		return func() *engine.Runner { return engine.FromWorkload(workload.NewStream(w.Seed, w.Size)) }
+	}
+}
+
+// isPlainExponential reports whether d is expressible by the legacy
+// exponential machinery (nil counts: rate 0).
+func isPlainExponential(d *DistSpec) bool {
+	return d == nil || d.Dist == DistExponential
+}
+
+// expRate returns the exponential rate of a plain channel.
+func expRate(d *DistSpec) float64 {
+	if d == nil {
+		return 0
+	}
+	return d.Rate
+}
+
+// compileFaults lowers the fault composition onto sc, choosing the
+// legacy construction whenever it is expressible there.
+func (s ScenarioSpec) compileFaults(sc *engine.Scenario) {
+	f := s.Faults
+	if f.Correlation == nil && isPlainExponential(f.Silent) && isPlainExponential(f.FailStop) {
+		if f.Nodes > 0 {
+			sc.Nodes = engine.UniformNodes(f.Nodes, expRate(f.Silent), expRate(f.FailStop))
+		} else {
+			sc.Costs.LambdaS = expRate(f.Silent)
+			sc.Costs.LambdaF = expRate(f.FailStop)
+		}
+		return
+	}
+	// Copy the spec pieces the closure needs: the factory must not alias
+	// caller-mutable state.
+	silent := f.Silent.clone()
+	failStop := f.FailStop.clone()
+	var burst *DistSpec
+	spread := 0.0
+	if f.Correlation != nil {
+		b := f.Correlation.Burst
+		burst = b.clone2()
+		spread = f.Correlation.Spread
+	}
+	nodes := f.Nodes
+	sc.Faults = func(seed uint64, prefix string) (engine.FaultProcess, error) {
+		cfg := engine.RenewalConfig{
+			Nodes:       nodes,
+			BurstSpread: spread,
+			RNG:         rngx.NewStream(seed, prefix+"/renewal/aux"),
+		}
+		var err error
+		if silent != nil {
+			cfg.Silent, err = silent.source(seed, prefix+"/renewal/silent")
+			if err != nil {
+				return nil, err
+			}
+		}
+		if failStop != nil {
+			channels := 1
+			if nodes > 0 {
+				channels = nodes
+			}
+			for i := 0; i < channels; i++ {
+				ch, err := failStop.perNode(nodes).source(seed, prefix+"/renewal/failstop-"+strconv.Itoa(i))
+				if err != nil {
+					return nil, err
+				}
+				cfg.FailStop = append(cfg.FailStop, ch)
+			}
+		}
+		if burst != nil {
+			cfg.Burst, err = burst.source(seed, prefix+"/renewal/burst")
+			if err != nil {
+				return nil, err
+			}
+		}
+		return engine.NewRenewalFaults(cfg)
+	}
+}
+
+// clone returns a deep copy (nil-safe).
+func (d *DistSpec) clone() *DistSpec {
+	if d == nil {
+		return nil
+	}
+	return d.clone2()
+}
+
+func (d DistSpec) clone2() *DistSpec {
+	cp := d
+	cp.Times = append([]float64(nil), d.Times...)
+	return &cp
+}
+
+// perNode returns the per-node form of a platform-total distribution:
+// an exponential total rate splits evenly across nodes (matching
+// UniformNodes); other families are already per-node processes.
+func (d DistSpec) perNode(nodes int) DistSpec {
+	if nodes > 1 && d.Dist == DistExponential {
+		d.Rate /= float64(nodes)
+	}
+	return d
+}
+
+// source builds one arrival channel on the (seed, name) stream.
+func (d DistSpec) source(seed uint64, name string) (faults.ArrivalSource, error) {
+	if d.Dist == DistTrace {
+		// A fresh schedule per run: replay state is per-execution.
+		return faults.NewSchedule(append([]float64(nil), d.Times...))
+	}
+	var dist faults.Dist
+	switch d.Dist {
+	case DistExponential:
+		dist = faults.Exponential{Rate: d.Rate}
+	case DistWeibull:
+		dist = faults.Weibull{Shape: d.Shape, Scale: d.Scale}
+	case DistLogNormal:
+		dist = faults.LogNormal{Mu: d.Mu, Sigma: d.Sigma}
+	default:
+		return nil, fmt.Errorf("spec: unknown distribution %q", d.Dist)
+	}
+	return faults.NewRenewal(dist, rngx.NewStream(seed, name)), nil
+}

@@ -1,0 +1,67 @@
+// TestSpecExamples is the CI spec-smoke: every shipped example spec
+// must parse, compile against catalog configurations, and run at n=1
+// with a pinned seed, deterministically.
+package spec_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"respeed/internal/engine"
+	"respeed/internal/platform"
+	"respeed/internal/spec"
+)
+
+func TestSpecExamples(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/spec/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("expected ≥ 4 example specs, found %d", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			s, err := spec.ParseFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name == "" {
+				t.Error("example specs should carry a name")
+			}
+			for _, cfgName := range []string{"Hera/XScale", "Atlas/Crusoe"} {
+				cfg, ok := platform.ByName(cfgName)
+				if !ok {
+					t.Fatalf("unknown config %q", cfgName)
+				}
+				sc, err := s.Compile(spec.EnvFor(cfg))
+				if err != nil {
+					t.Fatalf("%s: compile: %v", cfgName, err)
+				}
+				const seed = 1
+				rep, err := sc.Run(seed)
+				if err != nil {
+					t.Fatalf("%s: run: %v", cfgName, err)
+				}
+				if rep.FinalProgress != sc.TotalWork {
+					t.Errorf("%s: final progress %g, want %g", cfgName, rep.FinalProgress, sc.TotalWork)
+				}
+				est, err := engine.ReplicateScenario(sc, seed, 1, 0)
+				if err != nil {
+					t.Fatalf("%s: replicate: %v", cfgName, err)
+				}
+				est2, err := engine.ReplicateScenario(sc, seed, 1, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// n=1 summaries carry NaN deviations, so compare the
+				// defined moments only.
+				if est.Time.Mean != est2.Time.Mean || est.Energy.Mean != est2.Energy.Mean ||
+					est.MeanAttempts != est2.MeanAttempts {
+					t.Errorf("%s: n=1 replication not deterministic", cfgName)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package spec
+
+// The built-in registry re-expresses the historical named scenarios as
+// specs — the single source of truth the serve catalog, /v1/configs,
+// and the CLI resolve names through. Each built-in compiles bit-exactly
+// to the hand-built engine.Scenario it replaces (proven by the golden
+// tests), so promoting the catalog to specs changed no cached bytes.
+
+// builtins holds the registry in registration (= advertisement) order.
+var builtins = []ScenarioSpec{
+	clusterTwoLevel(),
+	partialFailStop(),
+}
+
+// Names returns the registry's spec names in advertisement order. The
+// slice is fresh; callers may keep it.
+func Names() []string {
+	names := make([]string, len(builtins))
+	for i, s := range builtins {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns a copy of the named built-in spec.
+func ByName(name string) (ScenarioSpec, bool) {
+	for _, s := range builtins {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ScenarioSpec{}, false
+}
+
+// clusterTwoLevel is the "cluster-twolevel" scenario: a four-node
+// platform under two-level (memory + disk) checkpointing, with boosted
+// error rates so a short demo execution is error-rich.
+func clusterTwoLevel() ScenarioSpec {
+	return ScenarioSpec{
+		Version:   SchemaVersion,
+		Name:      "cluster-twolevel",
+		Plan:      PlanSpec{W: 50, Sigma1: 0.4, Sigma2: 0.8},
+		TotalWork: 500,
+		Faults: FaultsSpec{
+			Silent:   &DistSpec{Dist: DistExponential, Rate: 2e-3},
+			FailStop: &DistSpec{Dist: DistExponential, Rate: 5e-4},
+			Nodes:    4,
+		},
+		Checkpoint: &CheckpointSpec{
+			Tier:  "two-level",
+			MemC:  &Quantity{Of: "C", Scale: 0.25},
+			DiskC: &Quantity{Of: "C"},
+			DiskR: &Quantity{Of: "R", Scale: 2},
+			Every: 3,
+		},
+	}
+}
+
+// partialFailStop is the "partial-failstop" scenario: intermediate
+// partial verifications with fail-stop errors in the mix.
+func partialFailStop() ScenarioSpec {
+	return ScenarioSpec{
+		Version:   SchemaVersion,
+		Name:      "partial-failstop",
+		Plan:      PlanSpec{W: 50, Sigma1: 0.4, Sigma2: 0.8},
+		TotalWork: 500,
+		Faults: FaultsSpec{
+			Silent:   &DistSpec{Dist: DistExponential, Rate: 2e-3},
+			FailStop: &DistSpec{Dist: DistExponential, Rate: 5e-4},
+		},
+		Verification: &VerificationSpec{
+			Mode:     "partial",
+			Segments: 4,
+			Coverage: 0.8,
+			Cost:     &Quantity{Of: "V", Scale: 0.25},
+		},
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"respeed/internal/faults"
+)
+
+// FaultLog is a recorded fault trace split into the two channels the
+// engine models: absolute arrival times (seconds of exposure since the
+// execution started), each list non-decreasing.
+type FaultLog struct {
+	Silent   []float64
+	FailStop []float64
+}
+
+// ReadFaultCSV parses a recorded fault log in a minimal CSV dialect:
+//
+//	time_s,kind[,node]
+//	120.5,failstop
+//	3600,silent,2
+//
+// Lines starting with '#' and a leading "time_s,..." header row are
+// skipped; kind must be "silent" or "failstop" (case-insensitive); the
+// optional node column is accepted and ignored — replay drives the
+// aggregate channels. Per-channel times must be non-decreasing so the
+// log replays deterministically.
+func ReadFaultCSV(r io.Reader) (FaultLog, error) {
+	var log FaultLog
+	sc := bufio.NewScanner(r)
+	line, sawRow := 0, false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 || len(fields) > 3 {
+			return FaultLog{}, fmt.Errorf("trace: fault csv line %d: want time_s,kind[,node], got %d fields", line, len(fields))
+		}
+		timeField := strings.TrimSpace(fields[0])
+		kind := strings.ToLower(strings.TrimSpace(fields[1]))
+		if !sawRow && timeField == "time_s" {
+			continue // header row
+		}
+		sawRow = true
+		t, err := strconv.ParseFloat(timeField, 64)
+		if err != nil {
+			return FaultLog{}, fmt.Errorf("trace: fault csv line %d: bad time %q", line, timeField)
+		}
+		switch kind {
+		case "silent":
+			log.Silent = append(log.Silent, t)
+		case "failstop":
+			log.FailStop = append(log.FailStop, t)
+		default:
+			return FaultLog{}, fmt.Errorf("trace: fault csv line %d: kind must be silent or failstop, got %q", line, fields[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return FaultLog{}, fmt.Errorf("trace: read fault csv: %w", err)
+	}
+	if err := log.Validate(); err != nil {
+		return FaultLog{}, err
+	}
+	return log, nil
+}
+
+// Validate checks both channels: finite, non-negative, non-decreasing.
+func (l FaultLog) Validate() error {
+	if err := faults.ValidateArrivalTimes(l.Silent); err != nil {
+		return fmt.Errorf("trace: silent channel: %w", err)
+	}
+	if err := faults.ValidateArrivalTimes(l.FailStop); err != nil {
+		return fmt.Errorf("trace: failstop channel: %w", err)
+	}
+	return nil
+}

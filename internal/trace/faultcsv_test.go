@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadFaultCSV(t *testing.T) {
+	const src = `# recorded on cluster A
+time_s,kind,node
+50,failstop,0
+120.5,silent
+120.5,failstop,3
+3600,SILENT,2
+`
+	log, err := ReadFaultCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSilent := []float64{120.5, 3600}
+	wantFail := []float64{50, 120.5}
+	if len(log.Silent) != len(wantSilent) || len(log.FailStop) != len(wantFail) {
+		t.Fatalf("got %d silent / %d failstop, want %d / %d",
+			len(log.Silent), len(log.FailStop), len(wantSilent), len(wantFail))
+	}
+	for i, v := range wantSilent {
+		if log.Silent[i] != v {
+			t.Errorf("silent[%d] = %g, want %g", i, log.Silent[i], v)
+		}
+	}
+	for i, v := range wantFail {
+		if log.FailStop[i] != v {
+			t.Errorf("failstop[%d] = %g, want %g", i, log.FailStop[i], v)
+		}
+	}
+}
+
+func TestReadFaultCSVNoHeader(t *testing.T) {
+	log, err := ReadFaultCSV(strings.NewReader("10,silent\n20,failstop\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Silent) != 1 || len(log.FailStop) != 1 {
+		t.Fatalf("got %d/%d arrivals, want 1/1", len(log.Silent), len(log.FailStop))
+	}
+}
+
+func TestReadFaultCSVEmpty(t *testing.T) {
+	log, err := ReadFaultCSV(strings.NewReader("# nothing happened\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Silent) != 0 || len(log.FailStop) != 0 {
+		t.Fatal("expected empty log")
+	}
+}
+
+func TestReadFaultCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":       "10,explode\n",
+		"bad time":       "ten,silent\n",
+		"too few cols":   "10\n",
+		"too many cols":  "10,silent,2,extra\n",
+		"negative time":  "-5,silent\n",
+		"decreasing":     "10,failstop\n5,failstop\n",
+		"header not 1st": "10,silent\ntime_s,kind\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadFaultCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected an error for %q", name, src)
+		}
+	}
+}

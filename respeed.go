@@ -45,6 +45,7 @@ import (
 	"respeed/internal/schedule"
 	"respeed/internal/serve"
 	"respeed/internal/sim"
+	"respeed/internal/spec"
 	"respeed/internal/trace"
 	"respeed/internal/workload"
 )
@@ -503,6 +504,59 @@ func ReplicateScenarioCtx(ctx context.Context, sc Scenario, mk func() Workload, 
 	return engine.ReplicateScenarioCtx(ctx, sc, seed, n, workers)
 }
 
+// Declarative scenario specs: the versioned JSON DSL of internal/spec.
+// A ScenarioSpec composes a fault process (exponential, Weibull,
+// log-normal, correlated bursts or recorded-trace replay), a checkpoint
+// tier, a verification discipline and a workload declaratively;
+// CompileSpec lowers it onto the unified engine. The built-in registry
+// re-expresses the named scenario catalog ("cluster-twolevel",
+// "partial-failstop") as specs, bit-identical to the hand-built
+// constructions they replaced.
+type ScenarioSpec = spec.ScenarioSpec
+
+// ParseScenarioSpec parses and strictly validates a spec document:
+// unknown fields are rejected, naming the offender. CSV fault-trace
+// references are not resolved here — use ParseScenarioSpecFile.
+func ParseScenarioSpec(data []byte) (ScenarioSpec, error) { return spec.Parse(data) }
+
+// ParseScenarioSpecFile reads a spec file, resolving CSV fault-trace
+// references relative to the file's directory and inlining the recorded
+// arrival times.
+func ParseScenarioSpecFile(path string) (ScenarioSpec, error) { return spec.ParseFile(path) }
+
+// CompileSpec lowers a spec onto an executable Scenario for a platform
+// configuration.
+func CompileSpec(s ScenarioSpec, cfg Config) (Scenario, error) {
+	return s.Compile(spec.EnvFor(cfg))
+}
+
+// SimulateSpec compiles the spec for cfg and replicates it n times over
+// a bounded worker pool (workers ≤ 0 selects GOMAXPROCS); deterministic
+// in (seed, n) independent of worker count.
+func SimulateSpec(s ScenarioSpec, cfg Config, seed uint64, n, workers int) (Estimate, error) {
+	sc, err := s.Compile(spec.EnvFor(cfg))
+	if err != nil {
+		return Estimate{}, err
+	}
+	return engine.ReplicateScenario(sc, seed, n, workers)
+}
+
+// ScenarioSpecNames lists the built-in spec registry in advertisement
+// order.
+func ScenarioSpecNames() []string { return spec.Names() }
+
+// ScenarioSpecByName returns a built-in spec by name.
+func ScenarioSpecByName(name string) (ScenarioSpec, bool) { return spec.ByName(name) }
+
+// CanonicalSpec renders a spec in its canonical JSON form — the bytes
+// behind SpecHash.
+func CanonicalSpec(s ScenarioSpec) ([]byte, error) { return spec.Canonical(s) }
+
+// SpecHash digests a spec's canonical form with FNV-64a (hex). Two
+// spellings of one spec share a hash; the serving layer keys its result
+// cache on it.
+func SpecHash(s ScenarioSpec) (string, error) { return spec.Hash(s) }
+
 // Campaign subsystem: crash-safe asynchronous campaigns (grid solves,
 // ρ-sweeps, Monte-Carlo replications) sharded into deterministic
 // chunks, executed by a bounded worker pool, and journaled to disk
@@ -538,6 +592,8 @@ const (
 	CampaignGrid       = jobs.KindGrid
 	CampaignSweep      = jobs.KindSweep
 	CampaignMonteCarlo = jobs.KindMonteCarlo
+	// CampaignSpec replicates a declarative ScenarioSpec per config.
+	CampaignSpec = jobs.KindSpec
 )
 
 // NewJobManager opens (or reopens) a campaign manager over a journal
