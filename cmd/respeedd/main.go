@@ -15,6 +15,7 @@
 //	GET    /v1/simulate?config=...&rho=...[&n=10000][&seed=1][&scenario=...]
 //	GET    /v1/simulate/events?config=...&rho=...[&n=10][&scenario=...]  (SSE)
 //	GET    /v1/configs
+//	POST   /v1/shards                 execute one campaign shard (fleet data plane)
 //	POST   /v1/jobs                   submit a campaign (with -jobs-dir)
 //	GET    /v1/jobs                   list jobs
 //	GET    /v1/jobs/{id}              job status
@@ -28,6 +29,14 @@
 // With -debug-addr a second, private listener serves net/http/pprof
 // profiles and expvar counters (keep it off the public network).
 //
+// Fleet mode: with -peers the daemon becomes a campaign COORDINATOR —
+// jobs submitted to /v1/jobs are sharded and dispatched to the listed
+// peer daemons' POST /v1/shards endpoints (requires -jobs-dir for the
+// journal). Every daemon is also a shard WORKER: it serves /v1/shards
+// for peer coordinators, gated by -fleet-token when set. Because
+// shards are deterministic in (campaign, plan), a fleet-sharded
+// campaign's result hash is byte-identical to a single-node run.
+//
 // Usage:
 //
 //	respeedd [-addr :8080] [-cache-size 4096] [-max-inflight N]
@@ -35,6 +44,9 @@
 //	         [-jobs-dir DIR] [-jobs-workers N] [-jobs-max 64]
 //	         [-admit-policy SPEC] [-admit-express N] [-admit-queue N]
 //	         [-admit-overload reject|degrade]
+//	         [-peers URL[=W],URL[=W],...] [-fleet-policy round-robin|least-loaded|weighted]
+//	         [-fleet-token TOKEN] [-fleet-max-shards N] [-fleet-heartbeat 2s]
+//	         [-fleet-shard-timeout 2m] [-fleet-local]
 //	         [-log-level info] [-log-format text] [-debug-addr ADDR]
 package main
 
@@ -81,6 +93,21 @@ func main() {
 	admitOverload := flag.String("admit-overload", "reject",
 		"saturated heavy-lane answer: reject (429 + Retry-After) or degrade (reduced-n partial estimate)")
 
+	peers := flag.String("peers", "",
+		"fleet peers to dispatch campaign shards to, comma-separated base URLs with optional weights (http://host:port[=W]); empty disables coordinator mode")
+	fleetPolicy := flag.String("fleet-policy", "round-robin",
+		"shard routing policy: round-robin | least-loaded | weighted")
+	fleetToken := flag.String("fleet-token", "",
+		"bearer token for /v1/shards: workers require it, coordinators present it (empty disables auth)")
+	fleetMaxShards := flag.Int("fleet-max-shards", 0,
+		"max concurrently executing remote shards on this worker (default 0 = 2x GOMAXPROCS)")
+	fleetHeartbeat := flag.Duration("fleet-heartbeat", 2*time.Second,
+		"peer health-probe interval (default 2s)")
+	fleetShardTimeout := flag.Duration("fleet-shard-timeout", 2*time.Minute,
+		"bound on one remote shard attempt before it is re-dispatched (default 2m)")
+	fleetLocal := flag.Bool("fleet-local", true,
+		"execute shards in-process when no peer is live (coordinator fallback; default true)")
+
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log line format: text or json")
 	debugAddr := flag.String("debug-addr", "", "private pprof/expvar listen address; empty disables it")
@@ -121,16 +148,74 @@ func main() {
 	// the engine-level counters, so a single scrape sees everything.
 	telemetry := respeed.NewTelemetry()
 
+	// Every daemon is a fleet worker: peers may ship campaign shards to
+	// its POST /v1/shards endpoint (503 only if explicitly disabled in
+	// code; auth via -fleet-token).
+	worker := respeed.NewFleetWorker(respeed.FleetWorkerOptions{
+		MaxActive: *fleetMaxShards,
+		Token:     *fleetToken,
+		Registry:  telemetry,
+		Logger:    logger,
+	})
+
+	// With -peers the daemon is additionally a coordinator: campaigns
+	// submitted to /v1/jobs dispatch their shards across the fleet.
+	var coordinator *respeed.FleetCoordinator
+	if *peers != "" {
+		if *jobsDir == "" {
+			fmt.Fprintln(os.Stderr, "respeedd: -peers requires -jobs-dir (the coordinator journals every shard)")
+			os.Exit(1)
+		}
+		peerList, err := respeed.ParseFleetPeers(*peers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
+			os.Exit(1)
+		}
+		policy, err := respeed.NewFleetPolicy(*fleetPolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
+			os.Exit(1)
+		}
+		coordinator, err = respeed.NewFleetCoordinator(respeed.FleetCoordinatorOptions{
+			Peers:          peerList,
+			Policy:         policy,
+			Token:          *fleetToken,
+			HeartbeatEvery: *fleetHeartbeat,
+			ShardTimeout:   *fleetShardTimeout,
+			LocalFallback:  *fleetLocal,
+			LocalGate:      heavyLane,
+			Registry:       telemetry,
+			Logger:         logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
+			os.Exit(1)
+		}
+		defer coordinator.Close()
+		logger.Info("fleet coordinator ready",
+			"peers", len(peerList), "policy", policy.Name(),
+			"heartbeat", *fleetHeartbeat, "shard_timeout", *fleetShardTimeout,
+			"local_fallback", *fleetLocal)
+	}
+
 	var manager *respeed.JobManager
 	if *jobsDir != "" {
-		manager, err = respeed.NewJobManager(respeed.JobManagerOptions{
+		mopts := respeed.JobManagerOptions{
 			Dir:      *jobsDir,
 			Workers:  *jobsWorkers,
 			MaxJobs:  *jobsMax,
 			Logger:   logger,
 			Registry: telemetry,
 			Gate:     heavyLane,
-		})
+		}
+		if coordinator != nil {
+			// Coordinator mode: shards execute on PEERS, so they must not
+			// hold local heavy-lane slots — the lane gates only the local
+			// fallback (Coordinator.LocalGate above).
+			mopts.Gate = nil
+			mopts.ShardRunner = coordinator.RunShard
+		}
+		manager, err = respeed.NewJobManager(mopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "respeedd: %v\n", err)
 			os.Exit(1)
@@ -140,19 +225,21 @@ func main() {
 	}
 
 	srv := respeed.NewPlanningServer(respeed.ServeOptions{
-		CacheSize:       cacheSize,
-		MaxInFlight:     *maxInFlight,
-		RequestTimeout:  timeout,
-		DrainTimeout:    *drain,
-		MaxSimulations:  maxSim,
-		Jobs:            manager,
-		Logger:          logger,
-		Registry:        telemetry,
-		Admission:       policy,
-		ExpressInFlight: *admitExpress,
-		QueueBound:      *admitQueue,
-		HeavyLane:       heavyLane,
-		OverloadMode:    *admitOverload,
+		CacheSize:        cacheSize,
+		MaxInFlight:      *maxInFlight,
+		RequestTimeout:   timeout,
+		DrainTimeout:     *drain,
+		MaxSimulations:   maxSim,
+		Jobs:             manager,
+		Logger:           logger,
+		Registry:         telemetry,
+		Admission:        policy,
+		ExpressInFlight:  *admitExpress,
+		QueueBound:       *admitQueue,
+		HeavyLane:        heavyLane,
+		OverloadMode:     *admitOverload,
+		FleetWorker:      worker,
+		FleetCoordinator: coordinator,
 	})
 	logger.Info("admission ready",
 		"policy", policy.Name(), "overload", *admitOverload,

@@ -1,0 +1,477 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"respeed/internal/jobs"
+	"respeed/internal/obs"
+)
+
+// ErrNoPeers reports a dispatch with no live peer and no local
+// fallback. It flows through the jobs retry path, so a fleet whose
+// peers all flap briefly still completes once a heartbeat revives one.
+var ErrNoPeers = fmt.Errorf("fleet: no live peers (and local fallback disabled)")
+
+// BusyError is a worker's 429: the peer is at its concurrency bound
+// and hinted when to come back. It implements jobs.RetryHint, so the
+// manager stretches the next backoff to the hint (clamped to ≥1s)
+// instead of hammering the saturated worker.
+type BusyError struct {
+	Peer string
+	Hint time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("fleet: %s busy (retry after %s)", e.Peer, e.Hint)
+}
+
+// RetryAfter satisfies jobs.RetryHint.
+func (e *BusyError) RetryAfter() time.Duration { return e.Hint }
+
+// maxShardReply bounds a worker response body: a grid shard's full
+// pair grid is tens of kilobytes, so anything past 16 MiB is a broken
+// or hostile peer.
+const maxShardReply = 16 << 20
+
+// Options configures a Coordinator. Peers is required; everything else
+// defaults.
+type Options struct {
+	// Peers are the fleet members shards dispatch to.
+	Peers []Peer
+	// Policy picks the peer per shard (default round-robin).
+	Policy RoutingPolicy
+	// Token is the bearer token presented to workers.
+	Token string
+	// HeartbeatEvery is the health-probe interval (default 2s). Each
+	// probe GETs the peer's /healthz and reads its fleet block; success
+	// revives a down peer, failure marks it down.
+	HeartbeatEvery time.Duration
+	// ShardTimeout bounds one remote shard attempt (default 2m). A
+	// timed-out attempt marks the peer down and re-dispatches through
+	// the jobs retry path.
+	ShardTimeout time.Duration
+	// LocalFallback, when true, executes a shard in-process when no
+	// peer is live — the single-binary degradation that keeps a
+	// campaign moving through a full fleet outage.
+	LocalFallback bool
+	// LocalGate, when non-nil, bounds fallback execution (share the
+	// serving layer's heavy lane so local shards respect the same
+	// compute bound as interactive simulations).
+	LocalGate jobs.Gate
+	// Client is the dispatch HTTP client (default: http.Client with
+	// ShardTimeout; pass one to pool connections across coordinators
+	// in tests).
+	Client *http.Client
+	// Registry, when non-nil, exports the coordinator's
+	// respeed_fleet_* series (dispatched/re-dispatched shards, per-peer
+	// up gauge).
+	Registry *obs.Registry
+	// Logger receives dispatch and health-transition logs (nil
+	// discards them).
+	Logger *slog.Logger
+}
+
+// peerState is the coordinator's health tracker for one peer.
+type peerState struct {
+	url    string
+	weight float64
+
+	mu           sync.Mutex
+	up           bool
+	activeShards int // peer's own gauge, from its last heartbeat
+	inFlight     int // dispatched by us, not yet collected
+}
+
+func (p *peerState) snapshot() PeerSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PeerSnapshot{
+		URL: p.url, Weight: p.weight, Up: p.up,
+		ActiveShards: p.activeShards, InFlight: p.inFlight,
+	}
+}
+
+func (p *peerState) addInFlight(d int) {
+	p.mu.Lock()
+	p.inFlight += d
+	p.mu.Unlock()
+}
+
+// Coordinator is the control-plane side of the fabric: it implements
+// the jobs.Options.ShardRunner hook by routing each shard attempt to a
+// peer, tracks peer health by heartbeat, and verifies every remote
+// result's hash before the manager journals it.
+type Coordinator struct {
+	opts   Options
+	policy RoutingPolicy
+	client *http.Client
+	peers  []*peerState
+	log    *slog.Logger
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	dispatched     *obs.Counter
+	redispatched   *obs.Counter
+	localShards    *obs.Counter
+	dispatchErrors *obs.Counter
+}
+
+// NewCoordinator validates the peer set, registers metrics and starts
+// the heartbeat loop. Close it when done.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("fleet: coordinator needs at least one peer")
+	}
+	if opts.Policy == nil {
+		opts.Policy, _ = NewPolicy("round-robin")
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = 2 * time.Second
+	}
+	if opts.ShardTimeout <= 0 {
+		opts.ShardTimeout = 2 * time.Minute
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.NopLogger()
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: opts.ShardTimeout + 5*time.Second}
+	}
+	r := opts.Registry
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	c := &Coordinator{
+		opts: opts, policy: opts.Policy, client: opts.Client,
+		log: opts.Logger, stop: make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(opts.Peers))
+	for _, p := range opts.Peers {
+		if seen[p.URL] {
+			return nil, fmt.Errorf("fleet: duplicate peer %q", p.URL)
+		}
+		seen[p.URL] = true
+		w := p.Weight
+		if w <= 0 {
+			w = 1
+		}
+		// Peers start optimistically up so dispatch can begin before the
+		// first heartbeat lands; a failed dispatch corrects the optimism.
+		c.peers = append(c.peers, &peerState{url: p.URL, weight: w, up: true})
+	}
+	c.dispatched = r.NewCounter("respeed_fleet_shards_dispatched_total",
+		"Campaign shard attempts dispatched to fleet peers.")
+	c.redispatched = r.NewCounter("respeed_fleet_shards_redispatched_total",
+		"Shard attempts beyond the first — re-dispatches after a peer failure, timeout or busy signal.")
+	c.localShards = r.NewCounter("respeed_fleet_local_shards_total",
+		"Shards executed in-process because no peer was live (local fallback).")
+	c.dispatchErrors = r.NewCounter("respeed_fleet_dispatch_errors_total",
+		"Failed remote shard attempts (dial errors, 5xx, timeouts, hash mismatches).")
+	up := r.NewGaugeVec(obs.Opts{
+		Name:   "respeed_fleet_peer_up",
+		Help:   "Per-peer heartbeat verdict: 1 when the peer is dispatchable.",
+		Labels: []string{"peer"},
+	})
+	for _, p := range c.peers {
+		p := p
+		up.WithFunc(func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			if p.up {
+				return 1
+			}
+			return 0
+		}, p.url)
+	}
+	c.wg.Add(1)
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// Close stops the heartbeat loop. In-flight dispatches finish on their
+// own contexts.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// PolicyName is the active routing policy's name (advertised on
+// /healthz and /v1/configs).
+func (c *Coordinator) PolicyName() string { return c.policy.Name() }
+
+// PeerCount is the configured fleet size.
+func (c *Coordinator) PeerCount() int { return len(c.peers) }
+
+// PeersUp counts peers currently considered dispatchable.
+func (c *Coordinator) PeersUp() int {
+	n := 0
+	for _, p := range c.peers {
+		p.mu.Lock()
+		if p.up {
+			n++
+		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time read of the coordinator's dispatch counters.
+type Stats struct {
+	Dispatched     int `json:"dispatched"`
+	Redispatched   int `json:"redispatched"`
+	LocalShards    int `json:"local_shards"`
+	DispatchErrors int `json:"dispatch_errors"`
+}
+
+// Stats reads the dispatch counters. The same series are exported to
+// the registry; this accessor serves tests and programmatic callers.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Dispatched:     int(c.dispatched.Value()),
+		Redispatched:   int(c.redispatched.Value()),
+		LocalShards:    int(c.localShards.Value()),
+		DispatchErrors: int(c.dispatchErrors.Value()),
+	}
+}
+
+// Snapshot returns every peer's current view, in configuration order.
+func (c *Coordinator) Snapshot() []PeerSnapshot {
+	out := make([]PeerSnapshot, len(c.peers))
+	for i, p := range c.peers {
+		out[i] = p.snapshot()
+	}
+	return out
+}
+
+// RunShard is the jobs.Options.ShardRunner hook: it dispatches one
+// shard attempt to a peer chosen by the routing policy and returns the
+// verified result bytes. Errors are ordinary shard errors — the
+// manager's retry+backoff path re-dispatches them, and by the next
+// attempt the health tracker has routed around a dead peer.
+func (c *Coordinator) RunShard(ctx context.Context, camp jobs.Campaign, sp jobs.ShardPlan, shard, attempt int) (json.RawMessage, error) {
+	if attempt > 1 {
+		c.redispatched.Inc()
+	}
+	idx := c.policy.Pick(c.Snapshot())
+	if idx < 0 {
+		if c.opts.LocalFallback {
+			return c.runLocal(ctx, camp, sp)
+		}
+		return nil, ErrNoPeers
+	}
+	p := c.peers[idx]
+	p.addInFlight(1)
+	defer p.addInFlight(-1)
+	c.dispatched.Inc()
+	raw, err := c.post(ctx, p, ShardRequest{Campaign: camp, Shard: sp})
+	if err != nil {
+		c.dispatchErrors.Inc()
+		c.log.Warn("shard dispatch failed", "peer", p.url, "shard", shard,
+			"attempt", attempt, "error", err)
+		return nil, err
+	}
+	return raw, nil
+}
+
+// runLocal executes a shard in-process (fallback), under the local
+// gate when one is configured.
+func (c *Coordinator) runLocal(ctx context.Context, camp jobs.Campaign, sp jobs.ShardPlan) (json.RawMessage, error) {
+	if c.opts.LocalGate != nil {
+		release, err := c.opts.LocalGate.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+	c.localShards.Inc()
+	return jobs.ExecShard(ctx, camp, sp)
+}
+
+// markDown flips a peer down (heartbeats revive it) and logs the
+// transition once.
+func (c *Coordinator) markDown(p *peerState, reason string) {
+	p.mu.Lock()
+	was := p.up
+	p.up = false
+	p.mu.Unlock()
+	if was {
+		c.log.Warn("peer marked down", "peer", p.url, "reason", reason)
+	}
+}
+
+// post runs one remote shard attempt against a peer.
+//
+// Error hygiene matters here: the jobs manager treats an error chain
+// containing context.Canceled/DeadlineExceeded as shutdown, not
+// failure. So a per-attempt ShardTimeout expiry must surface as a
+// PLAIN error (formatted with %v) — only when the CALLER's context is
+// done do we return its error verbatim, because then the job really is
+// being cancelled or shut down.
+func (c *Coordinator) post(ctx context.Context, p *peerState, req ShardRequest) (json.RawMessage, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encode shard request: %w", err)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, p.url+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: build shard request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.opts.Token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.opts.Token)
+	}
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err() // job cancelled / manager shutdown
+		}
+		c.markDown(p, err.Error())
+		if actx.Err() != nil {
+			return nil, fmt.Errorf("fleet: shard to %s timed out after %s", p.url, c.opts.ShardTimeout)
+		}
+		return nil, fmt.Errorf("fleet: post %s: %v", p.url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxShardReply))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		c.markDown(p, err.Error())
+		return nil, fmt.Errorf("fleet: read %s response: %v", p.url, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var sr ShardResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			return nil, fmt.Errorf("fleet: decode %s response: %v", p.url, err)
+		}
+		if got := HashBytes(sr.Result); got != sr.Hash {
+			// A transfer that corrupted result bytes must never reach the
+			// journal: byte-identity is the whole contract.
+			return nil, fmt.Errorf("fleet: %s shard hash mismatch (got %s, peer says %s)",
+				p.url, got, sr.Hash)
+		}
+		return sr.Result, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		hint := time.Second
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				hint = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, &BusyError{Peer: p.url, Hint: hint}
+	case resp.StatusCode >= 500:
+		c.markDown(p, fmt.Sprintf("status %d", resp.StatusCode))
+		return nil, fmt.Errorf("fleet: %s answered %d: %s", p.url, resp.StatusCode, errMsgOf(data))
+	default:
+		// 4xx: the worker rejected the request as malformed (catalog
+		// drift, bad token). Retrying won't help, but the error text
+		// makes the job's failure actionable.
+		return nil, fmt.Errorf("fleet: %s rejected shard (%d): %s", p.url, resp.StatusCode, errMsgOf(data))
+	}
+}
+
+// errMsgOf extracts the server's error field from a JSON error body,
+// falling back to (truncated) raw bytes.
+func errMsgOf(data []byte) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	const limit = 200
+	s := string(data)
+	if len(s) > limit {
+		s = s[:limit] + "…"
+	}
+	return s
+}
+
+// healthProbe is the slice of a peer's /healthz answer the heartbeat
+// reads: the fleet block's active-shard gauge.
+type healthProbe struct {
+	Fleet *struct {
+		ActiveShards int `json:"active_shards"`
+	} `json:"fleet"`
+}
+
+// heartbeatLoop probes every peer each interval: a reachable /healthz
+// revives the peer and refreshes its load snapshot; anything else
+// marks it down. The first round fires immediately so a coordinator
+// started against a dead fleet learns it within one probe.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		c.probeAll()
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeAll heartbeats every peer concurrently (one slow peer must not
+// delay the verdict on the others).
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range c.peers {
+		wg.Add(1)
+		go func(p *peerState) {
+			defer wg.Done()
+			c.probe(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (c *Coordinator) probe(p *peerState) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.HeartbeatEvery)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/healthz", nil)
+	if err != nil {
+		c.markDown(p, err.Error())
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.markDown(p, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		c.markDown(p, fmt.Sprintf("healthz status %d", resp.StatusCode))
+		return
+	}
+	var hp healthProbe
+	active := 0
+	if json.Unmarshal(data, &hp) == nil && hp.Fleet != nil {
+		active = hp.Fleet.ActiveShards
+	}
+	p.mu.Lock()
+	was := p.up
+	p.up = true
+	p.activeShards = active
+	p.mu.Unlock()
+	if !was {
+		c.log.Info("peer revived by heartbeat", "peer", p.url)
+	}
+}

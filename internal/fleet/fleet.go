@@ -1,0 +1,83 @@
+// Package fleet is respeed's distributed campaign fabric: a
+// coordinator/worker mode that shards one campaign over a fleet of
+// respeedd daemons while keeping the merged result byte-identical to a
+// single-node run.
+//
+// The design is a control-plane/data-plane split over the invariants
+// the jobs subsystem already guarantees:
+//
+//   - the CONTROL PLANE is the unmodified jobs.Manager on the
+//     coordinator: it plans the campaign's deterministic shards,
+//     journals every completion to the CRC-framed journal, retries
+//     with backoff, and assembles the result from journal bytes. The
+//     only change is jobs.Options.ShardRunner — instead of computing a
+//     shard locally, the manager hands (campaign, plan) to the
+//     Coordinator;
+//   - the DATA PLANE is the worker-side POST /v1/shards endpoint: a
+//     peer daemon validates the shard against its own catalog,
+//     executes it with jobs.ExecShard, and returns the raw result
+//     bytes plus their FNV-64a hash.
+//
+// Because a shard is a pure function of (campaign, plan) — the chunk
+// contract pins every RNG substream to (seed, n) — WHERE a shard runs
+// never changes the bytes it produces. The coordinator journals remote
+// bytes exactly as local ones, so crash-resume, cancellation and the
+// result content hash all work unchanged, and a campaign sharded over
+// N workers (including one whose worker was SIGKILLed mid-flight and
+// whose shards were re-dispatched) hashes identically to a single-node
+// run.
+//
+// Placement is a pluggable RoutingPolicy (round-robin, least-loaded,
+// weighted); health is heartbeat-based (the coordinator polls each
+// peer's /healthz and reads its fleet.active_shards gauge); failure
+// handling is re-dispatch: a dial error, 5xx, or shard timeout marks
+// the peer down and surfaces an ordinary shard error, which the jobs
+// retry path re-dispatches — by then the policy routes around the dead
+// peer. A busy worker's 429 carries a Retry-After hint that stretches
+// the next backoff instead of burning an attempt hot.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"respeed/internal/jobs"
+)
+
+// ShardRequest is the POST /v1/shards body: one campaign and the plan
+// of the single shard to execute. The campaign is the coordinator's
+// normalized (journaled) form, so the worker validates it against its
+// own catalog and re-derives the identical chunk bounds.
+type ShardRequest struct {
+	Campaign jobs.Campaign  `json:"campaign"`
+	Shard    jobs.ShardPlan `json:"shard"`
+}
+
+// ShardResponse is the POST /v1/shards answer: the shard's raw result
+// bytes (journaled verbatim by the coordinator), their FNV-64a hash
+// (verified by the coordinator before journaling, so a corrupted
+// transfer is an error rather than a wrong result), and the worker's
+// wall-clock cost.
+type ShardResponse struct {
+	Result         json.RawMessage `json:"result"`
+	Hash           string          `json:"hash"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+}
+
+// HashBytes digests bytes with FNV-64a in the repo's canonical %016x
+// form — the same digest the jobs result hash uses.
+func HashBytes(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// RequestError marks a shard request the worker rejected as malformed
+// (unknown config, chunk bounds that contradict the deterministic
+// plan). The serving layer answers it with a 400-class status instead
+// of a 500.
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }

@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Peer is one fleet member as configured: its base URL and a weight
+// for the weighted policy (capacity share; 1 when unspecified).
+type Peer struct {
+	URL    string  `json:"url"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// ParsePeers parses the -peers flag: a comma-separated list of base
+// URLs, each optionally carrying a weight as "url=weight".
+func ParsePeers(s string) ([]Peer, error) {
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p := Peer{URL: part, Weight: 1}
+		// A weight suffix is "=w" after the URL; URLs themselves contain
+		// no bare "=" outside a query string, which peers don't carry.
+		if i := strings.LastIndex(part, "="); i >= 0 && !strings.Contains(part[i:], "/") {
+			w, err := strconv.ParseFloat(part[i+1:], 64)
+			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+				return nil, fmt.Errorf("fleet: peer %q: weight must be a positive finite number", part)
+			}
+			p.URL, p.Weight = part[:i], w
+		}
+		u, err := url.Parse(p.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("fleet: peer %q: need an http(s) base URL like http://host:port", part)
+		}
+		p.URL = strings.TrimRight(p.URL, "/")
+		peers = append(peers, p)
+	}
+	return peers, nil
+}
+
+// PeerSnapshot is a point-in-time view of one peer, handed to the
+// routing policy: configured identity plus the health tracker's state.
+type PeerSnapshot struct {
+	URL    string  `json:"url"`
+	Weight float64 `json:"weight"`
+	// Up is the heartbeat verdict (peers start optimistically up; a
+	// dispatch failure or missed heartbeat marks them down until the
+	// next successful probe).
+	Up bool `json:"up"`
+	// ActiveShards is the peer's own fleet.active_shards gauge from its
+	// last heartbeat — shards it is executing for ANY coordinator.
+	ActiveShards int `json:"active_shards"`
+	// InFlight counts shards THIS coordinator has dispatched to the
+	// peer and not yet collected (current between heartbeats).
+	InFlight int `json:"in_flight"`
+}
+
+// load is the scoring denominator: what the peer is doing for anyone,
+// plus what we have in flight to it that its last heartbeat predates.
+func (p PeerSnapshot) load() int { return p.ActiveShards + p.InFlight }
+
+// RoutingPolicy picks the peer for the next shard. Pick returns an
+// index into the snapshot slice, or -1 when no peer is usable (the
+// coordinator then falls back to local execution or errors the
+// attempt). Policies must be safe for concurrent use.
+type RoutingPolicy interface {
+	Name() string
+	Pick(peers []PeerSnapshot) int
+}
+
+// PolicyNames lists the valid -fleet-policy values.
+func PolicyNames() []string { return []string{"round-robin", "least-loaded", "weighted"} }
+
+// NewPolicy builds the named routing policy.
+func NewPolicy(name string) (RoutingPolicy, error) {
+	switch name {
+	case "", "round-robin":
+		return &roundRobin{}, nil
+	case "least-loaded":
+		return leastLoaded{}, nil
+	case "weighted":
+		return weighted{}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown routing policy %q (valid: %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// roundRobin cycles through live peers in configuration order —
+// the baseline that spreads shards evenly when peers are homogeneous.
+type roundRobin struct{ cursor atomic.Uint64 }
+
+func (*roundRobin) Name() string { return "round-robin" }
+
+func (rr *roundRobin) Pick(peers []PeerSnapshot) int {
+	if len(peers) == 0 {
+		return -1
+	}
+	start := int(rr.cursor.Add(1) - 1)
+	for i := range peers {
+		idx := (start + i) % len(peers)
+		if peers[idx].Up {
+			return idx
+		}
+	}
+	return -1
+}
+
+// leastLoaded picks the live peer with the fewest shards on it —
+// the policy that keeps a heterogeneous fleet's tail latency down by
+// steering work away from busy nodes.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Pick(peers []PeerSnapshot) int {
+	best, bestLoad := -1, 0
+	for i, p := range peers {
+		if !p.Up {
+			continue
+		}
+		if best < 0 || p.load() < bestLoad {
+			best, bestLoad = i, p.load()
+		}
+	}
+	return best
+}
+
+// weighted scores live peers by Weight/(1+load): a peer with twice the
+// weight absorbs roughly twice the shards, degraded by what it already
+// carries. Ties break toward configuration order.
+type weighted struct{}
+
+func (weighted) Name() string { return "weighted" }
+
+func (weighted) Pick(peers []PeerSnapshot) int {
+	best, bestScore := -1, math.Inf(-1)
+	for i, p := range peers {
+		if !p.Up {
+			continue
+		}
+		if score := p.Weight / float64(1+p.load()); score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

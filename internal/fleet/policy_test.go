@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers(" http://a:9090 , http://b:9090/=2.5 ,, https://c ")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	want := []Peer{
+		{URL: "http://a:9090", Weight: 1},
+		{URL: "http://b:9090", Weight: 2.5},
+		{URL: "https://c", Weight: 1},
+	}
+	if len(peers) != len(want) {
+		t.Fatalf("got %d peers, want %d", len(peers), len(want))
+	}
+	for i, p := range peers {
+		if p != want[i] {
+			t.Errorf("peer %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+}
+
+func TestParsePeersRejectsBadInput(t *testing.T) {
+	for _, in := range []string{
+		"ftp://a:9090",       // wrong scheme
+		"a:9090",             // no scheme
+		"http://a:9090=0",    // non-positive weight
+		"http://a:9090=-1",   // negative weight
+		"http://a:9090=nope", // non-numeric weight
+		"http://a:9090=+Inf", // non-finite weight
+		"http://",            // no host
+	} {
+		if _, err := ParsePeers(in); err == nil {
+			t.Errorf("ParsePeers(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestParsePeersEmpty(t *testing.T) {
+	peers, err := ParsePeers("")
+	if err != nil || len(peers) != 0 {
+		t.Fatalf("ParsePeers(\"\") = %v, %v; want empty, nil", peers, err)
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := NewPolicy(""); err != nil || p.Name() != "round-robin" {
+		t.Errorf("NewPolicy(\"\") should default to round-robin, got %v, %v", p, err)
+	}
+	if _, err := NewPolicy("random"); err == nil {
+		t.Error("NewPolicy(\"random\"): want error")
+	}
+}
+
+func TestRoundRobinCyclesAndSkipsDown(t *testing.T) {
+	p, _ := NewPolicy("round-robin")
+	peers := []PeerSnapshot{
+		{URL: "a", Up: true},
+		{URL: "b", Up: false},
+		{URL: "c", Up: true},
+	}
+	// Over four picks the down peer is always skipped and the two live
+	// ones alternate.
+	got := make(map[int]int)
+	for i := 0; i < 4; i++ {
+		idx := p.Pick(peers)
+		if idx == 1 {
+			t.Fatal("round-robin picked a down peer")
+		}
+		got[idx]++
+	}
+	if got[0] != 2 || got[2] != 2 {
+		t.Errorf("uneven spread over live peers: %v", got)
+	}
+	if idx := p.Pick(nil); idx != -1 {
+		t.Errorf("Pick(nil) = %d, want -1", idx)
+	}
+	if idx := p.Pick([]PeerSnapshot{{Up: false}}); idx != -1 {
+		t.Errorf("Pick(all down) = %d, want -1", idx)
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	p, _ := NewPolicy("least-loaded")
+	peers := []PeerSnapshot{
+		{URL: "a", Up: true, ActiveShards: 3},
+		{URL: "b", Up: true, ActiveShards: 1, InFlight: 1},
+		{URL: "c", Up: true, InFlight: 1},
+	}
+	if idx := p.Pick(peers); idx != 2 {
+		t.Errorf("Pick = %d, want 2 (load 1 beats loads 3 and 2)", idx)
+	}
+	peers[2].Up = false
+	if idx := p.Pick(peers); idx != 1 {
+		t.Errorf("Pick = %d, want 1 once c is down", idx)
+	}
+	if idx := p.Pick([]PeerSnapshot{}); idx != -1 {
+		t.Errorf("Pick(empty) = %d, want -1", idx)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	p, _ := NewPolicy("weighted")
+	peers := []PeerSnapshot{
+		{URL: "a", Up: true, Weight: 1},              // score 1
+		{URL: "b", Up: true, Weight: 4, InFlight: 1}, // score 2
+		{URL: "c", Up: false, Weight: 100},
+	}
+	if idx := p.Pick(peers); idx != 1 {
+		t.Errorf("Pick = %d, want 1 (weight/(1+load) highest)", idx)
+	}
+	peers[1].InFlight = 7 // score 0.5: the idle light peer wins now
+	if idx := p.Pick(peers); idx != 0 {
+		t.Errorf("Pick = %d, want 0 after b loads up", idx)
+	}
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"context"
+	"crypto/subtle"
+	"log/slog"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"respeed/internal/jobs"
+	"respeed/internal/obs"
+)
+
+// WorkerOptions configures the data-plane side of a daemon. The zero
+// value selects sensible defaults.
+type WorkerOptions struct {
+	// MaxActive bounds concurrently executing remote shards (default
+	// 2×GOMAXPROCS — shards are compute-bound but arrive in bursts, so
+	// a little oversubscription smooths the pipeline). Excess requests
+	// answer 429 with a Retry-After hint.
+	MaxActive int
+	// Token, when non-empty, requires `Authorization: Bearer <Token>`
+	// on every shard request (compared in constant time).
+	Token string
+	// RetryAfter is the hint a saturated worker sends with its 429
+	// (default 2s).
+	RetryAfter time.Duration
+	// Registry, when non-nil, exports the worker's respeed_fleet_*
+	// series (shards served/rejected, active gauge).
+	Registry *obs.Registry
+	// Logger receives shard execution logs (nil discards them).
+	Logger *slog.Logger
+}
+
+// Worker executes remote shards: the data plane behind POST
+// /v1/shards. It holds no campaign state — every request is
+// self-contained and validated against this daemon's own catalog.
+type Worker struct {
+	opts     WorkerOptions
+	active   atomic.Int64
+	served   *obs.Counter
+	rejected *obs.Counter
+	log      *slog.Logger
+}
+
+// NewWorker builds a Worker and registers its metrics.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.MaxActive <= 0 {
+		opts.MaxActive = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 2 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.NopLogger()
+	}
+	r := opts.Registry
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	w := &Worker{opts: opts, log: opts.Logger}
+	w.served = r.NewCounter("respeed_fleet_shards_served_total",
+		"Remote campaign shards executed to completion by this worker.")
+	w.rejected = r.NewCounter("respeed_fleet_shards_rejected_total",
+		"Remote shard requests rejected at the concurrency bound (429).")
+	r.NewGaugeFunc("respeed_fleet_active_shards",
+		"Remote campaign shards currently executing on this worker.",
+		func() float64 { return float64(w.active.Load()) })
+	return w
+}
+
+// Authorized checks a request's Authorization header against the
+// configured token. An empty token admits everyone (loopback dev
+// fleets); otherwise the bearer token must match in constant time.
+func (w *Worker) Authorized(header string) bool {
+	if w.opts.Token == "" {
+		return true
+	}
+	const prefix = "Bearer "
+	if !strings.HasPrefix(header, prefix) {
+		return false
+	}
+	return subtle.ConstantTimeCompare(
+		[]byte(strings.TrimPrefix(header, prefix)), []byte(w.opts.Token)) == 1
+}
+
+// TryAcquire claims an execution slot. It never blocks: a fleet worker
+// sheds at the bound (the coordinator's retry+backoff path is the
+// queue) instead of stacking remote work behind local load. The
+// release must be called exactly once when ok.
+func (w *Worker) TryAcquire() (release func(), ok bool) {
+	for {
+		cur := w.active.Load()
+		if cur >= int64(w.opts.MaxActive) {
+			w.rejected.Inc()
+			return nil, false
+		}
+		if w.active.CompareAndSwap(cur, cur+1) {
+			return func() { w.active.Add(-1) }, true
+		}
+	}
+}
+
+// Execute validates and runs one shard, returning the result bytes and
+// their hash. A validation failure is a *RequestError (the caller's
+// fault); an execution failure is this worker's.
+func (w *Worker) Execute(ctx context.Context, req ShardRequest) (ShardResponse, error) {
+	norm, err := req.Campaign.ValidateShard(req.Shard)
+	if err != nil {
+		return ShardResponse{}, &RequestError{Err: err}
+	}
+	start := time.Now()
+	raw, err := jobs.ExecShard(ctx, norm, req.Shard)
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	w.served.Inc()
+	elapsed := time.Since(start)
+	w.log.Debug("shard served", "config", req.Shard.Config, "chunk", req.Shard.Chunk,
+		"elapsed", elapsed)
+	return ShardResponse{
+		Result:         raw,
+		Hash:           HashBytes(raw),
+		ElapsedSeconds: elapsed.Seconds(),
+	}, nil
+}
+
+// Active is the number of shards currently executing.
+func (w *Worker) Active() int { return int(w.active.Load()) }
+
+// MaxActive is the worker's concurrency bound.
+func (w *Worker) MaxActive() int { return w.opts.MaxActive }
+
+// RetryAfter is the hint a saturated worker attaches to its 429.
+func (w *Worker) RetryAfter() time.Duration { return w.opts.RetryAfter }

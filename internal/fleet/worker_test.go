@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"respeed/internal/jobs"
+)
+
+func TestWorkerAuthorized(t *testing.T) {
+	open := NewWorker(WorkerOptions{})
+	if !open.Authorized("") || !open.Authorized("Bearer anything") {
+		t.Error("tokenless worker must admit everyone")
+	}
+	w := NewWorker(WorkerOptions{Token: "s3cret"})
+	if !w.Authorized("Bearer s3cret") {
+		t.Error("correct bearer token rejected")
+	}
+	for _, h := range []string{"", "s3cret", "Bearer s3cre", "Bearer s3crets", "Basic s3cret"} {
+		if w.Authorized(h) {
+			t.Errorf("Authorized(%q) = true, want false", h)
+		}
+	}
+}
+
+func TestWorkerTryAcquireSheds(t *testing.T) {
+	w := NewWorker(WorkerOptions{MaxActive: 2})
+	r1, ok := w.TryAcquire()
+	r2, ok2 := w.TryAcquire()
+	if !ok || !ok2 {
+		t.Fatal("acquire under the bound failed")
+	}
+	if _, ok := w.TryAcquire(); ok {
+		t.Fatal("acquire past MaxActive succeeded")
+	}
+	if w.Active() != 2 {
+		t.Errorf("Active = %d, want 2", w.Active())
+	}
+	r1()
+	if _, ok := w.TryAcquire(); !ok {
+		t.Fatal("released slot not reusable")
+	}
+	r2()
+}
+
+func TestWorkerExecute(t *testing.T) {
+	w := NewWorker(WorkerOptions{})
+	camp := jobs.Campaign{
+		Name:    "worker-unit",
+		Kind:    jobs.KindMonteCarlo,
+		Configs: []string{"Hera/XScale"},
+		Rhos:    []float64{3},
+		N:       128,
+		Seed:    1,
+	}
+	sp := jobs.ShardPlan{Config: "Hera/XScale", Rho: 3, Chunk: 0, Lo: 0, Hi: 2}
+	resp, err := w.Execute(context.Background(), ShardRequest{Campaign: camp, Shard: sp})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if resp.Hash != HashBytes(resp.Result) {
+		t.Errorf("response hash %s does not cover its own bytes", resp.Hash)
+	}
+	// And it is byte-for-byte what a local manager would journal.
+	norm, err := camp.ValidateShard(sp)
+	if err != nil {
+		t.Fatalf("ValidateShard: %v", err)
+	}
+	want, err := jobs.ExecShard(context.Background(), norm, sp)
+	if err != nil {
+		t.Fatalf("ExecShard: %v", err)
+	}
+	if string(resp.Result) != string(want) {
+		t.Error("remote execution bytes differ from local execution")
+	}
+}
+
+func TestWorkerExecuteRejectsForeignShard(t *testing.T) {
+	w := NewWorker(WorkerOptions{})
+	camp := jobs.Campaign{
+		Name:    "worker-unit",
+		Kind:    jobs.KindMonteCarlo,
+		Configs: []string{"Hera/XScale"},
+		Rhos:    []float64{3},
+		N:       128,
+		Seed:    1,
+	}
+	// Bounds that disagree with the deterministic chunk plan.
+	sp := jobs.ShardPlan{Config: "Hera/XScale", Rho: 3, Chunk: 0, Lo: 0, Hi: 99}
+	_, err := w.Execute(context.Background(), ShardRequest{Campaign: camp, Shard: sp})
+	var rerr *RequestError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %v, want *RequestError", err)
+	}
+}

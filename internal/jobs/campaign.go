@@ -174,23 +174,27 @@ func (c Campaign) normalize() (Campaign, error) {
 	return c, nil
 }
 
-// shardPlan locates one shard of a campaign. Grid/sweep campaigns have
-// one shard per config×ρ cell (Chunk = -1); Monte-Carlo campaigns shard
-// each cell into the engine's deterministic chunks, with [Lo, Hi) the
-// chunk's replication index range.
-type shardPlan struct {
-	Config string
-	Rho    float64
-	Chunk  int
-	Lo, Hi int
+// ShardPlan locates one shard of a campaign. Grid/sweep campaigns have
+// one shard per config×ρ cell (Chunk = -1); Monte-Carlo and spec
+// campaigns shard each cell into the engine's deterministic chunks, with
+// [Lo, Hi) the chunk's replication index range. The type is exported
+// (and fully serializable) because the fleet layer ships shards to peer
+// daemons over HTTP: a shard is a pure function of (campaign, plan), so
+// WHERE it executes never changes the bytes it produces.
+type ShardPlan struct {
+	Config string  `json:"config"`
+	Rho    float64 `json:"rho,omitempty"`
+	Chunk  int     `json:"chunk"`
+	Lo     int     `json:"lo,omitempty"`
+	Hi     int     `json:"hi,omitempty"`
 }
 
 // planShards enumerates the campaign's shards in canonical order:
 // configs-order × rhos-order × chunk-order. The enumeration is a pure
 // function of the normalized campaign, so a resumed job re-derives the
 // identical plan.
-func (c Campaign) planShards() []shardPlan {
-	var shards []shardPlan
+func (c Campaign) planShards() []ShardPlan {
+	var shards []ShardPlan
 	for _, cfg := range c.Configs {
 		if c.Kind == KindSpec {
 			// One cell per config (Rho stays 0 — the spec fixes the
@@ -198,23 +202,103 @@ func (c Campaign) planShards() []shardPlan {
 			chunks := engine.ChunkCount(c.N)
 			for ch := 0; ch < chunks; ch++ {
 				lo, hi := engine.ChunkBounds(c.N, chunks, ch)
-				shards = append(shards, shardPlan{Config: cfg, Chunk: ch, Lo: lo, Hi: hi})
+				shards = append(shards, ShardPlan{Config: cfg, Chunk: ch, Lo: lo, Hi: hi})
 			}
 			continue
 		}
 		for _, rho := range c.Rhos {
 			if c.Kind != KindMonteCarlo {
-				shards = append(shards, shardPlan{Config: cfg, Rho: rho, Chunk: -1})
+				shards = append(shards, ShardPlan{Config: cfg, Rho: rho, Chunk: -1})
 				continue
 			}
 			chunks := engine.ChunkCount(c.N)
 			for ch := 0; ch < chunks; ch++ {
 				lo, hi := engine.ChunkBounds(c.N, chunks, ch)
-				shards = append(shards, shardPlan{Config: cfg, Rho: rho, Chunk: ch, Lo: lo, Hi: hi})
+				shards = append(shards, ShardPlan{Config: cfg, Rho: rho, Chunk: ch, Lo: lo, Hi: hi})
 			}
 		}
 	}
 	return shards
+}
+
+// ValidateShard checks that sp is one of c's planned shards and returns
+// the normalized campaign to execute it under. It is the worker-side
+// admission check of the fleet layer: a daemon accepting a remote shard
+// must not trust the coordinator's framing, so membership (config, ρ)
+// and chunk geometry (chunk index, [Lo, Hi) bounds) are re-derived from
+// the campaign itself and compared field by field.
+func (c Campaign) ValidateShard(sp ShardPlan) (Campaign, error) {
+	norm, err := c.normalize()
+	if err != nil {
+		return Campaign{}, err
+	}
+	found := false
+	for _, name := range norm.Configs {
+		if name == sp.Config {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Campaign{}, fmt.Errorf("jobs: shard config %q is not in the campaign", sp.Config)
+	}
+	checkRho := func() error {
+		for _, rho := range norm.Rhos {
+			if rho == sp.Rho {
+				return nil
+			}
+		}
+		return fmt.Errorf("jobs: shard rho %g is not in the campaign", sp.Rho)
+	}
+	checkChunk := func() error {
+		chunks := engine.ChunkCount(norm.N)
+		if sp.Chunk < 0 || sp.Chunk >= chunks {
+			return fmt.Errorf("jobs: shard chunk %d out of range [0, %d)", sp.Chunk, chunks)
+		}
+		lo, hi := engine.ChunkBounds(norm.N, chunks, sp.Chunk)
+		if sp.Lo != lo || sp.Hi != hi {
+			return fmt.Errorf("jobs: shard bounds [%d,%d) do not match chunk %d of n=%d (want [%d,%d))",
+				sp.Lo, sp.Hi, sp.Chunk, norm.N, lo, hi)
+		}
+		return nil
+	}
+	switch norm.Kind {
+	case KindGrid, KindSweep:
+		if sp.Chunk != -1 || sp.Lo != 0 || sp.Hi != 0 {
+			return Campaign{}, fmt.Errorf("jobs: %s shards carry no chunk range", norm.Kind)
+		}
+		if err := checkRho(); err != nil {
+			return Campaign{}, err
+		}
+	case KindMonteCarlo:
+		if err := checkRho(); err != nil {
+			return Campaign{}, err
+		}
+		if err := checkChunk(); err != nil {
+			return Campaign{}, err
+		}
+	case KindSpec:
+		if sp.Rho != 0 {
+			return Campaign{}, fmt.Errorf("jobs: spec shards carry no rho (got %g)", sp.Rho)
+		}
+		if err := checkChunk(); err != nil {
+			return Campaign{}, err
+		}
+	}
+	return norm, nil
+}
+
+// ExecShard executes one shard of a normalized campaign and returns its
+// journal-encoding bytes — exactly the record a local worker would have
+// journaled, so a result assembled from remotely executed shards is
+// byte-identical to a single-process run. Callers that receive the
+// campaign over the network must go through ValidateShard first.
+func ExecShard(ctx context.Context, c Campaign, sp ShardPlan) (json.RawMessage, error) {
+	sr, err := c.runShard(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sr)
 }
 
 // shardResult is the journaled outcome of one shard. Exactly one of the
@@ -246,7 +330,7 @@ type CellSolution struct {
 // assumed. The memoized grid is what keeps a Monte-Carlo cell's 64
 // chunk shards (and assemble's final pass) from re-deriving the same
 // solve 65 times.
-func cellOf(sp shardPlan) (platform.Config, *core.PairGrid, error) {
+func cellOf(sp ShardPlan) (platform.Config, *core.PairGrid, error) {
 	cfg, ok := platform.ByName(sp.Config)
 	if !ok {
 		return platform.Config{}, nil, fmt.Errorf("jobs: configuration %q not in catalog", sp.Config)
@@ -262,7 +346,7 @@ func cellOf(sp shardPlan) (platform.Config, *core.PairGrid, error) {
 // (campaign, shard plan): re-executing a shard after a crash or retry
 // yields byte-identical journal records. A cancelled ctx aborts a
 // Monte-Carlo shard mid-chunk and surfaces the context's error.
-func (c Campaign) runShard(ctx context.Context, sp shardPlan) (shardResult, error) {
+func (c Campaign) runShard(ctx context.Context, sp ShardPlan) (shardResult, error) {
 	if c.Kind == KindSpec {
 		cfg, ok := platform.ByName(sp.Config)
 		if !ok {
@@ -377,7 +461,7 @@ type Result struct {
 // journal bytes), so interrupted and uninterrupted runs share one code
 // path — Welford JSON round-trips losslessly, making the two
 // byte-identical.
-func (c Campaign) assemble(id string, shards []shardPlan, done map[int]json.RawMessage) (Result, error) {
+func (c Campaign) assemble(id string, shards []ShardPlan, done map[int]json.RawMessage) (Result, error) {
 	type cellKey struct {
 		config string
 		rho    float64

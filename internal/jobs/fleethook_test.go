@@ -1,0 +1,137 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The ShardRunner hook is the seam the fleet coordinator plugs into:
+// these tests pin its contract — every shard flows through it with the
+// normalized campaign and its planned shard, the returned bytes are
+// journaled verbatim (so the result hash is placement-independent), and
+// errors implementing RetryHint stretch the retry backoff with the
+// one-second clamp.
+
+func hookCampaign() Campaign {
+	return Campaign{
+		Name:    "hook-test",
+		Kind:    KindMonteCarlo,
+		Configs: []string{"Hera/XScale"},
+		Rhos:    []float64{3},
+		N:       128,
+		Seed:    42,
+	}
+}
+
+func TestShardRunnerHookPreservesHash(t *testing.T) {
+	var calls atomic.Int64
+	hooked, err := Open(Options{
+		Dir: t.TempDir(),
+		ShardRunner: func(ctx context.Context, c Campaign, sp ShardPlan, shard, attempt int) (json.RawMessage, error) {
+			calls.Add(1)
+			if got, want := sp, c.planShards()[shard]; got != want {
+				t.Errorf("shard %d: plan %+v, want %+v", shard, got, want)
+			}
+			// Stand-in for a remote peer: execute elsewhere, return bytes.
+			return ExecShard(ctx, c, sp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hooked.Close()
+	st, err := hooked.Submit(hookCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	fin, err := hooked.Wait(ctx, st.ID)
+	if err != nil || fin.State != StateDone {
+		t.Fatalf("hooked run: %v (state %s, %s)", err, fin.State, fin.Error)
+	}
+	if got := calls.Load(); got != int64(fin.ShardsTotal) {
+		t.Errorf("runner called %d times, want %d (every shard)", got, fin.ShardsTotal)
+	}
+
+	local, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	lst, err := local.Submit(hookCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfin, err := local.Wait(ctx, lst.ID)
+	if err != nil || lfin.State != StateDone {
+		t.Fatalf("local run: %v", err)
+	}
+	if fin.Hash != lfin.Hash {
+		t.Errorf("hooked hash %s != local hash %s: placement changed the result", fin.Hash, lfin.Hash)
+	}
+}
+
+// hintErr is a shard error carrying an explicit retry-after delay, the
+// shape the fleet coordinator's BusyError has.
+type hintErr struct{ d time.Duration }
+
+func (e hintErr) Error() string             { return "peer busy" }
+func (e hintErr) RetryAfter() time.Duration { return e.d }
+
+func TestRetryHintStretchesAndClampsBackoff(t *testing.T) {
+	camp := Campaign{
+		Name:    "hint-test",
+		Kind:    KindSweep,
+		Configs: []string{"Hera/XScale"},
+		Rhos:    []float64{3},
+	}
+	var calls atomic.Int64
+	m, err := Open(Options{
+		Dir:          t.TempDir(),
+		RetryBackoff: time.Millisecond,
+		ShardRunner: func(ctx context.Context, c Campaign, sp ShardPlan, shard, attempt int) (json.RawMessage, error) {
+			if calls.Add(1) == 1 {
+				// A 10ms hint must be clamped UP to the 1s floor — a
+				// sub-second Retry-After must not become a hot loop.
+				return nil, hintErr{d: 10 * time.Millisecond}
+			}
+			return ExecShard(ctx, c, sp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	st, err := m.Submit(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	fin, err := m.Wait(ctx, st.ID)
+	if err != nil || fin.State != StateDone {
+		t.Fatalf("job: %v (state %s, %s)", err, fin.State, fin.Error)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("runner called %d times, want 2 (busy, then success)", got)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("job finished in %s: the 1s backoff clamp was not honored", elapsed)
+	}
+}
+
+func TestRetryHintInterface(t *testing.T) {
+	// The manager discovers hints through errors.As on the chain, so a
+	// wrapped hint still counts.
+	err := errors.Join(errors.New("dispatch failed"), hintErr{d: 3 * time.Second})
+	var hint RetryHint
+	if !errors.As(err, &hint) || hint.RetryAfter() != 3*time.Second {
+		t.Error("wrapped RetryHint not discovered via errors.As")
+	}
+}

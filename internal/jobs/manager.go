@@ -80,6 +80,15 @@ type Options struct {
 	// inject an error to force the retry path (fault-injection hook,
 	// also used by tests).
 	BeforeShard func(jobID string, shard, attempt int) error
+	// ShardRunner, when non-nil, replaces local shard execution: each
+	// attempt calls it with the normalized campaign and the shard's plan
+	// and journals the raw bytes it returns verbatim. The fleet
+	// coordinator uses this hook to dispatch shards to peer daemons;
+	// because the journal path is unchanged, crash-resume and the result
+	// hash are byte-identical to local execution. Errors flow through
+	// the normal retry+backoff path; an error implementing RetryHint
+	// stretches the next backoff to the hinted delay.
+	ShardRunner func(ctx context.Context, c Campaign, sp ShardPlan, shard, attempt int) (json.RawMessage, error)
 	// Gate, when non-nil, bounds shard execution against an external
 	// compute lane (the serving layer's heavy lane), so background
 	// campaign shards and interactive simulations respect one bound.
@@ -94,6 +103,19 @@ type Options struct {
 type Gate interface {
 	Wait(ctx context.Context) (func(), error)
 }
+
+// RetryHint is implemented by shard errors that carry an explicit
+// retry-after delay (a busy worker's 429 Retry-After header, surfaced
+// by the fleet coordinator). The manager stretches the next backoff to
+// at least the hinted delay, clamped to a minimum of one second so a
+// sub-second hint cannot turn the backoff into a hot loop.
+type RetryHint interface {
+	RetryAfter() time.Duration
+}
+
+// minRetryHint floors Retry-After hints: anything shorter is rounded
+// up to one second.
+const minRetryHint = time.Second
 
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
@@ -160,7 +182,7 @@ type Stats struct {
 type job struct {
 	id       string
 	campaign Campaign
-	shards   []shardPlan
+	shards   []ShardPlan
 
 	mu         sync.Mutex
 	state      State
@@ -626,6 +648,12 @@ func (m *Manager) runShard(ctx context.Context, j *job, idx int) error {
 			m.log.Warn("retrying shard", "job", j.id, "shard", idx,
 				"attempt", attempt, "error", lastErr)
 			backoff := m.opts.RetryBackoff << (attempt - 2)
+			var hint RetryHint
+			if errors.As(lastErr, &hint) {
+				if h := max(hint.RetryAfter(), minRetryHint); h > backoff {
+					backoff = h
+				}
+			}
 			t := time.NewTimer(backoff)
 			select {
 			case <-ctx.Done():
@@ -657,13 +685,22 @@ func (m *Manager) tryShard(ctx context.Context, j *job, idx, attempt int) error 
 			return err
 		}
 	}
-	sr, err := j.campaign.runShard(ctx, j.shards[idx])
-	if err != nil {
-		return err
-	}
-	raw, err := json.Marshal(sr)
-	if err != nil {
-		return err
+	var raw json.RawMessage
+	if m.opts.ShardRunner != nil {
+		var err error
+		raw, err = m.opts.ShardRunner(ctx, j.campaign, j.shards[idx], idx, attempt)
+		if err != nil {
+			return err
+		}
+	} else {
+		sr, err := j.campaign.runShard(ctx, j.shards[idx])
+		if err != nil {
+			return err
+		}
+		raw, err = json.Marshal(sr)
+		if err != nil {
+			return err
+		}
 	}
 	if err := j.journal.append(record{T: recordShard, Idx: idx, Result: raw}); err != nil {
 		return err

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"respeed/internal/fleet"
+)
+
+// POST /v1/shards is the fleet data plane: a coordinator daemon ships
+// one (campaign, shard-plan) pair here and this daemon executes it,
+// answering the raw result bytes plus their FNV-64a hash. The endpoint
+// is strict by design — bearer-token auth, DisallowUnknownFields on
+// the body, full shard-plan validation against this daemon's catalog —
+// because a silently mis-executed shard would poison the coordinator's
+// journal with wrong-but-well-formed bytes.
+
+// maxShardBody bounds the shard request body: a campaign (even one
+// carrying an inline scenario spec) is a small structured description.
+const maxShardBody = 1 << 20
+
+// fleetWorker returns the configured worker, or answers 503 and
+// returns nil when this daemon does not serve shards.
+func (s *Server) fleetWorker(w http.ResponseWriter, endpoint string, start time.Time) *fleet.Worker {
+	if s.opts.FleetWorker == nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusServiceUnavailable,
+			"fleet shard execution is disabled on this daemon"))
+		return nil
+	}
+	return s.opts.FleetWorker
+}
+
+func (s *Server) handleShardExec(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/shards"
+	wkr := s.fleetWorker(w, endpoint, start)
+	if wkr == nil {
+		return
+	}
+	if !wkr.Authorized(r.Header.Get("Authorization")) {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusUnauthorized,
+			"missing or invalid fleet token"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxShardBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.direct(w, endpoint, start, mustErrorResponse(status, err.Error()))
+		return
+	}
+	var req fleet.ShardRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest, err.Error()))
+		return
+	}
+	// Shed at the worker's own bound first: the coordinator's
+	// retry+backoff path is the queue, and the Retry-After hint tells it
+	// when to come back.
+	release, ok := wkr.TryAcquire()
+	if !ok {
+		s.tooManyRequests(w, endpoint, start,
+			"worker at shard capacity", wkr.RetryAfter())
+		return
+	}
+	defer release()
+	// Then respect the shared heavy lane, as background work: remote
+	// shards and interactive simulations honor one compute bound, and
+	// background waits are exempt from the lane's foreground queue
+	// limit — a shard has no deadline to protect, so it waits rather
+	// than sheds. The request context bounds the wait (the coordinator
+	// abandons a shard at its ShardTimeout).
+	laneRelease, err := s.heavy.Wait(r.Context())
+	if err != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusServiceUnavailable,
+			"abandoned while waiting for compute: "+err.Error()))
+		return
+	}
+	defer laneRelease()
+	resp, err := wkr.Execute(r.Context(), req)
+	if err != nil {
+		var rerr *fleet.RequestError
+		switch {
+		case errors.As(err, &rerr):
+			// The shard contradicts this daemon's catalog or the
+			// deterministic plan — the coordinator's fault, not ours.
+			s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest, err.Error()))
+		default:
+			s.direct(w, endpoint, start, mustErrorResponse(http.StatusInternalServerError, err.Error()))
+		}
+		return
+	}
+	out, rerr := jsonResponse(http.StatusOK, resp)
+	if rerr != nil {
+		out = mustErrorResponse(http.StatusInternalServerError, rerr.Error())
+	}
+	s.direct(w, endpoint, start, out)
+}
+
+// FleetHealth is the fleet block of /healthz: the daemon's role, its
+// live view of the fleet (coordinator) and its shard occupancy
+// (worker). Coordinators read each peer's active_shards gauge from
+// exactly this block when they heartbeat.
+type FleetHealth struct {
+	Role string `json:"role"`
+	// Peers / PeersUp / Policy describe the coordinator side (absent on
+	// pure workers). PeersUp is a pointer so a coordinator with zero
+	// live peers still reports it.
+	Peers   int    `json:"peers,omitempty"`
+	PeersUp *int   `json:"peers_up,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+	// ActiveShards / MaxShards describe the worker side.
+	ActiveShards int `json:"active_shards"`
+	MaxShards    int `json:"max_shards,omitempty"`
+}
+
+// fleetHealth snapshots the daemon's fleet state, nil when the daemon
+// runs without any fleet role.
+func (s *Server) fleetHealth() *FleetHealth {
+	c, wkr := s.opts.FleetCoordinator, s.opts.FleetWorker
+	if c == nil && wkr == nil {
+		return nil
+	}
+	fh := &FleetHealth{Role: "worker"}
+	if wkr != nil {
+		fh.ActiveShards = wkr.Active()
+		fh.MaxShards = wkr.MaxActive()
+	}
+	if c != nil {
+		fh.Role = "coordinator"
+		fh.Peers = c.PeerCount()
+		up := c.PeersUp()
+		fh.PeersUp = &up
+		fh.Policy = c.PolicyName()
+	}
+	return fh
+}
+
+// FleetInfo is the fleet block of /v1/configs: the STATIC facts only
+// (role, configured fleet size, routing policy), because /v1/configs
+// is served from the result cache and must not embed volatile state.
+type FleetInfo struct {
+	Role   string `json:"role"`
+	Peers  int    `json:"peers,omitempty"`
+	Policy string `json:"policy,omitempty"`
+}
+
+// fleetInfo reports the static fleet facts, nil without a fleet role.
+func (s *Server) fleetInfo() *FleetInfo {
+	c, wkr := s.opts.FleetCoordinator, s.opts.FleetWorker
+	if c == nil && wkr == nil {
+		return nil
+	}
+	fi := &FleetInfo{Role: "worker"}
+	if c != nil {
+		fi.Role = "coordinator"
+		fi.Peers = c.PeerCount()
+		fi.Policy = c.PolicyName()
+	}
+	return fi
+}
+
+// FleetSnapshot is the fleet block of the JSON /metrics snapshot.
+type FleetSnapshot struct {
+	Role         string               `json:"role"`
+	Policy       string               `json:"policy,omitempty"`
+	ActiveShards int                  `json:"active_shards"`
+	Peers        []fleet.PeerSnapshot `json:"peers,omitempty"`
+}
+
+// fleetMetrics snapshots the fleet for the JSON exposition, nil
+// without a fleet role.
+func (s *Server) fleetMetrics() *FleetSnapshot {
+	c, wkr := s.opts.FleetCoordinator, s.opts.FleetWorker
+	if c == nil && wkr == nil {
+		return nil
+	}
+	fs := &FleetSnapshot{Role: "worker"}
+	if wkr != nil {
+		fs.ActiveShards = wkr.Active()
+	}
+	if c != nil {
+		fs.Role = "coordinator"
+		fs.Policy = c.PolicyName()
+		fs.Peers = c.Snapshot()
+	}
+	return fs
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"respeed/internal/fleet"
+	"respeed/internal/jobs"
+	"respeed/internal/obs"
+)
+
+// shardRequest returns a valid fleet shard request: the first chunk of
+// a small Monte-Carlo campaign.
+func shardRequest() fleet.ShardRequest {
+	return fleet.ShardRequest{
+		Campaign: jobs.Campaign{
+			Name:    "serve-fleet-test",
+			Kind:    jobs.KindMonteCarlo,
+			Configs: []string{"Hera/XScale"},
+			Rhos:    []float64{3},
+			N:       128,
+			Seed:    1,
+		},
+		Shard: jobs.ShardPlan{Config: "Hera/XScale", Rho: 3, Chunk: 0, Lo: 0, Hi: 2},
+	}
+}
+
+func postShards(t *testing.T, url string, auth string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestShardEndpointDisabledWithoutWorker(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	t.Cleanup(ts.Close)
+	body, _ := json.Marshal(shardRequest())
+	if resp := postShards(t, ts.URL, "", body); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 on a daemon without a fleet worker", resp.StatusCode)
+	}
+}
+
+func TestShardEndpointAuth(t *testing.T) {
+	wkr := fleet.NewWorker(fleet.WorkerOptions{Token: "t0k"})
+	ts := httptest.NewServer(New(Options{FleetWorker: wkr}).Handler())
+	t.Cleanup(ts.Close)
+	body, _ := json.Marshal(shardRequest())
+
+	resp := postShards(t, ts.URL, "", body)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status %d, want 401 without token", resp.StatusCode)
+	}
+	if resp.Header.Get("WWW-Authenticate") != "Bearer" {
+		t.Error("401 missing WWW-Authenticate: Bearer")
+	}
+	if resp := postShards(t, ts.URL, "Bearer wrong", body); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status %d, want 401 with wrong token", resp.StatusCode)
+	}
+	if resp := postShards(t, ts.URL, "Bearer t0k", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with the right token", resp.StatusCode)
+	}
+}
+
+func TestShardEndpointStrictDecode(t *testing.T) {
+	wkr := fleet.NewWorker(fleet.WorkerOptions{})
+	ts := httptest.NewServer(New(Options{FleetWorker: wkr}).Handler())
+	t.Cleanup(ts.Close)
+
+	// Unknown fields are rejected: a coordinator from a newer build must
+	// not have half its request silently ignored.
+	if resp := postShards(t, ts.URL, "", []byte(`{"campaign":{},"shard":{},"surprise":1}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postShards(t, ts.URL, "", []byte(`{not json`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	// A plan that contradicts the campaign's deterministic chunking is
+	// the coordinator's fault: 400, not 500.
+	bad := shardRequest()
+	bad.Shard.Hi = 99
+	body, _ := json.Marshal(bad)
+	if resp := postShards(t, ts.URL, "", body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid shard plan: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestShardEndpointExecutes(t *testing.T) {
+	wkr := fleet.NewWorker(fleet.WorkerOptions{})
+	ts := httptest.NewServer(New(Options{FleetWorker: wkr}).Handler())
+	t.Cleanup(ts.Close)
+	body, _ := json.Marshal(shardRequest())
+	resp := postShards(t, ts.URL, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var sr fleet.ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Result) == 0 {
+		t.Fatal("empty shard result")
+	}
+	if got := fleet.HashBytes(sr.Result); got != sr.Hash {
+		t.Errorf("hash %s does not cover result bytes (%s)", sr.Hash, got)
+	}
+}
+
+func TestShardEndpointShedsAtCapacity(t *testing.T) {
+	wkr := fleet.NewWorker(fleet.WorkerOptions{MaxActive: 1, RetryAfter: 3 * time.Second})
+	ts := httptest.NewServer(New(Options{FleetWorker: wkr}).Handler())
+	t.Cleanup(ts.Close)
+
+	release, ok := wkr.TryAcquire()
+	if !ok {
+		t.Fatal("could not occupy the only slot")
+	}
+	defer release()
+	body, _ := json.Marshal(shardRequest())
+	resp := postShards(t, ts.URL, "", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 at capacity", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer ≥ 1", resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestFleetAdvertisement(t *testing.T) {
+	reg := obs.NewRegistry()
+	wkr := fleet.NewWorker(fleet.WorkerOptions{Registry: reg})
+	coord, err := fleet.NewCoordinator(fleet.Options{
+		Peers:    []fleet.Peer{{URL: "http://127.0.0.1:1"}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	ts := httptest.NewServer(New(Options{
+		FleetWorker: wkr, FleetCoordinator: coord, Registry: reg,
+	}).Handler())
+	t.Cleanup(ts.Close)
+
+	var hr HealthReply
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &hr); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if hr.Fleet == nil {
+		t.Fatal("healthz fleet block missing")
+	}
+	if hr.Fleet.Role != "coordinator" || hr.Fleet.Peers != 1 || hr.Fleet.Policy != "round-robin" {
+		t.Errorf("healthz fleet = %+v", hr.Fleet)
+	}
+	if hr.Fleet.PeersUp == nil {
+		t.Error("healthz fleet peers_up missing on a coordinator")
+	}
+	if hr.Fleet.MaxShards != wkr.MaxActive() {
+		t.Errorf("healthz max_shards = %d, want %d", hr.Fleet.MaxShards, wkr.MaxActive())
+	}
+
+	var cr ConfigsReply
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/configs", nil, &cr); code != http.StatusOK {
+		t.Fatalf("configs: %d", code)
+	}
+	if cr.Fleet == nil || cr.Fleet.Role != "coordinator" || cr.Fleet.Peers != 1 {
+		t.Errorf("configs fleet = %+v", cr.Fleet)
+	}
+
+	var ms MetricsSnapshot
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics?format=json", nil, &ms); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if ms.Fleet == nil || ms.Fleet.Role != "coordinator" || len(ms.Fleet.Peers) != 1 {
+		t.Errorf("metrics fleet = %+v", ms.Fleet)
+	}
+
+	// The respeed_fleet_* series appear in the strict text exposition.
+	resp, body := scrape(t, ts.URL, false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: %d", resp.StatusCode)
+	}
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, name := range []string{
+		"respeed_fleet_shards_dispatched_total",
+		"respeed_fleet_shards_redispatched_total",
+		"respeed_fleet_local_shards_total",
+		"respeed_fleet_dispatch_errors_total",
+		"respeed_fleet_shards_served_total",
+		"respeed_fleet_shards_rejected_total",
+		"respeed_fleet_active_shards",
+	} {
+		if len(exp.Find(name)) == 0 {
+			t.Errorf("series %s missing from exposition", name)
+		}
+	}
+	if _, err := exp.Value("respeed_fleet_peer_up", map[string]string{"peer": "http://127.0.0.1:1"}); err != nil {
+		t.Errorf("respeed_fleet_peer_up{peer=...}: %v", err)
+	}
+
+	// A worker-only daemon advertises the worker role.
+	ts2 := httptest.NewServer(New(Options{FleetWorker: fleet.NewWorker(fleet.WorkerOptions{})}).Handler())
+	t.Cleanup(ts2.Close)
+	var hr2 HealthReply
+	doJSON(t, http.MethodGet, ts2.URL+"/healthz", nil, &hr2)
+	if hr2.Fleet == nil || hr2.Fleet.Role != "worker" {
+		t.Errorf("worker healthz fleet = %+v", hr2.Fleet)
+	}
+
+	// And a fleetless daemon omits the block entirely.
+	ts3 := httptest.NewServer(New(Options{}).Handler())
+	t.Cleanup(ts3.Close)
+	var hr3 HealthReply
+	doJSON(t, http.MethodGet, ts3.URL+"/healthz", nil, &hr3)
+	if hr3.Fleet != nil {
+		t.Errorf("fleetless healthz still has a fleet block: %+v", hr3.Fleet)
+	}
+}

@@ -494,6 +494,10 @@ type ConfigsReply struct {
 	Scenarios     []string      `json:"scenarios"`
 	CampaignKinds []string      `json:"campaign_kinds"`
 	SpecVersion   int           `json:"spec_version"`
+	// Fleet advertises the daemon's static fleet facts (role, fleet
+	// size, routing policy); omitted without a fleet role. Static only:
+	// this reply is served from the result cache.
+	Fleet *FleetInfo `json:"fleet,omitempty"`
 }
 
 // --- handlers ---
@@ -504,6 +508,10 @@ type HealthReply struct {
 	Status        string        `json:"status"`
 	UptimeSeconds float64       `json:"uptime_seconds"`
 	Build         obs.BuildInfo `json:"build"`
+	// Fleet advertises the daemon's fleet role, peer view and shard
+	// occupancy; omitted when the daemon runs without a fleet role.
+	// Coordinators heartbeat this block on their peers.
+	Fleet *FleetHealth `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -515,6 +523,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		Build:         obs.ReadBuildInfo(),
+		Fleet:         s.fleetHealth(),
 	})
 	if err != nil {
 		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
@@ -561,6 +570,7 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 			Scenarios:     scenarioNames,
 			CampaignKinds: jobs.Kinds(),
 			SpecVersion:   spec.SchemaVersion,
+			Fleet:         s.fleetInfo(),
 		}
 		for _, cfg := range platform.Configs() {
 			out.Configs = append(out.Configs, ConfigEntry{

@@ -133,6 +133,9 @@ type MetricsSnapshot struct {
 	CacheEvictions int64   `json:"cache_evictions"`
 	// Admission reports the edge-QoS counters and lane occupancy.
 	Admission *AdmissionSnapshot `json:"admission,omitempty"`
+	// Fleet reports the daemon's fleet role, shard occupancy and (for
+	// coordinators) per-peer health; omitted without a fleet role.
+	Fleet *FleetSnapshot `json:"fleet,omitempty"`
 	// Jobs carries the campaign manager's per-state gauges; omitted
 	// when the server runs without a job manager.
 	Jobs      *jobs.Stats                 `json:"jobs,omitempty"`

@@ -41,6 +41,7 @@ var servedEndpoints = []string{
 	"/v1/configs", "/v1/solve", "/v1/sigma1-table", "/v1/gain",
 	"/v1/simulate", "/v1/simulate/events",
 	"/v1/jobs", "/v1/jobs/{id}", "/v1/jobs/{id}/result", "/v1/jobs/{id}/events",
+	"/v1/shards",
 }
 
 // initObs builds the server's observability spine: HTTP instruments per

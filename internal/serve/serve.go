@@ -38,6 +38,7 @@ import (
 
 	"respeed/internal/admit"
 	"respeed/internal/engine"
+	"respeed/internal/fleet"
 	"respeed/internal/jobs"
 	"respeed/internal/obs"
 )
@@ -116,6 +117,15 @@ type Options struct {
 	// OverloadMode selects the saturated-heavy-lane answer:
 	// OverloadReject (the default) or OverloadDegrade.
 	OverloadMode string
+	// FleetWorker, when non-nil, enables POST /v1/shards: this daemon
+	// executes remote campaign shards for fleet coordinators. When nil
+	// the endpoint answers 503.
+	FleetWorker *fleet.Worker
+	// FleetCoordinator, when non-nil, marks this daemon a fleet
+	// coordinator: /healthz, /v1/configs and /metrics advertise its
+	// role, peer view and routing policy. The caller owns its
+	// lifecycle (and wires its RunShard into jobs.Options.ShardRunner).
+	FleetCoordinator *fleet.Coordinator
 }
 
 // withDefaults fills in the zero-valued fields.
@@ -251,6 +261,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	// Fleet data plane: peer coordinators ship shards here.
+	s.mux.HandleFunc("POST /v1/shards", s.handleShardExec)
 	return s
 }
 
@@ -278,6 +290,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			s.heavy.Name():   laneSnapshot(s.heavy),
 		},
 	}
+	snap.Fleet = s.fleetMetrics()
 	return snap
 }
 

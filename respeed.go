@@ -36,6 +36,7 @@ import (
 	"respeed/internal/energy"
 	"respeed/internal/engine"
 	"respeed/internal/exp"
+	"respeed/internal/fleet"
 	"respeed/internal/jobs"
 	"respeed/internal/obs"
 	"respeed/internal/optimize"
@@ -605,3 +606,57 @@ func NewJobManager(opts JobManagerOptions) (*JobManager, error) { return jobs.Op
 // SubmitCampaign validates, journals and starts a campaign, returning
 // its initial status. The job is durable once SubmitCampaign returns.
 func SubmitCampaign(m *JobManager, c Campaign) (JobStatus, error) { return m.Submit(c) }
+
+// Distributed campaign fabric: coordinator/worker mode over a fleet of
+// respeedd daemons. A FleetCoordinator implements the job manager's
+// ShardRunner hook — wire coordinator.RunShard into
+// JobManagerOptions.ShardRunner and the manager dispatches every shard
+// to a peer daemon's POST /v1/shards endpoint instead of computing it
+// locally, journaling the returned bytes verbatim. Because shards are
+// pure functions of (campaign, plan), the merged result (and its
+// content hash) is byte-identical to a single-node run, including
+// after a worker dies mid-campaign and its shards are re-dispatched. A
+// FleetWorker is the receiving side; wire it into
+// ServeOptions.FleetWorker to serve shards.
+type (
+	// FleetCoordinator routes campaign shards to peers by policy,
+	// tracks peer health by heartbeat, and verifies result hashes.
+	FleetCoordinator = fleet.Coordinator
+	// FleetCoordinatorOptions configures a coordinator (Peers is
+	// required).
+	FleetCoordinatorOptions = fleet.Options
+	// FleetWorker executes remote shards behind POST /v1/shards.
+	FleetWorker = fleet.Worker
+	// FleetWorkerOptions configures a worker (zero value = defaults).
+	FleetWorkerOptions = fleet.WorkerOptions
+	// FleetPeer is one configured fleet member (URL + weight).
+	FleetPeer = fleet.Peer
+	// FleetPeerSnapshot is a peer's live health/load view.
+	FleetPeerSnapshot = fleet.PeerSnapshot
+	// FleetRoutingPolicy picks the peer for each shard.
+	FleetRoutingPolicy = fleet.RoutingPolicy
+	// FleetShardRequest / FleetShardResponse are the POST /v1/shards
+	// wire shapes.
+	FleetShardRequest  = fleet.ShardRequest
+	FleetShardResponse = fleet.ShardResponse
+)
+
+// NewFleetCoordinator builds a coordinator over a peer set and starts
+// its heartbeat loop. Close it when done.
+func NewFleetCoordinator(opts FleetCoordinatorOptions) (*FleetCoordinator, error) {
+	return fleet.NewCoordinator(opts)
+}
+
+// NewFleetWorker builds the worker (data-plane) side of a daemon.
+func NewFleetWorker(opts FleetWorkerOptions) *FleetWorker { return fleet.NewWorker(opts) }
+
+// ParseFleetPeers parses a -peers style list: comma-separated base
+// URLs, each optionally weighted as "url=weight".
+func ParseFleetPeers(s string) ([]FleetPeer, error) { return fleet.ParsePeers(s) }
+
+// NewFleetPolicy builds a routing policy by name: "round-robin",
+// "least-loaded" or "weighted".
+func NewFleetPolicy(name string) (FleetRoutingPolicy, error) { return fleet.NewPolicy(name) }
+
+// FleetPolicyNames lists the valid routing-policy names.
+func FleetPolicyNames() []string { return fleet.PolicyNames() }
