@@ -21,10 +21,12 @@
 //	GET    /v1/jobs/{id}              job status
 //	GET    /v1/jobs/{id}/result      finished result
 //	GET    /v1/jobs/{id}/events      SSE progress stream
+//	GET    /v1/jobs/{id}/trace       flight-recorder shard timeline
 //	DELETE /v1/jobs/{id}              cancel
+//	GET    /v1/fleet/metrics          federated fleet exposition (coordinator only)
 //	GET    /healthz                   liveness + build info
 //	GET    /metrics                   Prometheus text (?format=json for the snapshot)
-//	GET    /debug/traces              recent request traces
+//	GET    /debug/traces              recent request traces (?id= ?name= ?limit= filters)
 //
 // With -debug-addr a second, private listener serves net/http/pprof
 // profiles and expvar counters (keep it off the public network).
@@ -37,6 +39,13 @@
 // shards are deterministic in (campaign, plan), a fleet-sharded
 // campaign's result hash is byte-identical to a single-node run.
 //
+// Fleet observability: a coordinator scrapes every peer's /metrics at
+// -fleet-scrape-interval and serves the merged, peer-labeled
+// exposition on /v1/fleet/metrics; with -trace-remote (the default) it
+// ships trace headers on every dispatch and grafts the worker's shard
+// span into its own /debug/traces tree. Every campaign records a
+// per-shard flight-recorder timeline on /v1/jobs/{id}/trace.
+//
 // Usage:
 //
 //	respeedd [-addr :8080] [-cache-size 4096] [-max-inflight N]
@@ -47,6 +56,7 @@
 //	         [-peers URL[=W],URL[=W],...] [-fleet-policy round-robin|least-loaded|weighted]
 //	         [-fleet-token TOKEN] [-fleet-max-shards N] [-fleet-heartbeat 2s]
 //	         [-fleet-shard-timeout 2m] [-fleet-local]
+//	         [-fleet-scrape-interval 10s] [-trace-remote]
 //	         [-log-level info] [-log-format text] [-debug-addr ADDR]
 package main
 
@@ -107,6 +117,10 @@ func main() {
 		"bound on one remote shard attempt before it is re-dispatched (default 2m)")
 	fleetLocal := flag.Bool("fleet-local", true,
 		"execute shards in-process when no peer is live (coordinator fallback; default true)")
+	fleetScrape := flag.Duration("fleet-scrape-interval", 10*time.Second,
+		"peer /metrics scrape interval feeding /v1/fleet/metrics (coordinator only; 0 disables federation)")
+	traceRemote := flag.Bool("trace-remote", true,
+		"propagate trace headers on shard dispatch and graft worker spans into /debug/traces (default true)")
 
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log line format: text or json")
@@ -145,8 +159,11 @@ func main() {
 	heavyLane := respeed.NewAdmitLane("heavy", heavySlots, heavyQueue)
 
 	// One registry backs /metrics for the server, the job manager and
-	// the engine-level counters, so a single scrape sees everything.
+	// the engine-level counters, so a single scrape sees everything —
+	// and one trace ring backs /debug/traces for HTTP requests and
+	// campaign jobs, so a job ID finds every span it produced.
 	telemetry := respeed.NewTelemetry()
+	traceRing := respeed.NewTraceRing(0)
 
 	// Every daemon is a fleet worker: peers may ship campaign shards to
 	// its POST /v1/shards endpoint (503 only if explicitly disabled in
@@ -184,6 +201,8 @@ func main() {
 			ShardTimeout:   *fleetShardTimeout,
 			LocalFallback:  *fleetLocal,
 			LocalGate:      heavyLane,
+			ScrapeInterval: *fleetScrape,
+			TraceRemote:    *traceRemote,
 			Registry:       telemetry,
 			Logger:         logger,
 		})
@@ -195,7 +214,8 @@ func main() {
 		logger.Info("fleet coordinator ready",
 			"peers", len(peerList), "policy", policy.Name(),
 			"heartbeat", *fleetHeartbeat, "shard_timeout", *fleetShardTimeout,
-			"local_fallback", *fleetLocal)
+			"local_fallback", *fleetLocal,
+			"scrape_interval", *fleetScrape, "trace_remote", *traceRemote)
 	}
 
 	var manager *respeed.JobManager
@@ -206,6 +226,7 @@ func main() {
 			MaxJobs:  *jobsMax,
 			Logger:   logger,
 			Registry: telemetry,
+			Tracer:   traceRing,
 			Gate:     heavyLane,
 		}
 		if coordinator != nil {
@@ -233,6 +254,7 @@ func main() {
 		Jobs:             manager,
 		Logger:           logger,
 		Registry:         telemetry,
+		Tracer:           traceRing,
 		Admission:        policy,
 		ExpressInFlight:  *admitExpress,
 		QueueBound:       *admitQueue,

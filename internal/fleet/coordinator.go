@@ -67,6 +67,18 @@ type Options struct {
 	// serving layer's heavy lane so local shards respect the same
 	// compute bound as interactive simulations).
 	LocalGate jobs.Gate
+	// TraceRemote, when true, sends X-Request-ID and X-Parent-Span on
+	// every shard dispatch and grafts the worker's returned span
+	// snapshot into the coordinator's dispatch span, so /debug/traces
+	// shows the full coordinator→peer→engine tree.
+	TraceRemote bool
+	// ScrapeInterval, when positive, starts the metrics-federation
+	// loop: every interval the coordinator scrapes each peer's /metrics
+	// and strict-parses it; FederatedMetrics serves the merged
+	// exposition. Zero disables background scraping (FederatedMetrics
+	// then reports only the coordinator's own series and per-peer
+	// staleness).
+	ScrapeInterval time.Duration
 	// Client is the dispatch HTTP client (default: http.Client with
 	// ShardTimeout; pass one to pool connections across coordinators
 	// in tests).
@@ -85,10 +97,21 @@ type peerState struct {
 	url    string
 	weight float64
 
+	// transUp/transDown count health flips (pre-resolved label pairs of
+	// respeed_fleet_peer_transitions_total so the hot path never
+	// re-resolves the vec).
+	transUp, transDown *obs.Counter
+
 	mu           sync.Mutex
 	up           bool
 	activeShards int // peer's own gauge, from its last heartbeat
 	inFlight     int // dispatched by us, not yet collected
+
+	// Federation scrape state: the last good strict-parsed exposition,
+	// when it was fetched, and how many scrape attempts failed.
+	lastExp    *obs.Exposition
+	lastFetch  time.Time
+	scrapeErrs uint64
 }
 
 func (p *peerState) snapshot() PeerSnapshot {
@@ -111,11 +134,13 @@ func (p *peerState) addInFlight(d int) {
 // peer, tracks peer health by heartbeat, and verifies every remote
 // result's hash before the manager journals it.
 type Coordinator struct {
-	opts   Options
-	policy RoutingPolicy
-	client *http.Client
-	peers  []*peerState
-	log    *slog.Logger
+	opts     Options
+	policy   RoutingPolicy
+	client   *http.Client
+	peers    []*peerState
+	log      *slog.Logger
+	registry *obs.Registry // coordinator's own series, the "self" federation source
+	started  time.Time     // staleness baseline for never-scraped peers
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -154,8 +179,14 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		opts: opts, policy: opts.Policy, client: opts.Client,
-		log: opts.Logger, stop: make(chan struct{}),
+		log: opts.Logger, registry: r, started: time.Now(),
+		stop: make(chan struct{}),
 	}
+	transitions := r.NewCounterVec(obs.Opts{
+		Name:   "respeed_fleet_peer_transitions_total",
+		Help:   "Peer health flips observed by the coordinator, by direction.",
+		Labels: []string{"peer", "to"},
+	})
 	seen := make(map[string]bool, len(opts.Peers))
 	for _, p := range opts.Peers {
 		if seen[p.URL] {
@@ -168,7 +199,11 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		}
 		// Peers start optimistically up so dispatch can begin before the
 		// first heartbeat lands; a failed dispatch corrects the optimism.
-		c.peers = append(c.peers, &peerState{url: p.URL, weight: w, up: true})
+		c.peers = append(c.peers, &peerState{
+			url: p.URL, weight: w, up: true,
+			transUp:   transitions.With(p.URL, "up"),
+			transDown: transitions.With(p.URL, "down"),
+		})
 	}
 	c.dispatched = r.NewCounter("respeed_fleet_shards_dispatched_total",
 		"Campaign shard attempts dispatched to fleet peers.")
@@ -196,6 +231,10 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	}
 	c.wg.Add(1)
 	go c.heartbeatLoop()
+	if opts.ScrapeInterval > 0 {
+		c.wg.Add(1)
+		go c.scrapeLoop()
+	}
 	return c, nil
 }
 
@@ -274,14 +313,26 @@ func (c *Coordinator) RunShard(ctx context.Context, camp jobs.Campaign, sp jobs.
 	p.addInFlight(1)
 	defer p.addInFlight(-1)
 	c.dispatched.Inc()
-	raw, err := c.post(ctx, p, ShardRequest{Campaign: camp, Shard: sp})
+	ctx, span := obs.StartSpan(ctx, "dispatch")
+	span.Annotate("peer", p.url)
+	span.Annotate("attempt", strconv.Itoa(attempt))
+	defer span.End()
+	sr, err := c.post(ctx, p, span, ShardRequest{Campaign: camp, Shard: sp})
 	if err != nil {
+		span.Annotate("error", err.Error())
 		c.dispatchErrors.Inc()
 		c.log.Warn("shard dispatch failed", "peer", p.url, "shard", shard,
 			"attempt", attempt, "error", err)
 		return nil, err
 	}
-	return raw, nil
+	if sr.Trace != nil {
+		// Graft the worker's finished subtree under this dispatch span:
+		// the coordinator's /debug/traces then shows coordinator→peer→
+		// engine in one tree, with the peer URL annotated above.
+		span.AttachRemote(*sr.Trace)
+	}
+	jobs.AttributeShard(ctx, p.url, sr.ElapsedSeconds)
+	return sr.Result, nil
 }
 
 // runLocal executes a shard in-process (fallback), under the local
@@ -295,6 +346,7 @@ func (c *Coordinator) runLocal(ctx context.Context, camp jobs.Campaign, sp jobs.
 		defer release()
 	}
 	c.localShards.Inc()
+	jobs.AttributeShard(ctx, "local", 0)
 	return jobs.ExecShard(ctx, camp, sp)
 }
 
@@ -306,7 +358,8 @@ func (c *Coordinator) markDown(p *peerState, reason string) {
 	p.up = false
 	p.mu.Unlock()
 	if was {
-		c.log.Warn("peer marked down", "peer", p.url, "reason", reason)
+		p.transDown.Inc()
+		c.log.Warn("peer marked down", "peer", p.url, "cause", reason)
 	}
 }
 
@@ -318,54 +371,66 @@ func (c *Coordinator) markDown(p *peerState, reason string) {
 // PLAIN error (formatted with %v) — only when the CALLER's context is
 // done do we return its error verbatim, because then the job really is
 // being cancelled or shut down.
-func (c *Coordinator) post(ctx context.Context, p *peerState, req ShardRequest) (json.RawMessage, error) {
+func (c *Coordinator) post(ctx context.Context, p *peerState, span *obs.Span, req ShardRequest) (ShardResponse, error) {
+	var zero ShardResponse
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: encode shard request: %w", err)
+		return zero, fmt.Errorf("fleet: encode shard request: %w", err)
 	}
 	actx, cancel := context.WithTimeout(ctx, c.opts.ShardTimeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, p.url+"/v1/shards", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("fleet: build shard request: %w", err)
+		return zero, fmt.Errorf("fleet: build shard request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	if c.opts.Token != "" {
 		hreq.Header.Set("Authorization", "Bearer "+c.opts.Token)
 	}
+	if c.opts.TraceRemote {
+		// Propagate the trace identity: the request ID (the job id, so
+		// one grep hits every machine) and this dispatch span's id, which
+		// tells the worker to return its span snapshot for grafting.
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			hreq.Header.Set("X-Request-ID", id)
+		}
+		if span != nil {
+			hreq.Header.Set("X-Parent-Span", span.ID())
+		}
+	}
 	resp, err := c.client.Do(hreq)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, ctx.Err() // job cancelled / manager shutdown
+			return zero, ctx.Err() // job cancelled / manager shutdown
 		}
 		c.markDown(p, err.Error())
 		if actx.Err() != nil {
-			return nil, fmt.Errorf("fleet: shard to %s timed out after %s", p.url, c.opts.ShardTimeout)
+			return zero, fmt.Errorf("fleet: shard to %s timed out after %s", p.url, c.opts.ShardTimeout)
 		}
-		return nil, fmt.Errorf("fleet: post %s: %v", p.url, err)
+		return zero, fmt.Errorf("fleet: post %s: %v", p.url, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxShardReply))
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return zero, ctx.Err()
 		}
 		c.markDown(p, err.Error())
-		return nil, fmt.Errorf("fleet: read %s response: %v", p.url, err)
+		return zero, fmt.Errorf("fleet: read %s response: %v", p.url, err)
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		var sr ShardResponse
 		if err := json.Unmarshal(data, &sr); err != nil {
-			return nil, fmt.Errorf("fleet: decode %s response: %v", p.url, err)
+			return zero, fmt.Errorf("fleet: decode %s response: %v", p.url, err)
 		}
 		if got := HashBytes(sr.Result); got != sr.Hash {
 			// A transfer that corrupted result bytes must never reach the
 			// journal: byte-identity is the whole contract.
-			return nil, fmt.Errorf("fleet: %s shard hash mismatch (got %s, peer says %s)",
+			return zero, fmt.Errorf("fleet: %s shard hash mismatch (got %s, peer says %s)",
 				p.url, got, sr.Hash)
 		}
-		return sr.Result, nil
+		return sr, nil
 	case resp.StatusCode == http.StatusTooManyRequests:
 		hint := time.Second
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
@@ -373,15 +438,15 @@ func (c *Coordinator) post(ctx context.Context, p *peerState, req ShardRequest) 
 				hint = time.Duration(secs) * time.Second
 			}
 		}
-		return nil, &BusyError{Peer: p.url, Hint: hint}
+		return zero, &BusyError{Peer: p.url, Hint: hint}
 	case resp.StatusCode >= 500:
 		c.markDown(p, fmt.Sprintf("status %d", resp.StatusCode))
-		return nil, fmt.Errorf("fleet: %s answered %d: %s", p.url, resp.StatusCode, errMsgOf(data))
+		return zero, fmt.Errorf("fleet: %s answered %d: %s", p.url, resp.StatusCode, errMsgOf(data))
 	default:
 		// 4xx: the worker rejected the request as malformed (catalog
 		// drift, bad token). Retrying won't help, but the error text
 		// makes the job's failure actionable.
-		return nil, fmt.Errorf("fleet: %s rejected shard (%d): %s", p.url, resp.StatusCode, errMsgOf(data))
+		return zero, fmt.Errorf("fleet: %s rejected shard (%d): %s", p.url, resp.StatusCode, errMsgOf(data))
 	}
 }
 
@@ -472,6 +537,7 @@ func (c *Coordinator) probe(p *peerState) {
 	p.activeShards = active
 	p.mu.Unlock()
 	if !was {
-		c.log.Info("peer revived by heartbeat", "peer", p.url)
+		p.transUp.Inc()
+		c.log.Info("peer revived by heartbeat", "peer", p.url, "cause", "healthz ok")
 	}
 }

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"respeed/internal/obs"
+)
+
+// maxMetricsBody bounds one peer's /metrics scrape — a daemon's full
+// exposition is a few kilobytes, so 4 MiB flags a broken peer, not a
+// big one.
+const maxMetricsBody = 4 << 20
+
+// scrapeLoop periodically pulls every peer's /metrics so that
+// FederatedMetrics can serve a merged fleet view. The first round fires
+// immediately, mirroring the heartbeat loop.
+func (c *Coordinator) scrapeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.ScrapeInterval)
+	defer t.Stop()
+	for {
+		c.scrapeAll()
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// scrapeAll scrapes every peer concurrently (a hung peer must not
+// stall the rest of the fleet's freshness).
+func (c *Coordinator) scrapeAll() {
+	var wg sync.WaitGroup
+	for _, p := range c.peers {
+		wg.Add(1)
+		go func(p *peerState) {
+			defer wg.Done()
+			c.scrape(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// scrape pulls one peer's /metrics and strict-parses it. Success
+// replaces the peer's cached exposition; any failure — dial, status,
+// body, or a parse rejection (a peer whose exposition is malformed is
+// as unobservable as a dead one) — keeps the stale cache and bumps the
+// error count, so the staleness gauge keeps climbing until a good
+// scrape lands.
+func (c *Coordinator) scrape(p *peerState) {
+	// One interval bounds the fetch; ScrapeNow on a coordinator without
+	// a background loop (interval 0) still needs a real timeout.
+	timeout := c.opts.ScrapeInterval
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	exp, err := c.fetchMetrics(ctx, p.url)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.scrapeErrs++
+		return
+	}
+	p.lastExp = exp
+	p.lastFetch = time.Now()
+}
+
+func (c *Coordinator) fetchMetrics(ctx context.Context, url string) (*obs.Exposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxMetricsBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: %s /metrics answered %d", url, resp.StatusCode)
+	}
+	return obs.ParseExposition(data)
+}
+
+// FederatedMetrics renders the merged fleet exposition: the
+// coordinator's own registry as peer="self", every peer's last good
+// scrape under its URL, and the synthetic scrape-health families
+// (respeed_fleet_scrape_errors_total / _staleness_seconds) that make a
+// down or never-scraped peer visible rather than silently absent. The
+// output strict-parses under obs.ParseExposition.
+func (c *Coordinator) FederatedMetrics(w io.Writer) error {
+	sources := make([]obs.FederatedSource, 0, len(c.peers)+2)
+	if c.registry != nil {
+		var buf bytes.Buffer
+		if err := c.registry.WritePrometheus(&buf); err != nil {
+			return err
+		}
+		self, err := obs.ParseExposition(buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("fleet: own exposition does not parse: %w", err)
+		}
+		sources = append(sources, obs.FederatedSource{Peer: "self", Exp: self})
+	}
+	health := &obs.Exposition{
+		Types: map[string]obs.Kind{
+			"respeed_fleet_scrape_errors_total":      obs.KindCounter,
+			"respeed_fleet_scrape_staleness_seconds": obs.KindGauge,
+		},
+		Help: map[string]string{
+			"respeed_fleet_scrape_errors_total":      "Failed federation scrapes per peer (dial, status, or strict-parse rejections).",
+			"respeed_fleet_scrape_staleness_seconds": "Seconds since the peer's last good federation scrape (since coordinator start if never).",
+		},
+	}
+	now := time.Now()
+	for _, p := range c.peers {
+		p.mu.Lock()
+		exp, fetched, errs := p.lastExp, p.lastFetch, p.scrapeErrs
+		p.mu.Unlock()
+		if exp != nil {
+			sources = append(sources, obs.FederatedSource{Peer: p.url, Exp: exp})
+		}
+		stale := now.Sub(c.started).Seconds()
+		if !fetched.IsZero() {
+			stale = now.Sub(fetched).Seconds()
+		}
+		lbl := map[string]string{"peer": p.url}
+		health.Samples = append(health.Samples,
+			obs.Sample{Name: "respeed_fleet_scrape_errors_total", Labels: lbl, Value: float64(errs)},
+			obs.Sample{Name: "respeed_fleet_scrape_staleness_seconds", Labels: lbl, Value: stale},
+		)
+	}
+	// Empty Peer: the health samples already carry their peer labels and
+	// must merge verbatim, not get relabeled to one source.
+	sources = append(sources, obs.FederatedSource{Exp: health})
+	return obs.WriteFederated(w, sources)
+}
+
+// ScrapeNow runs one synchronous scrape round (tests, and operators who
+// want a fresh /v1/fleet/metrics without waiting out the interval).
+func (c *Coordinator) ScrapeNow() { c.scrapeAll() }

@@ -43,6 +43,7 @@ import (
 	"hash/fnv"
 
 	"respeed/internal/jobs"
+	"respeed/internal/obs"
 )
 
 // ShardRequest is the POST /v1/shards body: one campaign and the plan
@@ -63,6 +64,12 @@ type ShardResponse struct {
 	Result         json.RawMessage `json:"result"`
 	Hash           string          `json:"hash"`
 	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	// Trace is the worker's finished shard span, returned only when the
+	// request carried an X-Parent-Span header. The coordinator grafts it
+	// into its dispatch span so /debug/traces shows the full
+	// coordinator→peer→engine tree. Trace is NOT covered by Hash — it is
+	// telemetry, not result data, and must never affect byte-identity.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // HashBytes digests bytes with FNV-64a in the repo's canonical %016x

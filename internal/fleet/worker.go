@@ -5,6 +5,7 @@ import (
 	"crypto/subtle"
 	"log/slog"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -105,26 +106,39 @@ func (w *Worker) TryAcquire() (release func(), ok bool) {
 
 // Execute validates and runs one shard, returning the result bytes and
 // their hash. A validation failure is a *RequestError (the caller's
-// fault); an execution failure is this worker's.
+// fault); an execution failure is this worker's. When the context
+// carries a span or tracer the shard executes under a "shard-exec"
+// span whose finished snapshot rides back in ShardResponse.Trace, so a
+// coordinator can graft this worker's subtree into its own trace; with
+// tracing disabled Trace stays nil and nothing is allocated.
 func (w *Worker) Execute(ctx context.Context, req ShardRequest) (ShardResponse, error) {
 	norm, err := req.Campaign.ValidateShard(req.Shard)
 	if err != nil {
 		return ShardResponse{}, &RequestError{Err: err}
 	}
+	sctx, span := obs.StartSpan(ctx, "shard-exec")
+	span.Annotate("config", req.Shard.Config)
+	span.Annotate("chunk", strconv.Itoa(req.Shard.Chunk))
 	start := time.Now()
-	raw, err := jobs.ExecShard(ctx, norm, req.Shard)
+	raw, err := jobs.ExecShard(sctx, norm, req.Shard)
+	span.End()
 	if err != nil {
 		return ShardResponse{}, err
 	}
 	w.served.Inc()
 	elapsed := time.Since(start)
 	w.log.Debug("shard served", "config", req.Shard.Config, "chunk", req.Shard.Chunk,
-		"elapsed", elapsed)
-	return ShardResponse{
+		"elapsed", elapsed, "request_id", obs.RequestIDFrom(ctx))
+	resp := ShardResponse{
 		Result:         raw,
 		Hash:           HashBytes(raw),
 		ElapsedSeconds: elapsed.Seconds(),
-	}, nil
+	}
+	if span != nil {
+		snap := span.Snapshot()
+		resp.Trace = &snap
+	}
+	return resp, nil
 }
 
 // Active is the number of shards currently executing.

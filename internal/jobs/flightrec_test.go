@@ -1,0 +1,121 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFlightRecorderCoversEveryShard(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, Options{Dir: dir})
+	defer m.Close()
+
+	st, err := m.Submit(Campaign{
+		Name: "trace-grid", Kind: KindGrid,
+		Configs: []string{"Hera/XScale", "Atlas/Crusoe"},
+		Rhos:    []float64{3, 5},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st = waitDone(t, m, st.ID)
+
+	jt, err := m.Trace(st.ID)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if jt.JobID != st.ID || jt.State != StateDone {
+		t.Fatalf("trace header = %+v", jt)
+	}
+	if len(jt.Shards) != st.ShardsTotal {
+		t.Fatalf("timeline covers %d shards, want %d (100%%)", len(jt.Shards), st.ShardsTotal)
+	}
+	seen := make(map[int]bool)
+	for _, e := range jt.Shards {
+		if !e.OK || e.Peer != "local" || e.Attempt != 1 {
+			t.Errorf("entry %+v: want ok local first-attempt", e)
+		}
+		if e.ResultBytes <= 0 {
+			t.Errorf("shard %d: result bytes = %d, want > 0", e.Shard, e.ResultBytes)
+		}
+		if e.ExecSeconds <= 0 || e.DispatchSeconds <= 0 {
+			t.Errorf("shard %d: zero durations: %+v", e.Shard, e)
+		}
+		seen[e.Shard] = true
+	}
+	if len(seen) != st.ShardsTotal {
+		t.Errorf("timeline has duplicate shard entries: %d unique of %d", len(seen), st.ShardsTotal)
+	}
+
+	if _, err := m.Trace("j999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job trace: got %v", err)
+	}
+
+	// The sidecar survives a manager restart: a reopened directory must
+	// still serve the done job's full timeline.
+	m.Close()
+	m2 := mustOpen(t, Options{Dir: dir})
+	defer m2.Close()
+	jt2, err := m2.Trace(st.ID)
+	if err != nil {
+		t.Fatalf("Trace after reopen: %v", err)
+	}
+	if len(jt2.Shards) != st.ShardsTotal {
+		t.Errorf("reloaded timeline covers %d shards, want %d", len(jt2.Shards), st.ShardsTotal)
+	}
+}
+
+func TestFlightRecorderAttributionAndRetryCause(t *testing.T) {
+	m := mustOpen(t, Options{
+		Dir:          t.TempDir(),
+		RetryBackoff: 1, // effectively immediate
+		ShardRunner: func(ctx context.Context, c Campaign, sp ShardPlan, shard, attempt int) (json.RawMessage, error) {
+			if attempt == 1 {
+				return nil, fmt.Errorf("synthetic peer outage")
+			}
+			AttributeShard(ctx, "http://worker-7:8941", 0.125)
+			raw, err := c.runShard(ctx, sp)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(raw)
+		},
+	})
+	defer m.Close()
+
+	st, err := m.Submit(Campaign{
+		Name: "trace-retry", Kind: KindGrid,
+		Configs: []string{"Hera/XScale"}, Rhos: []float64{3},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st = waitDone(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s, want done", st.State)
+	}
+	jt, err := m.Trace(st.ID)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if len(jt.Shards) != 1 {
+		t.Fatalf("timeline = %+v, want one entry", jt.Shards)
+	}
+	e := jt.Shards[0]
+	if e.Peer != "http://worker-7:8941" {
+		t.Errorf("peer = %q, want the runner-attributed URL", e.Peer)
+	}
+	if e.ExecSeconds != 0.125 {
+		t.Errorf("exec seconds = %g, want the peer-reported 0.125", e.ExecSeconds)
+	}
+	if e.Attempt != 2 || e.RetryCause != "synthetic peer outage" {
+		t.Errorf("attempt/cause = %d/%q, want 2/synthetic peer outage", e.Attempt, e.RetryCause)
+	}
+}
+
+func TestAttributeShardOutsideAttemptIsNoop(t *testing.T) {
+	AttributeShard(context.Background(), "http://nowhere", 1) // must not panic
+}

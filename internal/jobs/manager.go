@@ -184,6 +184,8 @@ type job struct {
 	campaign Campaign
 	shards   []ShardPlan
 
+	rec *flightRecorder
+
 	mu         sync.Mutex
 	state      State
 	done       map[int]json.RawMessage
@@ -217,7 +219,8 @@ type Manager struct {
 	shardsExecuted atomic.Int64
 	shardRetries   atomic.Int64
 	journalIO      journalStats
-	shardHist      *obs.Histogram // shard wall-clock seconds
+	shardHist      *obs.Histogram     // shard wall-clock seconds
+	fleetPhases    *obs.HistogramVec  // respeed_fleet_shard_seconds{peer,phase}
 	log            *slog.Logger
 
 	// testShardDelay, when non-nil, runs before every shard execution
@@ -260,6 +263,15 @@ func Open(opts Options) (*Manager, error) {
 // Gauges and counters read the manager's own atomics at scrape time, so
 // the hot path pays nothing beyond what it already maintains.
 func (m *Manager) registerMetrics(r *obs.Registry) {
+	// The per-peer phase histograms feed the flight recorder's summary
+	// view: queue wait, dispatch round-trip and peer-reported execution,
+	// labeled by the daemon that ran the shard. Registered first because
+	// the nil-registry path still needs the (no-op) vec.
+	m.fleetPhases = r.NewHistogramVec(obs.Opts{
+		Name:   "respeed_fleet_shard_seconds",
+		Help:   "Campaign shard phase durations by executing peer (phase: queue|dispatch|exec).",
+		Labels: []string{"peer", "phase"},
+	}, obs.DurationBuckets())
 	if r == nil {
 		return
 	}
@@ -347,6 +359,7 @@ func (m *Manager) load() error {
 			j := &job{
 				id: id, campaign: res.Campaign, shards: res.Campaign.planShards(),
 				state: StateDone, result: &res, finishedCh: make(chan struct{}),
+				rec: loadFlightRecorder(filepath.Join(m.opts.Dir, id+".trace")),
 			}
 			close(j.finishedCh)
 			m.jobs[id] = j
@@ -385,6 +398,7 @@ func (m *Manager) load() error {
 			j := &job{
 				id: id, campaign: rep.Campaign, shards: rep.Campaign.planShards(),
 				done: rep.Done, finishedCh: make(chan struct{}),
+				rec: loadFlightRecorder(filepath.Join(m.opts.Dir, id+".trace")),
 			}
 			if rep.Cancelled {
 				j.state = StateCancelled
@@ -458,6 +472,7 @@ func (m *Manager) Submit(c Campaign) (Status, error) {
 		id: id, campaign: norm, shards: shards, state: StateQueued,
 		done: make(map[int]json.RawMessage), journal: jn,
 		finishedCh: make(chan struct{}),
+		rec:        newFlightRecorder(filepath.Join(m.opts.Dir, id+".trace")),
 	}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
@@ -501,6 +516,7 @@ func (m *Manager) evictLocked() error {
 		m.order = append(m.order[:i], m.order[i+1:]...)
 		os.Remove(filepath.Join(m.opts.Dir, id+".json"))
 		os.Remove(filepath.Join(m.opts.Dir, id+".journal"))
+		os.Remove(filepath.Join(m.opts.Dir, id+".trace"))
 		return nil
 	}
 	return ErrManagerFull
@@ -523,6 +539,11 @@ func (m *Manager) startJob(j *job) {
 // and a cancel record is committed.
 func (m *Manager) runJob(j *job) {
 	ctx := obs.WithTracer(m.baseCtx, m.opts.Tracer)
+	// The job id doubles as the trace's request ID: every dispatch this
+	// job makes — including cross-daemon shard posts, which forward it
+	// as X-Request-ID — is grep-able fleet-wide by the one id the
+	// operator already holds.
+	ctx = obs.WithRequestID(ctx, j.id)
 	ctx, span := obs.StartSpan(ctx, "job")
 	span.Annotate("job", j.id)
 	span.Annotate("kind", string(j.campaign.Kind))
@@ -554,6 +575,7 @@ func (m *Manager) runJob(j *job) {
 		if j.terminalOrCancelled() {
 			return nil
 		}
+		enqueued := time.Now()
 		select {
 		case <-jctx.Done():
 			return jctx.Err()
@@ -569,7 +591,7 @@ func (m *Manager) runJob(j *job) {
 			}
 			defer release()
 		}
-		return m.runShard(jctx, j, idx)
+		return m.runShard(jctx, j, idx, time.Since(enqueued).Seconds())
 	})
 	if ferr != nil && !errors.Is(ferr, context.Canceled) && !errors.Is(ferr, context.DeadlineExceeded) {
 		j.fail(ferr)
@@ -632,19 +654,23 @@ func (m *Manager) runJob(j *job) {
 // runShard executes one shard with retry+backoff and journals the
 // result. A nil return means the shard is durably recorded (or the job
 // is cancelled/shutting down); an error means the shard exhausted its
-// attempts.
-func (m *Manager) runShard(ctx context.Context, j *job, idx int) error {
-	_, span := obs.StartSpan(ctx, "shard")
+// attempts. queueSeconds is how long the shard waited for its worker
+// slot and gate; it lands in the flight recorder and the queue-phase
+// histogram.
+func (m *Manager) runShard(ctx context.Context, j *job, idx int, queueSeconds float64) error {
+	ctx, span := obs.StartSpan(ctx, "shard")
 	span.Annotate("job", j.id)
 	span.Annotate("shard", strconv.Itoa(idx))
 	defer span.End()
 	var lastErr error
+	var retryCause string
 	for attempt := 1; attempt <= m.opts.ShardRetries; attempt++ {
 		if ctx.Err() != nil || j.terminalOrCancelled() {
 			return nil
 		}
 		if attempt > 1 {
 			m.shardRetries.Add(1)
+			retryCause = lastErr.Error()
 			m.log.Warn("retrying shard", "job", j.id, "shard", idx,
 				"attempt", attempt, "error", lastErr)
 			backoff := m.opts.RetryBackoff << (attempt - 2)
@@ -662,17 +688,55 @@ func (m *Manager) runShard(ctx context.Context, j *job, idx int) error {
 			case <-t.C:
 			}
 		}
+		attr := &shardAttr{}
 		start := time.Now()
-		lastErr = m.tryShard(ctx, j, idx, attempt)
+		lastErr = m.tryShard(withShardAttr(ctx, attr), j, idx, attempt)
+		dispatch := time.Since(start).Seconds()
 		if lastErr == nil {
-			m.shardHist.Observe(time.Since(start).Seconds())
+			m.shardHist.Observe(dispatch)
 			m.shardsExecuted.Add(1)
+			m.recordShard(j, idx, attempt, attr, queueSeconds, dispatch, retryCause, true)
 			m.publish(j, idx)
 			return nil
 		}
 	}
+	attr := &shardAttr{}
+	m.recordShard(j, idx, m.opts.ShardRetries, attr, queueSeconds, 0, lastErr.Error(), false)
 	return fmt.Errorf("shard %d (%s ρ=%g): %w after %d attempts",
 		idx, j.shards[idx].Config, j.shards[idx].Rho, lastErr, m.opts.ShardRetries)
+}
+
+// recordShard writes one flight-recorder entry and feeds the per-peer
+// phase histograms.
+func (m *Manager) recordShard(j *job, idx, attempt int, attr *shardAttr,
+	queueSeconds, dispatchSeconds float64, retryCause string, ok bool) {
+	peer, exec := attr.get()
+	if peer == "" {
+		peer = "local"
+	}
+	if exec == 0 {
+		// Local execution has no separate peer-measured clock: the
+		// dispatch wall-clock IS the execution time.
+		exec = dispatchSeconds
+	}
+	resultBytes := 0
+	if ok {
+		j.mu.Lock()
+		resultBytes = len(j.done[idx])
+		j.mu.Unlock()
+	}
+	j.rec.record(ShardTrace{
+		Shard: idx, Config: j.shards[idx].Config, Rho: j.shards[idx].Rho,
+		Attempt: attempt, Peer: peer,
+		QueueSeconds: queueSeconds, DispatchSeconds: dispatchSeconds,
+		ExecSeconds: exec, RetryCause: retryCause,
+		ResultBytes: resultBytes, OK: ok,
+	})
+	if ok {
+		m.fleetPhases.With(peer, "queue").Observe(queueSeconds)
+		m.fleetPhases.With(peer, "dispatch").Observe(dispatchSeconds)
+		m.fleetPhases.With(peer, "exec").Observe(exec)
+	}
 }
 
 // tryShard is one attempt: compute, encode, journal.
@@ -733,6 +797,7 @@ func (j *job) finishLocked() {
 	if j.journal != nil {
 		j.journal.close()
 	}
+	j.rec.closeFile()
 	select {
 	case <-j.finishedCh:
 	default:
@@ -978,6 +1043,7 @@ func (m *Manager) Close() {
 		if j.journal != nil {
 			j.journal.close()
 		}
+		j.rec.closeFile()
 		j.closeSubsLocked()
 		j.mu.Unlock()
 	}

@@ -145,10 +145,12 @@ type Sample struct {
 	Value  float64
 }
 
-// Exposition is a parsed scrape: the TYPE of every declared family and
+// Exposition is a parsed scrape: the TYPE of every declared family,
+// the (still-escaped) HELP text of every family that declared one, and
 // every sample in document order.
 type Exposition struct {
 	Types   map[string]Kind
+	Help    map[string]string
 	Samples []Sample
 }
 
@@ -200,7 +202,7 @@ sample:
 //
 // It returns the parsed exposition so tests can assert on samples.
 func ParseExposition(data []byte) (*Exposition, error) {
-	exp := &Exposition{Types: make(map[string]Kind)}
+	exp := &Exposition{Types: make(map[string]Kind), Help: make(map[string]string)}
 	helpSeen := make(map[string]bool)
 	samplesSeen := make(map[string]bool) // name + canonical label set
 	lines := strings.Split(string(data), "\n")
@@ -230,6 +232,9 @@ func ParseExposition(data []byte) (*Exposition, error) {
 					return nil, errAt("duplicate HELP for %q", name)
 				}
 				helpSeen[name] = true
+				if len(fields) == 4 {
+					exp.Help[name] = fields[3]
+				}
 			case "TYPE":
 				if len(fields) != 4 {
 					return nil, errAt("malformed TYPE line")

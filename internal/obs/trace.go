@@ -123,6 +123,7 @@ type Span struct {
 	end      time.Time
 	attrs    map[string]string
 	children []*Span
+	remote   []SpanSnapshot // finished subtrees grafted from peer daemons
 	dropped  int
 }
 
@@ -168,11 +169,39 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 func (s *Span) addChild(c *Span) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.children) >= maxChildren {
+	if len(s.children)+len(s.remote) >= maxChildren {
 		s.dropped++
 		return
 	}
 	s.children = append(s.children, c)
+}
+
+// AttachRemote grafts an already-finished span tree — typically the
+// SpanSnapshot a peer daemon returned alongside a remote shard result —
+// as a child of this span, so a coordinator's /debug/traces shows the
+// full coordinator→peer tree. Nil-safe, and bounded by the same
+// maxChildren budget as live children.
+func (s *Span) AttachRemote(snap SpanSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.children)+len(s.remote) >= maxChildren {
+		s.dropped++
+		return
+	}
+	s.remote = append(s.remote, snap)
+}
+
+// ID returns the span's id — the value a coordinator forwards as
+// X-Parent-Span. Empty for a nil span. The id is immutable after
+// StartSpan, so no lock is needed.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
 }
 
 // Annotate attaches a key/value attribute to the span.
@@ -202,6 +231,17 @@ func (s *Span) End() {
 	tracer.push(s)
 }
 
+// Snapshot deep-copies the span tree, including grafted remote
+// subtrees. A nil span snapshots to the zero value; callers exporting a
+// span over the wire (the fleet worker returning its shard span) should
+// End it first so DurationMS is final.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot()
+}
+
 // snapshot deep-copies the span tree.
 func (s *Span) snapshot() SpanSnapshot {
 	s.mu.Lock()
@@ -224,9 +264,11 @@ func (s *Span) snapshot() SpanSnapshot {
 		}
 	}
 	children := append([]*Span(nil), s.children...)
+	remote := append([]SpanSnapshot(nil), s.remote...)
 	s.mu.Unlock()
 	for _, c := range children {
 		snap.Children = append(snap.Children, c.snapshot())
 	}
+	snap.Children = append(snap.Children, remote...)
 	return snap
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"respeed/internal/fleet"
+	"respeed/internal/obs"
 )
 
 // POST /v1/shards is the fleet data plane: a coordinator daemon ships
@@ -88,6 +89,12 @@ func (s *Server) handleShardExec(w http.ResponseWriter, r *http.Request) {
 	}
 	defer laneRelease()
 	resp, err := wkr.Execute(r.Context(), req)
+	if err == nil && r.Header.Get("X-Parent-Span") == "" {
+		// No span to graft into on the caller's side: don't ship the
+		// worker's trace (curl and non-tracing coordinators skip the
+		// payload; the span still landed in THIS daemon's trace ring).
+		resp.Trace = nil
+	}
 	if err != nil {
 		var rerr *fleet.RequestError
 		switch {
@@ -105,6 +112,30 @@ func (s *Server) handleShardExec(w http.ResponseWriter, r *http.Request) {
 		out = mustErrorResponse(http.StatusInternalServerError, rerr.Error())
 	}
 	s.direct(w, endpoint, start, out)
+}
+
+// handleFleetMetrics serves the coordinator's merged fleet exposition:
+// its own registry as peer="self", every peer's last good /metrics
+// scrape under its URL, and the scrape-health families that keep down
+// peers visible. 503 on daemons without a coordinator role.
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/fleet/metrics"
+	c := s.opts.FleetCoordinator
+	if c == nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusServiceUnavailable,
+			"fleet metrics federation requires a coordinator role (start respeedd with -peers)"))
+		return
+	}
+	var buf bytes.Buffer
+	if err := c.FederatedMetrics(&buf); err != nil {
+		s.direct(w, endpoint, start, mustErrorResponse(http.StatusInternalServerError, err.Error()))
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+	s.observe(endpoint, time.Since(start), false, http.StatusOK)
 }
 
 // FleetHealth is the fleet block of /healthz: the daemon's role, its

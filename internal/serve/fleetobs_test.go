@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"respeed/internal/fleet"
+	"respeed/internal/jobs"
+	"respeed/internal/obs"
+)
+
+// getTraces fetches /debug/traces with the given raw query and decodes
+// the reply. A non-200 answer fails unless allowErr is set.
+func getTraces(t *testing.T, url, query string) (int, TracesReply) {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/traces" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr TracesReply
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatalf("decode traces: %v", err)
+		}
+	}
+	return resp.StatusCode, tr
+}
+
+func TestDebugTracesFilters(t *testing.T) {
+	tr := obs.NewTracer(32)
+	span := func(id, name string) {
+		ctx := obs.WithRequestID(obs.WithTracer(context.Background(), tr), id)
+		_, sp := obs.StartSpan(ctx, name)
+		sp.End()
+	}
+	span("j000001", "job")
+	span("j000001", "job")
+	span("j000002", "probe")
+
+	ts := httptest.NewServer(New(Options{Tracer: tr}).Handler())
+	t.Cleanup(ts.Close)
+
+	// The injected tracer is the one the server serves from.
+	code, reply := getTraces(t, ts.URL, "?id=j000001")
+	if code != http.StatusOK {
+		t.Fatalf("?id: status %d", code)
+	}
+	if len(reply.Traces) != 2 {
+		t.Fatalf("?id=j000001 returned %d traces, want 2", len(reply.Traces))
+	}
+	for _, root := range reply.Traces {
+		if root.ID != "j000001" {
+			t.Errorf("?id filter leaked trace %q/%q", root.ID, root.Name)
+		}
+	}
+
+	code, reply = getTraces(t, ts.URL, "?name=probe")
+	if code != http.StatusOK || len(reply.Traces) != 1 || reply.Traces[0].Name != "probe" {
+		t.Fatalf("?name=probe: status %d traces %+v", code, reply.Traces)
+	}
+
+	// Filter before limit: the newest single trace OF THAT ID, even
+	// though newer unrelated spans (the GETs above) are in the ring.
+	code, reply = getTraces(t, ts.URL, "?id=j000001&limit=1")
+	if code != http.StatusOK || len(reply.Traces) != 1 || reply.Traces[0].ID != "j000001" {
+		t.Fatalf("?id&limit: status %d traces %+v", code, reply.Traces)
+	}
+
+	code, reply = getTraces(t, ts.URL, "?limit=1")
+	if code != http.StatusOK || len(reply.Traces) != 1 {
+		t.Fatalf("?limit=1: status %d, %d traces", code, len(reply.Traces))
+	}
+
+	// Out-of-range or non-integer limits are client errors, not clamps.
+	for _, bad := range []string{"?limit=0", "?limit=-3", "?limit=abc", "?limit=2000"} {
+		if code, _ := getTraces(t, ts.URL, bad); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+
+	// A filter that matches nothing answers an empty list, not null.
+	code, reply = getTraces(t, ts.URL, "?id=j999999")
+	if code != http.StatusOK || reply.Traces == nil || len(reply.Traces) != 0 {
+		t.Errorf("unmatched filter: status %d traces %+v", code, reply.Traces)
+	}
+}
+
+// TestShardTraceFollowsParentSpanHeader covers the wire contract of
+// trace grafting: the worker returns its shard span only to callers
+// that declared a parent to graft into, and the span carries the
+// coordinator's request ID end to end.
+func TestShardTraceFollowsParentSpanHeader(t *testing.T) {
+	tr := obs.NewTracer(8)
+	wkr := fleet.NewWorker(fleet.WorkerOptions{})
+	ts := httptest.NewServer(New(Options{FleetWorker: wkr, Tracer: tr}).Handler())
+	t.Cleanup(ts.Close)
+	body, _ := json.Marshal(shardRequest())
+
+	post := func(withTrace bool) fleet.ShardResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/shards", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withTrace {
+			req.Header.Set("X-Request-ID", "j000077")
+			req.Header.Set("X-Parent-Span", "00000000deadbeef")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		var sr fleet.ShardResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	sr := post(true)
+	if sr.Trace == nil {
+		t.Fatal("no trace in shard response despite X-Parent-Span")
+	}
+	if sr.Trace.Name != "shard-exec" {
+		t.Errorf("trace span = %q, want shard-exec", sr.Trace.Name)
+	}
+	// Satellite: the worker span carries the coordinator's request ID,
+	// so fleet-wide the job ID stitches every hop together.
+	if sr.Trace.ID != "j000077" {
+		t.Errorf("worker span id = %q, want the inbound X-Request-ID", sr.Trace.ID)
+	}
+
+	// The span also landed in THIS daemon's own ring, under the
+	// caller's request ID (the middleware root span ends after the
+	// response is written, so poll briefly).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		code, reply := getTraces(t, ts.URL, "?id=j000077")
+		if code == http.StatusOK && len(reply.Traces) == 1 {
+			root := reply.Traces[0]
+			if len(root.Children) != 1 || root.Children[0].Name != "shard-exec" {
+				t.Fatalf("worker root span children = %+v, want shard-exec", root.Children)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker span never reached /debug/traces")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Without a parent span there is nothing to graft into: the payload
+	// is omitted.
+	if sr := post(false); sr.Trace != nil {
+		t.Errorf("trace returned without X-Parent-Span: %+v", sr.Trace)
+	}
+}
+
+func TestJobTraceEndpoint(t *testing.T) {
+	// Disabled without a manager, like every jobs endpoint.
+	plain := httptest.NewServer(New(Options{}).Handler())
+	t.Cleanup(plain.Close)
+	if code := doJSON(t, http.MethodGet, plain.URL+"/v1/jobs/j000001/trace", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("traceless daemon: status %d, want 503", code)
+	}
+
+	ts, m := newJobsServer(t, jobs.Options{})
+	var st jobs.Status
+	camp := jobs.Campaign{
+		Name: "http-trace", Kind: jobs.KindGrid,
+		Configs: []string{"Hera/XScale"}, Rhos: []float64{3, 5},
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", camp, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for st.State != jobs.StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if _, err := m.Status(st.ID); err != nil {
+			t.Fatal(err)
+		}
+		doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, nil, &st)
+	}
+
+	var jt jobs.JobTrace
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/trace", nil, &jt); code != http.StatusOK {
+		t.Fatalf("trace: status %d", code)
+	}
+	if jt.JobID != st.ID || jt.State != jobs.StateDone {
+		t.Errorf("trace header = %+v", jt)
+	}
+	if len(jt.Shards) != st.ShardsTotal {
+		t.Errorf("timeline covers %d shards, want %d", len(jt.Shards), st.ShardsTotal)
+	}
+	for _, e := range jt.Shards {
+		if !e.OK || e.Peer != "local" {
+			t.Errorf("shard entry %+v: want ok local", e)
+		}
+	}
+
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/j999999/trace", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown job trace: status %d, want 404", code)
+	}
+}
+
+func TestFleetMetricsEndpoint(t *testing.T) {
+	// Coordinator-only: workers and fleetless daemons answer 503.
+	plain := httptest.NewServer(New(Options{}).Handler())
+	t.Cleanup(plain.Close)
+	if code := doJSON(t, http.MethodGet, plain.URL+"/v1/fleet/metrics", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("coordinatorless daemon: status %d, want 503", code)
+	}
+
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/metrics":
+			w.Header().Set("Content-Type", obs.ContentType)
+			io.WriteString(w, "# HELP respeed_fleet_active_shards Shards executing now.\n"+
+				"# TYPE respeed_fleet_active_shards gauge\nrespeed_fleet_active_shards 2\n")
+		case "/healthz":
+			io.WriteString(w, `{"status":"ok"}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(peer.Close)
+
+	reg := obs.NewRegistry()
+	coord, err := fleet.NewCoordinator(fleet.Options{
+		Peers:          []fleet.Peer{{URL: peer.URL}},
+		Registry:       reg,
+		HeartbeatEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	coord.ScrapeNow()
+
+	ts := httptest.NewServer(New(Options{FleetCoordinator: coord, Registry: reg}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v1/fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("content-type %q, want %q", ct, obs.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("federated exposition does not re-parse strictly: %v", err)
+	}
+	// The scraped peer's series appear under its URL...
+	if v, err := exp.Value("respeed_fleet_active_shards", map[string]string{"peer": peer.URL}); err != nil || v != 2 {
+		t.Errorf("peer series: value %g err %v", v, err)
+	}
+	// ...the coordinator's own registry under peer="self"...
+	if _, err := exp.Value("respeed_fleet_peer_up", map[string]string{"peer": "self", "exported_peer": peer.URL}); err != nil {
+		t.Errorf("self series with exported_peer rename: %v", err)
+	}
+	// ...and scrape health makes the fleet's freshness visible.
+	if _, err := exp.Value("respeed_fleet_scrape_staleness_seconds", map[string]string{"peer": peer.URL}); err != nil {
+		t.Errorf("scrape staleness series: %v", err)
+	}
+}

@@ -106,6 +106,28 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.direct(w, endpoint, start, resp)
 }
 
+// handleJobTrace serves a job's flight-recorder timeline: one entry
+// per executed shard with queue/dispatch/exec phases and per-peer
+// attribution — the "why was this campaign slow" endpoint.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/jobs/{id}/trace"
+	m := s.jobsManager(w, endpoint, start)
+	if m == nil {
+		return
+	}
+	jt, err := m.Trace(r.PathValue("id"))
+	if err != nil {
+		s.jobError(w, endpoint, start, err)
+		return
+	}
+	resp, err := jsonResponse(http.StatusOK, jt)
+	if err != nil {
+		resp = mustErrorResponse(http.StatusInternalServerError, err.Error())
+	}
+	s.direct(w, endpoint, start, resp)
+}
+
 // JobListReply is the GET /v1/jobs answer.
 type JobListReply struct {
 	Jobs []jobs.Status `json:"jobs"`

@@ -41,7 +41,8 @@ var servedEndpoints = []string{
 	"/v1/configs", "/v1/solve", "/v1/sigma1-table", "/v1/gain",
 	"/v1/simulate", "/v1/simulate/events",
 	"/v1/jobs", "/v1/jobs/{id}", "/v1/jobs/{id}/result", "/v1/jobs/{id}/events",
-	"/v1/shards",
+	"/v1/jobs/{id}/trace",
+	"/v1/shards", "/v1/fleet/metrics",
 }
 
 // initObs builds the server's observability spine: HTTP instruments per
@@ -51,7 +52,10 @@ func (s *Server) initObs() {
 	r := s.opts.Registry
 	s.obsReg = r
 	s.log = s.opts.Logger
-	s.tracer = obs.NewTracer(s.opts.TraceCapacity)
+	s.tracer = s.opts.Tracer
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(s.opts.TraceCapacity)
+	}
 
 	requests := r.NewCounterVec(obs.Opts{Name: "respeed_http_requests_total",
 		Help: "HTTP requests served, by endpoint route.", Labels: []string{"endpoint"}})
@@ -285,13 +289,47 @@ type TracesReply struct {
 	Traces []obs.SpanSnapshot `json:"traces"`
 }
 
+// maxTraceLimit caps the ?limit= parameter of /debug/traces.
+const maxTraceLimit = 1024
+
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	const endpoint = "/debug/traces"
 	if !s.requireGet(w, r, endpoint, start) {
 		return
 	}
+	q := r.URL.Query()
+	limit := -1
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > maxTraceLimit {
+			s.direct(w, endpoint, start, mustErrorResponse(http.StatusBadRequest,
+				fmt.Sprintf("limit must be an integer in [1, %d] (got %q)", maxTraceLimit, raw)))
+			return
+		}
+		limit = v
+	}
+	wantID, wantName := q.Get("id"), q.Get("name")
 	roots := s.tracer.Roots()
+	// Filter before limiting, so ?id=j000001&limit=5 means "the newest
+	// five traces of THAT campaign", which is what an operator pulling
+	// one job's trace out of a busy ring wants.
+	if wantID != "" || wantName != "" {
+		kept := roots[:0]
+		for _, root := range roots {
+			if wantID != "" && root.ID != wantID {
+				continue
+			}
+			if wantName != "" && root.Name != wantName {
+				continue
+			}
+			kept = append(kept, root)
+		}
+		roots = kept
+	}
+	if limit > 0 && len(roots) > limit {
+		roots = roots[len(roots)-limit:] // newest last, as the ring stores them
+	}
 	if roots == nil {
 		roots = []obs.SpanSnapshot{}
 	}

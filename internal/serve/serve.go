@@ -89,6 +89,11 @@ type Options struct {
 	// TraceCapacity bounds the /debug/traces ring buffer (default 64
 	// retained root spans).
 	TraceCapacity int
+	// Tracer, when non-nil, replaces the internally built trace ring.
+	// Share one tracer between this field and jobs.Options.Tracer so
+	// request spans and campaign job/dispatch spans land in the same
+	// /debug/traces ring (TraceCapacity is ignored when set).
+	Tracer *obs.Tracer
 	// SSEKeepalive is the interval between `: keepalive` comment frames
 	// on the SSE streams (default 15 s), so idle streams defeat proxy
 	// and LB idle timeouts.
@@ -261,8 +266,11 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	// Fleet data plane: peer coordinators ship shards here.
 	s.mux.HandleFunc("POST /v1/shards", s.handleShardExec)
+	// Fleet observability: the coordinator's merged peer expositions.
+	s.mux.HandleFunc("GET /v1/fleet/metrics", s.handleFleetMetrics)
 	return s
 }
 

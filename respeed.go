@@ -391,10 +391,24 @@ type (
 	Telemetry = obs.Registry
 	// BuildInfo is the build metadata /healthz reports.
 	BuildInfo = obs.BuildInfo
+	// TraceRing is the bounded ring of finished request traces served
+	// by /debug/traces. Share one ring between ServeOptions.Tracer and
+	// JobManagerOptions.Tracer so HTTP request spans and campaign job
+	// spans (with their grafted remote worker spans) land in the same
+	// ring and stitch together under one request ID.
+	TraceRing = obs.Tracer
+	// TraceSpan is one finished span: name, request ID, timing,
+	// annotations and children (live local spans followed by remote
+	// snapshots grafted from fleet workers).
+	TraceSpan = obs.SpanSnapshot
 )
 
 // NewTelemetry creates an empty metric registry.
 func NewTelemetry() *Telemetry { return obs.NewRegistry() }
+
+// NewTraceRing creates a trace ring retaining the newest capacity root
+// spans (capacity <= 0 selects the default).
+func NewTraceRing(capacity int) *TraceRing { return obs.NewTracer(capacity) }
 
 // NewStructuredLogger builds a level-filtered slog logger writing
 // "text" or "json" lines to w, validating both choices (for flag
@@ -586,6 +600,12 @@ type (
 	JobResult = jobs.Result
 	// JobStats are the manager-wide gauges exported on /metrics.
 	JobStats = jobs.Stats
+	// JobTrace is a campaign's flight-recorder timeline, served on
+	// GET /v1/jobs/{id}/trace: one entry per executed shard with
+	// queue/dispatch/exec phases and per-peer attribution.
+	JobTrace = jobs.JobTrace
+	// JobShardTrace is one flight-recorder entry.
+	JobShardTrace = jobs.ShardTrace
 )
 
 // Campaign kinds.
