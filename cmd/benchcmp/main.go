@@ -2,17 +2,20 @@
 // repository's JSON benchmark baseline (BENCH_engine.json) and prints a
 // per-benchmark delta table.
 //
-// It is report-only by design: benchmark numbers from shared CI runners
-// are too noisy to gate merges on, so the tool always exits 0 when it
-// can parse its inputs — the value is the table in the build log, read
-// by a human. Hard regressions are instead caught by the allocation
-// pins (TestRunPatternNoAllocs and friends), which assert discrete,
-// scheduler-independent counts.
+// Timing columns are report-only by design: ns/op from shared CI
+// runners is too noisy to gate merges on, so the table in the build log
+// is read by a human. The allocation and byte columns, however, are
+// deterministic — after the benchmarks' own warmup they count discrete
+// events, not scheduler luck — so baseline records marked "gate": true
+// fail the run (exit 1) under -gate when their allocs/op or B/op
+// regress beyond tolerance. Hard per-loop pins live in the test suite
+// (TestRunPatternNoAllocs and friends); the gate catches the fan-out
+// paths whose budgets are call-level, not loop-level.
 //
 // Usage:
 //
 //	go test -bench . -benchmem -run '^$' ./internal/engine/ | benchcmp -baseline BENCH_engine.json
-//	benchcmp -baseline BENCH_engine.json bench-output.txt
+//	benchcmp -baseline BENCH_engine.json -gate bench-output.txt
 package main
 
 import (
@@ -36,7 +39,22 @@ type baselineRecord struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Gate marks the record as merge-gating under -gate: its alloc and
+	// byte columns (never ns/op) must stay within gateTolerance of the
+	// baseline.
+	Gate bool `json:"gate,omitempty"`
 }
+
+// Gate tolerance: the measured value may exceed the baseline by 50%
+// plus a small absolute headroom before failing. The relative slack
+// absorbs rounding of per-op averages at low iteration counts; the
+// absolute slack keeps near-zero baselines (4 allocs) from tripping on
+// a single extra allocation of executor warmup.
+const (
+	gateRelTolerance   = 1.5
+	gateAllocsHeadroom = 8
+	gateBytesHeadroom  = 2048
+)
 
 type measurement struct {
 	nsPerOp     float64
@@ -47,6 +65,7 @@ type measurement struct {
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_engine.json", "JSON benchmark baseline to compare against")
+	gate := flag.Bool("gate", false, "fail (exit 1) when a gated benchmark's allocs/op or B/op regress beyond tolerance")
 	flag.Parse()
 
 	base, err := readBaseline(*baselinePath)
@@ -71,6 +90,46 @@ func main() {
 		os.Exit(1)
 	}
 	report(os.Stdout, base, current)
+	if *gate {
+		if failures := checkGates(base, current); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "benchcmp: GATE:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("benchcmp: all gated benchmarks within alloc/byte tolerance")
+	}
+}
+
+// checkGates compares every gated baseline record's deterministic
+// columns against the measured run. A gated benchmark that was not run
+// or ran without -benchmem is itself a failure — otherwise the gate
+// silently evaporates when a name changes.
+func checkGates(base *baseline, current map[string]measurement) []string {
+	var failures []string
+	for _, b := range base.Benchmarks {
+		if !b.Gate {
+			continue
+		}
+		m, ok := lookup(current, b.Name)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark not present in run", shorten(b.Name)))
+			continue
+		}
+		if !m.hasMem {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark ran without -benchmem", shorten(b.Name)))
+			continue
+		}
+		if limit := b.AllocsPerOp*gateRelTolerance + gateAllocsHeadroom; m.allocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op exceeds gate %.0f (baseline %.0f)",
+				shorten(b.Name), m.allocsPerOp, limit, b.AllocsPerOp))
+		}
+		if limit := b.BytesPerOp*gateRelTolerance + gateBytesHeadroom; m.bytesPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f B/op exceeds gate %.0f (baseline %.0f)",
+				shorten(b.Name), m.bytesPerOp, limit, b.BytesPerOp))
+		}
+	}
+	return failures
 }
 
 func readBaseline(path string) (*baseline, error) {
@@ -186,7 +245,7 @@ func report(w io.Writer, base *baseline, current map[string]measurement) {
 			fmt.Fprintf(w, "%-62s %14s %14s %9s %16s\n", shorten(name), "-", fmtNs(current[name].nsPerOp), "new", "")
 		}
 	}
-	fmt.Fprintf(w, "benchcmp: %d/%d baseline benchmarks matched (report only, never fails the build)\n",
+	fmt.Fprintf(w, "benchcmp: %d/%d baseline benchmarks matched (timing report-only; alloc/byte gates enforced under -gate)\n",
 		matched, len(base.Benchmarks))
 }
 

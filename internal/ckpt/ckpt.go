@@ -41,6 +41,11 @@ type Store struct {
 	staged   []byte
 	verified bool
 
+	// spare holds state buffers harvested from evicted or reset
+	// snapshots, recycled by later commits so a long-lived store's
+	// steady state allocates nothing per checkpoint.
+	spare [][]byte
+
 	// Stats.
 	commits      int
 	recoveries   int
@@ -85,11 +90,12 @@ func (s *Store) Commit(pattern int, now float64) (Snapshot, error) {
 		Seq:     s.seq,
 		Pattern: pattern,
 		Time:    now,
-		State:   append([]byte(nil), s.staged...),
+		State:   append(s.takeSpare(), s.staged...),
 	}
 	if len(s.ring) < s.capacity {
 		s.ring = append(s.ring, snap)
 	} else {
+		s.putSpare(s.ring[0].State)
 		copy(s.ring, s.ring[1:])
 		s.ring[len(s.ring)-1] = snap
 	}
@@ -97,6 +103,48 @@ func (s *Store) Commit(pattern int, now float64) (Snapshot, error) {
 	s.bytesWritten += int64(len(snap.State))
 	s.verified = false
 	return snap, nil
+}
+
+// takeSpare returns an empty recycled buffer, or nil when none is
+// banked.
+func (s *Store) takeSpare() []byte {
+	if n := len(s.spare); n > 0 {
+		buf := s.spare[n-1]
+		s.spare = s.spare[:n-1]
+		return buf[:0]
+	}
+	return nil
+}
+
+// putSpare banks a retired state buffer for reuse.
+func (s *Store) putSpare(buf []byte) {
+	if buf != nil {
+		s.spare = append(s.spare, buf[:0])
+	}
+}
+
+// Reset returns the store to its freshly constructed state — empty ring,
+// zero sequence and counters — while banking the retired snapshot
+// buffers for reuse by later commits. It lets a pooled execution reuse
+// one store across independent runs without per-run allocation.
+//
+// Because buffers are recycled, Snapshot.State slices previously
+// returned by Commit or Latest are invalidated by Reset (and by the
+// eviction of their snapshot); Recover is the way to obtain a caller-
+// owned copy.
+func (s *Store) Reset() {
+	for i := range s.ring {
+		s.putSpare(s.ring[i].State)
+		s.ring[i] = Snapshot{}
+	}
+	s.ring = s.ring[:0]
+	s.seq = 0
+	s.staged = s.staged[:0]
+	s.verified = false
+	s.commits = 0
+	s.recoveries = 0
+	s.bytesWritten = 0
+	s.bytesRead = 0
 }
 
 // Latest returns the most recent committed checkpoint.
@@ -117,6 +165,22 @@ func (s *Store) Recover() ([]byte, error) {
 	s.recoveries++
 	s.bytesRead += int64(len(snap.State))
 	return append([]byte(nil), snap.State...), nil
+}
+
+// RecoverView returns the latest checkpoint's state without copying,
+// counting the read exactly as Recover does. The returned slice aliases
+// the stored snapshot: it must be treated as read-only and is
+// invalidated by the next Commit or Reset. It exists for the
+// replication hot path, where the workload's Restore copies the bytes
+// out immediately.
+func (s *Store) RecoverView() ([]byte, error) {
+	if len(s.ring) == 0 {
+		return nil, ErrEmpty
+	}
+	state := s.ring[len(s.ring)-1].State
+	s.recoveries++
+	s.bytesRead += int64(len(state))
+	return state, nil
 }
 
 // Depth returns how many checkpoints are currently retained.

@@ -147,3 +147,93 @@ func TestNewPanicsOnZeroCapacity(t *testing.T) {
 	}()
 	New(0)
 }
+
+func TestResetRestoresFreshState(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 4; i++ {
+		s.Stage([]byte{byte('a' + i)})
+		s.MarkVerified()
+		if _, err := s.Commit(i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Depth() != 0 {
+		t.Errorf("depth after Reset = %d", s.Depth())
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Errorf("stats after Reset = %+v", st)
+	}
+	if _, err := s.Latest(); err != ErrEmpty {
+		t.Errorf("Latest after Reset: want ErrEmpty, got %v", err)
+	}
+	// A staged-but-uncommitted snapshot must not survive the reset.
+	if _, err := s.Commit(0, 0); err != ErrNotVerified {
+		t.Errorf("commit after Reset without stage: want ErrNotVerified, got %v", err)
+	}
+	// The store behaves exactly like a new one afterwards.
+	s.Stage([]byte("fresh"))
+	s.MarkVerified()
+	snap, err := s.Commit(7, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 1 || string(snap.State) != "fresh" {
+		t.Errorf("first commit after Reset: seq=%d state=%q", snap.Seq, snap.State)
+	}
+}
+
+func TestCommitRecyclesBuffersAcrossReset(t *testing.T) {
+	s := New(1)
+	state := bytes.Repeat([]byte("x"), 1024)
+	commit := func() {
+		s.Stage(state)
+		s.MarkVerified()
+		if _, err := s.Commit(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit()
+	commit() // warm the spare pool via eviction
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		commit()
+		commit()
+	})
+	if allocs > 0 {
+		t.Errorf("reset+commit cycle allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestRecoverViewAliasesAndCounts(t *testing.T) {
+	s := New(1)
+	s.Stage([]byte("view-state"))
+	s.MarkVerified()
+	if _, err := s.Commit(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	view, err := s.RecoverView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(view) != "view-state" {
+		t.Errorf("view = %q", view)
+	}
+	copied, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(view, copied) {
+		t.Error("RecoverView and Recover disagree")
+	}
+	st := s.Stats()
+	if st.Recoveries != 2 || st.BytesRead != 2*int64(len("view-state")) {
+		t.Errorf("stats after view+copy recover: %+v", st)
+	}
+	if _, err := New(1).RecoverView(); err != ErrEmpty {
+		t.Errorf("empty RecoverView: want ErrEmpty, got %v", err)
+	}
+}

@@ -79,6 +79,15 @@ func NewVerifier(det Detector) *Verifier {
 	return &Verifier{det: det}
 }
 
+// Reset re-derives the verifier in place as NewVerifier(det) would:
+// detector swapped (nil defaulting to FNV64) and counters zeroed.
+func (v *Verifier) Reset(det Detector) {
+	if det == nil {
+		det = FNV64{}
+	}
+	*v = Verifier{det: det}
+}
+
 // Detector returns the underlying detector.
 func (v *Verifier) Detector() Detector { return v.det }
 
@@ -133,6 +142,21 @@ func NewSampledVerifier(det Detector, rng interface{ Intn(int) int }, coverage f
 		det = FNV64{}
 	}
 	return &SampledVerifier{det: det, rng: rng, coverage: coverage}
+}
+
+// Reset re-derives the partial verifier in place as NewSampledVerifier
+// would, with the same validation panics.
+func (v *SampledVerifier) Reset(det Detector, rng interface{ Intn(int) int }, coverage float64) {
+	if coverage <= 0 || coverage > 1 {
+		panic("detect: coverage must be in (0, 1]")
+	}
+	if rng == nil {
+		panic("detect: nil rng")
+	}
+	if det == nil {
+		det = FNV64{}
+	}
+	*v = SampledVerifier{det: det, rng: rng, coverage: coverage}
 }
 
 // Coverage returns the configured coverage fraction.

@@ -157,6 +157,14 @@ func (mt *Meter) ElapsedTime() float64 {
 	return t
 }
 
+// Reinit re-points the meter at a (possibly different) model and clears
+// all recorded segments — the in-place equivalent of NewMeter, for
+// pooled executions that reuse one meter across runs.
+func (mt *Meter) Reinit(m Model) {
+	mt.model = m
+	mt.Reset()
+}
+
 // Reset clears all recorded segments but keeps the model.
 func (mt *Meter) Reset() {
 	mt.total.Reset()

@@ -42,6 +42,28 @@ func TestReplicatePatternParallelAllocBudget(t *testing.T) {
 	}
 }
 
+// scenarioAllocBudget bounds one full 50-run pooled scenario
+// replication call: the campaign context (prototype workload, initial
+// state, pattern sizes), the fan-out machinery, and nothing per run —
+// every per-run component comes from the scratch pool and is reset in
+// place. Measured at ~19 (from 2360 in the build-per-run design); the
+// budget leaves headroom for scheduler noise while still catching any
+// return to per-run App construction.
+const scenarioAllocBudget = 64
+
+func TestReplicateScenarioAllocBudget(t *testing.T) {
+	sc := testScenario()
+	run := func() {
+		if _, err := ReplicateScenario(sc, 1, 50, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the shared executor and scenario scratch pool
+	if allocs := testing.AllocsPerRun(10, run); allocs > scenarioAllocBudget {
+		t.Errorf("ReplicateScenario allocates %.0f times per call, budget %d", allocs, scenarioAllocBudget)
+	}
+}
+
 // TestChunkFanOutAllocBudget bounds the executor fan-out machinery alone
 // (no simulation): the per-call cost of dispatching 64 no-op chunks.
 func TestChunkFanOutAllocBudget(t *testing.T) {

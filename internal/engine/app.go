@@ -119,6 +119,10 @@ type App struct {
 	rec      Recorder
 	trace    *trace.Recorder
 	rep      Report
+
+	// corruptBuf is the scratch snapshot injectSDC corrupts, reused
+	// across injections (and across runs on the pooled scenario path).
+	corruptBuf []byte
 }
 
 // NewApp validates the configuration and builds the executor.
@@ -162,9 +166,9 @@ func NewApp(cfg AppConfig, wl *Runner) (*App, error) {
 // injectSDC corrupts the main workload's live state through a
 // snapshot round-trip, so the upset lands in the kernel's real data.
 func (x *App) injectSDC() error {
-	corrupted := append([]byte(nil), x.main.state()...)
-	x.cfg.Faults.Corrupt(corrupted)
-	if err := x.main.restore(corrupted); err != nil {
+	x.corruptBuf = append(x.corruptBuf[:0], x.main.state()...)
+	x.cfg.Faults.Corrupt(x.corruptBuf)
+	if err := x.main.restore(x.corruptBuf); err != nil {
 		return fmt.Errorf("engine: inject SDC: %w", err)
 	}
 	return nil

@@ -41,6 +41,12 @@ func BenchmarkPatternEngineRun(b *testing.B) {
 func BenchmarkReplicatePatternParallel(b *testing.B) {
 	plan := Plan{W: 2764, Sigma1: 0.4, Sigma2: 0.8}
 	costs := Costs{C: 6, V: 1.5, R: 6, LambdaS: 1e-4}
+	// Warm the shared executor and lane-scratch pools: this benchmark is
+	// alloc-gated in CI's -benchtime=1x smoke mode, where one cold run
+	// would otherwise charge pool construction to the steady state.
+	if _, err := ReplicatePatternParallel(plan, costs, testModel(), 1, 1000, 0); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ReplicatePatternParallel(plan, costs, testModel(), uint64(i+1), 1000, 0); err != nil {
@@ -93,6 +99,11 @@ func BenchmarkScenario(b *testing.B) {
 
 func BenchmarkReplicateScenario(b *testing.B) {
 	sc := testScenario()
+	// Warm the shared executor and scenario scratch pool (alloc-gated in
+	// CI smoke mode; see BenchmarkReplicatePatternParallel).
+	if _, err := ReplicateScenario(sc, 1, 50, 0); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ReplicateScenario(sc, uint64(i+1), 50, 0); err != nil {

@@ -4,11 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"respeed/internal/energy"
-	"respeed/internal/faults"
-	"respeed/internal/rngx"
 	"respeed/internal/stats"
 )
 
@@ -124,38 +121,6 @@ func chunkedFanOut(ctx context.Context, n, workers int, w float64, runChunk func
 	return total.estimate(n), nil
 }
 
-// patternScratch is the per-chunk working set of a pattern replication
-// — stream, injector, fault process, recorder and engine — recycled
-// through a sync.Pool so steady-state fan-outs allocate none of it.
-// reset rebuilds every component in place to the exact state a fresh
-// construction would have, which is what keeps pooled runs bit-exact.
-type patternScratch struct {
-	rng rngx.Stream
-	inj faults.Injector
-	agg AggregateFaults
-	rec SumRecorder
-	eng PatternEngine
-}
-
-var patternScratchPool = sync.Pool{New: func() any { return new(patternScratch) }}
-
-// reset reconfigures the scratch for one chunk: the stream is reseeded
-// to (seed, "replicate/chunk-<chunk>") and every downstream component
-// is rebuilt by plain struct assignment (counters, clocks and the
-// engine's pattern IDs all return to zero).
-func (s *patternScratch) reset(plan Plan, costs Costs, model energy.Model, seed uint64, chunk int) {
-	s.rng.ReseedIndexed(seed, "replicate/chunk-", chunk)
-	s.inj.Reset(costs.LambdaS, costs.LambdaF, &s.rng)
-	s.agg = AggregateFaults{inj: &s.inj}
-	s.rec = SumRecorder{model: model}
-	s.eng = PatternEngine{cfg: PatternConfig{
-		Plan:     plan,
-		Costs:    costs,
-		Faults:   &s.agg,
-		Recorder: &s.rec,
-	}}
-}
-
 // ReplicatePatternParallel runs n independent abstract pattern
 // simulations fanned out over the shared executor and returns the
 // same aggregate as ReplicatePattern. The estimate is deterministic in
@@ -177,28 +142,10 @@ func ReplicatePatternParallelCtx(ctx context.Context, plan Plan, costs Costs, mo
 	if err := costs.Validate(); err != nil {
 		return Estimate{}, err
 	}
+	// One kernel for the whole call: its fault-channel cutoffs cost a few
+	// bisections to build, which must not be paid per chunk.
+	k := newPatternKernel(plan, costs, model)
 	return chunkedFanOut(ctx, n, workers, plan.W, func(ctx context.Context, chunk, lo, hi int, acc *estimator) error {
-		return runPatternChunk(ctx, plan, costs, model, seed, chunk, lo, hi, acc)
+		return k.runChunk(ctx, seed, chunk, lo, hi, acc)
 	})
-}
-
-// runPatternChunk executes replications [lo, hi) of one fixed chunk into
-// acc, deriving all randomness from (seed, chunk). It is the shared body
-// of ReplicatePatternParallel and the exported chunk API, so a chunk
-// executed in isolation (e.g. as one shard of a batch job) accumulates
-// bit-identically to the same chunk inside the in-process fan-out.
-// plan and costs must already be validated by the caller.
-func runPatternChunk(ctx context.Context, plan Plan, costs Costs, model energy.Model, seed uint64, chunk, lo, hi int, acc *estimator) error {
-	s := patternScratchPool.Get().(*patternScratch)
-	defer patternScratchPool.Put(s)
-	s.reset(plan, costs, model, seed, chunk)
-	for r := lo; r < hi; r++ {
-		acc.add(s.eng.RunPattern())
-		if (r-lo)&ctxPollMask == ctxPollMask {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }

@@ -13,6 +13,14 @@ type Runner struct {
 	state    func() []byte
 	restore  func([]byte) error
 	clone    func() *Runner
+
+	// fp identifies the wrapped kernel's constructor parameters when the
+	// kernel exposes a Fingerprint method (hasFP). The pooled scenario
+	// path only reuses cached workload instances across runs when names,
+	// fingerprints and serialized state all match; runners without a
+	// fingerprint are rebuilt instead.
+	fp    uint64
+	hasFP bool
 }
 
 // NewRunner wraps explicit functions.
@@ -24,7 +32,7 @@ func NewRunner(name string, advance func(float64), progress func() float64,
 
 // FromWorkload adapts a package workload kernel to a Runner.
 func FromWorkload(w workload.Workload) *Runner {
-	return &Runner{
+	r := &Runner{
 		name:     w.Name(),
 		advance:  w.Advance,
 		progress: w.Progress,
@@ -32,6 +40,11 @@ func FromWorkload(w workload.Workload) *Runner {
 		restore:  w.Restore,
 		clone:    func() *Runner { return FromWorkload(w.Clone()) },
 	}
+	if f, ok := w.(interface{ Fingerprint() uint64 }); ok {
+		r.fp = f.Fingerprint()
+		r.hasFP = true
+	}
+	return r
 }
 
 // Name returns the wrapped workload's name.

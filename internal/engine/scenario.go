@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"strconv"
 
 	"respeed/internal/detect"
 	"respeed/internal/energy"
@@ -226,12 +225,24 @@ func ReplicateScenarioCtx(ctx context.Context, sc Scenario, seed uint64, n, work
 	if err := sc.Validate(); err != nil {
 		return Estimate{}, err
 	}
+	return ReplicateScenarioValidatedCtx(ctx, sc, seed, n, workers)
+}
+
+// ReplicateScenarioValidatedCtx is ReplicateScenarioCtx minus the
+// validation pass, for callers holding a scenario that already passed
+// sc.Validate() — compiled specs validate at compile time, campaign
+// shards at submit — so fan-out shards don't re-pay validation per
+// call. Behavior on a scenario that would not validate is undefined.
+func ReplicateScenarioValidatedCtx(ctx context.Context, sc Scenario, seed uint64, n, workers int) (Estimate, error) {
 	run := sc // traces are per-run state; never share one recorder across goroutines
 	run.Trace = nil
 	run.Obs.TraceSink = nil
-	sizes := sc.patternSizes()
+	c, err := newScenarioCampaign(run)
+	if err != nil {
+		return Estimate{}, err
+	}
 	return chunkedFanOut(ctx, n, workers, sc.TotalWork, func(ctx context.Context, chunk, lo, hi int, acc *estimator) error {
-		return runScenarioRange(ctx, run, seed, lo, hi, sizes, acc)
+		return runScenarioRange(ctx, c, seed, lo, hi, acc)
 	})
 }
 
@@ -239,9 +250,12 @@ func ReplicateScenarioCtx(ctx context.Context, sc Scenario, seed uint64, n, work
 // campaign into acc. Run i draws from substreams prefixed
 // "scenario/<i>" — the same prefix for in-process fan-out and isolated
 // chunk execution, which is what makes the two bit-identical.
-func runScenarioRange(ctx context.Context, sc Scenario, seed uint64, lo, hi int, sizes []float64, acc *estimator) error {
+func runScenarioRange(ctx context.Context, c *scenarioCampaign, seed uint64, lo, hi int, acc *estimator) error {
+	s := scenarioScratchPool.Get().(*scenarioScratch)
+	defer scenarioScratchPool.Put(s)
+	s.prepare(c)
 	for i := lo; i < hi; i++ {
-		rep, err := sc.runSized(seed, "scenario/"+strconv.Itoa(i), sizes)
+		rep, err := s.runOnce(c, seed, i)
 		if err != nil {
 			return err
 		}
@@ -275,6 +289,14 @@ func ReplicateScenarioChunkCtx(ctx context.Context, sc Scenario, seed uint64, lo
 	if err := sc.Validate(); err != nil {
 		return ChunkEstimate{}, err
 	}
+	return ReplicateScenarioChunkValidatedCtx(ctx, sc, seed, lo, hi)
+}
+
+// ReplicateScenarioChunkValidatedCtx is ReplicateScenarioChunkCtx minus
+// the validation pass, with the same already-validated contract as
+// ReplicateScenarioValidatedCtx — the shard path of a distributed
+// campaign validates the spec once at submit, not once per shard.
+func ReplicateScenarioChunkValidatedCtx(ctx context.Context, sc Scenario, seed uint64, lo, hi int) (ChunkEstimate, error) {
 	if lo < 0 || hi < lo {
 		return ChunkEstimate{}, fmt.Errorf("engine: invalid scenario chunk range [%d,%d)", lo, hi)
 	}
@@ -284,8 +306,12 @@ func ReplicateScenarioChunkCtx(ctx context.Context, sc Scenario, seed uint64, lo
 	run := sc
 	run.Trace = nil
 	run.Obs.TraceSink = nil
+	c, err := newScenarioCampaign(run)
+	if err != nil {
+		return ChunkEstimate{}, err
+	}
 	acc := estimator{w: sc.TotalWork}
-	if err := runScenarioRange(ctx, run, seed, lo, hi, sc.patternSizes(), &acc); err != nil {
+	if err := runScenarioRange(ctx, c, seed, lo, hi, &acc); err != nil {
 		return ChunkEstimate{}, err
 	}
 	return acc.state(), nil

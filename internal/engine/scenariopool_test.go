@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"respeed/internal/faults"
+	"respeed/internal/rngx"
+	"respeed/internal/workload"
+)
+
+// The pooled scenario path's contract is bit-exactness with
+// Scenario.runSized on a fresh App: same stream names, same draws, same
+// component states after every in-place reset. These tests replay both
+// paths and require reports to match field for field (float bits
+// included) across every scenario composition the catalog exercises —
+// including repeated scratch reuse, which is where a missed reset would
+// surface as drift between consecutive runs.
+
+// scenarioPoolCases covers every policy combination runOnce dispatches
+// on: the aggregate fast path, both fault channels, the faults-factory
+// and per-node paths, two-level tiers, partial verification and
+// skipped verification.
+func scenarioPoolCases() []struct {
+	name string
+	sc   Scenario
+} {
+	base := testScenario()
+
+	bothChannels := base
+	bothChannels.Costs.LambdaF = 5e-4
+
+	cluster := base
+	cluster.Costs.LambdaS = 0
+	cluster.Nodes = UniformNodes(4, 2e-3, 5e-4)
+	cluster.TwoLevel = &TwoLevelSpec{MemC: 1.5, DiskC: 6, DiskR: 12, Every: 3}
+
+	partialFS := base
+	partialFS.Costs.LambdaF = 5e-4
+	partialFS.Partial = &Partial{Segments: 4, Coverage: 0.8, Cost: 0.4}
+
+	renewal := base
+	renewal.Costs.LambdaS = 0
+	renewal.Faults = func(seed uint64, prefix string) (FaultProcess, error) {
+		return NewRenewalFaults(RenewalConfig{
+			Silent: faults.NewRenewal(faults.Weibull{Shape: 0.7, Scale: 500},
+				rngx.NewStream(seed, prefix+"/renewal/silent")),
+			FailStop: []faults.ArrivalSource{faults.NewRenewal(faults.Exponential{Rate: 5e-4},
+				rngx.NewStream(seed, prefix+"/renewal/failstop-0"))},
+			RNG: rngx.NewStream(seed, prefix+"/renewal/aux"),
+		})
+	}
+
+	skip := base
+	skip.SkipVerification = true
+
+	heat := base
+	heat.NewWorkload = func() *Runner { return FromWorkload(workload.NewHeat(64, 0.2)) }
+
+	return []struct {
+		name string
+		sc   Scenario
+	}{
+		{"aggregate", base},
+		{"both-channels", bothChannels},
+		{"cluster-twolevel", cluster},
+		{"partial-failstop", partialFS},
+		{"renewal-factory", renewal},
+		{"skip-verification", skip},
+		{"heat-workload", heat},
+	}
+}
+
+// runSizedReference is the pre-pool per-replication body: a fresh App
+// built by runSized under the historical stream prefix.
+func runSizedReference(t *testing.T, sc Scenario, seed uint64, i int, sizes []float64) Report {
+	t.Helper()
+	rep, err := sc.runSized(seed, "scenario/"+strconv.Itoa(i), sizes)
+	if err != nil {
+		t.Fatalf("runSized(%d): %v", i, err)
+	}
+	return rep
+}
+
+func TestScenarioPoolMatchesRunSized(t *testing.T) {
+	const seed = 42
+	for _, tc := range scenarioPoolCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.sc.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			c, err := newScenarioCampaign(tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := scenarioScratchPool.Get().(*scenarioScratch)
+			defer scenarioScratchPool.Put(s)
+			s.prepare(c)
+			// Consecutive runs on one scratch: any state a reset missed
+			// leaks from run i into run i+1 and breaks the comparison.
+			for _, i := range []int{0, 1, 7, 63, 1000} {
+				got, err := s.runOnce(c, seed, i)
+				if err != nil {
+					t.Fatalf("runOnce(%d): %v", i, err)
+				}
+				want := runSizedReference(t, tc.sc, seed, i, c.sizes)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("run %d diverged:\n got %+v\nwant %+v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioScratchReuseAcrossCampaigns drives one scratch through
+// alternating campaigns whose workloads differ only in a constructor
+// parameter invisible to name and snapshot (Heat's diffusion
+// coefficient) — exactly the case the fingerprint witness exists for.
+// A scratch that wrongly kept the cached pair would run the wrong
+// physics and diverge.
+func TestScenarioScratchReuseAcrossCampaigns(t *testing.T) {
+	const seed = 9
+	mk := func(alpha float64) Scenario {
+		sc := testScenario()
+		sc.NewWorkload = func() *Runner { return FromWorkload(workload.NewHeat(64, alpha)) }
+		return sc
+	}
+	scA, scB := mk(0.1), mk(0.25)
+	cA, err := newScenarioCampaign(scA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := newScenarioCampaign(scB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scenarioScratchPool.Get().(*scenarioScratch)
+	defer scenarioScratchPool.Put(s)
+	for round := 0; round < 2; round++ {
+		for _, cc := range []struct {
+			c  *scenarioCampaign
+			sc Scenario
+		}{{cA, scA}, {cB, scB}} {
+			s.prepare(cc.c)
+			got, err := s.runOnce(cc.c, seed, round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runSizedReference(t, cc.sc, seed, round, cc.c.sizes)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d diverged after campaign switch:\n got %+v\nwant %+v", round, got, want)
+			}
+		}
+	}
+}
+
+// TestReplicateScenarioMatchesScalarFanOut checks the whole pooled
+// fan-out against the pre-pool reference: per-chunk fresh-App runs
+// merged in index order.
+func TestReplicateScenarioMatchesScalarFanOut(t *testing.T) {
+	const seed, n = 3, 96
+	for _, tc := range scenarioPoolCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ReplicateScenario(tc.sc, seed, n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes := tc.sc.patternSizes()
+			chunks := replicateChunks
+			if chunks > n {
+				chunks = n
+			}
+			total := estimator{w: tc.sc.TotalWork}
+			for c := 0; c < chunks; c++ {
+				lo, hi := ChunkBounds(n, chunks, c)
+				acc := estimator{w: tc.sc.TotalWork}
+				for i := lo; i < hi; i++ {
+					rep := runSizedReference(t, tc.sc, seed, i, sizes)
+					acc.add(PatternResult{Time: rep.Makespan, Energy: rep.Energy, Attempts: rep.Attempts})
+				}
+				total.merge(&acc)
+			}
+			if want := total.estimate(n); !reflect.DeepEqual(got, want) {
+				t.Fatalf("pooled estimate diverged from scalar fan-out:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestReplicateScenarioChunkValidatedMatchesUnvalidated pins the
+// validated fast path to the validating entry point.
+func TestReplicateScenarioChunkValidatedMatchesUnvalidated(t *testing.T) {
+	sc := testScenario()
+	a, err := ReplicateScenarioChunk(sc, 11, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplicateScenarioChunkValidatedCtx(nil, sc, 11, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("validated chunk diverged: %+v vs %+v", a, b)
+	}
+}

@@ -48,6 +48,18 @@ func NewSingleLevel(c, r float64, depth int) *SingleLevel {
 	return &SingleLevel{c: c, r: r, store: ckpt.New(depth)}
 }
 
+// reset re-derives the tier in place as NewSingleLevel(c, r, 1) would —
+// the depth the scenario path always uses — recycling the store's
+// snapshot buffers.
+func (t *SingleLevel) reset(c, r float64) {
+	t.c, t.r = c, r
+	if t.store == nil {
+		t.store = ckpt.New(1)
+	} else {
+		t.store.Reset()
+	}
+}
+
 // Init implements Tier.
 func (t *SingleLevel) Init(x *App) error {
 	t.store.Stage(x.main.state())
@@ -72,9 +84,10 @@ func (t *SingleLevel) Commit(x *App, pattern, attempt int) error {
 }
 
 // recover restores both workload copies from the store, then bills R —
-// the historical ExecSim order.
+// the historical ExecSim order. The view is read-only and consumed
+// before the store can invalidate it: restore copies the bytes out.
 func (t *SingleLevel) recover(x *App) error {
-	state, err := t.store.Recover()
+	state, err := t.store.RecoverView()
 	if err != nil {
 		return fmt.Errorf("engine: recover: %w", err)
 	}
@@ -149,6 +162,19 @@ func NewTwoLevel(spec TwoLevelSpec, memRecovery float64, total int) *TwoLevel {
 	}
 }
 
+// reset re-derives the tier in place as NewTwoLevel would, recycling
+// both stores' snapshot buffers.
+func (t *TwoLevel) reset(spec TwoLevelSpec, memRecovery float64, total int) {
+	t.spec, t.r, t.total = spec, memRecovery, total
+	if t.mem == nil {
+		t.mem, t.disk = ckpt.New(1), ckpt.New(1)
+	} else {
+		t.mem.Reset()
+		t.disk.Reset()
+	}
+	t.frontier = -1
+}
+
 // commitTo stages and commits the current state to a store.
 func (t *TwoLevel) commitTo(x *App, store *ckpt.Store, pattern int) error {
 	store.Stage(x.main.state())
@@ -164,7 +190,7 @@ func (t *TwoLevel) restoreFrom(x *App, store *ckpt.Store) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	state, err := store.Recover()
+	state, err := store.RecoverView()
 	if err != nil {
 		return 0, err
 	}

@@ -152,6 +152,23 @@ func NewRenewal(dist Dist, rng *rngx.Stream) *Renewal {
 	return &Renewal{dist: dist, rng: rng}
 }
 
+// Reset re-arms the process in place as NewRenewal(dist, rng) would,
+// with the same validation panics: the next Within primes a fresh first
+// inter-arrival. It lets a pooled execution reuse one renewal process
+// across independent runs.
+func (r *Renewal) Reset(dist Dist, rng *rngx.Stream) {
+	if dist == nil {
+		panic("faults: nil dist")
+	}
+	if err := dist.Validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		panic("faults: nil rng stream")
+	}
+	*r = Renewal{dist: dist, rng: rng}
+}
+
 // Within implements ArrivalSource.
 func (r *Renewal) Within(span float64) (float64, bool) {
 	if !r.primed {
@@ -202,6 +219,13 @@ func ValidateArrivalTimes(times []float64) error {
 		}
 	}
 	return nil
+}
+
+// Reset rewinds the replay to the start of the recorded list, as a
+// fresh NewSchedule over the same times would deliver it.
+func (s *Schedule) Reset() {
+	s.clock = 0
+	s.idx = 0
 }
 
 // Within implements ArrivalSource: the exposure clock advances by span

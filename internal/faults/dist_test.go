@@ -223,3 +223,83 @@ func TestScheduleValidation(t *testing.T) {
 		t.Errorf("equal adjacent times must be valid: %v", err)
 	}
 }
+
+// TestRenewalReset pins Reset's contract: a reset renewal source must
+// replay exactly the arrival sequence a freshly constructed one
+// delivers, including the carry-over state between windows.
+func TestRenewalReset(t *testing.T) {
+	dist := Weibull{Shape: 0.7, Scale: 500}
+	spans := []float64{120, 45, 300, 0, 80, 600}
+
+	sample := func(r *Renewal) []float64 {
+		var out []float64
+		for _, span := range spans {
+			at, hit := r.Within(span)
+			if hit {
+				out = append(out, at)
+			} else {
+				out = append(out, math.NaN())
+			}
+		}
+		return out
+	}
+
+	r := NewRenewal(dist, rngx.NewStream(7, "reset"))
+	first := sample(r)
+
+	rng := rngx.NewStream(7, "reset")
+	r.Reset(dist, rng)
+	second := sample(r)
+
+	for i := range first {
+		a, b := first[i], second[i]
+		if (math.IsNaN(a) != math.IsNaN(b)) || (!math.IsNaN(a) && a != b) {
+			t.Fatalf("window %d: fresh %v, reset %v", i, a, b)
+		}
+	}
+
+	// Reset's argument checks mirror NewRenewal's.
+	for name, f := range map[string]func(){
+		"nil dist": func() { r.Reset(nil, rng) },
+		"nil rng":  func() { r.Reset(dist, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestScheduleReset pins the rewind: after Reset the replay delivers
+// the recorded list from the top.
+func TestScheduleReset(t *testing.T) {
+	s, err := NewSchedule([]float64{10, 25, 25, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []float64 {
+		var out []float64
+		for _, span := range []float64{30, 30, 30, 30} {
+			at, hit := s.Within(span)
+			if hit {
+				out = append(out, at)
+			} else {
+				out = append(out, math.NaN())
+			}
+		}
+		return out
+	}
+	first := run()
+	s.Reset()
+	second := run()
+	for i := range first {
+		a, b := first[i], second[i]
+		if (math.IsNaN(a) != math.IsNaN(b)) || (!math.IsNaN(a) && a != b) {
+			t.Fatalf("window %d: first pass %v, after Reset %v", i, a, b)
+		}
+	}
+}

@@ -359,8 +359,9 @@ func (c Campaign) runShard(ctx context.Context, sp ShardPlan) (shardResult, erro
 		// The campaign seed is used directly — not a per-cell derivation
 		// — so a cell's merged estimate is bit-identical to
 		// engine.ReplicateScenario(sc, c.Seed, c.N, ...) run in one
-		// piece.
-		ce, err := engine.ReplicateScenarioChunkCtx(ctx, sc, c.Seed, sp.Lo, sp.Hi)
+		// piece. Compile already validated the scenario, so the shard
+		// skips re-validating it on every chunk.
+		ce, err := engine.ReplicateScenarioChunkValidatedCtx(ctx, sc, c.Seed, sp.Lo, sp.Hi)
 		if err != nil {
 			return shardResult{}, err
 		}

@@ -125,3 +125,114 @@ func TestNewStreamIndexedMatchesNewStream(t *testing.T) {
 		t.Fatal("NewStreamIndexed sequence differs from NewStream with the concatenated name")
 	}
 }
+
+func TestReseedIndexedSuffixMatchesSprintfName(t *testing.T) {
+	st := &Stream{}
+	sampleSome(NewStream(1, "dirty")) // unrelated; st itself starts zero
+	for _, idx := range []int{0, 1, 9, 10, 63, 12345} {
+		for _, suffix := range []string{"/exec", "/exec/partial-positions", ""} {
+			st.ReseedIndexedSuffix(3, "scenario/", idx, suffix)
+			name := fmt.Sprintf("scenario/%d%s", idx, suffix)
+			want := sampleSome(NewStream(3, name))
+			got := sampleSome(st)
+			if !sequencesEqual(got, want) {
+				t.Fatalf("idx=%d suffix=%q: sequence differs from NewStream(%q)", idx, suffix, name)
+			}
+			if st.Name() != name {
+				t.Fatalf("idx=%d suffix=%q: Name() = %q, want %q", idx, suffix, st.Name(), name)
+			}
+		}
+	}
+	// Later reseeds must drop the suffix again.
+	st.ReseedIndexedSuffix(3, "scenario/", 4, "/exec")
+	st.ReseedIndexed(3, "replicate/chunk-", 9)
+	if st.Name() != "replicate/chunk-9" {
+		t.Fatalf("ReseedIndexed after suffix: Name() = %q", st.Name())
+	}
+	st.ReseedIndexedSuffix(3, "scenario/", 4, "/exec")
+	st.Reseed(3, "plain")
+	if st.Name() != "plain" {
+		t.Fatalf("Reseed after suffix: Name() = %q", st.Name())
+	}
+}
+
+// expCutoffCases spans the rate/duration shapes the fault samplers see:
+// rare faults over long spans, near-certain hits, near-certain misses,
+// and degenerate durations.
+var expCutoffCases = []struct{ rate, dur float64 }{
+	{1e-4, 4320},   // the benchmark pattern's silent channel
+	{2e-3, 131.25}, // the scenario catalog's aggregate span
+	{5e-4, 137.5},
+	{1, 0.5},
+	{1, 50},   // hit probability 1 to double precision
+	{1e-9, 1}, // hit probability ~1e-9
+	{3.5, 0},  // never hits
+	{2, -1},   // never hits
+	{0.25, math.Inf(1)},
+}
+
+func TestExpCutoffMatchesScalarDecision(t *testing.T) {
+	for _, tc := range expCutoffCases {
+		cut := ExpHitCutoff(tc.rate, tc.dur)
+		check := func(u float64) {
+			want := -math.Log1p(-u)/tc.rate < tc.dur
+			if got := cut.Hit(u); got != want {
+				t.Fatalf("rate=%g dur=%g u=%v: Hit=%v, scalar=%v", tc.rate, tc.dur, u, got, want)
+			}
+		}
+		// Random uniforms from the generator's own grid.
+		st := NewStream(99, "cutoff")
+		for i := 0; i < 4096; i++ {
+			check(st.Float64())
+		}
+		// Exhaustive scan across the guard band and well beyond it on
+		// both sides — every grid point near the threshold is decided.
+		if tc.dur > 0 && !math.IsInf(tc.dur, 1) {
+			k := uint64(math.Ceil((1 - math.Exp(-tc.rate*tc.dur)) * 0x1p53))
+			lo := int64(k) - 3*4096
+			if lo < 0 {
+				lo = 0
+			}
+			hi := k + 3*4096
+			if hi > 1<<53 {
+				hi = 1 << 53
+			}
+			for g := uint64(lo); g < hi; g++ {
+				check(float64(g) * 0x1p-53)
+			}
+		}
+		// Grid extremes.
+		check(0)
+		check(0x1p-53)
+		check(float64((uint64(1)<<53)-1) * 0x1p-53)
+	}
+}
+
+func TestExpCutoffThinsBatchLikeScalarExp(t *testing.T) {
+	// The lane kernel's actual usage: one batch fill classified by the
+	// cutoff must reproduce the decisions of scalar Exp draws.
+	const rate, dur = 2e-3, 131.25
+	cut := ExpHitCutoff(rate, dur)
+	batch := NewStream(21, "thin")
+	scalar := NewStream(21, "thin")
+	u := make([]float64, 1024)
+	batch.FillFloat64(u)
+	for i, ui := range u {
+		if got, want := cut.Hit(ui), scalar.Exp(rate) < dur; got != want {
+			t.Fatalf("draw %d: batch decision %v, scalar %v", i, got, want)
+		}
+	}
+}
+
+func TestExpHitCutoffRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpHitCutoff(rate=%g) should panic", rate)
+				}
+			}()
+			ExpHitCutoff(rate, 1)
+		}()
+	}
+}

@@ -73,6 +73,34 @@ func hashNameIndexed(prefix string, index int) uint64 {
 	return splitMix64(&h)
 }
 
+// hashNameIndexedSuffix is hashName(prefix + strconv.Itoa(index) + suffix)
+// computed without materializing the concatenated string, by the same
+// byte-sequential FNV-1a argument as hashNameIndexed. It covers the
+// scenario hot path's naming convention, where a per-replication prefix
+// ("scenario/<i>") carries a fixed role suffix ("/exec").
+func hashNameIndexedSuffix(prefix string, index int, suffix string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(prefix); i++ {
+		h ^= uint64(prefix[i])
+		h *= prime64
+	}
+	var buf [20]byte
+	digits := strconv.AppendInt(buf[:0], int64(index), 10)
+	for _, c := range digits {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	for i := 0; i < len(suffix); i++ {
+		h ^= uint64(suffix[i])
+		h *= prime64
+	}
+	return splitMix64(&h)
+}
+
 // Source is a xoshiro256** generator. The zero value is invalid; use
 // NewSource or Stream.
 type Source struct {
@@ -149,9 +177,11 @@ type Stream struct {
 	// idx/indexed carry the numeric suffix of a stream derived by
 	// NewStreamIndexed/ReseedIndexed; Name() re-materializes the full
 	// name only when asked (cold path), keeping the hot path free of
-	// string building.
+	// string building. suffix is the trailing fixed part set by
+	// ReseedIndexedSuffix (empty for plain indexed streams).
 	idx     int
 	indexed bool
+	suffix  string
 
 	// Cached second normal variate from the last Box-Muller pair.
 	haveGauss bool
@@ -174,6 +204,7 @@ func (st *Stream) Reseed(seed uint64, name string) {
 	st.reseedHashed(seed, hashName(name))
 	st.name = name
 	st.indexed = false
+	st.suffix = ""
 }
 
 // NewStreamIndexed derives the stream NewStream(seed, prefix+decimal(index))
@@ -195,6 +226,20 @@ func (st *Stream) ReseedIndexed(seed uint64, prefix string, index int) {
 	st.name = prefix
 	st.idx = index
 	st.indexed = true
+	st.suffix = ""
+}
+
+// ReseedIndexedSuffix re-derives the stream in place as
+// NewStream(seed, prefix+decimal(index)+suffix) would, without
+// allocating. This is the naming shape of per-replication scenario
+// substreams ("scenario/<i>/exec"): a numbered prefix with a fixed role
+// suffix, derivable per run with no string building.
+func (st *Stream) ReseedIndexedSuffix(seed uint64, prefix string, index int, suffix string) {
+	st.reseedHashed(seed, hashNameIndexedSuffix(prefix, index, suffix))
+	st.name = prefix
+	st.idx = index
+	st.indexed = true
+	st.suffix = suffix
 }
 
 // reseedHashed resets the generator and sampler state from the master
@@ -213,7 +258,7 @@ func (st *Stream) reseedHashed(seed, nameHash uint64) {
 // Name returns the stream's name.
 func (st *Stream) Name() string {
 	if st.indexed {
-		return st.name + strconv.Itoa(st.idx)
+		return st.name + strconv.Itoa(st.idx) + st.suffix
 	}
 	return st.name
 }
@@ -291,6 +336,91 @@ func (st *Stream) FillExp(dst []float64, rate float64) {
 		u := float64(st.src.Uint64()>>11) * 0x1p-53
 		dst[i] = -math.Log1p(-u) / rate
 	}
+}
+
+// ExpCutoff classifies exponential-variate threshold tests by comparing
+// the generating uniform directly, without taking a logarithm per draw.
+// It answers the Poisson-thinning question "would Exp(rate) < dur?" for
+// a uniform u exactly as the scalar pipeline
+//
+//	-math.Log1p(-u)/rate < dur
+//
+// would, which is what lets batch-filled uniforms replace scalar Exp
+// draws in the replication lane kernel without changing a single
+// decision. Construct with ExpHitCutoff; the zero value classifies
+// nothing as a hit.
+type ExpCutoff struct {
+	rate, dur float64
+	// Uniforms below lo are certain hits and uniforms at or above hi are
+	// certain misses; the narrow band between them (a few thousand ulps
+	// around the threshold, hit with probability ~5e-13 per draw) falls
+	// back to the exact scalar expression. The guard band is what keeps
+	// the classification exact without assuming bit-level monotonicity
+	// of the platform's Log1p.
+	lo, hi float64
+}
+
+// ExpHitCutoff precomputes the classifier for "Exp(rate) < dur". It
+// panics if rate <= 0, mirroring Exp — callers guard rate == 0 the same
+// way the scalar fault samplers do. A non-positive dur yields a cutoff
+// that never hits, matching the scalar comparison (the variate is >= 0).
+func ExpHitCutoff(rate, dur float64) ExpCutoff {
+	if rate <= 0 {
+		panic("rngx: ExpHitCutoff with non-positive rate")
+	}
+	c := ExpCutoff{rate: rate, dur: dur}
+	if dur <= 0 {
+		return c
+	}
+	// Float64 uniforms live on the grid k·2⁻⁵³, k ∈ [0, 2⁵³). Bisect for
+	// the smallest grid point whose variate reaches dur. The predicate
+	// is false at k=0 (variate 0) and true at the k=2⁵³ sentinel (u=1
+	// maps to +Inf), so the invariant holds without special cases.
+	lo, hi := uint64(0), uint64(1)<<53
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		u := float64(mid) * 0x1p-53
+		if -math.Log1p(-u)/rate >= dur {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// Widen by 2¹² grid steps on each side: any non-monotonicity in
+	// Log1p is confined to ~1 ulp of its result, orders of magnitude
+	// inside the band, so outside it the bisected boundary is exact.
+	const guard = 1 << 12
+	bandLo := int64(hi) - guard
+	if bandLo < 0 {
+		bandLo = 0
+	}
+	bandHi := hi + guard
+	if bandHi > 1<<53 {
+		bandHi = 1 << 53
+	}
+	c.lo = float64(bandLo) * 0x1p-53
+	c.hi = float64(bandHi) * 0x1p-53
+	return c
+}
+
+// Hit reports whether the uniform u generates an exponential variate
+// below the cutoff's duration — bit-exactly the scalar decision
+// -Log1p(-u)/rate < dur, at the cost of one or two compares for all but
+// a ~5e-13 sliver of the uniform range.
+func (c ExpCutoff) Hit(u float64) bool {
+	if u < c.lo {
+		return true
+	}
+	if u >= c.hi {
+		return false
+	}
+	return c.hitExact(u)
+}
+
+// hitExact evaluates the scalar expression for in-band uniforms. Kept
+// out of Hit so the two-compare fast path stays inlinable.
+func (c ExpCutoff) hitExact(u float64) bool {
+	return -math.Log1p(-u)/c.rate < c.dur
 }
 
 // Normal returns a normal variate with the given mean and standard

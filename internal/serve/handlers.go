@@ -745,8 +745,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				}
 				// Worker count 0 (GOMAXPROCS): ReplicateScenario is
 				// deterministic in (seed, n) regardless. The context aborts
-				// the fan-out at the request deadline.
-				est, err := engine.ReplicateScenarioCtx(ctx, sc, seed, nRun, 0)
+				// the fan-out at the request deadline. sc.Run above already
+				// validated the scenario, so replication skips re-validating.
+				est, err := engine.ReplicateScenarioValidatedCtx(ctx, sc, seed, nRun, 0)
 				if err != nil {
 					return response{}, err
 				}
@@ -918,7 +919,8 @@ func (s *Server) handleSimulateSpec(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return response{}, err
 			}
-			est, err := engine.ReplicateScenarioCtx(ctx, sc, seed, nRun, 0)
+			// sc.Run above already validated the compiled scenario.
+			est, err := engine.ReplicateScenarioValidatedCtx(ctx, sc, seed, nRun, 0)
 			if err != nil {
 				return response{}, err
 			}

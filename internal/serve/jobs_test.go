@@ -68,13 +68,15 @@ func TestJobsHTTPLifecycle(t *testing.T) {
 
 	// N is sized so the job (64 shards on 2 workers) comfortably
 	// outlives the SSE subscription round-trip, so the stream observes
-	// progress events, not just the terminal snapshot.
+	// progress events, not just the terminal snapshot. The batched lane
+	// kernel runs ~500k replications in under 30ms, so the campaign
+	// needs several million to keep that margin.
 	camp := jobs.Campaign{
 		Name:    "http-lifecycle",
 		Kind:    jobs.KindMonteCarlo,
 		Configs: []string{"Hera/XScale"},
 		Rhos:    []float64{3},
-		N:       500_000,
+		N:       5_000_000,
 		Seed:    7,
 	}
 	var st jobs.Status

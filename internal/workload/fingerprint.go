@@ -1,0 +1,58 @@
+package workload
+
+import "math"
+
+// The engine's pooled replication path reuses workload instances across
+// runs when it can prove two constructions are interchangeable. Name()
+// and the serialized state are not always enough: Heat's diffusion
+// coefficient, for example, appears in neither (it is a fixed operator
+// parameter, not state). Fingerprint closes that gap by hashing every
+// constructor parameter that shapes future evolution, so equal
+// (name, fingerprint, state) triples imply bit-identical behavior.
+// Kernels without a Fingerprint method are simply rebuilt per chunk.
+
+// fingerprint folds the given words with FNV-1a and hardens the result
+// with an avalanche step, mirroring the rngx name-hash construction.
+func fingerprint(words ...uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xff
+			h *= prime64
+			w >>= 8
+		}
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Fingerprint identifies the constructor parameters of the stencil:
+// grid size and the diffusion coefficient (absent from name and state).
+func (h *Heat) Fingerprint() uint64 {
+	return fingerprint('h', uint64(len(h.grid)), math.Float64bits(h.alpha))
+}
+
+// Fingerprint identifies the constructor parameters of the reduction.
+// The seed-derived PRNG state lives in the snapshot, so the block
+// length is the only out-of-state parameter.
+func (s *Stream) Fingerprint() uint64 {
+	return fingerprint('s', uint64(s.blockLen))
+}
+
+// Fingerprint identifies the constructor parameters of the iteration;
+// the operator is implied by the vector length.
+func (m *MatVec) Fingerprint() uint64 {
+	return fingerprint('m', uint64(len(m.vec)))
+}
+
+// Fingerprint identifies the constructor parameters of the 2-D stencil:
+// grid side and the diffusion coefficient (absent from name and state).
+func (h *Heat2D) Fingerprint() uint64 {
+	return fingerprint('2', uint64(h.n), math.Float64bits(h.alpha))
+}

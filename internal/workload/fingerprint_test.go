@@ -1,0 +1,32 @@
+package workload
+
+import "testing"
+
+// TestFingerprintDistinguishesConstructorParams pins the reason the
+// fingerprints exist: constructor parameters that are invisible to both
+// Name() and the state snapshot (Heat's diffusion coefficient is the
+// canonical case) must still produce distinct fingerprints, and equal
+// construction must reproduce the same value.
+func TestFingerprintDistinguishesConstructorParams(t *testing.T) {
+	kernels := map[string]uint64{
+		"heat-64-a1":  NewHeat(64, 0.1).Fingerprint(),
+		"heat-64-a2":  NewHeat(64, 0.25).Fingerprint(),
+		"heat-128-a1": NewHeat(128, 0.1).Fingerprint(),
+		"heat2d-8-a1": NewHeat2D(8, 0.1).Fingerprint(),
+		"heat2d-8-a2": NewHeat2D(8, 0.25).Fingerprint(),
+		"stream-64":   NewStream(7, 64).Fingerprint(),
+		"stream-128":  NewStream(7, 128).Fingerprint(),
+		"matvec-64":   NewMatVec(64).Fingerprint(),
+		"matvec-128":  NewMatVec(128).Fingerprint(),
+	}
+	seen := map[uint64]string{}
+	for name, fp := range kernels {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision: %s and %s both map to %#x", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	if a, b := NewHeat(64, 0.1).Fingerprint(), NewHeat(64, 0.1).Fingerprint(); a != b {
+		t.Errorf("equal construction fingerprints differ: %#x vs %#x", a, b)
+	}
+}
